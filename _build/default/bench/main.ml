@@ -1,0 +1,163 @@
+(* The benchmark harness.
+
+   Part 1 — bechamel micro-benchmarks of the hot primitives underneath
+   each experiment (one Test.make per reproduced table/figure, measuring
+   the substrate operations that experiment leans on).
+
+   Part 2 — regeneration of every table and figure of the paper's
+   evaluation at the selected scale (PICO_BENCH_SCALE=quick|medium|full,
+   default quick), printing the same rows/series the paper reports.
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+
+module Sim = Pico_engine.Sim
+module Heap = Pico_engine.Heap
+module Mailbox = Pico_engine.Mailbox
+module Rng = Pico_engine.Rng
+module Addr = Pico_hw.Addr
+module Pagetable = Pico_hw.Pagetable
+module Ctype = Pico_dwarf.Ctype
+module Compile = Pico_dwarf.Compile
+module Encode = Pico_dwarf.Encode
+module Extract = Pico_dwarf.Extract
+module Mq = Pico_psm.Mq
+module Hfi1_structs = Pico_linux.Hfi1_structs
+
+(* --- Part 1: micro-benchmarks -------------------------------------------- *)
+
+(* fig4 rests on the event engine: heap scheduling throughput. *)
+let bench_heap =
+  Test.make ~name:"fig4:event-heap push+pop"
+    (Staged.stage @@ fun () ->
+     let h = Heap.create () in
+     for i = 0 to 63 do
+       Heap.push h ~key:(float_of_int (i * 37 mod 64)) ~seq:i i
+     done;
+     let rec drain () = match Heap.pop_min h with Some _ -> drain () | None -> () in
+     drain ())
+
+(* figs5-7 push millions of simulation events through effect handlers. *)
+let bench_sim_processes =
+  Test.make ~name:"fig5-7:sim process switch"
+    (Staged.stage @@ fun () ->
+     let sim = Sim.create () in
+     let mb = Mailbox.create sim in
+     Sim.spawn sim (fun () -> for _ = 1 to 10 do Mailbox.put mb 1; Sim.delay sim 1. done);
+     Sim.spawn sim (fun () -> for _ = 1 to 10 do ignore (Mailbox.get mb) done);
+     ignore (Sim.run sim))
+
+(* The PicoDriver fast path = page-table walks (vs get_user_pages). *)
+let bench_pt_walk =
+  let pt = Pagetable.create () in
+  let () =
+    Pagetable.map_range pt ~va:0 ~pa:(Addr.gib 1) ~len:(Addr.mib 4)
+      ~page_size:Addr.large_page_size
+      ~flags:Pagetable.Flags.(present + writable + pinned)
+  in
+  Test.make ~name:"fig4:phys_segments 4MB/2MB-pages"
+    (Staged.stage @@ fun () ->
+     ignore (Pagetable.phys_segments pt ~va:0 ~len:(Addr.mib 4)))
+
+let bench_pt_walk_4k =
+  let pt = Pagetable.create () in
+  let () =
+    (* Deliberately discontiguous physical backing, like Linux anon memory. *)
+    for i = 0 to 1023 do
+      Pagetable.map pt ~va:(i * 4096)
+        ~pa:(Addr.gib 1 + (i * 2 * 4096))
+        ~page_size:Addr.page_size
+        ~flags:Pagetable.Flags.(present + writable)
+    done
+  in
+  Test.make ~name:"fig4:phys_segments 4MB/4k-scattered"
+    (Staged.stage @@ fun () ->
+     ignore (Pagetable.phys_segments pt ~va:0 ~len:(Addr.mib 4)))
+
+(* listing1: DWARF parse + extraction of the sdma_state structure. *)
+let bench_dwarf_extract =
+  let sections = Hfi1_structs.module_binary () in
+  Test.make ~name:"listing1:dwarf parse+extract"
+    (Staged.stage @@ fun () ->
+     let parsed = Encode.parse sections in
+     match
+       Extract.extract parsed ~struct_name:"sdma_state"
+         ~fields:[ "current_state"; "go_s99_running"; "previous_state" ]
+     with
+     | Ok _ -> ()
+     | Error e -> failwith e)
+
+(* table1 leans on tag matching in the MQ. *)
+let bench_mq_matching =
+  Test.make ~name:"table1:mq post+match x64"
+    (Staged.stage @@ fun () ->
+     let mq : (int, int) Mq.t = Mq.create () in
+     for i = 0 to 63 do
+       Mq.post mq ~src:(Some (i mod 8)) ~tag:(Int64.of_int i) ~mask:(-1L) i
+     done;
+     for i = 63 downto 0 do
+       ignore (Mq.match_posted mq ~src:(i mod 8) ~tag:(Int64.of_int i))
+     done)
+
+(* figs8/9: the C-layout engine behind every struct the kernels touch. *)
+let bench_ctype_layout =
+  Test.make ~name:"fig8-9:sdma_state layout"
+    (Staged.stage @@ fun () ->
+     ignore (Ctype.layout `Struct Hfi1_structs.sdma_state);
+     ignore (Ctype.sized `Struct Hfi1_structs.sdma_state))
+
+(* Compilation of the full module binary (driver update workflow). *)
+let bench_module_compile =
+  Test.make ~name:"listing1:compile module dwarf"
+    (Staged.stage @@ fun () ->
+     let c = Compile.create () in
+     List.iter (Compile.add_struct c) Hfi1_structs.all;
+     ignore (Encode.encode (Compile.finish c)))
+
+let bench_rng =
+  let r = Rng.create ~seed:1L in
+  Test.make ~name:"fig5-7:noise rng sample"
+    (Staged.stage @@ fun () -> ignore (Rng.exponential r ~mean:100.))
+
+let run_micro () =
+  let tests =
+    [ bench_heap; bench_sim_processes; bench_pt_walk; bench_pt_walk_4k;
+      bench_dwarf_extract; bench_mq_matching; bench_ctype_layout;
+      bench_module_compile; bench_rng ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:None () in
+  let instances = Instance.[ monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  print_endline "=== Micro-benchmarks (substrate primitives per experiment) ===";
+  List.iter
+    (fun test ->
+      Benchmark.all cfg instances test
+      |> Hashtbl.iter (fun name bench ->
+             let r = Analyze.one ols Instance.monotonic_clock bench in
+             match Analyze.OLS.estimates r with
+             | Some [ est ] ->
+               Printf.printf "  %-44s %12.1f ns/iter\n" name est
+             | _ -> Printf.printf "  %-44s (no estimate)\n" name))
+    tests;
+  print_newline ()
+
+(* --- Part 2: paper tables and figures -------------------------------------- *)
+
+let run_figures () =
+  let scale =
+    match Sys.getenv_opt "PICO_BENCH_SCALE" with
+    | Some "full" -> Pico_harness.Figures.full
+    | Some "medium" -> Pico_harness.Figures.medium
+    | _ -> Pico_harness.Figures.quick
+  in
+  print_endline "=== Paper evaluation: every table and figure ===";
+  print_newline ();
+  print_string (Pico_harness.Figures.all ~scale ())
+
+let () =
+  run_micro ();
+  run_figures ()

@@ -1,0 +1,100 @@
+(* dwarf-extract-struct: the structure-extraction tool of paper
+   Section 3.2.
+
+   Walks the DWARF debugging information of the (simulated) vendor module
+   binary and emits a header that contains only the requested fields, each
+   at its correct offset, in the padded-union representation of Listing 1.
+
+   Usage:
+     dwarf_extract --struct sdma_state current_state go_s99_running
+     dwarf_extract --list              # available structures
+     dwarf_extract --struct hfi1_devdata --fields   # available fields
+     dwarf_extract --enum sdma_states  # enumerators with values *)
+
+open Cmdliner
+
+let parsed () =
+  Pico_dwarf.Encode.parse (Pico_linux.Hfi1_structs.module_binary ())
+
+let rec run list_structs struct_name list_fields enum_name fields =
+  match enum_name with
+  | Some ename ->
+    (match Pico_dwarf.Extract.enumerators (parsed ()) ~enum:ename with
+     | [] -> `Error (false, Printf.sprintf "no enumeration named %S" ename)
+     | es ->
+       List.iter (fun (n, v) -> Printf.printf "%s = %d\n" n v) es;
+       `Ok ())
+  | None ->
+    run_structs list_structs struct_name list_fields fields
+
+and run_structs list_structs struct_name list_fields fields =
+  if list_structs then begin
+    List.iter print_endline (Pico_dwarf.Extract.structs_available (parsed ()));
+    `Ok ()
+  end
+  else begin
+    match struct_name with
+    | None ->
+      `Error (true, "either --list or --struct NAME is required")
+    | Some name ->
+      if list_fields then begin
+        let fs =
+          Pico_dwarf.Extract.fields_available (parsed ()) ~string_name:name
+        in
+        if fs = [] then
+          `Error (false, Printf.sprintf "no structure named %S" name)
+        else begin
+          List.iter print_endline fs;
+          `Ok ()
+        end
+      end
+      else if fields = [] then
+        `Error (true, "at least one field name is required (or --fields)")
+      else begin
+        match
+          Pico_dwarf.Extract.extract (parsed ()) ~struct_name:name ~fields
+        with
+        | Ok ex ->
+          print_string (Pico_dwarf.Extract.render_c_header ex);
+          `Ok ()
+        | Error e -> `Error (false, e)
+      end
+  end
+
+let list_arg =
+  Arg.(value & flag & info [ "list" ] ~doc:"List structures in the binary.")
+
+let struct_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "struct" ] ~docv:"NAME" ~doc:"Structure to extract.")
+
+let fields_flag =
+  Arg.(
+    value & flag
+    & info [ "fields" ] ~doc:"List the members of the selected structure.")
+
+let fields_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"FIELD")
+
+let enum_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "enum" ] ~docv:"NAME"
+        ~doc:"List the enumerators (with values) of an enumeration.")
+
+let cmd =
+  let doc =
+    "extract structure layouts from the DWARF sections of the HFI1 module \
+     binary"
+  in
+  Cmd.v
+    (Cmd.info "dwarf_extract" ~version:"1.0" ~doc)
+    Term.(
+      ret
+        (const run $ list_arg $ struct_arg $ fields_flag $ enum_arg
+         $ fields_arg))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,119 @@
+(* picobench: regenerate every table and figure of the paper's evaluation.
+
+   One subcommand per experiment (see DESIGN.md's per-experiment index);
+   `picobench all` runs the full set at the chosen scale. *)
+
+open Cmdliner
+
+module F = Pico_harness.Figures
+
+let scale_conv =
+  let parse = function
+    | "quick" -> Ok F.quick
+    | "medium" -> Ok F.medium
+    | "full" -> Ok F.full
+    | s -> Error (`Msg (Printf.sprintf "unknown scale %S (quick|medium|full)" s))
+  in
+  let print fmt s =
+    let name =
+      if s = F.quick then "quick" else if s = F.medium then "medium"
+      else "full"
+    in
+    Format.pp_print_string fmt name
+  in
+  Arg.conv (parse, print)
+
+let scale_arg =
+  let doc =
+    "Sweep scale: quick (<=8 nodes, 8 ranks/node), medium (<=32 nodes, 16 \
+     ranks/node) or full (<=256 nodes, 32 ranks/node; slow)."
+  in
+  Arg.(value & opt scale_conv F.quick & info [ "s"; "scale" ] ~docv:"SCALE" ~doc)
+
+let nodes_arg default =
+  let doc = "Number of compute nodes." in
+  Arg.(value & opt int default & info [ "n"; "nodes" ] ~docv:"NODES" ~doc)
+
+let rpn_arg default =
+  let doc = "MPI ranks per node." in
+  Arg.(value & opt int default & info [ "r"; "ranks-per-node" ] ~docv:"RPN" ~doc)
+
+let emit s = print_string s
+
+let cmd name ~doc term = Cmd.v (Cmd.info name ~doc) term
+
+let fig4_cmd =
+  cmd "fig4" ~doc:"Figure 4: IMB PingPong bandwidth (3 OS configs)"
+    Term.(const (fun () -> emit (F.fig4 ())) $ const ())
+
+let app_cmd name ~doc (f : ?scale:F.scale -> unit -> string) =
+  cmd name ~doc Term.(const (fun scale -> emit (f ~scale ())) $ scale_arg)
+
+let fig5a_cmd = app_cmd "fig5a" ~doc:"Figure 5a: LAMMPS scaling" F.fig5a_lammps
+
+let fig5b_cmd = app_cmd "fig5b" ~doc:"Figure 5b: Nekbone scaling" F.fig5b_nekbone
+
+let fig6a_cmd = app_cmd "fig6a" ~doc:"Figure 6a: UMT2013 scaling" F.fig6a_umt
+
+let fig6b_cmd = app_cmd "fig6b" ~doc:"Figure 6b: HACC scaling" F.fig6b_hacc
+
+let fig7_cmd = app_cmd "fig7" ~doc:"Figure 7: QBOX scaling" F.fig7_qbox
+
+let table1_cmd =
+  cmd "table1" ~doc:"Table 1: communication profile (UMT, HACC, QBOX)"
+    Term.(
+      const (fun nodes rpn -> emit (F.table1 ~nodes ~ranks_per_node:rpn ()))
+      $ nodes_arg 8 $ rpn_arg 8)
+
+let fig8_cmd =
+  cmd "fig8" ~doc:"Figure 8: system call breakdown for UMT2013"
+    Term.(
+      const (fun nodes rpn -> emit (F.fig8_umt ~nodes ~ranks_per_node:rpn ()))
+      $ nodes_arg 8 $ rpn_arg 8)
+
+let fig9_cmd =
+  cmd "fig9" ~doc:"Figure 9: system call breakdown for QBOX"
+    Term.(
+      const (fun nodes rpn -> emit (F.fig9_qbox ~nodes ~ranks_per_node:rpn ()))
+      $ nodes_arg 8 $ rpn_arg 8)
+
+let listing1_cmd =
+  cmd "listing1" ~doc:"Listing 1: dwarf-extract-struct output for sdma_state"
+    Term.(const (fun () -> emit (F.listing1 ())) $ const ())
+
+let sloc_cmd =
+  cmd "sloc" ~doc:"Porting-effort comparison (50 kSLOC vs <3 kSLOC claim)"
+    Term.(const (fun () -> emit (F.sloc ())) $ const ())
+
+let imb_cmd =
+  cmd "imb" ~doc:"The wider IMB-MPI1 suite (PingPing, SendRecv, Exchange, ...)"
+    Term.(
+      const (fun nodes rpn -> emit (F.imb_suite ~nodes ~ranks_per_node:rpn ()))
+      $ nodes_arg 2 $ rpn_arg 1)
+
+let ibreg_cmd =
+  cmd "ibreg"
+    ~doc:"Extension: InfiniBand memory-registration latency (future work)"
+    Term.(const (fun () -> emit (F.ibreg ())) $ const ())
+
+let ablations_cmd =
+  cmd "ablations"
+    ~doc:"Design-choice ablations: SDMA request size, OS noise, TID cache"
+    Term.(const (fun () -> emit (F.ablations ())) $ const ())
+
+let all_cmd =
+  cmd "all" ~doc:"Run every experiment at the chosen scale"
+    Term.(const (fun scale -> emit (F.all ~scale ())) $ scale_arg)
+
+let main =
+  let doc =
+    "Reproduce the evaluation of 'PicoDriver: Fast-path Device Drivers for \
+     Multi-kernel Operating Systems' (HPDC'18) on the simulated platform."
+  in
+  Cmd.group
+    (Cmd.info "picobench" ~version:"1.0" ~doc)
+    [ fig4_cmd; fig5a_cmd; fig5b_cmd; fig6a_cmd; fig6b_cmd; fig7_cmd;
+      table1_cmd; fig8_cmd; fig9_cmd; listing1_cmd; imb_cmd; ibreg_cmd;
+      ablations_cmd; sloc_cmd; all_cmd ]
+
+let () = exit (Cmd.eval main)

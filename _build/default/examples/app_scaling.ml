@@ -1,0 +1,46 @@
+(* Weak-scale a mini-application across the three OS configurations and
+   print relative performance — a one-app slice of Figures 5-7.
+
+   Run with: dune exec examples/app_scaling.exe [-- umt|hacc|qbox|lammps|nekbone]
+
+   The offloading collapse (UMT under plain McKernel) and the PicoDriver
+   recovery are visible from 2 nodes on. *)
+
+module H = Pico_harness
+
+let apps : (string * (Pico_mpi.Comm.t -> float) * int) list =
+  [ ("lammps", (fun c -> Pico_apps.Lammps.run c), 1);
+    ("nekbone", (fun c -> Pico_apps.Nekbone.run c), 1);
+    ("umt", (fun c -> Pico_apps.Umt.run c), 1);
+    ("hacc", (fun c -> Pico_apps.Hacc.run c), 1);
+    ("qbox", (fun c -> Pico_apps.Qbox.run c), 4) ]
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "umt" in
+  let app, min_nodes =
+    match List.find_opt (fun (n, _, _) -> n = name) apps with
+    | Some (_, app, m) -> (app, m)
+    | None ->
+      Printf.eprintf "unknown app %s\n" name;
+      exit 1
+  in
+  let rpn = 16 in
+  Printf.printf "%s, weak scaling, %d ranks/node\n\n" name rpn;
+  Printf.printf "%6s %12s %12s %14s\n" "nodes" "Linux" "McKernel" "McKernel+HFI1";
+  List.iter
+    (fun nodes ->
+      if nodes >= min_nodes then begin
+        let fom kind =
+          let cl = H.Cluster.build kind ~n_nodes:nodes () in
+          (H.Experiment.run cl ~ranks_per_node:rpn app).H.Experiment.fom_ns
+        in
+        let linux = fom H.Cluster.Linux in
+        let mck = fom H.Cluster.Mckernel in
+        let hfi = fom H.Cluster.Mckernel_hfi in
+        Printf.printf "%6d %11.1f%% %11.1f%% %13.1f%%   (Linux: %.2f ms)\n"
+          nodes 100.0
+          (linux /. mck *. 100.)
+          (linux /. hfi *. 100.)
+          (linux /. 1e6)
+      end)
+    [ 1; 2; 4; 8 ]

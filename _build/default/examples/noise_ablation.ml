@@ -1,0 +1,18 @@
+(* Design-choice ablations (DESIGN.md section 4, rows abl-1..abl-3):
+
+   1. SDMA request size: cap the PicoDriver at PAGE_SIZE requests (undo
+      the Section 3.4 optimisation) and watch the Fig. 4 advantage shrink
+      to just the offload avoidance;
+   2. OS noise: turn nohz_full off (stock Linux) and compare with the
+      noise-free LWK cores;
+   3. TID registration cache: the PSM of the paper's era registered and
+      freed expected-receive buffers on every transfer - enabling a cache
+      shows how much of the plain-McKernel penalty is registration
+      traffic.
+
+   The implementations live in Pico_harness.Figures.ablations (also run by
+   `picobench ablations` and `picobench all`).
+
+   Run with: dune exec examples/noise_ablation.exe *)
+
+let () = print_string (Pico_harness.Figures.ablations ())

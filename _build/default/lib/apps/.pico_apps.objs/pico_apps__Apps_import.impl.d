@@ -1,0 +1,1 @@
+lib/apps/apps_import.ml: Pico_costs Pico_engine Pico_hw Pico_mpi Pico_psm

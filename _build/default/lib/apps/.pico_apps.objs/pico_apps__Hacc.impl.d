@@ -1,0 +1,1 @@
+lib/apps/hacc.ml: Apps_import Collectives Comm Mpi Sim Workload

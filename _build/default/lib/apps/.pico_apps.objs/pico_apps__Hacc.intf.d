@@ -1,0 +1,1 @@
+lib/apps/hacc.mli: Apps_import Comm

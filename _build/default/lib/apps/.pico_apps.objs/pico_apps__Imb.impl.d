@@ -1,0 +1,1 @@
+lib/apps/imb.ml: Apps_import Array Collectives Comm List Mpi Sim Workload

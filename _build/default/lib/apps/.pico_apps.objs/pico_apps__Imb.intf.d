@@ -1,0 +1,1 @@
+lib/apps/imb.mli: Apps_import Comm

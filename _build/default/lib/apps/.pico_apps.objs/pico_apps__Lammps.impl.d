@@ -1,0 +1,1 @@
+lib/apps/lammps.ml: Apps_import Collectives Comm List Sim Workload

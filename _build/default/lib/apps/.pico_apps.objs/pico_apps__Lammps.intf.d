@@ -1,0 +1,1 @@
+lib/apps/lammps.mli: Apps_import Comm

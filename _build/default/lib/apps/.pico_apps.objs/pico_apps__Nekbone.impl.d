@@ -1,0 +1,1 @@
+lib/apps/nekbone.ml: Apps_import Collectives Comm List Sim Workload

@@ -1,0 +1,1 @@
+lib/apps/nekbone.mli: Apps_import Comm

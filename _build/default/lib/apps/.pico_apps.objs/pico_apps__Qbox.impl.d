@@ -1,0 +1,1 @@
+lib/apps/qbox.ml: Apps_import Array Collectives Comm Sim Workload

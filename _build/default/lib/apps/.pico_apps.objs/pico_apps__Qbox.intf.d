@@ -1,0 +1,1 @@
+lib/apps/qbox.mli: Apps_import Comm

@@ -1,0 +1,1 @@
+lib/apps/umt.ml: Apps_import Collectives Comm List Mpi Sim Workload

@@ -1,0 +1,1 @@
+lib/apps/umt.mli: Apps_import Comm

@@ -1,0 +1,1 @@
+lib/apps/workload.ml: Apps_import Collectives Comm Endpoint Float Hashtbl List Mpi Sim

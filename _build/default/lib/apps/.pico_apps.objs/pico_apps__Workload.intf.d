@@ -1,0 +1,1 @@
+lib/apps/workload.mli: Addr Apps_import Comm Endpoint Mpi

@@ -1,0 +1,9 @@
+(* Local aliases for modules used across the workload library. *)
+module Sim = Pico_engine.Sim
+module Stats = Pico_engine.Stats
+module Addr = Pico_hw.Addr
+module Endpoint = Pico_psm.Endpoint
+module Comm = Pico_mpi.Comm
+module Mpi = Pico_mpi.Mpi
+module Collectives = Pico_mpi.Collectives
+module Costs = Pico_costs.Costs

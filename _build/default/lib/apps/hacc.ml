@@ -1,0 +1,48 @@
+open Apps_import
+
+type params = {
+  steps : int;
+  compute_ns : float;
+  transpose_bytes : int;
+  transpose_rounds : int;
+}
+
+let default =
+  { steps = 4;
+    compute_ns = Sim.ms 1.2;
+    transpose_bytes = 384 * 1024;
+    transpose_rounds = 6 }
+
+let run ?(params = default) comm =
+  let size = comm.Comm.size in
+  let rank = comm.Comm.rank in
+  (* HACC builds its 3-D decomposition up front. *)
+  let px, py, pz = Workload.dims3 size in
+  Collectives.cart_create comm ~dims:[ px; py; pz ];
+  let sbuf = Workload.alloc comm params.transpose_bytes in
+  let rbuf = Workload.alloc comm params.transpose_bytes in
+  Workload.timed_loop comm ~steps:params.steps (fun step ->
+      (* Short/long-range force computation. *)
+      Workload.compute comm params.compute_ns;
+      (* FFT transpose: butterfly partner exchanges of large blocks. *)
+      let rounds = min params.transpose_rounds (max 1 (size - 1)) in
+      for r = 0 to rounds - 1 do
+        (* The transpose spans the full machine: pencil redistribution
+           keeps hitting the high strides. *)
+        let stride = max 1 (size lsr ((r mod 3) + 1)) in
+        let partner = rank lxor stride in
+        if partner < size && partner <> rank then begin
+          let tag = 400 + (step * 8) + r in
+          let rr =
+            Mpi.irecv comm ~src:(Some partner) ~tag ~va:rbuf
+              ~len:params.transpose_bytes
+          in
+          let ss =
+            Mpi.isend comm ~dst:partner ~tag ~va:sbuf
+              ~len:params.transpose_bytes
+          in
+          Mpi.waitall comm [ ss; rr ]
+        end
+      done;
+      (* Global energy check. *)
+      Collectives.allreduce comm ~len:32)

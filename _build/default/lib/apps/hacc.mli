@@ -1,0 +1,21 @@
+(** HACC skeleton: N-body cosmology, weak scaling.
+
+    Communication profile: a Cartesian topology created at start-up
+    (MPI_Cart_create dominates the Linux profile in Table 1), then
+    per-step 3-D FFT transposes exchanging {e large} rendezvous messages
+    with log-pattern partners plus particle-exchange waits.  The paper
+    measures the original McKernel at ~71 % of Linux on average
+    (Fig. 6b). *)
+
+open Apps_import
+
+type params = {
+  steps : int;
+  compute_ns : float;
+  transpose_bytes : int;    (** per-partner FFT pencil block *)
+  transpose_rounds : int;   (** log-style butterfly rounds per step *)
+}
+
+val default : params
+
+val run : ?params:params -> Comm.t -> float

@@ -1,0 +1,198 @@
+open Apps_import
+
+type point = {
+  size : int;
+  time_ns : float;
+  mbps : float;
+}
+
+let sizes ?(max_size = 4 * 1024 * 1024) () =
+  let rec go s acc = if s > max_size then List.rev acc else go (s * 2) (s :: acc) in
+  go 1 []
+
+let iters_for size =
+  (* IMB scales iteration count down for big messages. *)
+  if size <= 4096 then 200
+  else if size <= 65536 then 100
+  else if size <= 1048576 then 40
+  else 20
+
+(* Shared skeleton: loop over sizes, time [body size iters] on all ranks,
+   rank 0 records the per-iteration time. *)
+let sized_benchmark ?iters ?sizes:size_list ~out ~ops_per_iter ~payload comm body =
+  let sizes = match size_list with Some s -> s | None -> sizes () in
+  let sim = comm.Comm.sim in
+  let t0 = Sim.now sim in
+  List.iter
+    (fun size ->
+      let iters = match iters with Some i -> i | None -> iters_for size in
+      Collectives.barrier comm;
+      let start = Sim.now sim in
+      body size iters;
+      Collectives.barrier comm;
+      if comm.Comm.rank = 0 then begin
+        let per_iter = (Sim.now sim -. start) /. float_of_int iters in
+        let t = per_iter /. float_of_int (max 1 ops_per_iter) in
+        let mbps =
+          if payload then float_of_int size /. t *. 1000. else 0.
+        in
+        out := { size; time_ns = t; mbps } :: !out
+      end)
+    sizes;
+  if comm.Comm.rank = 0 then out := List.rev !out;
+  Sim.now sim -. t0
+
+let pingpong ?iters ?sizes:size_list ~out comm =
+  let sizes = match size_list with Some s -> s | None -> sizes () in
+  let sim = comm.Comm.sim in
+  let rank = comm.Comm.rank in
+  let max_size = List.fold_left max 1 sizes in
+  let sbuf = Workload.alloc comm max_size in
+  let rbuf = Workload.alloc comm max_size in
+  Collectives.barrier comm;
+  let t0 = Sim.now sim in
+  List.iter
+    (fun size ->
+      let iters = match iters with Some i -> i | None -> iters_for size in
+      Collectives.barrier comm;
+      let start = Sim.now sim in
+      for _ = 1 to iters do
+        if rank = 0 then begin
+          Mpi.send comm ~dst:1 ~tag:1 ~va:sbuf ~len:size;
+          Mpi.recv comm ~src:(Some 1) ~tag:2 ~va:rbuf ~len:size
+        end
+        else if rank = 1 then begin
+          Mpi.recv comm ~src:(Some 0) ~tag:1 ~va:rbuf ~len:size;
+          Mpi.send comm ~dst:0 ~tag:2 ~va:sbuf ~len:size
+        end
+      done;
+      if rank = 0 then begin
+        let elapsed = Sim.now sim -. start in
+        let one_way = elapsed /. float_of_int (2 * iters) in
+        let mbps =
+          (* bytes/ns = GB/s; IMB MB/s uses 10^6. *)
+          float_of_int size /. one_way *. 1000.
+        in
+        out := { size; time_ns = one_way; mbps } :: !out
+      end)
+    sizes;
+  Collectives.barrier comm;
+  if rank = 0 then out := List.rev !out;
+  Sim.now sim -. t0
+
+
+let pingping ?iters ?sizes ~out comm =
+  let rank = comm.Comm.rank in
+  let max_size =
+    List.fold_left max 1 (match sizes with Some s -> s | None -> [ 4194304 ])
+  in
+  let sbuf = Workload.alloc comm max_size in
+  let rbuf = Workload.alloc comm max_size in
+  sized_benchmark ?iters ?sizes ~out ~ops_per_iter:1 ~payload:true comm
+    (fun size iters ->
+      if rank <= 1 then begin
+        let peer = 1 - rank in
+        for _ = 1 to iters do
+          let r = Mpi.irecv comm ~src:(Some peer) ~tag:3 ~va:rbuf ~len:size in
+          let s = Mpi.isend comm ~dst:peer ~tag:3 ~va:sbuf ~len:size in
+          Mpi.waitall comm [ s; r ]
+        done
+      end)
+
+let sendrecv ?iters ?sizes ~out comm =
+  let n = comm.Comm.size in
+  let rank = comm.Comm.rank in
+  let right = (rank + 1) mod n in
+  let left = (rank - 1 + n) mod n in
+  let max_size =
+    List.fold_left max 1 (match sizes with Some s -> s | None -> [ 4194304 ])
+  in
+  let sbuf = Workload.alloc comm max_size in
+  let rbuf = Workload.alloc comm max_size in
+  sized_benchmark ?iters ?sizes ~out ~ops_per_iter:1 ~payload:true comm
+    (fun size iters ->
+      for _ = 1 to iters do
+        Mpi.sendrecv comm ~dst:right ~src:(Some left) ~stag:4 ~rtag:4
+          ~sva:sbuf ~slen:size ~rva:rbuf ~rlen:size
+      done)
+
+let exchange ?iters ?sizes ~out comm =
+  let n = comm.Comm.size in
+  let rank = comm.Comm.rank in
+  let right = (rank + 1) mod n in
+  let left = (rank - 1 + n) mod n in
+  let max_size =
+    List.fold_left max 1 (match sizes with Some s -> s | None -> [ 4194304 ])
+  in
+  let sbuf = Workload.alloc comm (2 * max_size) in
+  let rbuf = Workload.alloc comm (2 * max_size) in
+  sized_benchmark ?iters ?sizes ~out ~ops_per_iter:2 ~payload:true comm
+    (fun size iters ->
+      for _ = 1 to iters do
+        let rr =
+          [ Mpi.irecv comm ~src:(Some left) ~tag:5 ~va:rbuf ~len:size;
+            Mpi.irecv comm ~src:(Some right) ~tag:6 ~va:(rbuf + size) ~len:size ]
+        in
+        let ss =
+          [ Mpi.isend comm ~dst:right ~tag:5 ~va:sbuf ~len:size;
+            Mpi.isend comm ~dst:left ~tag:6 ~va:(sbuf + size) ~len:size ]
+        in
+        Mpi.waitall comm (ss @ rr)
+      done)
+
+let bcast ?iters ?sizes ~out comm =
+  sized_benchmark ?iters ?sizes ~out ~ops_per_iter:1 ~payload:false comm
+    (fun size iters ->
+      for _ = 1 to iters do
+        Collectives.bcast comm ~root:0 ~len:size
+      done)
+
+let allreduce ?iters ?sizes ~out comm =
+  sized_benchmark ?iters ?sizes ~out ~ops_per_iter:1 ~payload:false comm
+    (fun size iters ->
+      for _ = 1 to iters do
+        Collectives.allreduce comm ~len:size
+      done)
+
+let reduce ?iters ?sizes ~out comm =
+  sized_benchmark ?iters ?sizes ~out ~ops_per_iter:1 ~payload:false comm
+    (fun size iters ->
+      for _ = 1 to iters do
+        Collectives.reduce comm ~root:0 ~len:size
+      done)
+
+let allgather ?iters ?sizes ~out comm =
+  sized_benchmark ?iters ?sizes ~out ~ops_per_iter:1 ~payload:false comm
+    (fun size iters ->
+      for _ = 1 to iters do
+        Collectives.allgather comm ~len:size
+      done)
+
+let alltoall ?iters ?sizes ~out comm =
+  sized_benchmark ?iters ?sizes ~out ~ops_per_iter:1 ~payload:false comm
+    (fun size iters ->
+      let counts = Array.make comm.Comm.size size in
+      for _ = 1 to iters do
+        Collectives.alltoallv comm ~counts
+      done)
+
+let gather ?iters ?sizes ~out comm =
+  sized_benchmark ?iters ?sizes ~out ~ops_per_iter:1 ~payload:false comm
+    (fun size iters ->
+      for _ = 1 to iters do
+        Collectives.gather comm ~root:0 ~len:size
+      done)
+
+let scatter ?iters ?sizes ~out comm =
+  sized_benchmark ?iters ?sizes ~out ~ops_per_iter:1 ~payload:false comm
+    (fun size iters ->
+      for _ = 1 to iters do
+        Collectives.scatter comm ~root:0 ~len:size
+      done)
+
+let barrier ?(iters = 100) ~out comm =
+  sized_benchmark ~iters ~sizes:[ 0 ] ~out ~ops_per_iter:1 ~payload:false comm
+    (fun _size iters ->
+      for _ = 1 to iters do
+        Collectives.barrier comm
+      done)

@@ -1,0 +1,65 @@
+(** IMB-MPI1 PingPong (the Figure 4 benchmark).
+
+    Rank 0 and rank 1 bounce messages of each size; the reported
+    bandwidth is [size / (round_trip / 2)], in MB/s, as IMB prints it. *)
+
+open Apps_import
+
+type point = {
+  size : int;
+  time_ns : float;   (** one-way time *)
+  mbps : float;
+}
+
+(** Standard IMB message sizes 1 B .. [max_size] (powers of two, plus 0
+    omitted since PSM zero-byte latency is measured separately). *)
+val sizes : ?max_size:int -> unit -> int list
+
+(** The app callback: ranks 0/1 ping-pong, all other ranks idle at the
+    final barrier.  Results are appended to [out] by rank 0.  Returns the
+    loop time (FOM). *)
+val pingpong :
+  ?iters:int -> ?sizes:int list -> out:point list ref -> Comm.t -> float
+
+(** {2 The rest of the IMB-MPI1 suite}
+
+    Each benchmark fills [out] (on rank 0) with one [point] per size;
+    [mbps] is 0 for the collective benchmarks, which IMB reports in time
+    only. *)
+
+(** PingPing: both ranks send simultaneously (full duplex). *)
+val pingping :
+  ?iters:int -> ?sizes:int list -> out:point list ref -> Comm.t -> float
+
+(** SendRecv: periodic chain, every rank sends right / receives left. *)
+val sendrecv :
+  ?iters:int -> ?sizes:int list -> out:point list ref -> Comm.t -> float
+
+(** Exchange: both neighbours, both directions (4 messages per rank per
+    iteration). *)
+val exchange :
+  ?iters:int -> ?sizes:int list -> out:point list ref -> Comm.t -> float
+
+val bcast :
+  ?iters:int -> ?sizes:int list -> out:point list ref -> Comm.t -> float
+
+val allreduce :
+  ?iters:int -> ?sizes:int list -> out:point list ref -> Comm.t -> float
+
+val reduce :
+  ?iters:int -> ?sizes:int list -> out:point list ref -> Comm.t -> float
+
+val allgather :
+  ?iters:int -> ?sizes:int list -> out:point list ref -> Comm.t -> float
+
+(** Alltoall with [size] bytes per partner pair. *)
+val alltoall :
+  ?iters:int -> ?sizes:int list -> out:point list ref -> Comm.t -> float
+
+val gather :
+  ?iters:int -> ?sizes:int list -> out:point list ref -> Comm.t -> float
+
+val scatter :
+  ?iters:int -> ?sizes:int list -> out:point list ref -> Comm.t -> float
+
+val barrier : ?iters:int -> out:point list ref -> Comm.t -> float

@@ -1,0 +1,30 @@
+open Apps_import
+
+type params = {
+  steps : int;
+  compute_ns : float;
+  halo_bytes : int;
+  thermo_every : int;
+}
+
+let default =
+  { steps = 15;
+    compute_ns = Sim.ms 3.0;
+    halo_bytes = 24 * 1024; (* under the eager threshold: PIO only *)
+    thermo_every = 1 }
+
+let run ?(params = default) comm =
+  let dims = Workload.dims3 comm.Comm.size in
+  let neighbors = Workload.neighbors3 ~rank:comm.Comm.rank ~dims in
+  let n = max 1 (List.length neighbors) in
+  let sbuf = Workload.alloc comm (n * params.halo_bytes) in
+  let rbuf = Workload.alloc comm (n * params.halo_bytes) in
+  Workload.timed_loop comm ~steps:params.steps (fun step ->
+      (* Force computation (pair + neighbour lists). *)
+      Workload.compute comm params.compute_ns;
+      (* Ghost-atom exchange. *)
+      Workload.halo_exchange comm ~neighbors ~bytes:params.halo_bytes
+        ~tag_base:100 ~sbuf ~rbuf;
+      (* Thermo output. *)
+      if step mod params.thermo_every = 0 then
+        Collectives.allreduce comm ~len:48)

@@ -1,0 +1,19 @@
+(** LAMMPS skeleton: classical molecular dynamics, weak scaling.
+
+    Communication profile: per-timestep nearest-neighbour halo exchange of
+    modest (eager-sized) ghost-atom messages plus a tiny thermodynamic
+    allreduce — no driver involvement in the data path, which is why the
+    paper sees McKernel ≈ Linux on it (Fig. 5a). *)
+
+open Apps_import
+
+type params = {
+  steps : int;
+  compute_ns : float;       (** force computation per step per rank *)
+  halo_bytes : int;         (** ghost exchange per neighbour *)
+  thermo_every : int;       (** steps between thermo allreduces *)
+}
+
+val default : params
+
+val run : ?params:params -> Comm.t -> float

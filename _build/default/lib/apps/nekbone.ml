@@ -1,0 +1,32 @@
+open Apps_import
+
+type params = {
+  steps : int;
+  cg_iters : int;
+  compute_ns : float;
+  halo_bytes : int;
+}
+
+let default =
+  { steps = 6;
+    cg_iters = 8;
+    compute_ns = Sim.us 350.;
+    halo_bytes = 8 * 1024 }
+
+let run ?(params = default) comm =
+  let dims = Workload.dims3 comm.Comm.size in
+  let neighbors = Workload.neighbors3 ~rank:comm.Comm.rank ~dims in
+  let n = max 1 (List.length neighbors) in
+  let sbuf = Workload.alloc comm (n * params.halo_bytes) in
+  let rbuf = Workload.alloc comm (n * params.halo_bytes) in
+  Workload.timed_loop comm ~steps:params.steps (fun _step ->
+      for _cg = 1 to params.cg_iters do
+        (* Local spectral-element operator. *)
+        Workload.compute comm params.compute_ns;
+        (* Gather/scatter with face neighbours. *)
+        Workload.halo_exchange comm ~neighbors ~bytes:params.halo_bytes
+          ~tag_base:200 ~sbuf ~rbuf;
+        (* The CG dot products: the latency-critical allreduce. *)
+        Collectives.allreduce comm ~len:8;
+        Collectives.allreduce comm ~len:8
+      done)

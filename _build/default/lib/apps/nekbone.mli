@@ -1,0 +1,20 @@
+(** Nekbone skeleton: spectral-element CG solve, weak scaling.
+
+    Communication profile: conjugate-gradient iterations — small
+    nearest-neighbour gather/scatter plus a latency-critical 8-byte
+    allreduce per iteration.  Sensitive to OS noise, insensitive to the
+    driver path (Fig. 5b: McKernel slightly ahead of Linux from the
+    start). *)
+
+open Apps_import
+
+type params = {
+  steps : int;              (** outer solves *)
+  cg_iters : int;           (** CG iterations per solve *)
+  compute_ns : float;       (** local spectral operator per CG iteration *)
+  halo_bytes : int;
+}
+
+val default : params
+
+val run : ?params:params -> Comm.t -> float

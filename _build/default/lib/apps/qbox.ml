@@ -1,0 +1,41 @@
+open Apps_import
+
+type params = {
+  steps : int;
+  compute_ns : float;
+  bcast_bytes : int;
+  alltoall_bytes : int;
+  scratch_bytes : int;
+  comm_create_every : int;
+}
+
+let default =
+  { steps = 5;
+    compute_ns = Sim.ms 1.0;
+    bcast_bytes = 512 * 1024;
+    alltoall_bytes = 8 * 1024;
+    scratch_bytes = 4 * 1024 * 1024;
+    comm_create_every = 2 }
+
+let run ?(params = default) comm =
+  let size = comm.Comm.size in
+  if size < 4 then
+    invalid_arg "Qbox.run: the input deck needs at least 4 ranks";
+  let counts = Array.make size params.alltoall_bytes in
+  Workload.timed_loop comm ~steps:params.steps (fun step ->
+      (* Temporary wavefunction work arrays: mapped fresh each SCF
+         iteration and released at its end. *)
+      let scratch = Workload.alloc comm params.scratch_bytes in
+      (* DFT local work (FFTs, dgemm). *)
+      Workload.compute comm params.compute_ns;
+      (* Distribute updated wavefunctions. *)
+      Collectives.bcast comm ~root:0 ~len:params.bcast_bytes;
+      (* Transpose. *)
+      Collectives.alltoallv comm ~counts;
+      (* Energies / orthogonalisation. *)
+      Collectives.allreduce comm ~len:64;
+      Collectives.scan comm ~len:8;
+      (* Occasional subcommunicator management. *)
+      if step mod params.comm_create_every = 0 then
+        Collectives.comm_create comm;
+      Workload.free comm scratch)

@@ -1,0 +1,25 @@
+(** QBOX skeleton: first-principles molecular dynamics (DFT), weak
+    scaling (needs at least 4 ranks, like the paper's inputs need 4
+    nodes).
+
+    Communication profile: large wavefunction broadcasts, Alltoallv
+    transposes, Allreduce/Scan, and — characteristically — heavy
+    temporary-buffer churn: work arrays are mapped and unmapped every
+    iteration, which is why munmap dominates the McKernel+HFI kernel
+    profile (Fig. 9) and why the paper flags LWK memory management as
+    future work. *)
+
+open Apps_import
+
+type params = {
+  steps : int;
+  compute_ns : float;
+  bcast_bytes : int;
+  alltoall_bytes : int;     (** per-partner transpose block *)
+  scratch_bytes : int;      (** per-step temporary mapping *)
+  comm_create_every : int;
+}
+
+val default : params
+
+val run : ?params:params -> Comm.t -> float

@@ -1,0 +1,25 @@
+(** UMT2013 skeleton: deterministic (Sn) radiation transport, weak
+    scaling.
+
+    Communication profile: wavefront sweeps — per step, several angular
+    sweep phases each exchanging {e large} (rendezvous-sized) boundary
+    fluxes with the six spatial neighbours, with downstream ranks waiting
+    on upstream data.  Every exchange drives the HFI driver (TID
+    registration on the receiver, SDMA writev on the sender), so the
+    offloading penalty compounds along the dependency chain: the paper
+    measures the original McKernel below 20 % of Linux beyond 4 nodes
+    (Fig. 6a). *)
+
+open Apps_import
+
+type params = {
+  steps : int;
+  sweep_phases : int;       (** angle octant batches per step *)
+  angle_groups : int;       (** flux exchanges per phase per neighbour *)
+  compute_ns : float;       (** per-phase local work *)
+  flux_bytes : int;         (** boundary flux per neighbour per exchange *)
+}
+
+val default : params
+
+val run : ?params:params -> Comm.t -> float

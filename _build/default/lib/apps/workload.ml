@@ -1,0 +1,138 @@
+open Apps_import
+
+let os comm = Endpoint.os comm.Comm.ep
+
+let alloc comm len = (os comm).Endpoint.mmap_anon len
+
+let free comm va = (os comm).Endpoint.munmap va
+
+let compute comm d = Mpi.compute comm d
+
+let dims3_memo : (int, int * int * int) Hashtbl.t = Hashtbl.create 16
+
+let dims3_uncached n =
+  if n <= 0 then invalid_arg "dims3: n must be > 0";
+  (* Find the factorisation closest to a cube. *)
+  let best = ref (n, 1, 1) in
+  let score (a, b, c) =
+    let fa = float_of_int a and fb = float_of_int b and fc = float_of_int c in
+    Float.max fa (Float.max fb fc) /. Float.min fa (Float.min fb fc)
+  in
+  for px = 1 to n do
+    if n mod px = 0 then begin
+      let rest = n / px in
+      for py = 1 to rest do
+        if rest mod py = 0 then begin
+          let pz = rest / py in
+          let cand =
+            let a, b, c = (px, py, pz) in
+            let hi = max a (max b c) and lo = min a (min b c) in
+            let mid = a + b + c - hi - lo in
+            (hi, mid, lo)
+          in
+          if score cand < score !best then best := cand
+        end
+      done
+    end
+  done;
+  !best
+
+let dims3 n =
+  match Hashtbl.find_opt dims3_memo n with
+  | Some d -> d
+  | None ->
+    let d = dims3_uncached n in
+    Hashtbl.add dims3_memo n d;
+    d
+
+let coords3 ~rank ~dims:(px, py, pz) =
+  ignore px;
+  let z = rank mod pz in
+  let y = rank / pz mod py in
+  let x = rank / (pz * py) in
+  (x, y, z)
+
+let rank_of ~dims:(_, py, pz) (x, y, z) = (((x * py) + y) * pz) + z
+
+let neighbors3 ~rank ~dims =
+  let px, py, pz = dims in
+  let x, y, z = coords3 ~rank ~dims in
+  let wrap v m = ((v mod m) + m) mod m in
+  let cands =
+    [ (wrap (x + 1) px, y, z); (wrap (x - 1) px, y, z);
+      (x, wrap (y + 1) py, z); (x, wrap (y - 1) py, z);
+      (x, y, wrap (z + 1) pz); (x, y, wrap (z - 1) pz) ]
+  in
+  List.map (rank_of ~dims) cands
+  |> List.filter (fun r -> r <> rank)
+  |> List.sort_uniq compare
+
+let halo_exchange comm ~neighbors ~bytes ~tag_base ~sbuf ~rbuf =
+  let recvs =
+    List.mapi
+      (fun i src ->
+        Mpi.irecv comm ~src:(Some src) ~tag:(tag_base + i)
+          ~va:(rbuf + (i * bytes)) ~len:bytes)
+      neighbors
+  in
+  (* Neighbour relations are symmetric, and both sides enumerate sorted
+     neighbour lists, so index i pairs up consistently. *)
+  let sends =
+    List.mapi
+      (fun i dst ->
+        (* Find our index in the peer's sorted neighbour list: since the
+           topology is symmetric and lists sorted, the peer receives from
+           us at the position of our rank in its list.  We tag with our
+           position of dst, and the peer posts with its position of us —
+           these agree only if both use the index of the *other* rank.
+           Use the index of the receiving side: tag by receiver's slot. *)
+        ignore i;
+        let slot =
+          (* dst's neighbour list contains comm.rank; its position is the
+             receiver's slot. *)
+          let dn =
+            neighbors3 ~rank:dst
+              ~dims:(dims3 comm.Comm.size)
+          in
+          match List.find_index (fun r -> r = comm.Comm.rank) dn with
+          | Some s -> s
+          | None -> 0
+        in
+        Mpi.isend comm ~dst ~tag:(tag_base + slot) ~va:(sbuf + (i * bytes))
+          ~len:bytes)
+      neighbors
+  in
+  Mpi.waitall comm (sends @ recvs)
+
+let peer_slot comm dst =
+  let dn = neighbors3 ~rank:dst ~dims:(dims3 comm.Comm.size) in
+  match List.find_index (fun r -> r = comm.Comm.rank) dn with
+  | Some s -> s
+  | None -> 0
+
+let persistent_halo comm ~neighbors ~bytes ~tag_base ~sbuf ~rbuf =
+  let recvs =
+    List.mapi
+      (fun i src ->
+        Mpi.recv_init comm ~src:(Some src) ~tag:(tag_base + i)
+          ~va:(rbuf + (i * bytes)) ~len:bytes)
+      neighbors
+  in
+  let sends =
+    List.mapi
+      (fun i dst ->
+        Mpi.send_init comm ~dst ~tag:(tag_base + peer_slot comm dst)
+          ~va:(sbuf + (i * bytes)) ~len:bytes)
+      neighbors
+  in
+  (sends, recvs)
+
+let timed_loop comm ~steps f =
+  Collectives.barrier comm;
+  let sim = comm.Comm.sim in
+  let t0 = Sim.now sim in
+  for step = 0 to steps - 1 do
+    f step
+  done;
+  Collectives.barrier comm;
+  Sim.now sim -. t0

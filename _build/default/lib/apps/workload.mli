@@ -1,0 +1,45 @@
+(** Shared plumbing for the mini-application models. *)
+
+open Apps_import
+
+(** Endpoint OS vector of a communicator's rank. *)
+val os : Comm.t -> Endpoint.os
+
+(** Allocate an application buffer (anonymous mmap through the rank's
+    OS — contiguous/pinned under McKernel, scattered 4 kB under Linux). *)
+val alloc : Comm.t -> int -> Addr.t
+
+val free : Comm.t -> Addr.t -> unit
+
+(** Noise-aware computation. *)
+val compute : Comm.t -> float -> unit
+
+(** Near-cubic 3-D factorisation of [n] (px * py * pz = n,
+    px >= py >= pz). *)
+val dims3 : int -> int * int * int
+
+(** Rank coordinates within [dims3]. *)
+val coords3 : rank:int -> dims:int * int * int -> int * int * int
+
+(** The six axial neighbours (periodic) of [rank]; deduplicated, so small
+    grids do not self-exchange twice. *)
+val neighbors3 : rank:int -> dims:int * int * int -> int list
+
+(** [halo_exchange comm ~neighbors ~bytes ~tag_base ~sbuf ~rbuf] —
+    nonblocking exchange of [bytes] with every neighbour, then waitall. *)
+val halo_exchange :
+  Comm.t -> neighbors:int list -> bytes:int -> tag_base:int -> sbuf:Addr.t ->
+  rbuf:Addr.t -> unit
+
+(** [persistent_halo comm ~neighbors ~bytes ~tag_base ~sbuf ~rbuf] builds
+    persistent send/receive channels to every neighbour (MPI_Send_init /
+    MPI_Recv_init); returns [(sends, recvs)].  Tag slots match the peer's
+    like {!halo_exchange}. *)
+val persistent_halo :
+  Comm.t -> neighbors:int list -> bytes:int -> tag_base:int -> sbuf:Addr.t ->
+  rbuf:Addr.t -> Mpi.persistent list * Mpi.persistent list
+
+(** [timed_loop comm ~steps f] — barrier, run [f step] for each step,
+    barrier; returns the loop wall time in ns (the app figure of
+    merit). *)
+val timed_loop : Comm.t -> steps:int -> (int -> unit) -> float

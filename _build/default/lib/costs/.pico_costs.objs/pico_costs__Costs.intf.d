@@ -1,0 +1,1 @@
+lib/costs/costs.mli:

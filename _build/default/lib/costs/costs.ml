@@ -1,0 +1,121 @@
+type t = {
+  mutable link_bandwidth : float;
+  mutable link_latency : float;
+  mutable sdma_request_overhead : float;
+  mutable packet_overhead_bytes : int;
+  mutable sdma_max_request : int;
+  mutable sdma_engines : int;
+  mutable pio_packet_size : int;
+  mutable pio_cpu_bandwidth : float;
+  mutable pio_packet_overhead : float;
+  mutable mmio_write : float;
+  mutable irq_dispatch : float;
+  mutable linux_syscall : float;
+  mutable lwk_syscall : float;
+  mutable gup_per_page : float;
+  mutable ptwalk_per_page : float;
+  mutable kmalloc : float;
+  mutable kfree : float;
+  mutable kfree_remote : float;
+  mutable spinlock_uncontended : float;
+  mutable memcpy_bandwidth : float;
+  mutable ikc_message : float;
+  mutable proxy_dispatch : float;
+  mutable proxy_oversub_penalty : float;
+  mutable offload_linux_cpu_work : float;
+  mutable noise_interval : float;
+  mutable noise_duration : float;
+  mutable nohz_full_factor : float;
+  mutable mpi_init_base : float;
+  mutable mpi_init_per_round : float;
+  mutable pico_init : float;
+}
+
+let defaults () = {
+  (* OmniPath: 100 Gb/s = 12.5 GB/s, ~1 us end-to-end latency. *)
+  link_bandwidth = 12.5;
+  link_latency = 1_000.;
+  (* SDMA engine: per-descriptor fetch/fill/doorbell cost.  With 4 kB
+     descriptors this caps a single stream around 9.3 GB/s; with 10 kB
+     descriptors around 10.9 GB/s — the Fig. 4 gap. *)
+  sdma_request_overhead = 30.;
+  packet_overhead_bytes = 800;
+  sdma_max_request = 10_240;
+  sdma_engines = 16;
+  (* PIO: 8 kB packets, CPU-driven store to device (KNL cores are slow). *)
+  pio_packet_size = 8_192;
+  pio_cpu_bandwidth = 5.0;
+  pio_packet_overhead = 250.;
+  mmio_write = 120.;
+  irq_dispatch = 500.;
+  (* KNL in-order Atom-class cores: syscalls are not cheap. *)
+  linux_syscall = 700.;
+  lwk_syscall = 250.;
+  gup_per_page = 40.;
+  ptwalk_per_page = 60.;
+  kmalloc = 150.;
+  kfree = 120.;
+  kfree_remote = 260.;
+  spinlock_uncontended = 40.;
+  memcpy_bandwidth = 6.0;
+  (* IKC: cache-line ping across kernels + IPI. *)
+  ikc_message = 1_200.;
+  proxy_dispatch = 6_000.;
+  proxy_oversub_penalty = 10_000.;
+  offload_linux_cpu_work = 800.;
+  (* Residual daemon/timer activity every ~1 ms costing ~25 us on stock
+     Linux cores; nohz_full removes ~85 % of it on application cores. *)
+  noise_interval = 1.0e6;
+  noise_duration = 2.5e4;
+  nohz_full_factor = 0.15;
+  (* MPI library bootstrap (PMI exchange, PSM endpoint setup): base plus
+     a per-log2(world) wire component, charged in MPI_Init on every OS. *)
+  mpi_init_base = 1.5e6;
+  mpi_init_per_round = 2.0e4;
+  (* One-time PicoDriver initialisation: DWARF mapping setup, kernel VA
+     unification bookkeeping (paper: visible in MPI_Init). *)
+  pico_init = 5.0e6;
+}
+
+let current = defaults ()
+
+let assign dst src =
+  dst.link_bandwidth <- src.link_bandwidth;
+  dst.link_latency <- src.link_latency;
+  dst.sdma_request_overhead <- src.sdma_request_overhead;
+  dst.packet_overhead_bytes <- src.packet_overhead_bytes;
+  dst.sdma_max_request <- src.sdma_max_request;
+  dst.sdma_engines <- src.sdma_engines;
+  dst.pio_packet_size <- src.pio_packet_size;
+  dst.pio_cpu_bandwidth <- src.pio_cpu_bandwidth;
+  dst.pio_packet_overhead <- src.pio_packet_overhead;
+  dst.mmio_write <- src.mmio_write;
+  dst.irq_dispatch <- src.irq_dispatch;
+  dst.linux_syscall <- src.linux_syscall;
+  dst.lwk_syscall <- src.lwk_syscall;
+  dst.gup_per_page <- src.gup_per_page;
+  dst.ptwalk_per_page <- src.ptwalk_per_page;
+  dst.kmalloc <- src.kmalloc;
+  dst.kfree <- src.kfree;
+  dst.kfree_remote <- src.kfree_remote;
+  dst.spinlock_uncontended <- src.spinlock_uncontended;
+  dst.memcpy_bandwidth <- src.memcpy_bandwidth;
+  dst.ikc_message <- src.ikc_message;
+  dst.proxy_dispatch <- src.proxy_dispatch;
+  dst.proxy_oversub_penalty <- src.proxy_oversub_penalty;
+  dst.offload_linux_cpu_work <- src.offload_linux_cpu_work;
+  dst.noise_interval <- src.noise_interval;
+  dst.noise_duration <- src.noise_duration;
+  dst.nohz_full_factor <- src.nohz_full_factor;
+  dst.mpi_init_base <- src.mpi_init_base;
+  dst.mpi_init_per_round <- src.mpi_init_per_round;
+  dst.pico_init <- src.pico_init
+
+let reset () = assign current (defaults ())
+
+let with_patched patch f =
+  let saved = { current with link_bandwidth = current.link_bandwidth } in
+  patch current;
+  match f () with
+  | v -> assign current saved; v
+  | exception e -> assign current saved; raise e

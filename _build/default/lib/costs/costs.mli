@@ -1,0 +1,63 @@
+(** Central cost model: every latency/bandwidth constant of the simulated
+    platform in one place.
+
+    Values are calibrated against published OmniPath/KNL numbers and the
+    shapes reported in the paper; EXPERIMENTS.md discusses the calibration.
+    All times in nanoseconds, bandwidths in bytes/ns (= GB/s). *)
+
+type t = {
+  (* --- fabric / HFI --- *)
+  mutable link_bandwidth : float;      (** bytes per ns; 12.5 = 100 Gb/s *)
+  mutable link_latency : float;        (** wire + switch latency, ns *)
+  mutable sdma_request_overhead : float; (** engine per-descriptor cost, ns *)
+  mutable packet_overhead_bytes : int;
+  (** per-packet wire/protocol overhead (headers, LTP, credits): every
+      SDMA request and PIO fragment is one fabric packet, so small
+      requests waste link capacity — the physical root of the 4 kB vs
+      10 kB gap *)
+  mutable sdma_max_request : int;      (** hardware max, 10 kB *)
+  mutable sdma_engines : int;          (** 16 on HFI1 *)
+  mutable pio_packet_size : int;       (** per-packet PIO payload, bytes *)
+  mutable pio_cpu_bandwidth : float;   (** CPU->device copy, bytes/ns *)
+  mutable pio_packet_overhead : float; (** per-packet CPU cost, ns *)
+  mutable mmio_write : float;          (** one device register write, ns *)
+  mutable irq_dispatch : float;        (** hw IRQ -> handler start, ns *)
+  (* --- kernels --- *)
+  mutable linux_syscall : float;       (** Linux entry/exit, ns *)
+  mutable lwk_syscall : float;         (** McKernel entry/exit, ns *)
+  mutable gup_per_page : float;        (** get_user_pages, per 4 kB page *)
+  mutable ptwalk_per_page : float;     (** LWK direct page-table walk *)
+  mutable kmalloc : float;
+  mutable kfree : float;
+  mutable kfree_remote : float;        (** LWK kfree invoked on a Linux CPU *)
+  mutable spinlock_uncontended : float;
+  mutable memcpy_bandwidth : float;    (** kernel copy, bytes/ns *)
+  (* --- offloading (IHK/IKC) --- *)
+  mutable ikc_message : float;         (** one-way IKC message, ns *)
+  mutable proxy_dispatch : float;      (** proxy-process wakeup + call, ns *)
+  mutable proxy_oversub_penalty : float;
+  (** extra scheduling/context-switch cost per offloaded call, per unit of
+      proxy-process oversubscription of the Linux service CPUs *)
+  mutable offload_linux_cpu_work : float; (** base delegator service, ns *)
+  (* --- OS noise --- *)
+  mutable noise_interval : float;      (** mean gap between noise events *)
+  mutable noise_duration : float;      (** mean duration of one event *)
+  mutable nohz_full_factor : float;    (** multiplier on noise when nohz_full *)
+  (* --- MPI --- *)
+  mutable mpi_init_base : float;       (** library bootstrap per rank, ns *)
+  mutable mpi_init_per_round : float;  (** + this per log2(world) PMI round *)
+  (* --- PicoDriver --- *)
+  mutable pico_init : float;           (** one-time LWK driver mapping init *)
+}
+
+(** The live configuration (mutable, read by all models). *)
+val current : t
+
+(** Fresh copy of the calibrated defaults. *)
+val defaults : unit -> t
+
+(** Restore [current] to defaults (used by tests). *)
+val reset : unit -> unit
+
+(** Run [f] with [current] temporarily replaced by a modified copy. *)
+val with_patched : (t -> unit) -> (unit -> 'a) -> 'a

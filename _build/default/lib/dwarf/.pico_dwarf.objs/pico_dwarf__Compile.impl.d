@@ -1,0 +1,1 @@
+lib/dwarf/compile.ml: Ctype Die Hashtbl List

@@ -1,0 +1,1 @@
+lib/dwarf/compile.mli: Ctype Die

@@ -1,0 +1,1 @@
+lib/dwarf/die.ml: List Printf

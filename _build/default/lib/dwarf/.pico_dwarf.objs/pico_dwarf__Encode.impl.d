@@ -1,0 +1,1 @@
+lib/dwarf/encode.ml: Buffer Bytes Char Die Hashtbl Int32 Leb128 List Printf String

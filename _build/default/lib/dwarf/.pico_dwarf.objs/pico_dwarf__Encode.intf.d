@@ -1,0 +1,1 @@
+lib/dwarf/encode.mli: Die Hashtbl

@@ -1,0 +1,1 @@
+lib/dwarf/extract.ml: Buffer Die Encode List Printf

@@ -1,0 +1,1 @@
+lib/dwarf/leb128.mli: Buffer

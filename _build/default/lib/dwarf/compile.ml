@@ -1,0 +1,141 @@
+open Die
+
+type t = {
+  producer : string;
+  mutable next_id : int;
+  mutable top : die list; (* reversed *)
+  memo : (string, int) Hashtbl.t; (* type key -> die id *)
+}
+
+let create ?(producer = "pico-cc 1.0 (simulated)") () =
+  { producer; next_id = 1; top = []; memo = Hashtbl.create 64 }
+
+let fresh t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+let type_key ty = Ctype.to_c_string ty
+
+(* Returns the DIE id describing [ty], creating DIEs as needed. *)
+let rec die_of_type t (ty : Ctype.t) : int =
+  let key = type_key ty in
+  match Hashtbl.find_opt t.memo key with
+  | Some id -> id
+  | None ->
+    (match ty with
+     | Ctype.Base b ->
+       let id = fresh t in
+       Hashtbl.add t.memo key id;
+       let encoding =
+         if b.bname = "_Bool" then dw_ate_boolean
+         else if b.byte_size = 1 then
+           if b.signed then dw_ate_signed_char else dw_ate_unsigned_char
+         else if b.signed then dw_ate_signed
+         else dw_ate_unsigned
+       in
+       t.top <-
+         { id; tag = DW_TAG_base_type;
+           attrs =
+             [ (DW_AT_name, String b.bname);
+               (DW_AT_byte_size, Udata b.byte_size);
+               (DW_AT_encoding, Udata encoding) ];
+           children = [] }
+         :: t.top;
+       id
+     | Ctype.Pointer inner ->
+       (* Reserve our id first so recursive structures terminate. *)
+       let id = fresh t in
+       Hashtbl.add t.memo key id;
+       let inner_id = die_of_type t inner in
+       t.top <-
+         { id; tag = DW_TAG_pointer_type;
+           attrs = [ (DW_AT_byte_size, Udata 8); (DW_AT_type, Ref inner_id) ];
+           children = [] }
+         :: t.top;
+       id
+     | Ctype.Array (elt, n) ->
+       let id = fresh t in
+       Hashtbl.add t.memo key id;
+       let elt_id = die_of_type t elt in
+       let sub = fresh t in
+       t.top <-
+         { id; tag = DW_TAG_array_type;
+           attrs = [ (DW_AT_type, Ref elt_id) ];
+           children =
+             [ { id = sub; tag = DW_TAG_subrange_type;
+                 attrs = [ (DW_AT_upper_bound, Udata (n - 1)) ];
+                 children = [] } ] }
+         :: t.top;
+       id
+     | Ctype.Enum { ename; underlying; enumerators } ->
+       let id = fresh t in
+       Hashtbl.add t.memo key id;
+       let children =
+         List.map
+           (fun (name, value) ->
+             { id = fresh t; tag = DW_TAG_enumerator;
+               attrs =
+                 [ (DW_AT_name, String name); (DW_AT_const_value, Udata value) ];
+               children = [] })
+           enumerators
+       in
+       t.top <-
+         { id; tag = DW_TAG_enumeration_type;
+           attrs =
+             [ (DW_AT_name, String ename);
+               (DW_AT_byte_size, Udata underlying.byte_size) ];
+           children }
+         :: t.top;
+       id
+     | Ctype.Typedef (name, inner) ->
+       let id = fresh t in
+       Hashtbl.add t.memo key id;
+       let inner_id = die_of_type t inner in
+       t.top <-
+         { id; tag = DW_TAG_typedef;
+           attrs = [ (DW_AT_name, String name); (DW_AT_type, Ref inner_id) ];
+           children = [] }
+         :: t.top;
+       id
+     | Ctype.Struct d -> aggregate t `Struct d key
+     | Ctype.Union d -> aggregate t `Union d key)
+
+and aggregate t kind (d : Ctype.decl) key =
+  let id = fresh t in
+  Hashtbl.add t.memo key id;
+  let members = Ctype.layout kind d in
+  let children =
+    List.map
+      (fun (m : Ctype.laid_member) ->
+        let ty_id = die_of_type t m.m_type in
+        { id = fresh t; tag = DW_TAG_member;
+          attrs =
+            [ (DW_AT_name, String m.m_name);
+              (DW_AT_type, Ref ty_id);
+              (DW_AT_data_member_location, Udata m.m_offset) ];
+          children = [] })
+      members
+  in
+  let tag =
+    match kind with
+    | `Struct -> DW_TAG_structure_type
+    | `Union -> DW_TAG_union_type
+  in
+  t.top <-
+    { id; tag;
+      attrs =
+        [ (DW_AT_name, String d.name);
+          (DW_AT_byte_size, Udata (Ctype.sized kind d)) ];
+      children }
+    :: t.top;
+  id
+
+let add_struct t d = ignore (die_of_type t (Ctype.Struct d))
+
+let add_union t d = ignore (die_of_type t (Ctype.Union d))
+
+let finish t =
+  { id = 0; tag = DW_TAG_compile_unit;
+    attrs = [ (DW_AT_producer, String t.producer) ];
+    children = List.rev t.top }

@@ -1,0 +1,18 @@
+(** Compile {!Ctype} declarations into a DWARF DIE tree.
+
+    This plays the role of the C compiler's [-g] flag: the simulated vendor
+    driver "ships" with debugging information generated from the very same
+    declarations it uses to lay out its structures in memory. *)
+
+type t
+
+val create : ?producer:string -> unit -> t
+
+(** [add_struct t decl] registers a top-level structure (recursively
+    registering member types). *)
+val add_struct : t -> Ctype.decl -> unit
+
+val add_union : t -> Ctype.decl -> unit
+
+(** Finish and return the compile-unit DIE. *)
+val finish : t -> Die.die

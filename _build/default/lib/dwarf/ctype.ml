@@ -1,0 +1,120 @@
+type t =
+  | Base of base
+  | Pointer of t
+  | Array of t * int
+  | Struct of decl
+  | Union of decl
+  | Enum of { ename : string; underlying : base;
+              enumerators : (string * int) list }
+  | Typedef of string * t
+
+and base = {
+  bname : string;
+  byte_size : int;
+  signed : bool;
+}
+
+and decl = {
+  name : string;
+  members : (string * t) list;
+}
+
+let mk_base bname byte_size signed = Base { bname; byte_size; signed }
+
+let u8 = mk_base "unsigned char" 1 false
+
+let u16 = mk_base "unsigned short" 2 false
+
+let u32 = mk_base "unsigned int" 4 false
+
+let u64 = mk_base "unsigned long" 8 false
+
+let s32 = mk_base "int" 4 true
+
+let s64 = mk_base "long" 8 true
+
+let char_t = mk_base "char" 1 true
+
+let bool_t = mk_base "_Bool" 1 false
+
+let size_t = mk_base "size_t" 8 false
+
+let ptr t = Pointer t
+
+let void_ptr = Pointer (mk_base "void" 1 false)
+
+let rec strip_typedefs = function
+  | Typedef (_, t) -> strip_typedefs t
+  | t -> t
+
+type laid_member = {
+  m_name : string;
+  m_type : t;
+  m_offset : int;
+  m_size : int;
+}
+
+let rec align_of t =
+  match strip_typedefs t with
+  | Base b -> b.byte_size
+  | Pointer _ -> 8
+  | Array (elt, _) -> align_of elt
+  | Enum { underlying; _ } -> underlying.byte_size
+  | Struct d | Union d ->
+    List.fold_left (fun acc (_, mt) -> max acc (align_of mt)) 1 d.members
+  | Typedef _ -> assert false
+
+and size_of t =
+  match strip_typedefs t with
+  | Base b -> b.byte_size
+  | Pointer _ -> 8
+  | Array (elt, n) ->
+    if n < 0 then invalid_arg "Ctype.size_of: negative array length";
+    size_of elt * n
+  | Enum { underlying; _ } -> underlying.byte_size
+  | Struct d -> sized `Struct d
+  | Union d -> sized `Union d
+  | Typedef _ -> assert false
+
+and layout kind d =
+  if d.members = [] then
+    invalid_arg ("Ctype.layout: empty aggregate " ^ d.name);
+  match kind with
+  | `Union ->
+    List.map
+      (fun (m_name, m_type) ->
+        { m_name; m_type; m_offset = 0; m_size = size_of m_type })
+      d.members
+  | `Struct ->
+    let _, rev =
+      List.fold_left
+        (fun (cursor, acc) (m_name, m_type) ->
+          let align = align_of m_type in
+          let m_offset = (cursor + align - 1) land lnot (align - 1) in
+          let m_size = size_of m_type in
+          (m_offset + m_size,
+           { m_name; m_type; m_offset; m_size } :: acc))
+        (0, []) d.members
+    in
+    List.rev rev
+
+and sized kind d =
+  let members = layout kind d in
+  let align =
+    List.fold_left (fun acc m -> max acc (align_of m.m_type)) 1 members
+  in
+  let last_end =
+    List.fold_left (fun acc m -> max acc (m.m_offset + m.m_size)) 0 members
+  in
+  (last_end + align - 1) land lnot (align - 1)
+
+let rec to_c_string t =
+  match t with
+  | Base b -> b.bname
+  | Pointer (Base { bname = "void"; _ }) -> "void *"
+  | Pointer inner -> to_c_string inner ^ " *"
+  | Array (elt, n) -> Printf.sprintf "%s[%d]" (to_c_string elt) n
+  | Struct d -> "struct " ^ d.name
+  | Union d -> "union " ^ d.name
+  | Enum { ename; _ } -> "enum " ^ ename
+  | Typedef (name, _) -> name

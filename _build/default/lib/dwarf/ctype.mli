@@ -1,0 +1,82 @@
+(** C type model and x86_64 (System V) struct layout.
+
+    The Linux HFI1 driver model declares its kernel data structures with
+    these types; the layout engine assigns each member its byte offset using
+    the standard C rules (natural alignment, struct padding, union size =
+    max member).  The same declarations are compiled to DWARF by
+    {!Encode}, closing the loop: what the driver writes at an offset is what
+    [dwarf-extract-struct] recovers. *)
+
+type t =
+  | Base of base
+  | Pointer of t          (** 8 bytes on x86_64 *)
+  | Array of t * int
+  | Struct of decl
+  | Union of decl
+  | Enum of { ename : string; underlying : base;
+              enumerators : (string * int) list }
+  | Typedef of string * t
+
+and base = {
+  bname : string;
+  byte_size : int;
+  signed : bool;
+}
+
+and decl = {
+  name : string;
+  members : (string * t) list;
+}
+
+(** Common kernel base types. *)
+
+val u8 : t
+
+val u16 : t
+
+val u32 : t
+
+val u64 : t
+
+val s32 : t
+
+val s64 : t
+
+val char_t : t
+
+val bool_t : t
+
+val size_t : t
+
+val ptr : t -> t
+
+(** [void_ptr] — a pointer to an opaque 1-byte base. *)
+val void_ptr : t
+
+(** Size of a value of this type, per x86_64 ABI.
+    @raise Invalid_argument for zero-member structs *)
+val size_of : t -> int
+
+val align_of : t -> int
+
+(** A member resolved by the layout engine. *)
+type laid_member = {
+  m_name : string;
+  m_type : t;
+  m_offset : int;
+  m_size : int;
+}
+
+(** [layout decl_kind] computes offsets of every member.
+    For [`Union], all offsets are 0. *)
+val layout : [ `Struct | `Union ] -> decl -> laid_member list
+
+(** Total size of the struct/union including trailing padding. *)
+val sized : [ `Struct | `Union ] -> decl -> int
+
+(** Fully resolve typedefs. *)
+val strip_typedefs : t -> t
+
+(** Human-readable C-ish rendering of a type, e.g. ["unsigned int"],
+    ["struct sdma_engine *"]. *)
+val to_c_string : t -> string

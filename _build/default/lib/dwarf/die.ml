@@ -1,0 +1,138 @@
+type tag =
+  | DW_TAG_compile_unit
+  | DW_TAG_structure_type
+  | DW_TAG_union_type
+  | DW_TAG_member
+  | DW_TAG_base_type
+  | DW_TAG_pointer_type
+  | DW_TAG_array_type
+  | DW_TAG_subrange_type
+  | DW_TAG_enumeration_type
+  | DW_TAG_enumerator
+  | DW_TAG_typedef
+
+type attr =
+  | DW_AT_name
+  | DW_AT_byte_size
+  | DW_AT_data_member_location
+  | DW_AT_type
+  | DW_AT_encoding
+  | DW_AT_upper_bound
+  | DW_AT_const_value
+  | DW_AT_producer
+
+type value =
+  | String of string
+  | Udata of int
+  | Ref of int
+
+type die = {
+  id : int;
+  tag : tag;
+  attrs : (attr * value) list;
+  children : die list;
+}
+
+(* Real DWARF v4 numbering. *)
+let tag_code = function
+  | DW_TAG_array_type -> 0x01
+  | DW_TAG_enumeration_type -> 0x04
+  | DW_TAG_member -> 0x0d
+  | DW_TAG_pointer_type -> 0x0f
+  | DW_TAG_compile_unit -> 0x11
+  | DW_TAG_structure_type -> 0x13
+  | DW_TAG_subrange_type -> 0x21
+  | DW_TAG_enumerator -> 0x28
+  | DW_TAG_typedef -> 0x16
+  | DW_TAG_union_type -> 0x17
+  | DW_TAG_base_type -> 0x24
+
+let tag_of_code = function
+  | 0x01 -> DW_TAG_array_type
+  | 0x04 -> DW_TAG_enumeration_type
+  | 0x0d -> DW_TAG_member
+  | 0x0f -> DW_TAG_pointer_type
+  | 0x11 -> DW_TAG_compile_unit
+  | 0x13 -> DW_TAG_structure_type
+  | 0x21 -> DW_TAG_subrange_type
+  | 0x28 -> DW_TAG_enumerator
+  | 0x16 -> DW_TAG_typedef
+  | 0x17 -> DW_TAG_union_type
+  | 0x24 -> DW_TAG_base_type
+  | c -> invalid_arg (Printf.sprintf "Die.tag_of_code: unknown tag 0x%x" c)
+
+let attr_code = function
+  | DW_AT_name -> 0x03
+  | DW_AT_byte_size -> 0x0b
+  | DW_AT_data_member_location -> 0x38
+  | DW_AT_type -> 0x49
+  | DW_AT_encoding -> 0x3e
+  | DW_AT_upper_bound -> 0x2f
+  | DW_AT_const_value -> 0x1c
+  | DW_AT_producer -> 0x25
+
+let attr_of_code = function
+  | 0x03 -> DW_AT_name
+  | 0x0b -> DW_AT_byte_size
+  | 0x38 -> DW_AT_data_member_location
+  | 0x49 -> DW_AT_type
+  | 0x3e -> DW_AT_encoding
+  | 0x2f -> DW_AT_upper_bound
+  | 0x1c -> DW_AT_const_value
+  | 0x25 -> DW_AT_producer
+  | c -> invalid_arg (Printf.sprintf "Die.attr_of_code: unknown attr 0x%x" c)
+
+let dw_ate_signed = 0x05
+
+let dw_ate_unsigned = 0x07
+
+let dw_ate_signed_char = 0x06
+
+let dw_ate_unsigned_char = 0x08
+
+let dw_ate_boolean = 0x02
+
+let tag_to_string = function
+  | DW_TAG_compile_unit -> "DW_TAG_compile_unit"
+  | DW_TAG_structure_type -> "DW_TAG_structure_type"
+  | DW_TAG_union_type -> "DW_TAG_union_type"
+  | DW_TAG_member -> "DW_TAG_member"
+  | DW_TAG_base_type -> "DW_TAG_base_type"
+  | DW_TAG_pointer_type -> "DW_TAG_pointer_type"
+  | DW_TAG_array_type -> "DW_TAG_array_type"
+  | DW_TAG_subrange_type -> "DW_TAG_subrange_type"
+  | DW_TAG_enumerator -> "DW_TAG_enumerator"
+  | DW_TAG_enumeration_type -> "DW_TAG_enumeration_type"
+  | DW_TAG_typedef -> "DW_TAG_typedef"
+
+let attr_to_string = function
+  | DW_AT_name -> "DW_AT_name"
+  | DW_AT_byte_size -> "DW_AT_byte_size"
+  | DW_AT_data_member_location -> "DW_AT_data_member_location"
+  | DW_AT_type -> "DW_AT_type"
+  | DW_AT_encoding -> "DW_AT_encoding"
+  | DW_AT_upper_bound -> "DW_AT_upper_bound"
+  | DW_AT_const_value -> "DW_AT_const_value"
+  | DW_AT_producer -> "DW_AT_producer"
+
+let find_attr die attr = List.assoc_opt attr die.attrs
+
+let name_of die =
+  match find_attr die DW_AT_name with Some (String s) -> Some s | _ -> None
+
+let udata_of die attr =
+  match find_attr die attr with Some (Udata n) -> Some n | _ -> None
+
+let ref_of die attr =
+  match find_attr die attr with Some (Ref r) -> Some r | _ -> None
+
+let rec iter f die =
+  f die;
+  List.iter (iter f) die.children
+
+let find_first pred die =
+  let exception Found of die in
+  try
+    iter (fun d -> if pred d then raise (Found d)) die;
+    None
+  with Found d -> Some d

@@ -1,0 +1,78 @@
+(** Debugging Information Entries: the tree structure at the heart of
+    DWARF.  Only the subset needed to describe kernel data structures is
+    modeled (the same subset [dwarf-extract-struct] walks). *)
+
+type tag =
+  | DW_TAG_compile_unit
+  | DW_TAG_structure_type
+  | DW_TAG_union_type
+  | DW_TAG_member
+  | DW_TAG_base_type
+  | DW_TAG_pointer_type
+  | DW_TAG_array_type
+  | DW_TAG_subrange_type
+  | DW_TAG_enumeration_type
+  | DW_TAG_enumerator
+  | DW_TAG_typedef
+
+type attr =
+  | DW_AT_name
+  | DW_AT_byte_size
+  | DW_AT_data_member_location
+  | DW_AT_type      (** reference to another DIE *)
+  | DW_AT_encoding  (** DWARF base-type encoding constant *)
+  | DW_AT_upper_bound
+  | DW_AT_const_value
+  | DW_AT_producer
+
+type value =
+  | String of string
+  | Udata of int
+  | Ref of int  (** DIE id (encoder translates to section offset) *)
+
+type die = {
+  id : int;
+  tag : tag;
+  attrs : (attr * value) list;
+  children : die list;
+}
+
+(** DWARF v4 base type encodings — DW_ATE_ constants. *)
+
+val dw_ate_signed : int
+
+val dw_ate_unsigned : int
+
+val dw_ate_signed_char : int
+
+val dw_ate_unsigned_char : int
+
+val dw_ate_boolean : int
+
+val tag_code : tag -> int
+
+val tag_of_code : int -> tag
+
+val attr_code : attr -> int
+
+val attr_of_code : int -> attr
+
+val tag_to_string : tag -> string
+
+val attr_to_string : attr -> string
+
+(** Helpers for building DIEs. *)
+
+val find_attr : die -> attr -> value option
+
+val name_of : die -> string option
+
+val udata_of : die -> attr -> int option
+
+val ref_of : die -> attr -> int option
+
+(** Depth-first iteration over a DIE tree. *)
+val iter : (die -> unit) -> die -> unit
+
+(** Depth-first search for the first DIE satisfying the predicate. *)
+val find_first : (die -> bool) -> die -> die option

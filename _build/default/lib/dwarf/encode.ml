@@ -1,0 +1,230 @@
+open Die
+
+type sections = {
+  debug_abbrev : string;
+  debug_info : string;
+}
+
+(* Forms we emit. *)
+let dw_form_string = 0x08
+
+let dw_form_udata = 0x0f
+
+let dw_form_ref4 = 0x13
+
+let form_of_value = function
+  | String _ -> dw_form_string
+  | Udata _ -> dw_form_udata
+  | Ref _ -> dw_form_ref4
+
+(* An abbreviation is (tag, has_children, [(attr, form)]). *)
+type abbrev = {
+  a_tag : int;
+  a_children : bool;
+  a_attrs : (int * int) list;
+}
+
+let abbrev_of_die d =
+  { a_tag = tag_code d.tag;
+    a_children = d.children <> [];
+    a_attrs =
+      List.map (fun (a, v) -> (attr_code a, form_of_value v)) d.attrs }
+
+let encode root =
+  (* Pass 1: collect distinct abbreviations. *)
+  let abbrevs : (abbrev, int) Hashtbl.t = Hashtbl.create 32 in
+  let abbrev_list = ref [] in
+  let code_of d =
+    let a = abbrev_of_die d in
+    match Hashtbl.find_opt abbrevs a with
+    | Some c -> c
+    | None ->
+      let c = Hashtbl.length abbrevs + 1 in
+      Hashtbl.add abbrevs a c;
+      abbrev_list := (c, a) :: !abbrev_list;
+      c
+  in
+  Die.iter (fun d -> ignore (code_of d)) root;
+  (* Emit .debug_abbrev. *)
+  let ab = Buffer.create 256 in
+  List.iter
+    (fun (code, a) ->
+      Leb128.write_unsigned ab code;
+      Leb128.write_unsigned ab a.a_tag;
+      Buffer.add_char ab (if a.a_children then '\001' else '\000');
+      List.iter
+        (fun (attr, form) ->
+          Leb128.write_unsigned ab attr;
+          Leb128.write_unsigned ab form)
+        a.a_attrs;
+      Leb128.write_unsigned ab 0;
+      Leb128.write_unsigned ab 0)
+    (List.rev !abbrev_list);
+  Leb128.write_unsigned ab 0;
+  (* Pass 2: emit .debug_info, recording each DIE's offset and patching
+     ref4 references afterwards. *)
+  let info = Buffer.create 1024 in
+  (* CU header: unit_length (patched), version, debug_abbrev_offset,
+     address_size. *)
+  Buffer.add_string info "\000\000\000\000"; (* unit_length placeholder *)
+  Buffer.add_string info "\004\000"; (* version 4, little-endian *)
+  Buffer.add_string info "\000\000\000\000"; (* abbrev offset *)
+  Buffer.add_char info '\008';
+  let offsets : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let patches = ref [] in (* (buffer_pos, target_die_id) *)
+  let rec emit d =
+    Hashtbl.replace offsets d.id (Buffer.length info);
+    Leb128.write_unsigned info (code_of d);
+    List.iter
+      (fun (_, v) ->
+        match v with
+        | String s ->
+          Buffer.add_string info s;
+          Buffer.add_char info '\000'
+        | Udata n -> Leb128.write_unsigned info n
+        | Ref id ->
+          patches := (Buffer.length info, id) :: !patches;
+          Buffer.add_string info "\000\000\000\000")
+      d.attrs;
+    if d.children <> [] then begin
+      List.iter emit d.children;
+      (* end-of-children marker *)
+      Leb128.write_unsigned info 0
+    end
+  in
+  emit root;
+  let bytes = Buffer.to_bytes info in
+  (* Patch unit_length: total size minus the 4 length bytes themselves. *)
+  Bytes.set_int32_le bytes 0 (Int32.of_int (Bytes.length bytes - 4));
+  List.iter
+    (fun (pos, id) ->
+      match Hashtbl.find_opt offsets id with
+      | Some off -> Bytes.set_int32_le bytes pos (Int32.of_int off)
+      | None ->
+        invalid_arg
+          (Printf.sprintf "Encode: dangling DIE reference to id %d" id))
+    !patches;
+  { debug_abbrev = Buffer.contents ab; debug_info = Bytes.to_string bytes }
+
+type parsed = {
+  root : Die.die;
+  by_offset : (int, Die.die) Hashtbl.t;
+}
+
+let parse { debug_abbrev; debug_info } =
+  (* Read abbreviation table. *)
+  let abbrevs : (int, int * bool * (int * int) list) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let pos = ref 0 in
+  let finished = ref false in
+  while not !finished do
+    let code, p = Leb128.read_unsigned debug_abbrev !pos in
+    pos := p;
+    if code = 0 then finished := true
+    else begin
+      let tag, p = Leb128.read_unsigned debug_abbrev !pos in
+      pos := p;
+      if !pos >= String.length debug_abbrev then
+        invalid_arg "Encode.parse: truncated abbrev";
+      let has_children = debug_abbrev.[!pos] <> '\000' in
+      incr pos;
+      let attrs = ref [] in
+      let attrs_done = ref false in
+      while not !attrs_done do
+        let attr, p = Leb128.read_unsigned debug_abbrev !pos in
+        pos := p;
+        let form, p = Leb128.read_unsigned debug_abbrev !pos in
+        pos := p;
+        if attr = 0 && form = 0 then attrs_done := true
+        else attrs := (attr, form) :: !attrs
+      done;
+      Hashtbl.add abbrevs code (tag, has_children, List.rev !attrs)
+    end
+  done;
+  (* Read the compilation unit. *)
+  if String.length debug_info < 11 then
+    invalid_arg "Encode.parse: debug_info too short";
+  let unit_length =
+    Int32.to_int (Bytes.get_int32_le (Bytes.of_string debug_info) 0)
+  in
+  if unit_length + 4 > String.length debug_info then
+    invalid_arg "Encode.parse: unit_length exceeds section";
+  let version = Char.code debug_info.[4] lor (Char.code debug_info.[5] lsl 8) in
+  if version <> 4 then
+    invalid_arg (Printf.sprintf "Encode.parse: unsupported version %d" version);
+  let by_offset = Hashtbl.create 64 in
+  let pos = ref 11 in
+  let read_cstring () =
+    let start = !pos in
+    while
+      !pos < String.length debug_info && debug_info.[!pos] <> '\000'
+    do
+      incr pos
+    done;
+    if !pos >= String.length debug_info then
+      invalid_arg "Encode.parse: unterminated string";
+    let s = String.sub debug_info start (!pos - start) in
+    incr pos;
+    s
+  in
+  let rec read_die () : Die.die option =
+    let offset = !pos in
+    let code, p = Leb128.read_unsigned debug_info !pos in
+    pos := p;
+    if code = 0 then None
+    else begin
+      let tag, has_children, attr_specs =
+        match Hashtbl.find_opt abbrevs code with
+        | Some a -> a
+        | None ->
+          invalid_arg (Printf.sprintf "Encode.parse: unknown abbrev %d" code)
+      in
+      let attrs =
+        List.map
+          (fun (attr, form) ->
+            let value =
+              if form = dw_form_string then String (read_cstring ())
+              else if form = dw_form_udata then begin
+                let v, p = Leb128.read_unsigned debug_info !pos in
+                pos := p;
+                Udata v
+              end
+              else if form = dw_form_ref4 then begin
+                if !pos + 4 > String.length debug_info then
+                  invalid_arg "Encode.parse: truncated ref4";
+                let v =
+                  Int32.to_int
+                    (Bytes.get_int32_le (Bytes.of_string debug_info) !pos)
+                in
+                pos := !pos + 4;
+                Ref v
+              end
+              else
+                invalid_arg
+                  (Printf.sprintf "Encode.parse: unsupported form 0x%x" form)
+            in
+            (attr_of_code attr, value))
+          attr_specs
+      in
+      let children =
+        if has_children then begin
+          let rec loop acc =
+            match read_die () with
+            | Some c -> loop (c :: acc)
+            | None -> List.rev acc
+          in
+          loop []
+        end
+        else []
+      in
+      let die = { id = offset; tag = tag_of_code tag; attrs; children } in
+      Hashtbl.replace by_offset offset die;
+      Some die
+    end
+  in
+  match read_die () with
+  | Some root -> { root; by_offset }
+  | None -> invalid_arg "Encode.parse: empty compilation unit"
+
+let resolve parsed offset = Hashtbl.find parsed.by_offset offset

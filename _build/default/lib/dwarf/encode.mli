@@ -1,0 +1,30 @@
+(** Serialise a DIE tree to binary DWARF sections and parse it back.
+
+    The wire format is genuine DWARF v4 structure: a [.debug_abbrev]
+    section of abbreviation declarations and a [.debug_info] section whose
+    compilation unit header is followed by abbrev-coded DIEs.  Forms used:
+    [DW_FORM_string] (0x08), [DW_FORM_udata] (0x0f) and [DW_FORM_ref4]
+    (0x13, CU-relative). *)
+
+type sections = {
+  debug_abbrev : string;
+  debug_info : string;
+}
+
+(** Serialise the compile-unit DIE (as produced by {!Compile.finish}). *)
+val encode : Die.die -> sections
+
+(** Parsed image: the root DIE plus an offset-indexed view for resolving
+    [DW_AT_type] references.  After parsing, every DIE's [id] is its
+    [.debug_info] offset — just as a real DWARF consumer sees it. *)
+type parsed = {
+  root : Die.die;
+  by_offset : (int, Die.die) Hashtbl.t;
+}
+
+(** @raise Invalid_argument on malformed input *)
+val parse : sections -> parsed
+
+(** Resolve a [DW_AT_type] reference.
+    @raise Not_found *)
+val resolve : parsed -> int -> Die.die

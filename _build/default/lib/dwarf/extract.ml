@@ -1,0 +1,200 @@
+open Die
+
+type field = {
+  f_name : string;
+  f_offset : int;
+  f_size : int;
+  f_ctype : string;
+  f_array_len : int option;
+  f_is_pointer : bool;
+}
+
+type extraction = {
+  e_struct : string;
+  e_byte_size : int;
+  e_fields : field list;
+}
+
+(* Size of the type referenced by a DIE, chasing typedefs/arrays. *)
+let rec type_info parsed die =
+  match die.tag with
+  | DW_TAG_base_type | DW_TAG_structure_type | DW_TAG_union_type
+  | DW_TAG_enumeration_type ->
+    let size =
+      match udata_of die DW_AT_byte_size with Some s -> s | None -> 0
+    in
+    let prefix =
+      match die.tag with
+      | DW_TAG_structure_type -> "struct "
+      | DW_TAG_union_type -> "union "
+      | DW_TAG_enumeration_type -> "enum "
+      | _ -> ""
+    in
+    let name =
+      match name_of die with Some n -> prefix ^ n | None -> prefix ^ "<anon>"
+    in
+    (size, name, None, false)
+  | DW_TAG_pointer_type ->
+    let inner =
+      match ref_of die DW_AT_type with
+      | Some r ->
+        (try
+           let _, n, _, _ = type_info parsed (Encode.resolve parsed r) in
+           n
+         with Not_found -> "void")
+      | None -> "void"
+    in
+    (8, inner ^ " *", None, true)
+  | DW_TAG_typedef ->
+    (match ref_of die DW_AT_type with
+     | Some r ->
+       let size, _, arr, ptr = type_info parsed (Encode.resolve parsed r) in
+       let name = match name_of die with Some n -> n | None -> "<typedef>" in
+       (size, name, arr, ptr)
+     | None -> (0, "<typedef>", None, false))
+  | DW_TAG_array_type ->
+    let elt =
+      match ref_of die DW_AT_type with
+      | Some r -> Encode.resolve parsed r
+      | None -> invalid_arg "Extract: array without element type"
+    in
+    let elt_size, elt_name, _, _ = type_info parsed elt in
+    (* The DWARF header conveniently stores the number of elements. *)
+    let count =
+      List.fold_left
+        (fun acc child ->
+          match child.tag with
+          | DW_TAG_subrange_type ->
+            (match udata_of child DW_AT_upper_bound with
+             | Some ub -> Some (ub + 1)
+             | None -> acc)
+          | _ -> acc)
+        None die.children
+    in
+    let n = match count with Some n -> n | None -> 0 in
+    (elt_size * n, elt_name, Some n, false)
+  | DW_TAG_compile_unit | DW_TAG_member | DW_TAG_subrange_type
+  | DW_TAG_enumerator ->
+    invalid_arg "Extract: unexpected DIE in type position"
+
+let find_struct parsed name =
+  Die.find_first
+    (fun d ->
+      d.tag = DW_TAG_structure_type && name_of d = Some name)
+    parsed.Encode.root
+
+let extract parsed ~struct_name ~fields =
+  match find_struct parsed struct_name with
+  | None -> Error (Printf.sprintf "structure '%s' not found in debug info" struct_name)
+  | Some sdie ->
+    let byte_size =
+      match udata_of sdie DW_AT_byte_size with Some s -> s | None -> 0
+    in
+    let member name =
+      List.find_opt
+        (fun c -> c.tag = DW_TAG_member && name_of c = Some name)
+        sdie.children
+    in
+    let rec build acc = function
+      | [] -> Ok (List.rev acc)
+      | fname :: rest ->
+        (match member fname with
+         | None ->
+           Error
+             (Printf.sprintf "field '%s' not found in struct %s" fname
+                struct_name)
+         | Some m ->
+           let offset =
+             match udata_of m DW_AT_data_member_location with
+             | Some o -> o
+             | None -> 0
+           in
+           (match ref_of m DW_AT_type with
+            | None -> Error (Printf.sprintf "field '%s' has no type" fname)
+            | Some r ->
+              let tdie =
+                try Some (Encode.resolve parsed r) with Not_found -> None
+              in
+              (match tdie with
+               | None ->
+                 Error (Printf.sprintf "field '%s': dangling type ref" fname)
+               | Some tdie ->
+                 let size, ctype, array_len, is_pointer =
+                   type_info parsed tdie
+                 in
+                 build
+                   ({ f_name = fname; f_offset = offset; f_size = size;
+                      f_ctype = ctype; f_array_len = array_len;
+                      f_is_pointer = is_pointer }
+                    :: acc)
+                   rest)))
+    in
+    (match build [] fields with
+     | Ok e_fields ->
+       Ok { e_struct = struct_name; e_byte_size = byte_size; e_fields }
+     | Error e -> Error e)
+
+let structs_available parsed =
+  let acc = ref [] in
+  Die.iter
+    (fun d ->
+      if d.tag = DW_TAG_structure_type then
+        match name_of d with Some n -> acc := n :: !acc | None -> ())
+    parsed.Encode.root;
+  List.sort_uniq compare !acc
+
+let find_enum parsed name =
+  Die.find_first
+    (fun d -> d.tag = DW_TAG_enumeration_type && name_of d = Some name)
+    parsed.Encode.root
+
+let enumerators parsed ~enum =
+  match find_enum parsed enum with
+  | None -> []
+  | Some edie ->
+    List.filter_map
+      (fun c ->
+        if c.tag <> DW_TAG_enumerator then None
+        else begin
+          match (name_of c, udata_of c DW_AT_const_value) with
+          | Some n, Some v -> Some (n, v)
+          | _ -> None
+        end)
+      edie.children
+
+let enum_value parsed ~enum ~enumerator =
+  List.assoc_opt enumerator (enumerators parsed ~enum)
+
+let fields_available parsed ~string_name =
+  match find_struct parsed string_name with
+  | None -> []
+  | Some sdie ->
+    List.filter_map
+      (fun c -> if c.tag = DW_TAG_member then name_of c else None)
+      sdie.children
+
+let render_field b i (f : field) =
+  let pad = f.f_offset in
+  Buffer.add_string b "\t\tstruct {\n";
+  if pad > 0 then
+    Buffer.add_string b (Printf.sprintf "\t\t\tchar padding%d[%d];\n" i pad);
+  (match f.f_array_len with
+   | Some n ->
+     Buffer.add_string b
+       (Printf.sprintf "\t\t\t%s %s[%d];\n" f.f_ctype f.f_name n)
+   | None ->
+     Buffer.add_string b (Printf.sprintf "\t\t\t%s %s;\n" f.f_ctype f.f_name));
+  Buffer.add_string b "\t\t};\n"
+
+let render_c_header e =
+  let b = Buffer.create 256 in
+  Buffer.add_string b (Printf.sprintf "struct %s {\n" e.e_struct);
+  Buffer.add_string b "\tunion {\n";
+  Buffer.add_string b
+    (Printf.sprintf "\t\tchar whole_struct[%d];\n" e.e_byte_size);
+  List.iteri (fun i f -> render_field b i f) e.e_fields;
+  Buffer.add_string b "\t};\n";
+  Buffer.add_string b "};\n";
+  Buffer.contents b
+
+let field e name = List.find (fun f -> f.f_name = name) e.e_fields

@@ -1,0 +1,55 @@
+(** The [dwarf-extract-struct] tool (Section 3.2 of the paper).
+
+    Walks the DWARF headers of a driver binary until it finds the requested
+    structure ([DW_TAG_structure_type]); for each requested field it locates
+    the [DW_TAG_member], obtains its offset (via
+    [DW_AT_data_member_location]) and type (through [DW_AT_type]), and
+    generates a header containing an unnamed union: a character array sized
+    to the whole structure, and each member preceded by its own padding —
+    the representation of paper Listing 1. *)
+
+type field = {
+  f_name : string;
+  f_offset : int;
+  f_size : int;
+  f_ctype : string;        (** rendered C type, e.g. ["unsigned int"] *)
+  f_array_len : int option;
+  f_is_pointer : bool;
+}
+
+type extraction = {
+  e_struct : string;
+  e_byte_size : int;       (** full structure size, for the char array *)
+  e_fields : field list;   (** in requested order *)
+}
+
+(** [extract parsed ~struct_name ~fields] walks the parsed DWARF.
+    Returns [Error msg] if the structure or one of the fields is missing. *)
+val extract :
+  Encode.parsed ->
+  struct_name:string ->
+  fields:string list ->
+  (extraction, string) result
+
+(** List the names of all structures present in the debug info. *)
+val structs_available : Encode.parsed -> string list
+
+(** List the member names of one structure. *)
+val fields_available : Encode.parsed -> string_name:string -> string list
+
+(** [enum_value parsed ~enum ~enumerator] recovers an enumeration
+    constant's value from the binary's DW_TAG_enumerator entries —
+    how the PicoDriver learns e.g. the numeric value of
+    [sdma_states::s99_running] without the driver's headers. *)
+val enum_value :
+  Encode.parsed -> enum:string -> enumerator:string -> int option
+
+(** All enumerators of an enumeration, in declaration order. *)
+val enumerators : Encode.parsed -> enum:string -> (string * int) list
+
+(** Render the Listing-1 style C header. *)
+val render_c_header : extraction -> string
+
+(** Field lookup on an extraction.
+    @raise Not_found *)
+val field : extraction -> string -> field

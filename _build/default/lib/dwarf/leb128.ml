@@ -1,0 +1,55 @@
+let write_unsigned buf n =
+  if n < 0 then invalid_arg "Leb128.write_unsigned: negative";
+  let rec go n =
+    let byte = n land 0x7f in
+    let rest = n lsr 7 in
+    if rest = 0 then Buffer.add_char buf (Char.chr byte)
+    else begin
+      Buffer.add_char buf (Char.chr (byte lor 0x80));
+      go rest
+    end
+  in
+  go n
+
+let write_signed buf n =
+  let rec go n =
+    let byte = n land 0x7f in
+    let rest = n asr 7 in
+    let sign_bit = byte land 0x40 <> 0 in
+    let done_ = (rest = 0 && not sign_bit) || (rest = -1 && sign_bit) in
+    if done_ then Buffer.add_char buf (Char.chr byte)
+    else begin
+      Buffer.add_char buf (Char.chr (byte lor 0x80));
+      go rest
+    end
+  in
+  go n
+
+let read_unsigned s pos =
+  let rec go pos shift acc =
+    if pos >= String.length s then
+      invalid_arg "Leb128.read_unsigned: truncated input";
+    let byte = Char.code s.[pos] in
+    let acc = acc lor ((byte land 0x7f) lsl shift) in
+    if byte land 0x80 = 0 then (acc, pos + 1) else go (pos + 1) (shift + 7) acc
+  in
+  go pos 0 0
+
+let read_signed s pos =
+  let rec go pos shift acc =
+    if pos >= String.length s then
+      invalid_arg "Leb128.read_signed: truncated input";
+    let byte = Char.code s.[pos] in
+    let acc = acc lor ((byte land 0x7f) lsl shift) in
+    let shift = shift + 7 in
+    if byte land 0x80 = 0 then begin
+      let acc =
+        if shift < Sys.int_size && byte land 0x40 <> 0 then
+          acc lor (-1 lsl shift)
+        else acc
+      in
+      (acc, pos + 1)
+    end
+    else go (pos + 1) shift acc
+  in
+  go pos 0 0

@@ -1,0 +1,13 @@
+(** LEB128 variable-length integers, as used by DWARF. *)
+
+(** Append unsigned LEB128 of [n >= 0]. *)
+val write_unsigned : Buffer.t -> int -> unit
+
+(** Append signed LEB128. *)
+val write_signed : Buffer.t -> int -> unit
+
+(** [read_unsigned b pos] returns [(value, next_pos)].
+    @raise Invalid_argument on truncated input *)
+val read_unsigned : string -> int -> int * int
+
+val read_signed : string -> int -> int * int

@@ -1,0 +1,79 @@
+type 'a entry = { key : float; seq : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let create () = { data = [||]; size = 0 }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let lt a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow h =
+  let cap = Array.length h.data in
+  let ncap = if cap = 0 then 16 else cap * 2 in
+  (* The dummy cell is only used to size the array; index 0 is overwritten
+     before it is ever read because [size] guards all accesses. *)
+  let dummy = h.data in
+  let fresh =
+    if cap = 0 then None
+    else Some (Array.make ncap dummy.(0))
+  in
+  match fresh with
+  | Some arr ->
+    Array.blit h.data 0 arr 0 h.size;
+    h.data <- arr
+  | None -> ()
+
+let push h ~key ~seq value =
+  let e = { key; seq; value } in
+  if h.size = Array.length h.data then begin
+    if h.size = 0 then h.data <- Array.make 16 e else grow h
+  end;
+  h.data.(h.size) <- e;
+  h.size <- h.size + 1;
+  (* sift up *)
+  let i = ref (h.size - 1) in
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if lt h.data.(!i) h.data.(parent) then begin
+      let tmp = h.data.(parent) in
+      h.data.(parent) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := parent
+    end else continue := false
+  done
+
+let pop_min h =
+  if h.size = 0 then None
+  else begin
+    let min = h.data.(0) in
+    h.size <- h.size - 1;
+    if h.size > 0 then begin
+      h.data.(0) <- h.data.(h.size);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.size && lt h.data.(l) h.data.(!smallest) then smallest := l;
+        if r < h.size && lt h.data.(r) h.data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.data.(!smallest) in
+          h.data.(!smallest) <- h.data.(!i);
+          h.data.(!i) <- tmp;
+          i := !smallest
+        end else continue := false
+      done
+    end;
+    Some (min.key, min.seq, min.value)
+  end
+
+let peek_key h = if h.size = 0 then None else Some h.data.(0).key
+
+let clear h =
+  h.data <- [||];
+  h.size <- 0

@@ -1,0 +1,25 @@
+(** Binary min-heap used as the simulator event queue.
+
+    Entries are ordered by a [float] key with an integer sequence number as a
+    tie-breaker, so that events scheduled for the same instant fire in
+    insertion order (deterministic simulation). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+(** [push h ~key ~seq v] inserts [v] with priority [(key, seq)]. *)
+val push : 'a t -> key:float -> seq:int -> 'a -> unit
+
+(** [pop_min h] removes and returns the minimum entry as
+    [Some (key, seq, v)], or [None] when the heap is empty. *)
+val pop_min : 'a t -> (float * int * 'a) option
+
+(** [peek_key h] returns the smallest key without removing it. *)
+val peek_key : 'a t -> float option
+
+val clear : 'a t -> unit

@@ -1,0 +1,126 @@
+exception Not_in_process
+
+type t = {
+  mutable now : float;
+  queue : (unit -> unit) Heap.t;
+  mutable seq : int;
+  mutable processed : int;
+  mutable current : string option;
+  mutable running : bool; (* a process frame is on the stack *)
+}
+
+type _ Effect.t +=
+  | Delay : t * float -> unit Effect.t
+  | Suspend : t * ((unit -> unit) -> unit) -> unit Effect.t
+
+let create () =
+  { now = 0.; queue = Heap.create (); seq = 0; processed = 0;
+    current = None; running = false }
+
+let now t = t.now
+
+let schedule t time f =
+  let time = if time < t.now then t.now else time in
+  Heap.push t.queue ~key:time ~seq:t.seq f;
+  t.seq <- t.seq + 1
+
+let at = schedule
+
+let after t dt f = schedule t (t.now +. dt) f
+
+let in_process t = t.running
+
+let current_name t = t.current
+
+(* Run [f] as a process body: install the effect handler that turns Delay
+   and Suspend into event-queue operations. *)
+let handle_process t name f =
+  let open Effect.Deep in
+  let saved_name = ref name in
+  match_with
+    (fun () ->
+      t.running <- true;
+      t.current <- Some !saved_name;
+      f ())
+    ()
+    {
+      retc = (fun () -> t.running <- false; t.current <- None);
+      exnc = (fun e -> t.running <- false; t.current <- None; raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Delay (t', dt) when t' == t ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                let resume () =
+                  t.running <- true;
+                  t.current <- Some !saved_name;
+                  continue k ()
+                in
+                schedule t (t.now +. dt) resume;
+                t.running <- false;
+                t.current <- None)
+          | Suspend (t', register) when t' == t ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                let resumed = ref false in
+                let resume () =
+                  if !resumed then
+                    invalid_arg "Sim.suspend: resume called twice";
+                  resumed := true;
+                  schedule t t.now (fun () ->
+                      t.running <- true;
+                      t.current <- Some !saved_name;
+                      continue k ())
+                in
+                register resume;
+                t.running <- false;
+                t.current <- None)
+          | _ -> None);
+    }
+
+let spawn t ?(name = "proc") f = schedule t t.now (fun () -> handle_process t name f)
+
+let delay t dt =
+  if not t.running then raise Not_in_process;
+  if not (Float.is_finite dt) || dt < 0. then
+    invalid_arg "Sim.delay: negative or non-finite delay";
+  Effect.perform (Delay (t, dt))
+
+let suspend t register =
+  if not t.running then raise Not_in_process;
+  Effect.perform (Suspend (t, register))
+
+let yield t = delay t 0.
+
+let run ?until t =
+  let count = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Heap.peek_key t.queue with
+    | None -> continue := false
+    | Some key ->
+      (match until with
+       | Some limit when key > limit ->
+         t.now <- limit;
+         continue := false
+       | _ ->
+         (match Heap.pop_min t.queue with
+          | None -> continue := false
+          | Some (time, _, f) ->
+            t.now <- time;
+            t.processed <- t.processed + 1;
+            incr count;
+            f ()))
+  done;
+  !count
+
+let events_processed t = t.processed
+
+let ns x = x
+
+let us x = x *. 1e3
+
+let ms x = x *. 1e6
+
+let s x = x *. 1e9

@@ -1,0 +1,73 @@
+(** Discrete-event simulation core.
+
+    Simulated time is a [float] measured in {b nanoseconds}.  Concurrent
+    activities are modeled as {e processes}: ordinary OCaml functions that
+    may call the blocking operations of this module ([delay], [suspend]) and
+    of the synchronisation modules built on top of it ({!Mailbox},
+    {!Semaphore}, {!Resource}).  Blocking is implemented with OCaml 5 effect
+    handlers, so process code reads like straight-line code.
+
+    The simulation is single-threaded and fully deterministic: events that
+    fire at the same instant run in scheduling order. *)
+
+type t
+
+(** Raised by blocking operations when called outside of a process spawned
+    on a simulator. *)
+exception Not_in_process
+
+(** [create ()] returns a fresh simulator positioned at time 0. *)
+val create : unit -> t
+
+(** Current simulated time in nanoseconds. *)
+val now : t -> float
+
+(** [spawn t ~name f] registers process [f] to start at the current time.
+    Exceptions escaping [f] abort the simulation run. *)
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+
+(** [at t time f] schedules callback [f] (not a process: it must not block)
+    at absolute [time]. *)
+val at : t -> float -> (unit -> unit) -> unit
+
+(** [after t dt f] schedules callback [f] at [now t +. dt]. *)
+val after : t -> float -> (unit -> unit) -> unit
+
+(** [delay t dt] suspends the calling process for [dt] nanoseconds.
+    @raise Not_in_process outside a process
+    @raise Invalid_argument if [dt] is negative or not finite *)
+val delay : t -> float -> unit
+
+(** [suspend t register] suspends the calling process; [register] receives a
+    [resume] thunk that some other event must eventually call to wake the
+    process up (at the simulated time of the call).  Calling [resume] more
+    than once is an error. *)
+val suspend : t -> ((unit -> unit) -> unit) -> unit
+
+(** [yield t] lets every other event scheduled for the current instant run
+    before the calling process continues. *)
+val yield : t -> unit
+
+(** [run t] processes events until the queue is empty.
+    [run ~until t] stops (with time set to [until]) as soon as the next event
+    would fire strictly after [until].
+    Returns the number of events processed. *)
+val run : ?until:float -> t -> int
+
+(** Number of events processed so far over all [run] calls. *)
+val events_processed : t -> int
+
+(** True while a process of this simulator is executing. *)
+val in_process : t -> bool
+
+(** Name of the currently running process, if any. *)
+val current_name : t -> string option
+
+(** Time units, for readability of model code: [us 3.0] is 3000 ns. *)
+val ns : float -> float
+
+val us : float -> float
+
+val ms : float -> float
+
+val s : float -> float

@@ -1,0 +1,165 @@
+module Summary = struct
+  type t = {
+    mutable n : int;
+    mutable mean : float;
+    mutable m2 : float;
+    mutable total : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create () =
+    { n = 0; mean = 0.; m2 = 0.; total = 0.; min = infinity; max = neg_infinity }
+
+  let add t x =
+    t.n <- t.n + 1;
+    t.total <- t.total +. x;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.n);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x
+
+  let n t = t.n
+
+  let total t = t.total
+
+  let mean t = if t.n = 0 then 0. else t.mean
+
+  let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+
+  let stddev t = sqrt (variance t)
+
+  let min t = t.min
+
+  let max t = t.max
+
+  let merge a b =
+    if a.n = 0 then { b with n = b.n }
+    else if b.n = 0 then { a with n = a.n }
+    else begin
+      let n = a.n + b.n in
+      let fn = float_of_int n in
+      let delta = b.mean -. a.mean in
+      let mean = a.mean +. (delta *. float_of_int b.n /. fn) in
+      let m2 =
+        a.m2 +. b.m2
+        +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. fn)
+      in
+      { n; mean; m2; total = a.total +. b.total;
+        min = Float.min a.min b.min; max = Float.max a.max b.max }
+    end
+
+  let reset t =
+    t.n <- 0;
+    t.mean <- 0.;
+    t.m2 <- 0.;
+    t.total <- 0.;
+    t.min <- infinity;
+    t.max <- neg_infinity
+end
+
+module Histogram = struct
+  (* Bucket i holds values in [2^(i-bias), 2^(i-bias+1)).  The bias lets us
+     represent sub-1.0 values (down to 2^-16). *)
+  let bias = 16
+
+  let nbuckets = 96
+
+  type t = { counts : int array; mutable total : int }
+
+  let create () = { counts = Array.make nbuckets 0; total = 0 }
+
+  let bucket_of x =
+    if x <= 0. then 0
+    else begin
+      let i = int_of_float (Float.floor (Float.log2 x)) + bias in
+      if i < 0 then 0 else if i >= nbuckets then nbuckets - 1 else i
+    end
+
+  let lower_bound i = Float.pow 2. (float_of_int (i - bias))
+
+  let add t x =
+    let i = bucket_of x in
+    t.counts.(i) <- t.counts.(i) + 1;
+    t.total <- t.total + 1
+
+  let count t = t.total
+
+  let buckets t =
+    let acc = ref [] in
+    for i = nbuckets - 1 downto 0 do
+      if t.counts.(i) > 0 then acc := (lower_bound i, t.counts.(i)) :: !acc
+    done;
+    !acc
+
+  let percentile t p =
+    if t.total = 0 then 0.
+    else begin
+      let target = Float.max 1. (Float.round (p /. 100. *. float_of_int t.total)) in
+      let rec scan i seen =
+        if i >= nbuckets then lower_bound (nbuckets - 1)
+        else begin
+          let seen = seen + t.counts.(i) in
+          if float_of_int seen >= target then lower_bound i else scan (i + 1) seen
+        end
+      in
+      scan 0 0
+    end
+end
+
+module Registry = struct
+  type cell = { mutable time : float; mutable count : int }
+
+  type t = (string, cell) Hashtbl.t
+
+  let create () : t = Hashtbl.create 32
+
+  let cell_of t key =
+    match Hashtbl.find_opt t key with
+    | Some c -> c
+    | None ->
+      let c = { time = 0.; count = 0 } in
+      Hashtbl.add t key c;
+      c
+
+  let add t key dt =
+    let c = cell_of t key in
+    c.time <- c.time +. dt;
+    c.count <- c.count + 1
+
+  let incr t key =
+    let c = cell_of t key in
+    c.count <- c.count + 1
+
+  let time_of t key =
+    match Hashtbl.find_opt t key with Some c -> c.time | None -> 0.
+
+  let count_of t key =
+    match Hashtbl.find_opt t key with Some c -> c.count | None -> 0
+
+  let entries t =
+    Hashtbl.fold (fun k c acc -> (k, c.time, c.count) :: acc) t []
+    |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
+
+  let grand_total t = Hashtbl.fold (fun _ c acc -> acc +. c.time) t 0.
+
+  let top n t =
+    let all = entries t in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: rest -> x :: take (n - 1) rest
+    in
+    take n all
+
+  let reset t = Hashtbl.reset t
+
+  let merge_into ~dst ~src =
+    Hashtbl.iter
+      (fun k c ->
+        let d = cell_of dst k in
+        d.time <- d.time +. c.time;
+        d.count <- d.count + c.count)
+      src
+end

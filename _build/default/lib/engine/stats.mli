@@ -1,0 +1,77 @@
+(** Online statistics: counters, running mean/variance, log-scale
+    histograms, and named registries used by the kernel profilers. *)
+
+(** Running summary (Welford's algorithm). *)
+module Summary : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> float -> unit
+
+  val n : t -> int
+
+  val total : t -> float
+
+  val mean : t -> float
+
+  val variance : t -> float
+
+  val stddev : t -> float
+
+  val min : t -> float
+
+  val max : t -> float
+
+  val merge : t -> t -> t
+
+  val reset : t -> unit
+end
+
+(** Histogram with power-of-two buckets, suitable for latencies/sizes. *)
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> float -> unit
+
+  val count : t -> int
+
+  (** [buckets h] returns [(lower_bound, count)] pairs for non-empty
+      buckets, sorted by bound. *)
+  val buckets : t -> (float * int) list
+
+  val percentile : t -> float -> float
+end
+
+(** Named accumulator registry: maps a string key to cumulative time and
+    call count.  Used for the I_MPI_STATS-style MPI profile (Table 1) and
+    the in-kernel system-call profiler (Figures 8 and 9). *)
+module Registry : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> string -> float -> unit
+
+  val incr : t -> string -> unit
+
+  val time_of : t -> string -> float
+
+  val count_of : t -> string -> int
+
+  (** All entries as [(key, total_time, count)], sorted by descending
+      time. *)
+  val entries : t -> (string * float * int) list
+
+  (** Sum of all recorded times. *)
+  val grand_total : t -> float
+
+  (** [top n t] returns the [n] largest entries by time. *)
+  val top : int -> t -> (string * float * int) list
+
+  val reset : t -> unit
+
+  val merge_into : dst:t -> src:t -> unit
+end

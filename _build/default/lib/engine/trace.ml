@@ -1,0 +1,35 @@
+type level = Off | Info | Debug
+
+let level_of_string = function
+  | "info" | "INFO" -> Info
+  | "debug" | "DEBUG" -> Debug
+  | _ -> Off
+
+let current =
+  ref
+    (match Sys.getenv_opt "PICO_TRACE" with
+     | Some v -> level_of_string v
+     | None -> Off)
+
+let set_level l = current := l
+
+let level () = !current
+
+let enabled l =
+  match (!current, l) with
+  | Off, _ -> false
+  | Info, Debug -> false
+  | Info, (Info | Off) -> true
+  | Debug, _ -> true
+
+let emit sim component fmt =
+  Fmt.epr "[%12.1f ns] %s: " (Sim.now sim) component;
+  Fmt.epr (fmt ^^ "@.")
+
+let info sim component fmt =
+  if enabled Info then emit sim component fmt
+  else Format.ifprintf Format.err_formatter fmt
+
+let debug sim component fmt =
+  if enabled Debug then emit sim component fmt
+  else Format.ifprintf Format.err_formatter fmt

@@ -1,0 +1,20 @@
+(** Lightweight, globally-toggled event tracing.
+
+    Disabled by default so the hot simulation paths pay only a flag check.
+    Enable with [set_level] or the [PICO_TRACE] environment variable
+    (values: [off], [info], [debug]). *)
+
+type level = Off | Info | Debug
+
+val set_level : level -> unit
+
+val level : unit -> level
+
+(** [info sim "component" fmt ...] prints "[time] component: message" when
+    the level is at least [Info]. *)
+val info : Sim.t -> string -> ('a, Format.formatter, unit) format -> 'a
+
+val debug : Sim.t -> string -> ('a, Format.formatter, unit) format -> 'a
+
+(** Parse a level name; unknown names map to [Off]. *)
+val level_of_string : string -> level

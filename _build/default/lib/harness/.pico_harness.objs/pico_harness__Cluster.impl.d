@@ -1,0 +1,1 @@
+lib/harness/cluster.ml: Array Fabric H_import Hfi Hfi1_driver Hfi1_pico Hfi1_structs List Lkernel Mck Node Partition Pico_driver Pico_linux Rng Sim Vspace

@@ -1,0 +1,1 @@
+lib/harness/cluster.mli: Fabric H_import Hfi Hfi1_driver Hfi1_pico Lkernel Mck Node Pico_driver Pico_linux Rng Sim Stats

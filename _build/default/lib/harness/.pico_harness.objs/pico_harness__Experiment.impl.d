@@ -1,0 +1,1 @@
+lib/harness/experiment.ml: Array Cluster Comm Costs Endpoint Float H_import Hfi List Osconfig Printexc Printf Sim Stats Syncpoint

@@ -1,0 +1,1 @@
+lib/harness/experiment.mli: Cluster Comm H_import Stats

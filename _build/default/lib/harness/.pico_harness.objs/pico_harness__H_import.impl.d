@@ -1,0 +1,1 @@
+lib/harness/h_import.ml: Pico_costs Pico_driver Pico_engine Pico_hw Pico_ihk Pico_linux Pico_mck Pico_mpi Pico_nic Pico_psm

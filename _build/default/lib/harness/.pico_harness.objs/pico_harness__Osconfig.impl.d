@@ -1,0 +1,1 @@
+lib/harness/osconfig.ml: Addr Cluster Costs Endpoint H_import Hfi1_driver Lkernel Mck Mproc Node Noise Sim Uproc Vfs

@@ -1,0 +1,1 @@
+lib/harness/osconfig.mli: Cluster Endpoint H_import

@@ -1,0 +1,1 @@
+lib/harness/syncpoint.ml: H_import List Sim

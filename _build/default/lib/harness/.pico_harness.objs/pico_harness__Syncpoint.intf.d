@@ -1,0 +1,1 @@
+lib/harness/syncpoint.mli: H_import Sim

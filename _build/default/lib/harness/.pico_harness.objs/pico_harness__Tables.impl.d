@@ -1,0 +1,1 @@
+lib/harness/tables.ml: Float List Option Printf String

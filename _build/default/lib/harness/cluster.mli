@@ -1,0 +1,55 @@
+(** Build a simulated cluster under one of the paper's three OS
+    configurations:
+
+    - [Linux]: Fujitsu's HPC-optimised production Linux (nohz_full on
+      application cores, native syscalls into the HFI1 driver);
+    - [Mckernel]: IHK/McKernel with {e all} driver calls offloaded to
+      Linux (the "original McKernel" columns);
+    - [Mckernel_hfi]: McKernel plus the HFI1 PicoDriver (unified address
+      space, local fast paths). *)
+
+open H_import
+
+type os_kind = Linux | Mckernel | Mckernel_hfi
+
+type node_env = {
+  node : Node.t;
+  hfi : Hfi.t;
+  linux : Lkernel.t;
+  driver : Hfi1_driver.t;
+  mlx : Pico_linux.Mlx_driver.t;
+  mck : Mck.t option;
+  pico : Hfi1_pico.t option;
+  mlx_pico : Pico_driver.Mlx_pico.t option;
+}
+
+type t = {
+  sim : Sim.t;
+  fabric : Fabric.t;
+  kind : os_kind;
+  nodes : node_env array;
+  carry_payload : bool;
+  rng : Rng.t;
+}
+
+(** [build kind ~n_nodes] assembles the cluster.  [carry_payload] turns
+    on end-to-end data fidelity (tests/examples; off for large sweeps).
+    [service_cores] is the per-node CPU count reserved for OS activity
+    (default 4, as on Oakforest-PACS). *)
+val build :
+  os_kind ->
+  n_nodes:int ->
+  ?carry_payload:bool ->
+  ?service_cores:int ->
+  ?lwk_cores:int ->
+  ?seed:int64 ->
+  ?rcv_entries:int ->
+  unit ->
+  t
+
+val kind_to_string : os_kind -> string
+
+val node_env : t -> int -> node_env
+
+(** Aggregated McKernel kernel-profiler registries (empty for Linux). *)
+val kernel_profiles : t -> Stats.Registry.t list

@@ -1,0 +1,35 @@
+(** Run an MPI program across a simulated cluster and collect results.
+
+    Each rank becomes a simulation process.  Rank [r] runs on node
+    [r / ranks_per_node].  The app callback receives its communicator and
+    returns its figure-of-merit time in ns (usually the main-loop wall
+    time); the experiment's FOM is the maximum over ranks, like a
+    weak-scaled CORAL benchmark. *)
+
+open H_import
+
+type result = {
+  fom_ns : float;           (** max over ranks of the app-reported time *)
+  wall_ns : float;          (** simulated wall time of the whole run *)
+  init_ns : float;          (** max over ranks of MPI_Init time *)
+  comms : Comm.t list;      (** per-rank communicators (profiles inside) *)
+  cluster : Cluster.t;
+}
+
+(** [run cluster ~ranks_per_node app] — blocks (host-side) until the
+    simulation drains.
+    @raise Failure if any rank raised *)
+val run :
+  Cluster.t ->
+  ranks_per_node:int ->
+  (Comm.t -> float) ->
+  result
+
+(** Merge the per-rank MPI profiles of a result. *)
+val merged_mpi_profile : result -> Stats.Registry.t
+
+(** Merge the per-node McKernel kernel profiles ([None] for Linux). *)
+val merged_kernel_profile : result -> Stats.Registry.t option
+
+(** Sum over ranks of total runtime (the %Rt denominator of Table 1). *)
+val total_runtime_ns : result -> float

@@ -1,0 +1,538 @@
+open H_import
+
+type scale = {
+  node_counts : int list;
+  ranks_per_node : int;
+}
+
+let quick = { node_counts = [ 1; 2; 4; 8 ]; ranks_per_node = 8 }
+
+let medium = { node_counts = [ 1; 2; 4; 8; 16; 32 ]; ranks_per_node = 16 }
+
+let full =
+  { node_counts = [ 1; 2; 4; 8; 16; 32; 64; 128; 256 ]; ranks_per_node = 32 }
+
+let os_kinds = [ Cluster.Linux; Cluster.Mckernel; Cluster.Mckernel_hfi ]
+
+let buf_add = Buffer.add_string
+
+(* --- Figure 4 ----------------------------------------------------------- *)
+
+let fig4 ?(max_size = 4 * 1024 * 1024) ?iters () =
+  let series =
+    List.map
+      (fun kind ->
+        let cl = Cluster.build kind ~n_nodes:2 () in
+        let out = ref [] in
+        ignore
+          (Experiment.run cl ~ranks_per_node:1 (fun comm ->
+               Pico_apps.Imb.pingpong ?iters
+                 ~sizes:(Pico_apps.Imb.sizes ~max_size ())
+                 ~out comm));
+        (kind, !out))
+      os_kinds
+  in
+  let linux = List.assoc Cluster.Linux series in
+  let mck = List.assoc Cluster.Mckernel series in
+  let hfi = List.assoc Cluster.Mckernel_hfi series in
+  let rows =
+    List.map
+      (fun (pl : Pico_apps.Imb.point) ->
+        let find pts =
+          List.find
+            (fun (p : Pico_apps.Imb.point) -> p.Pico_apps.Imb.size = pl.size)
+            pts
+        in
+        let pm = find mck and ph = find hfi in
+        [ string_of_int pl.size;
+          Printf.sprintf "%.0f" pl.mbps;
+          Printf.sprintf "%.0f" pm.Pico_apps.Imb.mbps;
+          Printf.sprintf "%.0f" ph.Pico_apps.Imb.mbps;
+          Tables.pct (pm.Pico_apps.Imb.mbps /. pl.mbps);
+          Tables.pct (ph.Pico_apps.Imb.mbps /. pl.mbps) ])
+      linux
+  in
+  "Figure 4: MPI Ping-pong bandwidth (MB/s)\n"
+  ^ Tables.render
+      ~header:
+        [ "msg bytes"; "Linux"; "McKernel"; "McKernel+HFI1"; "McK/Linux";
+          "HFI/Linux" ]
+      rows
+
+(* --- Figures 5-7: application scaling ----------------------------------- *)
+
+let run_app kind ~n_nodes ~ranks_per_node app =
+  let cl = Cluster.build kind ~n_nodes () in
+  let res = Experiment.run cl ~ranks_per_node app in
+  res.Experiment.fom_ns
+
+let app_figure ~title ~app ~min_nodes ?(rpn_factor = 1) scale =
+  let rpn = scale.ranks_per_node * rpn_factor in
+  let rows =
+    List.filter_map
+      (fun n ->
+        if n < min_nodes then None
+        else begin
+          let linux = run_app Cluster.Linux ~n_nodes:n ~ranks_per_node:rpn app in
+          let mck =
+            run_app Cluster.Mckernel ~n_nodes:n ~ranks_per_node:rpn app
+          in
+          let hfi =
+            run_app Cluster.Mckernel_hfi ~n_nodes:n ~ranks_per_node:rpn app
+          in
+          Some
+            [ string_of_int n;
+              "100.0%";
+              Tables.pct (linux /. mck);
+              Tables.pct (linux /. hfi);
+              Tables.ns linux ]
+        end)
+      scale.node_counts
+  in
+  Printf.sprintf "%s (relative performance to Linux, %d ranks/node)\n" title
+    rpn
+  ^ Tables.render
+      ~header:[ "nodes"; "Linux"; "McKernel"; "McKernel+HFI1"; "Linux FOM" ]
+      rows
+
+let fig5a_lammps ?(scale = quick) () =
+  app_figure ~title:"Figure 5a: LAMMPS" ~min_nodes:1 ~rpn_factor:2
+    ~app:(fun c -> Pico_apps.Lammps.run c)
+    scale
+
+let fig5b_nekbone ?(scale = quick) () =
+  app_figure ~title:"Figure 5b: Nekbone" ~min_nodes:1
+    ~app:(fun c -> Pico_apps.Nekbone.run c)
+    scale
+
+let fig6a_umt ?(scale = quick) () =
+  app_figure ~title:"Figure 6a: UMT2013" ~min_nodes:1
+    ~app:(fun c -> Pico_apps.Umt.run c)
+    scale
+
+let fig6b_hacc ?(scale = quick) () =
+  app_figure ~title:"Figure 6b: HACC" ~min_nodes:1
+    ~app:(fun c -> Pico_apps.Hacc.run c)
+    scale
+
+let fig7_qbox ?(scale = quick) () =
+  (* The QBOX inputs need at least 4 ranks; the paper starts at 4 nodes. *)
+  app_figure ~title:"Figure 7: QBOX" ~min_nodes:4
+    ~app:(fun c -> Pico_apps.Qbox.run c)
+    scale
+
+(* --- Table 1 ------------------------------------------------------------- *)
+
+let table1_apps : (string * (Comm.t -> float)) list =
+  [ ("UMT2013", fun c -> Pico_apps.Umt.run c);
+    ("HACC", fun c -> Pico_apps.Hacc.run c);
+    ("QBOX", fun c -> Pico_apps.Qbox.run c) ]
+
+let profile_block res =
+  let reg = Experiment.merged_mpi_profile res in
+  let grand_mpi = Stats.Registry.grand_total reg in
+  let runtime = Experiment.total_runtime_ns res in
+  Stats.Registry.top 5 reg
+  |> List.map (fun (name, time, _count) ->
+         [ name;
+           Printf.sprintf "%.2f" (time /. 1e6) (* cumulative ms *);
+           Tables.pct (time /. grand_mpi);
+           Tables.pct (time /. runtime) ])
+
+let table1 ?(nodes = 8) ?(ranks_per_node = 8) () =
+  let b = Buffer.create 4096 in
+  buf_add b
+    (Printf.sprintf
+       "Table 1: communication profile on %d nodes (%d ranks/node)\n\
+        Time = cumulative over ranks (ms); %%MPI = share of MPI time; \
+        %%Rt = share of total runtime\n\n"
+       nodes ranks_per_node);
+  List.iter
+    (fun (app_name, app) ->
+      List.iter
+        (fun kind ->
+          let cl = Cluster.build kind ~n_nodes:nodes () in
+          let res = Experiment.run cl ~ranks_per_node app in
+          buf_add b
+            (Printf.sprintf "%s / %s\n" app_name (Cluster.kind_to_string kind));
+          buf_add b
+            (Tables.render
+               ~header:[ "Call"; "Time(ms)"; "%MPI"; "%Rt" ]
+               (profile_block res));
+          buf_add b "\n")
+        os_kinds)
+    table1_apps;
+  Buffer.contents b
+
+(* --- Figures 8/9: kernel-level syscall breakdown ------------------------- *)
+
+let syscall_names =
+  [ "read"; "open"; "mmap"; "munmap"; "ioctl"; "writev"; "nanosleep" ]
+
+let kernel_breakdown ~title ~app ~nodes ~ranks_per_node =
+  let run kind =
+    let cl = Cluster.build kind ~n_nodes:nodes () in
+    let res = Experiment.run cl ~ranks_per_node app in
+    match Experiment.merged_kernel_profile res with
+    | Some reg -> reg
+    | None -> invalid_arg "kernel_breakdown: no LWK profile (Linux config?)"
+  in
+  let mck = run Cluster.Mckernel in
+  let hfi = run Cluster.Mckernel_hfi in
+  let total reg = Stats.Registry.grand_total reg in
+  let t_mck = total mck and t_hfi = total hfi in
+  let rows reg t =
+    List.map
+      (fun name ->
+        let v = Stats.Registry.time_of reg name in
+        [ name ^ "()";
+          Tables.pct (if t > 0. then v /. t else 0.);
+          Tables.bar ~value:v ~scale:t () ])
+      syscall_names
+  in
+  let b = Buffer.create 2048 in
+  buf_add b (title ^ "\n\n");
+  buf_add b
+    (Printf.sprintf "(a) McKernel             [kernel time: %s]\n"
+       (Tables.ns t_mck));
+  buf_add b (Tables.render ~header:[ "syscall"; "share"; "" ] (rows mck t_mck));
+  buf_add b
+    (Printf.sprintf "\n(b) McKernel + HFI       [kernel time: %s]\n"
+       (Tables.ns t_hfi));
+  buf_add b (Tables.render ~header:[ "syscall"; "share"; "" ] (rows hfi t_hfi));
+  buf_add b
+    (Printf.sprintf
+       "\nKernel time with HFI PicoDriver = %s of the original McKernel's\n"
+       (Tables.pct (if t_mck > 0. then t_hfi /. t_mck else 0.)));
+  Buffer.contents b
+
+let fig8_umt ?(nodes = 8) ?(ranks_per_node = 8) () =
+  kernel_breakdown ~title:"Figure 8: system call breakdown for UMT2013"
+    ~app:(fun c -> Pico_apps.Umt.run c)
+    ~nodes ~ranks_per_node
+
+let fig9_qbox ?(nodes = 8) ?(ranks_per_node = 8) () =
+  kernel_breakdown ~title:"Figure 9: system call breakdown for QBOX"
+    ~app:(fun c -> Pico_apps.Qbox.run c)
+    ~nodes ~ranks_per_node
+
+(* --- Listing 1 ------------------------------------------------------------ *)
+
+let listing1 () =
+  let parsed = Pico_dwarf.Encode.parse (Hfi1_structs.module_binary ()) in
+  match
+    Pico_dwarf.Extract.extract parsed ~struct_name:"sdma_state"
+      ~fields:[ "current_state"; "go_s99_running"; "previous_state" ]
+  with
+  | Ok ex ->
+    "Listing 1: automatically generated header for the HFI sdma_state \
+     structure\n(extracted from the DWARF sections of the simulated module \
+     binary)\n\n"
+    ^ Pico_dwarf.Extract.render_c_header ex
+  | Error e -> "listing1: extraction failed: " ^ e
+
+(* --- SLOC comparison -------------------------------------------------------- *)
+
+let rec find_repo_root dir =
+  if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+  else begin
+    let parent = Filename.dirname dir in
+    if parent = dir then None else find_repo_root parent
+  end
+
+let count_sloc path =
+  if not (Sys.file_exists path) then 0
+  else begin
+    let ic = open_in path in
+    let n = ref 0 in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if line <> "" && not (String.length line >= 2 && String.sub line 0 2 = "(*")
+         then incr n
+       done
+     with End_of_file -> ());
+    close_in ic;
+    !n
+  end
+
+let sloc () =
+  match find_repo_root (Sys.getcwd ()) with
+  | None -> "sloc: repository root not found (run from within the repo)\n"
+  | Some root ->
+    let p rel = Filename.concat root rel in
+    let linux_files =
+      [ "lib/linux/hfi1_driver.ml"; "lib/linux/hfi1_structs.ml";
+        "lib/linux/vfs.ml"; "lib/linux/slab.ml"; "lib/linux/gup.ml";
+        "lib/linux/spinlock.ml"; "lib/linux/workqueue.ml";
+        "lib/linux/umem.ml"; "lib/linux/kernel.ml"; "lib/linux/uproc.ml";
+        "lib/linux/noise.ml"; "lib/linux/layout.ml" ]
+    in
+    let pico_files =
+      [ "lib/picodriver/hfi1_pico.ml" ]
+    in
+    let sum files = List.fold_left (fun a f -> a + count_sloc (p f)) 0 files in
+    let linux_sloc = sum linux_files and pico_sloc = sum pico_files in
+    Printf.sprintf
+      "Porting effort (this reproduction's source footprint):\n\
+      \  Linux driver stack model : %5d SLOC across %d files\n\
+      \  HFI1 PicoDriver fast path: %5d SLOC (%s of the driver stack)\n\n\
+       Paper: Intel's HFI1 Linux driver ~50 kSLOC; ported fast path <3 kSLOC\n\
+       (<6%%).  The same ratio band holds here: only the SDMA-send and TID\n\
+       registration paths move to the LWK.\n"
+      linux_sloc (List.length linux_files) pico_sloc
+      (Tables.pct (float_of_int pico_sloc /. float_of_int linux_sloc))
+
+(* --- The wider IMB-MPI1 suite ---------------------------------------------- *)
+
+let imb_suite ?(nodes = 2) ?(ranks_per_node = 1) () =
+  let sizes = [ 1024; 65536; 1048576 ] in
+  let benches :
+      (string * bool
+       * (?iters:int -> ?sizes:int list -> out:Pico_apps.Imb.point list ref ->
+          Comm.t -> float))
+      list =
+    [ ("PingPong", true, Pico_apps.Imb.pingpong);
+      ("PingPing", true, Pico_apps.Imb.pingping);
+      ("SendRecv", true, Pico_apps.Imb.sendrecv);
+      ("Exchange", true, Pico_apps.Imb.exchange);
+      ("Bcast", false, Pico_apps.Imb.bcast);
+      ("Allreduce", false, Pico_apps.Imb.allreduce);
+      ("Reduce", false, Pico_apps.Imb.reduce);
+      ("Allgather", false, Pico_apps.Imb.allgather);
+      ("Alltoall", false, Pico_apps.Imb.alltoall);
+      ("Gather", false, Pico_apps.Imb.gather);
+      ("Scatter", false, Pico_apps.Imb.scatter) ]
+  in
+  let results =
+    List.map
+      (fun kind ->
+        let per_bench =
+          List.map
+            (fun (name, _payload, bench) ->
+              let cl = Cluster.build kind ~n_nodes:nodes () in
+              let out = ref [] in
+              ignore
+                (Experiment.run cl ~ranks_per_node (fun comm ->
+                     bench ?iters:(Some 20) ?sizes:(Some sizes) ~out comm));
+              (name, !out))
+            benches
+        in
+        let barrier_out = ref [] in
+        let cl = Cluster.build kind ~n_nodes:nodes () in
+        ignore
+          (Experiment.run cl ~ranks_per_node (fun comm ->
+               Pico_apps.Imb.barrier ~iters:50 ~out:barrier_out comm));
+        (kind, ("Barrier", !barrier_out) :: List.rev per_bench))
+      os_kinds
+  in
+  let b = Buffer.create 4096 in
+  buf_add b
+    (Printf.sprintf "IMB-MPI1 suite (%d nodes x %d ranks)
+
+" nodes
+       ranks_per_node);
+  List.iter
+    (fun (name, payload, _) ->
+      let rows =
+        List.map
+          (fun size ->
+            let cell kind =
+              let per_bench = List.assoc kind results in
+              match
+                List.find_opt
+                  (fun (p : Pico_apps.Imb.point) -> p.Pico_apps.Imb.size = size)
+                  (List.assoc name per_bench)
+              with
+              | Some p ->
+                if payload then Printf.sprintf "%.0f MB/s" p.Pico_apps.Imb.mbps
+                else Tables.ns p.Pico_apps.Imb.time_ns
+              | None -> "-"
+            in
+            [ string_of_int size; cell Cluster.Linux; cell Cluster.Mckernel;
+              cell Cluster.Mckernel_hfi ])
+          sizes
+      in
+      buf_add b (name ^ "
+");
+      buf_add b
+        (Tables.render
+           ~header:[ "bytes"; "Linux"; "McKernel"; "McKernel+HFI1" ]
+           rows);
+      buf_add b "
+")
+    benches;
+  (* Barrier: single row. *)
+  let cell kind =
+    let per_bench = List.assoc kind results in
+    match List.assoc "Barrier" per_bench with
+    | [ p ] -> Tables.ns p.Pico_apps.Imb.time_ns
+    | _ -> "-"
+  in
+  buf_add b "Barrier
+";
+  buf_add b
+    (Tables.render
+       ~header:[ ""; "Linux"; "McKernel"; "McKernel+HFI1" ]
+       [ [ "t/iter"; cell Cluster.Linux; cell Cluster.Mckernel;
+           cell Cluster.Mckernel_hfi ] ]);
+  Buffer.contents b
+
+(* --- Extension: InfiniBand memory registration ---------------------------- *)
+
+let ibreg ?(registrations = 64) () =
+  let module Mlx = Pico_linux.Mlx_driver in
+  let run kind =
+    let cl = Cluster.build kind ~n_nodes:1 () in
+    let env = Cluster.node_env cl 0 in
+    let sim = cl.Cluster.sim in
+    let mean = ref 0. in
+    let dev = Mlx.dev_name 0 in
+    (match kind with
+     | Cluster.Linux ->
+       Sim.spawn sim (fun () ->
+           let p = Lkernel.new_process env.Cluster.linux in
+           let caller = Pico_linux.Uproc.caller p in
+           let vfs = env.Cluster.linux.Lkernel.vfs in
+           let f = Vfs.openf vfs caller dev in
+           let buf = Pico_linux.Uproc.mmap_anon p (Addr.mib 2) in
+           let argp = Pico_linux.Uproc.mmap_anon p 4096 in
+           Pico_linux.Uproc.write p argp
+             (Mlx.encode_reg_mr { Mlx.mr_va = buf; mr_len = Addr.mib 2 });
+           let t0 = Sim.now sim in
+           for _ = 1 to registrations do
+             let lkey =
+               Lkernel.syscall env.Cluster.linux ~name:"ioctl" (fun () ->
+                   Vfs.ioctl vfs caller ~fd:f.Vfs.fd ~cmd:Mlx.ioctl_reg_mr
+                     ~arg:argp)
+             in
+             ignore
+               (Lkernel.syscall env.Cluster.linux ~name:"ioctl" (fun () ->
+                    Vfs.ioctl vfs caller ~fd:f.Vfs.fd ~cmd:Mlx.ioctl_dereg_mr
+                      ~arg:lkey))
+           done;
+           mean := (Sim.now sim -. t0) /. float_of_int registrations)
+     | Cluster.Mckernel | Cluster.Mckernel_hfi ->
+       let mck = Option.get env.Cluster.mck in
+       Sim.spawn sim (fun () ->
+           let pc = Mck.new_process mck in
+           let fd = Mck.open_dev mck pc dev in
+           let buf = Mck.mmap_anon mck pc ~len:(Addr.mib 2) in
+           let argp = Mck.mmap_anon mck pc ~len:4096 in
+           Pico_mck.Proc.write pc.Mck.proc argp
+             (Mlx.encode_reg_mr { Mlx.mr_va = buf; mr_len = Addr.mib 2 });
+           let t0 = Sim.now sim in
+           for _ = 1 to registrations do
+             let lkey = Mck.ioctl mck pc ~fd ~cmd:Mlx.ioctl_reg_mr ~arg:argp in
+             ignore (Mck.ioctl mck pc ~fd ~cmd:Mlx.ioctl_dereg_mr ~arg:lkey)
+           done;
+           mean := (Sim.now sim -. t0) /. float_of_int registrations));
+    ignore (Sim.run sim);
+    (!mean, env)
+  in
+  let linux, _ = run Cluster.Linux in
+  let mck, _ = run Cluster.Mckernel in
+  let hfi, env = run Cluster.Mckernel_hfi in
+  let saved =
+    match env.Cluster.mlx_pico with
+    | Some mp -> Pico_driver.Mlx_pico.entries_saved mp
+    | None -> 0
+  in
+  "Extension (paper future work): InfiniBand memory registration\n   (register + deregister one pinned 2 MB buffer; mean per cycle)\n"
+  ^ Tables.render
+      ~header:[ "OS"; "reg+dereg"; "vs Linux" ]
+      [ [ "Linux"; Tables.ns linux; "100.0%" ];
+        [ "McKernel (offloaded)"; Tables.ns mck; Tables.pct (linux /. mck) ];
+        [ "McKernel + mlx PicoDriver"; Tables.ns hfi; Tables.pct (linux /. hfi) ] ]
+  ^ Printf.sprintf
+      "\nMTT entries saved by contiguity-aware registration: %d\n" saved
+
+(* --- Ablations --------------------------------------------------------------- *)
+
+let pingpong_once kind ~size =
+  let cl = Cluster.build kind ~n_nodes:2 () in
+  let out = ref [] in
+  ignore
+    (Experiment.run cl ~ranks_per_node:1 (fun comm ->
+         Pico_apps.Imb.pingpong ~iters:30 ~sizes:[ size ] ~out comm));
+  match !out with
+  | [ p ] -> p.Pico_apps.Imb.mbps
+  | _ -> invalid_arg "pingpong_once: unexpected output"
+
+let ablations () =
+  let b = Buffer.create 2048 in
+  let size = 4 * 1024 * 1024 in
+  (* 1. SDMA request size. *)
+  let linux = pingpong_once Cluster.Linux ~size in
+  let hfi_10k = pingpong_once Cluster.Mckernel_hfi ~size in
+  let saved = Costs.current.Costs.sdma_max_request in
+  Costs.current.Costs.sdma_max_request <- 4096;
+  let hfi_4k = pingpong_once Cluster.Mckernel_hfi ~size in
+  Costs.current.Costs.sdma_max_request <- saved;
+  buf_add b "Ablation 1: SDMA request size (4 MB ping-pong, MB/s)\n";
+  buf_add b
+    (Tables.render
+       ~header:[ "configuration"; "MB/s"; "vs Linux" ]
+       [ [ "Linux (4 kB requests)"; Printf.sprintf "%.0f" linux; "+0.0%" ];
+         [ "PicoDriver, 10 kB requests"; Printf.sprintf "%.0f" hfi_10k;
+           Printf.sprintf "%+.1f%%" ((hfi_10k /. linux -. 1.) *. 100.) ];
+         [ "PicoDriver capped at PAGE_SIZE"; Printf.sprintf "%.0f" hfi_4k;
+           Printf.sprintf "%+.1f%%" ((hfi_4k /. linux -. 1.) *. 100.) ] ]);
+  (* 2. OS noise. *)
+  let nekbone kind =
+    let cl = Cluster.build kind ~n_nodes:4 () in
+    (Experiment.run cl ~ranks_per_node:16 (fun c -> Pico_apps.Nekbone.run c))
+      .Experiment.fom_ns
+  in
+  let tuned = nekbone Cluster.Linux in
+  let saved_factor = Costs.current.Costs.nohz_full_factor in
+  Costs.current.Costs.nohz_full_factor <- 1.0;
+  let stock = nekbone Cluster.Linux in
+  Costs.current.Costs.nohz_full_factor <- saved_factor;
+  let lwk = nekbone Cluster.Mckernel in
+  buf_add b "\nAblation 2: OS noise (Nekbone, 4 nodes x 16 ranks)\n";
+  buf_add b
+    (Tables.render
+       ~header:[ "configuration"; "FOM"; "vs tuned" ]
+       [ [ "Linux, HPC-tuned (nohz_full)"; Tables.ns tuned; "+0.0%" ];
+         [ "Linux, stock (full noise)"; Tables.ns stock;
+           Printf.sprintf "%+.1f%%" ((stock /. tuned -. 1.) *. 100.) ];
+         [ "McKernel (noise-free LWK)"; Tables.ns lwk;
+           Printf.sprintf "%+.1f%%" ((lwk /. tuned -. 1.) *. 100.) ] ]);
+  (* 3. TID registration cache. *)
+  let mck_nocache = pingpong_once Cluster.Mckernel ~size in
+  Pico_psm.Config.tid_cache := true;
+  let mck_cache = pingpong_once Cluster.Mckernel ~size in
+  Pico_psm.Config.tid_cache := false;
+  buf_add b "\nAblation 3: TID registration cache (4 MB ping-pong, MB/s)\n";
+  buf_add b
+    (Tables.render
+       ~header:[ "configuration"; "MB/s"; "vs Linux" ]
+       [ [ "Linux"; Printf.sprintf "%.0f" linux; "+0.0%" ];
+         [ "McKernel, register every transfer";
+           Printf.sprintf "%.0f" mck_nocache;
+           Printf.sprintf "%+.1f%%" ((mck_nocache /. linux -. 1.) *. 100.) ];
+         [ "McKernel, TID cache enabled"; Printf.sprintf "%.0f" mck_cache;
+           Printf.sprintf "%+.1f%%" ((mck_cache /. linux -. 1.) *. 100.) ] ]);
+  Buffer.contents b
+
+(* --- everything ------------------------------------------------------------- *)
+
+let all ?(scale = quick) () =
+  let b = Buffer.create (1 lsl 16) in
+  let add s = buf_add b s; buf_add b "\n" in
+  add (fig4 ());
+  add (fig5a_lammps ~scale ());
+  add (fig5b_nekbone ~scale ());
+  add (fig6a_umt ~scale ());
+  add (fig6b_hacc ~scale ());
+  add (fig7_qbox ~scale ());
+  add (imb_suite ());
+  add (table1 ~ranks_per_node:scale.ranks_per_node ());
+  add (fig8_umt ~ranks_per_node:scale.ranks_per_node ());
+  add (fig9_qbox ~ranks_per_node:scale.ranks_per_node ());
+  add (listing1 ());
+  add (ibreg ());
+  add (ablations ());
+  add (sloc ());
+  Buffer.contents b

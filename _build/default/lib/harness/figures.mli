@@ -1,0 +1,71 @@
+(** Regeneration of every table and figure in the paper's evaluation
+    (Section 4).  Each function runs the experiment and returns the
+    rendered text table; absolute numbers come from the simulation, and
+    the {e shapes} (who wins, by what factor, where crossovers fall) are
+    the reproduction target — see EXPERIMENTS.md. *)
+
+(** Sweep sizing: the paper configuration is expensive to simulate, so
+    the default ("quick") scale trims node counts and ranks/node while
+    preserving the contention ratios that drive the results. *)
+type scale = {
+  node_counts : int list;
+  ranks_per_node : int;     (** for the 32-rank apps; LAMMPS doubles it *)
+}
+
+val quick : scale
+
+val medium : scale
+
+val full : scale
+
+(** Figure 4: IMB PingPong bandwidth, 3 OS configurations. *)
+val fig4 : ?max_size:int -> ?iters:int -> unit -> string
+
+(** Figures 5–7: relative performance to Linux per node count. *)
+
+val fig5a_lammps : ?scale:scale -> unit -> string
+
+val fig5b_nekbone : ?scale:scale -> unit -> string
+
+val fig6a_umt : ?scale:scale -> unit -> string
+
+val fig6b_hacc : ?scale:scale -> unit -> string
+
+val fig7_qbox : ?scale:scale -> unit -> string
+
+(** Table 1: top-5 MPI calls (Time, %MPI, %Rt) for UMT2013, HACC and
+    QBOX on [nodes] nodes under the three OS configurations. *)
+val table1 : ?nodes:int -> ?ranks_per_node:int -> unit -> string
+
+(** Figures 8/9: in-kernel system-call time breakdown for McKernel vs
+    McKernel+HFI (UMT2013 and QBOX respectively), plus the ratio of
+    total kernel time between the two configurations. *)
+
+val fig8_umt : ?nodes:int -> ?ranks_per_node:int -> unit -> string
+
+val fig9_qbox : ?nodes:int -> ?ranks_per_node:int -> unit -> string
+
+(** Listing 1: the dwarf-extract-struct output for [sdma_state]. *)
+val listing1 : unit -> string
+
+(** The 50 kSLOC vs <3 kSLOC porting-effort comparison, counted from
+    this repository's driver model and PicoDriver fast path. *)
+val sloc : unit -> string
+
+(** The wider IMB-MPI1 suite (PingPing, SendRecv, Exchange, Bcast,
+    Allreduce, Barrier) across the three OS configurations. *)
+val imb_suite : ?nodes:int -> ?ranks_per_node:int -> unit -> string
+
+(** Extension (paper future work): InfiniBand memory-registration
+    latency under the three OS configurations, with and without the
+    Mellanox PicoDriver. *)
+val ibreg : ?registrations:int -> unit -> string
+
+(** The design-choice ablations DESIGN.md calls out:
+    1. SDMA request size capped at PAGE_SIZE (undoes Section 3.4);
+    2. OS noise with nohz_full on/off vs the noise-free LWK;
+    3. the PSM TID-registration cache (off in the paper's era). *)
+val ablations : unit -> string
+
+(** Run everything at the given scale (the bench harness entry point). *)
+val all : ?scale:scale -> unit -> string

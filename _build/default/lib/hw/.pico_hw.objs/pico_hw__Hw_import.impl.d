@@ -1,0 +1,1 @@
+lib/hw/hw_import.ml: Pico_engine

@@ -1,0 +1,1 @@
+lib/hw/irq.ml: Hashtbl Hw_import List Printf Resource Sim

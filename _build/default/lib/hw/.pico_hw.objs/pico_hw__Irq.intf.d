@@ -1,0 +1,1 @@
+lib/hw/irq.mli: Hw_import Resource Sim

@@ -1,0 +1,1 @@
+lib/hw/node.ml: Addr Cpu Hw_import Irq List Numa Physmem Printf Sim

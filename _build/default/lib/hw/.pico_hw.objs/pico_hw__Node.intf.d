@@ -1,0 +1,1 @@
+lib/hw/node.mli: Addr Cpu Hw_import Irq Numa Sim

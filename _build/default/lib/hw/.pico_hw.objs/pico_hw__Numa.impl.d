@@ -1,0 +1,1 @@
+lib/hw/numa.ml: Addr Array List Physmem

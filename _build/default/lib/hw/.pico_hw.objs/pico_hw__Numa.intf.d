@@ -1,0 +1,1 @@
+lib/hw/numa.mli: Addr Physmem

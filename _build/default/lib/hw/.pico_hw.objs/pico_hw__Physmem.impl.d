@@ -1,0 +1,1 @@
+lib/hw/physmem.ml: Addr Bytes Hashtbl List Printf

@@ -1,0 +1,35 @@
+type t = int
+
+let page_shift = 12
+
+let page_size = 1 lsl page_shift
+
+let large_page_size = 1 lsl 21
+
+let kib n = n * 1024
+
+let mib n = n * 1024 * 1024
+
+let gib n = n * 1024 * 1024 * 1024
+
+let align_down a alignment = a land lnot (alignment - 1)
+
+let align_up a alignment = (a + alignment - 1) land lnot (alignment - 1)
+
+let is_aligned a alignment = a land (alignment - 1) = 0
+
+let page_of a = a lsr page_shift
+
+let offset_in_page a = a land (page_size - 1)
+
+let pages_spanned ~addr ~len =
+  if len <= 0 then 0
+  else begin
+    let first = page_of addr in
+    let last = page_of (addr + len - 1) in
+    last - first + 1
+  end
+
+let to_hex a = Printf.sprintf "0x%x" a
+
+let pp fmt a = Format.pp_print_string fmt (to_hex a)

@@ -1,0 +1,46 @@
+(** Addresses, sizes and alignment arithmetic.
+
+    Addresses are plain OCaml [int]s: the simulated machine uses 48-bit
+    canonical x86_64 addressing, which fits comfortably in 63 bits.  Virtual
+    addresses above the canonical hole are represented by their low 48 bits
+    with the convention used throughout Linux (sign-extended addresses are
+    stored as the positive [0xFFFF_8000_0000_0000]-based value masked to
+    48 bits plus a high-half tag bit kept in bit 47). *)
+
+type t = int
+
+val page_shift : int
+
+(** 4096: the base page size. *)
+val page_size : int
+
+(** 2 MiB: the large-page size. *)
+val large_page_size : int
+
+val kib : int -> int
+
+val mib : int -> int
+
+val gib : int -> int
+
+(** [align_down a alignment] rounds [a] down to a multiple of [alignment]
+    (a power of two). *)
+val align_down : t -> int -> t
+
+val align_up : t -> int -> t
+
+val is_aligned : t -> int -> bool
+
+(** [page_of a] is the frame number containing [a]. *)
+val page_of : t -> int
+
+(** [offset_in_page a] is [a mod page_size]. *)
+val offset_in_page : t -> int
+
+(** [pages_spanned ~addr ~len] is the number of 4 kB pages touched by the
+    byte range. *)
+val pages_spanned : addr:t -> len:int -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_hex : t -> string

@@ -1,0 +1,32 @@
+type owner = Linux | Lwk | Offline
+
+type t = {
+  id : int;
+  core_id : int;
+  thread_id : int;
+  numa_id : int;
+  mutable owner : owner;
+}
+
+let make_topology ~cores ~threads_per_core ~numa_domains =
+  if cores <= 0 || threads_per_core <= 0 || numa_domains <= 0 then
+    invalid_arg "Cpu.make_topology: all parameters must be > 0";
+  Array.init (cores * threads_per_core) (fun id ->
+      let core_id = id / threads_per_core in
+      let thread_id = id mod threads_per_core in
+      { id; core_id; thread_id; numa_id = core_id mod numa_domains;
+        owner = Linux })
+
+let knl_7250 ?(numa_domains = 4) () =
+  make_topology ~cores:68 ~threads_per_core:4 ~numa_domains
+
+let count_owned cpus owner =
+  Array.fold_left (fun acc c -> if c.owner = owner then acc + 1 else acc) 0 cpus
+
+let owned cpus owner =
+  Array.to_list cpus |> List.filter (fun c -> c.owner = owner)
+
+let owner_to_string = function
+  | Linux -> "Linux"
+  | Lwk -> "LWK"
+  | Offline -> "offline"

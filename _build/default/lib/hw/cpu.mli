@@ -1,0 +1,34 @@
+(** Logical CPUs of a node and their partitioning state.
+
+    IHK moves cores between the Linux and LWK partitions; cores handed to
+    the LWK are offlined from Linux's point of view. *)
+
+type owner =
+  | Linux  (** visible to and scheduled by Linux *)
+  | Lwk    (** assigned to McKernel; invisible (offlined) in Linux *)
+  | Offline
+
+type t = {
+  id : int;              (** logical CPU number *)
+  core_id : int;         (** physical core *)
+  thread_id : int;       (** hardware thread within the core *)
+  numa_id : int;
+  mutable owner : owner;
+}
+
+(** [make_topology ~cores ~threads_per_core ~numa_domains] enumerates
+    logical CPUs the way Linux numbers KNL: consecutive logical ids within
+    a core, cores distributed round-robin across NUMA domains.  All CPUs
+    start owned by Linux. *)
+val make_topology :
+  cores:int -> threads_per_core:int -> numa_domains:int -> t array
+
+(** KNL 7250: 68 cores x 4 threads = 272 logical CPUs over [numa_domains]
+    domains. *)
+val knl_7250 : ?numa_domains:int -> unit -> t array
+
+val count_owned : t array -> owner -> int
+
+val owned : t array -> owner -> t list
+
+val owner_to_string : owner -> string

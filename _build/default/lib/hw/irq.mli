@@ -1,0 +1,38 @@
+(** Interrupt delivery.
+
+    Device interrupts (e.g., HFI SDMA completions) are always delivered to
+    Linux-owned CPUs: McKernel does not handle device IRQs, which is exactly
+    why completion callbacks must be invocable from Linux cores (Section 3.3
+    of the paper).
+
+    Handlers run as simulation processes.  When a service resource is bound
+    (the Linux CPU pool), each delivery first acquires a CPU, so interrupt
+    processing contends with offloaded system calls. *)
+
+open Hw_import
+
+type t
+
+val create : Sim.t -> t
+
+(** Bind the CPU pool that services interrupts ([None] = dedicated, no
+    contention). *)
+val set_service : t -> Resource.t option -> unit
+
+(** [register t ~vector ~name handler] installs [handler]; it may call
+    blocking simulation operations.
+    @raise Invalid_argument if the vector is taken *)
+val register : t -> vector:int -> name:string -> (unit -> unit) -> unit
+
+val unregister : t -> vector:int -> unit
+
+(** Fire the interrupt: schedules handler execution at the current time
+    (plus CPU acquisition and dispatch latency). *)
+val raise_irq : t -> vector:int -> unit
+
+(** Fixed hardware-to-handler dispatch latency, ns (default 500). *)
+val set_dispatch_latency : t -> float -> unit
+
+val delivered : t -> int
+
+val registered_vectors : t -> int list

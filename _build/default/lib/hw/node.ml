@@ -1,0 +1,46 @@
+open Hw_import
+
+type t = {
+  id : int;
+  sim : Sim.t;
+  cpus : Cpu.t array;
+  numa : Numa.t;
+  irq : Irq.t;
+}
+
+let create sim ~id ~cpus ~numa = { id; sim; cpus; numa; irq = Irq.create sim }
+
+let create_knl sim ~id ?(mem_scale = 1.0 /. 128.) () =
+  let cpus = Cpu.knl_7250 ~numa_domains:4 () in
+  let numa = Numa.knl_snc4 ~scale:mem_scale () in
+  create sim ~id ~cpus ~numa
+
+let memory_bytes t =
+  List.fold_left (fun acc d -> acc + Physmem.size d.Numa.mem) 0 (Numa.domains t.numa)
+
+let alloc_frames t ?(pref = Numa.Mcdram) ?align n_frames =
+  match Numa.alloc_pref t.numa ~pref ?align n_frames with
+  | Some (_dom, pa) -> Some pa
+  | None -> None
+
+let dom_of t pa =
+  match Numa.owner t.numa pa with
+  | Some d -> d.Numa.mem
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Node %d: physical address %s outside all domains"
+         t.id (Addr.to_hex pa))
+
+let free_frames t pa n = Physmem.free (dom_of t pa) pa n
+
+let write_bytes t pa b = Physmem.write_bytes (dom_of t pa) pa b
+
+let read_bytes t pa len = Physmem.read_bytes (dom_of t pa) pa len
+
+let read_u64 t pa = Physmem.read_u64 (dom_of t pa) pa
+
+let write_u64 t pa v = Physmem.write_u64 (dom_of t pa) pa v
+
+let read_u32 t pa = Physmem.read_u32 (dom_of t pa) pa
+
+let write_u32 t pa v = Physmem.write_u32 (dom_of t pa) pa v

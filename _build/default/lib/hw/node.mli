@@ -1,0 +1,47 @@
+(** A compute node: CPUs, NUMA memory and an interrupt controller.
+
+    Device models (the HFI NIC) attach by node id through their own
+    libraries; the node itself is OS-agnostic — both kernels of the
+    multi-kernel boot on top of one of these. *)
+
+open Hw_import
+
+type t = {
+  id : int;
+  sim : Sim.t;
+  cpus : Cpu.t array;
+  numa : Numa.t;
+  irq : Irq.t;
+}
+
+(** [create sim ~id ~cpus ~numa] assembles a node. *)
+val create : Sim.t -> id:int -> cpus:Cpu.t array -> numa:Numa.t -> t
+
+(** An Oakforest-PACS-like KNL node.  [mem_scale] shrinks the simulated
+    DRAM/MCDRAM sizes (allocator metadata only — contents are sparse) so
+    that multi-hundred-node simulations stay light. *)
+val create_knl : Sim.t -> id:int -> ?mem_scale:float -> unit -> t
+
+(** Total physical memory across domains. *)
+val memory_bytes : t -> int
+
+(** Allocate physically-contiguous frames with MCDRAM preference.  Returns
+    the physical address. *)
+val alloc_frames :
+  t -> ?pref:Numa.kind -> ?align:int -> int -> Addr.t option
+
+val free_frames : t -> Addr.t -> int -> unit
+
+(** Access simulated physical memory regardless of owning domain. *)
+
+val write_bytes : t -> Addr.t -> bytes -> unit
+
+val read_bytes : t -> Addr.t -> int -> bytes
+
+val read_u64 : t -> Addr.t -> int64
+
+val write_u64 : t -> Addr.t -> int64 -> unit
+
+val read_u32 : t -> Addr.t -> int32
+
+val write_u32 : t -> Addr.t -> int32 -> unit

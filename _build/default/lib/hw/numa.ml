@@ -1,0 +1,70 @@
+type kind = Mcdram | Ddr4
+
+type domain = {
+  id : int;
+  kind : kind;
+  mem : Physmem.t;
+}
+
+type t = { doms : domain array }
+
+let kind_to_string = function Mcdram -> "MCDRAM" | Ddr4 -> "DDR4"
+
+let create ?(base = Addr.mib 16) ~mcdram_domains ~mcdram_per_domain
+    ~ddr_domains ~ddr_per_domain () =
+  let next = ref base in
+  let next_id = ref 0 in
+  let mk kind size =
+    let mem = Physmem.create ~base:!next ~size in
+    let d = { id = !next_id; kind; mem } in
+    incr next_id;
+    next := !next + size;
+    d
+  in
+  let ddr = List.init ddr_domains (fun _ -> mk Ddr4 ddr_per_domain) in
+  let mcdram = List.init mcdram_domains (fun _ -> mk Mcdram mcdram_per_domain) in
+  { doms = Array.of_list (ddr @ mcdram) }
+
+let knl_snc4 ?(scale = 1.0) () =
+  let sz bytes =
+    let scaled = int_of_float (float_of_int bytes *. scale) in
+    max Addr.page_size (Addr.align_up scaled Addr.page_size)
+  in
+  create
+    ~mcdram_domains:4 ~mcdram_per_domain:(sz (Addr.gib 4))
+    ~ddr_domains:4 ~ddr_per_domain:(sz (Addr.gib 24))
+    ()
+
+let domains t = Array.to_list t.doms
+
+let domain t i = t.doms.(i)
+
+let n_domains t = Array.length t.doms
+
+let domains_of_kind t kind =
+  List.filter (fun d -> d.kind = kind) (domains t)
+
+let alloc_pref t ~pref ?align n_frames =
+  let try_doms doms =
+    List.fold_left
+      (fun acc d ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          (match Physmem.alloc d.mem ?align n_frames with
+           | Some pa -> Some (d, pa)
+           | None -> None))
+      None doms
+  in
+  let other = match pref with Mcdram -> Ddr4 | Ddr4 -> Mcdram in
+  match try_doms (domains_of_kind t pref) with
+  | Some r -> Some r
+  | None -> try_doms (domains_of_kind t other)
+
+let owner t pa =
+  Array.fold_left
+    (fun acc d ->
+      match acc with
+      | Some _ -> acc
+      | None -> if Physmem.contains d.mem pa then Some d else None)
+    None t.doms

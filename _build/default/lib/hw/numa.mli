@@ -1,0 +1,53 @@
+(** NUMA topology of a simulated node.
+
+    Models the KNL SNC-4 flat-mode configuration used in the paper: MCDRAM
+    and DDR4 are separately addressable, each split into four domains,
+    giving eight domains total.  Each domain owns a {!Physmem} region. *)
+
+type kind = Mcdram | Ddr4
+
+type domain = {
+  id : int;
+  kind : kind;
+  mem : Physmem.t;
+}
+
+type t
+
+(** [create ~mcdram_domains ~mcdram_per_domain ~ddr_domains ~ddr_per_domain]
+    lays the domains out in one physical address space: DDR4 first (like
+    flat-mode KNL, where MCDRAM appears above DRAM), then MCDRAM. *)
+val create :
+  ?base:Addr.t ->
+  mcdram_domains:int ->
+  mcdram_per_domain:int ->
+  ddr_domains:int ->
+  ddr_per_domain:int ->
+  unit ->
+  t
+
+(** KNL SNC-4 flat mode: 4 x 4 GB MCDRAM + 4 x 24 GB DDR4 (scaled by
+    [scale] to keep allocator metadata small in big simulations;
+    default scale halves nothing, 1.0). *)
+val knl_snc4 : ?scale:float -> unit -> t
+
+val domains : t -> domain list
+
+val domain : t -> int -> domain
+
+val n_domains : t -> int
+
+(** Domains of one kind, in id order. *)
+val domains_of_kind : t -> kind -> domain list
+
+(** [alloc_pref t ~pref ~align n_frames] tries to allocate from [pref]-kind
+    domains first and falls back to the other kind — the paper's
+    "prioritise MCDRAM, fall back to DRAM" policy.  Returns the owning
+    domain and physical address. *)
+val alloc_pref :
+  t -> pref:kind -> ?align:int -> int -> (domain * Addr.t) option
+
+(** [owner t pa] is the domain containing physical address [pa]. *)
+val owner : t -> Addr.t -> domain option
+
+val kind_to_string : kind -> string

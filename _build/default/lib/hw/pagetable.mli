@@ -1,0 +1,80 @@
+(** x86_64-style 4-level page tables with 4 kB and 2 MB translations.
+
+    Virtual addresses use the canonical 48-bit layout: four 9-bit indices
+    (PGD, PUD, PMD, PTE) above a 12-bit page offset.  A PMD entry may be a
+    2 MB leaf, exactly like hardware large pages; the McKernel memory
+    manager relies on this and the HFI1 PicoDriver walks these tables
+    instead of calling get_user_pages(). *)
+
+module Flags : sig
+  type t = int
+
+  val none : t
+
+  val present : t
+
+  val writable : t
+
+  val user : t
+
+  val global : t
+
+  (** Set on LWK anonymous mappings: the backing frames may never be
+      reclaimed or swapped; the fast-path driver checks this before
+      building SDMA requests directly from the tables. *)
+  val pinned : t
+
+  val has : t -> t -> bool
+
+  val ( + ) : t -> t -> t
+end
+
+type t
+
+(** A translated leaf. *)
+type mapping = {
+  va : Addr.t;        (** start of the page containing the query address *)
+  pa : Addr.t;        (** physical base of that page *)
+  page_size : int;    (** 4096 or 2 MiB *)
+  flags : Flags.t;
+}
+
+val create : unit -> t
+
+exception Already_mapped of Addr.t
+
+exception Not_mapped of Addr.t
+
+(** [map t ~va ~pa ~page_size ~flags] installs one page translation.
+    [va] and [pa] must be aligned to [page_size]; [page_size] is
+    [Addr.page_size] or [Addr.large_page_size].
+    @raise Already_mapped if any part of the range is already mapped *)
+val map : t -> va:Addr.t -> pa:Addr.t -> page_size:int -> flags:Flags.t -> unit
+
+(** [map_range t ~va ~pa ~len ~page_size ~flags] maps a whole range with
+    pages of the given size ([len] must be a multiple of [page_size]). *)
+val map_range :
+  t -> va:Addr.t -> pa:Addr.t -> len:int -> page_size:int -> flags:Flags.t -> unit
+
+(** [unmap t ~va] removes the translation containing [va];
+    returns the removed mapping.
+    @raise Not_mapped *)
+val unmap : t -> va:Addr.t -> mapping
+
+(** [translate t va] finds the leaf covering [va], or [None]. *)
+val translate : t -> Addr.t -> mapping option
+
+(** [pa_of t va] is the physical address corresponding to [va].
+    @raise Not_mapped *)
+val pa_of : t -> Addr.t -> Addr.t
+
+(** [phys_segments t ~va ~len] walks the tables over [\[va, va+len)] and
+    returns the backing physical ranges [(pa, seg_len, flags)] in order,
+    {b coalescing physically-contiguous pages} — including runs that cross
+    page boundaries and mixed 4 kB / 2 MB pages.  This is the primitive the
+    PicoDriver uses to discover >4 kB SDMA opportunities.
+    @raise Not_mapped if any page of the range is unmapped *)
+val phys_segments : t -> va:Addr.t -> len:int -> (Addr.t * int * Flags.t) list
+
+(** Total number of leaf translations installed. *)
+val leaf_count : t -> int

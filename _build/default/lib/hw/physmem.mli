@@ -1,0 +1,64 @@
+(** Sparse simulated physical memory with a range-coalescing frame
+    allocator.
+
+    A [Physmem.t] covers one physical range [\[base, base+size)].  Frame
+    contents are materialised lazily (4 kB at a time) so a node can expose
+    many gigabytes while the host process only pays for pages actually
+    written — crucial when simulating hundreds of nodes.
+
+    The allocator is first-fit over a sorted free list with coalescing on
+    free, and supports alignment and multi-frame contiguous requests, which
+    is what lets the McKernel memory manager implement its
+    "contiguous-physical-first, large-page" policy. *)
+
+type t
+
+val create : base:Addr.t -> size:int -> t
+
+val base : t -> Addr.t
+
+val size : t -> int
+
+(** Bytes currently allocated. *)
+val used : t -> int
+
+val free_bytes : t -> int
+
+(** [alloc t ~align n_frames] grabs [n_frames] physically-contiguous frames
+    whose base is aligned to [align] bytes (power of two, >= 4 kB).
+    Returns the physical base address or [None] when no hole fits. *)
+val alloc : t -> ?align:int -> int -> Addr.t option
+
+(** [largest_hole t] is the size in frames of the biggest contiguous free
+    run (0 when full). *)
+val largest_hole : t -> int
+
+(** [free t pa n_frames] returns frames to the allocator.
+    @raise Invalid_argument on double free or out-of-range. *)
+val free : t -> Addr.t -> int -> unit
+
+(** Raw byte access by physical address.  Reads of never-written memory
+    return zeros, like real DRAM after ECC init. *)
+
+val write_bytes : t -> Addr.t -> bytes -> unit
+
+val read_bytes : t -> Addr.t -> int -> bytes
+
+val write_u8 : t -> Addr.t -> int -> unit
+
+val read_u8 : t -> Addr.t -> int
+
+(** Little-endian, like x86. *)
+val write_u32 : t -> Addr.t -> int32 -> unit
+
+val read_u32 : t -> Addr.t -> int32
+
+val write_u64 : t -> Addr.t -> int64 -> unit
+
+val read_u64 : t -> Addr.t -> int64
+
+(** [contains t pa] — does the address fall inside this region? *)
+val contains : t -> Addr.t -> bool
+
+(** Number of 4 kB frames whose contents have been materialised. *)
+val resident_frames : t -> int

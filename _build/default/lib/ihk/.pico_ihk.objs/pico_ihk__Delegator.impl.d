@@ -1,0 +1,1 @@
+lib/ihk/delegator.ml: Costs Ihk_import Lkernel Pico_engine Resource Sim Uproc

@@ -1,0 +1,1 @@
+lib/ihk/delegator.mli: Ihk_import Lkernel Pagetable Sim Uproc

@@ -1,0 +1,1 @@
+lib/ihk/ihk_import.ml: Pico_costs Pico_engine Pico_hw Pico_linux

@@ -1,0 +1,1 @@
+lib/ihk/ikc.ml: Costs Ihk_import Mailbox Sim

@@ -1,0 +1,1 @@
+lib/ihk/ikc.mli: Ihk_import Sim

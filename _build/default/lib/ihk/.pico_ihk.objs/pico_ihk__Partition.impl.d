@@ -1,0 +1,1 @@
+lib/ihk/partition.ml: Array Cpu Ihk_import List Node Printf

@@ -1,0 +1,1 @@
+lib/ihk/partition.mli: Cpu Ihk_import Node

@@ -1,0 +1,62 @@
+open Ihk_import
+
+type t = {
+  sim : Sim.t;
+  lkernel : Lkernel.t;
+  mutable proxies : int;
+  mutable calls : int;
+  mutable queueing : float;
+}
+
+let create sim ~linux =
+  { sim; lkernel = linux; proxies = 0; calls = 0; queueing = 0. }
+
+(* With many more proxy processes than Linux service CPUs, every offload
+   pays scheduler wake-up and context-switch costs on the oversubscribed
+   cores — the "high contention on a few Linux CPUs" of Section 4.3. *)
+let dispatch_cost t =
+  let c = Costs.current in
+  let capacity = Resource.capacity t.lkernel.Lkernel.service_cpus in
+  let ratio = float_of_int t.proxies /. float_of_int capacity in
+  if ratio <= 1.0 then c.proxy_dispatch
+  else c.proxy_dispatch +. (c.proxy_oversub_penalty *. (ratio -. 1.0))
+
+let linux t = t.lkernel
+
+let make_proxy t ~lwk_pt =
+  t.proxies <- t.proxies + 1;
+  let pid = Lkernel.next_pid t.lkernel in
+  let proxy = Uproc.create ~node:t.lkernel.Lkernel.node ~pid in
+  (* The proxy provides the LWK process's user mappings to Linux: share
+     the page table rather than copying it. *)
+  { proxy with Uproc.pt = lwk_pt }
+
+let offload t ~name f =
+  t.calls <- t.calls + 1;
+  Pico_engine.Trace.debug t.sim "delegator" "offload %s (proxies=%d)" name
+    t.proxies;
+  let c = Costs.current in
+  (* Request message to Linux. *)
+  Sim.delay t.sim c.ikc_message;
+  (* Wait for a Linux CPU; the delegator thread and proxy run there. *)
+  let waited = Resource.acquire t.lkernel.Lkernel.service_cpus in
+  t.queueing <- t.queueing +. waited;
+  let finish () = Resource.release t.lkernel.Lkernel.service_cpus in
+  (match
+     (* Wake the proxy, enter the Linux syscall path, run the call while
+        holding the CPU. *)
+     Sim.delay t.sim (dispatch_cost t +. c.linux_syscall);
+     f ()
+   with
+   | v ->
+     finish ();
+     (* Response message back to the LWK. *)
+     Sim.delay t.sim c.ikc_message;
+     v
+   | exception e -> finish (); raise e)
+
+let offloaded_calls t = t.calls
+
+let queueing_ns t = t.queueing
+
+let proxy_count t = t.proxies

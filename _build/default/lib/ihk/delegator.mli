@@ -1,0 +1,36 @@
+(** The IHK Linux delegator: executes offloaded system calls.
+
+    Every McKernel process has a Linux {e proxy process} providing the
+    execution context for its offloaded calls.  An offload costs two IKC
+    messages plus the proxy dispatch, {b and a Linux service CPU for the
+    whole duration of the call} — with 32–64 ranks per node and only a
+    handful of Linux CPUs, queueing at this resource is what collapses
+    UMT2013/HACC/QBOX in the original McKernel (paper Section 4.3). *)
+
+open Ihk_import
+
+type t
+
+val create : Sim.t -> linux:Lkernel.t -> t
+
+val linux : t -> Lkernel.t
+
+(** Register a proxy process for an LWK process.  The proxy shares the
+    LWK process's user page table (the unified user-space mapping the
+    proxy exists to provide). *)
+val make_proxy : t -> lwk_pt:Pagetable.t -> Uproc.t
+
+(** [offload t ~name f] performs one offloaded system call from the
+    calling (LWK rank) process: IKC round trip, service-CPU queueing,
+    proxy dispatch, then [f ()] executed while holding the CPU.
+    Returns [f]'s result. *)
+val offload : t -> name:string -> (unit -> 'a) -> 'a
+
+(** Number of calls delegated so far. *)
+val offloaded_calls : t -> int
+
+(** Proxy processes registered on this node. *)
+val proxy_count : t -> int
+
+(** Cumulative time spent queueing for a Linux CPU, ns. *)
+val queueing_ns : t -> float

@@ -1,0 +1,15 @@
+(* Local aliases for modules used across the IHK library. *)
+module Sim = Pico_engine.Sim
+module Mailbox = Pico_engine.Mailbox
+module Resource = Pico_engine.Resource
+module Stats = Pico_engine.Stats
+module Rng = Pico_engine.Rng
+module Addr = Pico_hw.Addr
+module Cpu = Pico_hw.Cpu
+module Node = Pico_hw.Node
+module Numa = Pico_hw.Numa
+module Pagetable = Pico_hw.Pagetable
+module Lkernel = Pico_linux.Kernel
+module Vfs = Pico_linux.Vfs
+module Uproc = Pico_linux.Uproc
+module Costs = Pico_costs.Costs

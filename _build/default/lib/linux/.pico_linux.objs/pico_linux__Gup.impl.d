@@ -1,0 +1,1 @@
+lib/linux/gup.ml: Addr Costs Linux_import List Pagetable Sim

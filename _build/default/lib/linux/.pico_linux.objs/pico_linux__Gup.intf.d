@@ -1,0 +1,1 @@
+lib/linux/gup.mli: Addr Linux_import Pagetable Sim

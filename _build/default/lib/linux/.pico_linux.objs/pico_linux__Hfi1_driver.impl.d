@@ -1,0 +1,1 @@
+lib/linux/hfi1_driver.ml: Addr Costs Gup Hashtbl Hfi Hfi1_structs Int32 Int64 Irq Linux_import List Node Pagetable Printf Rcvarray Sdma Sim Slab Spinlock Umem User_api Vfs

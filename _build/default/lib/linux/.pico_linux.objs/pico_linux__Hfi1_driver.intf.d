@@ -1,0 +1,1 @@
+lib/linux/hfi1_driver.mli: Addr Gup Hfi Linux_import Node Sim Slab Spinlock Vfs

@@ -1,0 +1,1 @@
+lib/linux/hfi1_structs.ml: Compile Ctype Encode Layout Linux_import List Node

@@ -1,0 +1,1 @@
+lib/linux/hfi1_structs.mli: Addr Ctype Encode Linux_import Node

@@ -1,0 +1,1 @@
+lib/linux/kernel.ml: Costs Gup Hfi1_driver Irq Linux_import Node Noise Printf Resource Rng Sim Slab Stats Uproc Vfs

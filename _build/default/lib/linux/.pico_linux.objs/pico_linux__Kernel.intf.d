@@ -1,0 +1,1 @@
+lib/linux/kernel.mli: Gup Hfi Hfi1_driver Linux_import Node Noise Resource Rng Sim Slab Stats Uproc Vfs

@@ -1,0 +1,1 @@
+lib/linux/layout.ml: Addr Linux_import Printf

@@ -1,0 +1,1 @@
+lib/linux/layout.mli: Addr Linux_import

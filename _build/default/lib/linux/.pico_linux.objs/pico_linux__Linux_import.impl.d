@@ -1,0 +1,1 @@
+lib/linux/linux_import.ml: Pico_costs Pico_dwarf Pico_engine Pico_hw Pico_nic

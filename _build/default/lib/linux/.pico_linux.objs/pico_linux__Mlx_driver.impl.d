@@ -1,0 +1,1 @@
+lib/linux/mlx_driver.ml: Addr Bytes Gup Hashtbl Int64 Linux_import List Node Option Printf Sim Slab Spinlock Umem Vfs

@@ -1,0 +1,1 @@
+lib/linux/mlx_driver.mli: Addr Gup Linux_import Node Sim Slab Spinlock Vfs

@@ -1,0 +1,1 @@
+lib/linux/noise.ml: Costs Linux_import Rng Sim

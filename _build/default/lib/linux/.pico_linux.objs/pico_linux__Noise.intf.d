@@ -1,0 +1,1 @@
+lib/linux/noise.mli: Linux_import Rng Sim

@@ -1,0 +1,1 @@
+lib/linux/slab.ml: Addr Costs Hashtbl Layout Linux_import Node Numa Printf Sim

@@ -1,0 +1,1 @@
+lib/linux/slab.mli: Addr Linux_import Node Sim

@@ -1,0 +1,1 @@
+lib/linux/spinlock.ml: Costs Linux_import Queue Sim

@@ -1,0 +1,1 @@
+lib/linux/spinlock.mli: Linux_import Sim

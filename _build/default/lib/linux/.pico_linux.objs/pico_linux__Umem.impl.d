@@ -1,0 +1,1 @@
+lib/linux/umem.ml: Bytes Costs Linux_import List Node Pagetable Sim

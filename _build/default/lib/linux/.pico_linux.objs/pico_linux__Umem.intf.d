@@ -1,0 +1,1 @@
+lib/linux/umem.mli: Addr Linux_import Node Pagetable Sim

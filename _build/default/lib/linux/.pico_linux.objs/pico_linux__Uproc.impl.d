@@ -1,0 +1,1 @@
+lib/linux/uproc.ml: Addr Bytes Hashtbl Linux_import List Node Numa Pagetable Physmem Vfs

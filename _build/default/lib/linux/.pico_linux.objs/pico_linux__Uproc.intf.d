@@ -1,0 +1,1 @@
+lib/linux/uproc.mli: Addr Hashtbl Linux_import Node Pagetable Vfs

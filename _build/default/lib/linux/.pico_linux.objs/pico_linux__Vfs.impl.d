@@ -1,0 +1,1 @@
+lib/linux/vfs.ml: Addr Hashtbl Linux_import List Pagetable Printf Sim

@@ -1,0 +1,1 @@
+lib/linux/vfs.mli: Addr Linux_import Pagetable Sim

@@ -1,0 +1,1 @@
+lib/linux/workqueue.ml: Linux_import List Mailbox Resource Sim

@@ -1,0 +1,1 @@
+lib/linux/workqueue.mli: Linux_import Resource Sim

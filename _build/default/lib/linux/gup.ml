@@ -1,0 +1,40 @@
+open Linux_import
+
+type pin = {
+  pa : Addr.t;
+  va : Addr.t;
+}
+
+type t = {
+  sim : Sim.t;
+  mutable pinned : int;
+  mutable total : int;
+}
+
+let create sim = { sim; pinned = 0; total = 0 }
+
+let charge t cost = if Sim.in_process t.sim then Sim.delay t.sim cost
+
+let get_user_pages t ~pt ~va ~len =
+  if len <= 0 then invalid_arg "Gup.get_user_pages: len must be > 0";
+  let first = Addr.align_down va Addr.page_size in
+  let n = Addr.pages_spanned ~addr:va ~len in
+  charge t (float_of_int n *. Costs.current.gup_per_page);
+  let pins = ref [] in
+  for i = n - 1 downto 0 do
+    let page_va = first + (i * Addr.page_size) in
+    let pa = Pagetable.pa_of pt page_va in
+    pins := { pa = Addr.align_down pa Addr.page_size; va = page_va } :: !pins
+  done;
+  t.pinned <- t.pinned + n;
+  t.total <- t.total + n;
+  !pins
+
+let put_pages t pins =
+  let n = List.length pins in
+  charge t (float_of_int n *. (Costs.current.gup_per_page /. 4.));
+  t.pinned <- t.pinned - n
+
+let pinned t = t.pinned
+
+let total_pinned t = t.total

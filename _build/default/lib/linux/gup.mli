@@ -1,0 +1,33 @@
+(** get_user_pages(): pin and translate user buffers.
+
+    The Linux HFI1 driver calls this on every SDMA send and TID
+    registration: it walks the user page tables, takes a reference on each
+    4 kB page, and returns page structures.  The per-page cost — and the
+    fact that the result is a flat list of PAGE_SIZE pages with no
+    contiguity information — is precisely what the PicoDriver's direct
+    page-table walk avoids. *)
+
+open Linux_import
+
+type pin = {
+  pa : Addr.t;   (** physical address of the 4 kB page *)
+  va : Addr.t;   (** page-aligned user VA *)
+}
+
+type t
+
+val create : Sim.t -> t
+
+(** [get_user_pages t ~pt ~va ~len] pins every page backing
+    [\[va, va+len)].  Charges per-page cost to the caller.
+    @raise Pico_hw.Pagetable.Not_mapped on a hole *)
+val get_user_pages :
+  t -> pt:Pagetable.t -> va:Addr.t -> len:int -> pin list
+
+(** Release pins (per-page cost charged). *)
+val put_pages : t -> pin list -> unit
+
+(** Pages currently pinned (leak detection in tests). *)
+val pinned : t -> int
+
+val total_pinned : t -> int

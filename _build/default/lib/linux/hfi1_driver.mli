@@ -1,0 +1,67 @@
+(** The Intel HFI1 device driver for Linux (simulated, unmodified by
+    PicoDriver — the whole point of the architecture).
+
+    Structure mirrors the real driver: file operations registered with the
+    VFS, internal state in kmalloc'd structures laid out per
+    {!Hfi1_structs}, SDMA sends built from get_user_pages() results with
+    requests {b capped at PAGE_SIZE} (the driver never exploits physical
+    contiguity, Section 3.4), expected-receive registration in ioctl(),
+    completion processing in the SDMA IRQ handler. *)
+
+open Linux_import
+
+type t
+
+(** Device file name exposed through the VFS. *)
+val dev_name : int -> string
+
+(** [probe sim ~node ~hfi ~slab ~gup ~vfs] initialises the driver:
+    allocates device data, registers file operations and the SDMA
+    completion IRQ handler. *)
+val probe :
+  Sim.t ->
+  node:Node.t ->
+  hfi:Hfi.t ->
+  slab:Slab.t ->
+  gup:Gup.t ->
+  vfs:Vfs.t ->
+  t
+
+(** Kernel VA of struct hfi1_devdata (the root object the PicoDriver
+    starts dereferencing from). *)
+val devdata_va : t -> Addr.t
+
+(** Kernel VA of the per_sdma engine array. *)
+val per_sdma_va : t -> Addr.t
+
+(** The sdma submit lock — shared with the PicoDriver (Section 3.3). *)
+val sdma_lock : t -> Spinlock.t
+
+val tid_lock : t -> Spinlock.t
+
+val hfi : t -> Hfi.t
+
+val slab : t -> Slab.t
+
+val gup : t -> Gup.t
+
+(** Resolve the HFI context behind an open file (follows
+    file->private_data->uctxt->ctxt through simulated memory). *)
+val context_of_file : t -> Vfs.file -> Hfi.ctx option
+
+(** Per-tid-run pin bookkeeping shared by TID_FREE and the PicoDriver's
+    local TID path. *)
+val note_tid_pins : t -> tid_base:int -> count:int -> Gup.pin list -> unit
+
+val take_tid_pins : t -> tid_base:int -> (int * Gup.pin list) option
+
+(** Counters. *)
+
+val writev_calls : t -> int
+
+val ioctl_calls : t -> int
+
+val opens : t -> int
+
+(** Completion-IRQ invocations processed so far. *)
+val irq_completions : t -> int

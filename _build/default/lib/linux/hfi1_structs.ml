@@ -1,0 +1,143 @@
+open Linux_import
+open Ctype
+
+let u32_base : Ctype.base = { bname = "unsigned int"; byte_size = 4; signed = false }
+
+(* The hfi1 driver's engine state machine (sdma.h). *)
+let sdma_states_enumerators =
+  [ ("sdma_state_s00_hw_down", 0);
+    ("sdma_state_s10_hw_start_up_halt_wait", 1);
+    ("sdma_state_s15_hw_start_up_clean_wait", 2);
+    ("sdma_state_s20_idle", 3);
+    ("sdma_state_s30_sw_clean_up_wait", 4);
+    ("sdma_state_s40_hw_clean_up_wait", 5);
+    ("sdma_state_s50_hw_halt_wait", 6);
+    ("sdma_state_s60_idle_halt_wait", 7);
+    ("sdma_state_s80_hw_freeze", 8);
+    ("sdma_state_s82_freeze_sw_clean", 9);
+    ("sdma_state_s99_running", 10) ]
+
+let sdma_states_enum =
+  Enum
+    { ename = "sdma_states"; underlying = u32_base;
+      enumerators = sdma_states_enumerators }
+
+let kref : decl = { name = "kref"; members = [ ("refcount", u32) ] }
+
+let completion : decl =
+  { name = "completion";
+    members =
+      [ ("done", u32);
+        ("wait_head", void_ptr);
+        ("wait_tail", void_ptr);
+        ("wait_lock", u64) ] }
+
+(* Offsets must land exactly where Listing 1 shows them:
+   current_state @ 40, go_s99_running @ 48, previous_state @ 52,
+   sizeof = 64. *)
+let sdma_state : decl =
+  { name = "sdma_state";
+    members =
+      [ ("kref", Struct kref);              (* 0, 4 bytes *)
+        ("comp", Struct completion);        (* 8..40 (8-aligned) *)
+        ("current_state", sdma_states_enum);(* 40 *)
+        ("current_op", u32);                (* 44 *)
+        ("go_s99_running", u32);            (* 48 *)
+        ("previous_state", sdma_states_enum);(* 52 *)
+        ("previous_op", u32);               (* 56 *)
+        ("last_switched", u32) ] }          (* 60; total 64 *)
+
+let sdma_engine : decl =
+  { name = "sdma_engine";
+    members =
+      [ ("dd", void_ptr);
+        ("state", Struct sdma_state);
+        ("this_idx", u32);
+        ("descq_cnt", u32);
+        ("descq_tail", u64);
+        ("descq_head", u64);
+        ("tx_ring", void_ptr) ] }
+
+let hfi1_devdata : decl =
+  { name = "hfi1_devdata";
+    members =
+      [ ("unit", u32);
+        ("node", s32);
+        ("num_sdma", u32);
+        ("flags", u64);
+        ("per_sdma", void_ptr); (* -> array of sdma_engine *)
+        ("kregbase", void_ptr);
+        ("physaddr", u64);
+        ("lcb_err", u32);
+        ("num_rcv_contexts", u32) ] }
+
+let hfi1_ctxtdata : decl =
+  { name = "hfi1_ctxtdata";
+    members =
+      [ ("ctxt", u32);
+        ("cnt", u32);
+        ("dd", void_ptr);
+        ("flags", u64);
+        ("expected_base", u32);
+        ("expected_count", u32);
+        ("tid_used", u32) ] }
+
+let hfi1_filedata : decl =
+  { name = "hfi1_filedata";
+    members =
+      [ ("dd", void_ptr);   (* -> hfi1_devdata *)
+        ("uctxt", void_ptr);(* -> hfi1_ctxtdata *)
+        ("subctxt", u32);
+        ("tidcursor", u32) ] }
+
+let user_sdma_request : decl =
+  { name = "user_sdma_request";
+    members =
+      [ ("fd", void_ptr);
+        ("niovs", u32);
+        ("kind", u32);
+        ("msg_id", u64);
+        ("sent", u64);
+        ("npkts", u32);
+        ("status", s32) ] }
+
+let all =
+  [ kref; completion; sdma_state; sdma_engine; hfi1_devdata; hfi1_ctxtdata;
+    hfi1_filedata; user_sdma_request ]
+
+let module_binary =
+  let memo = ref None in
+  fun () ->
+    match !memo with
+    | Some s -> s
+    | None ->
+      let c =
+        Compile.create
+          ~producer:"GNU C 4.8.5 (hfi1.ko, simulated Intel OPA driver)" ()
+      in
+      List.iter (Compile.add_struct c) all;
+      let sections = Encode.encode (Compile.finish c) in
+      memo := Some sections;
+      sections
+
+let field_offset decl name =
+  let members = Ctype.layout `Struct decl in
+  match List.find_opt (fun m -> m.Ctype.m_name = name) members with
+  | Some m -> m.Ctype.m_offset
+  | None -> raise Not_found
+
+let struct_size decl = Ctype.sized `Struct decl
+
+let pa_of node va = ignore node; Layout.pa_of_va va
+
+let write_field_u32 node ~decl ~base_va name v =
+  Node.write_u32 node (pa_of node base_va + field_offset decl name) v
+
+let read_field_u32 node ~decl ~base_va name =
+  Node.read_u32 node (pa_of node base_va + field_offset decl name)
+
+let write_field_u64 node ~decl ~base_va name v =
+  Node.write_u64 node (pa_of node base_va + field_offset decl name) v
+
+let read_field_u64 node ~decl ~base_va name =
+  Node.read_u64 node (pa_of node base_va + field_offset decl name)

@@ -1,0 +1,73 @@
+(** Kernel data structures of the HFI1 driver.
+
+    These {!Ctype} declarations are the driver's "source code" for data:
+    the driver instantiates them in kmalloc'd memory through the layout
+    engine, and the same declarations are compiled into the DWARF sections
+    of the shipped module binary — which is the {e only} place the
+    PicoDriver learns offsets from (paper Section 3.2). *)
+
+open Linux_import
+
+(** The sdma_states enumerators (sdma.h) that end up in the module's
+    DWARF; the driver initialises engines to [sdma_state_s99_running]
+    using this list, and the PicoDriver recovers the same value from the
+    binary. *)
+val sdma_states_enumerators : (string * int) list
+
+(** struct kref *)
+val kref : Ctype.decl
+
+(** struct completion *)
+val completion : Ctype.decl
+
+(** struct sdma_state — the Listing 1 structure: [current_state] at
+    offset 40, [go_s99_running] at 48, [previous_state] at 52, 64 bytes
+    total. *)
+val sdma_state : Ctype.decl
+
+(** struct sdma_engine *)
+val sdma_engine : Ctype.decl
+
+(** struct hfi1_devdata *)
+val hfi1_devdata : Ctype.decl
+
+(** struct hfi1_ctxtdata *)
+val hfi1_ctxtdata : Ctype.decl
+
+(** struct hfi1_filedata — what open() hangs off file->private_data *)
+val hfi1_filedata : Ctype.decl
+
+(** struct user_sdma_request — per-writev metadata *)
+val user_sdma_request : Ctype.decl
+
+(** All declarations above, in dependency order. *)
+val all : Ctype.decl list
+
+(** The module binary's debug sections (compiled once, memoised) —
+    "the DWARF debugging information headers of the module binary shipped
+    by Intel". *)
+val module_binary : unit -> Encode.sections
+
+(** {2 Field access through the layout engine}
+
+    Reads/writes hit simulated physical memory behind a direct-map VA, so
+    data written here is readable from any kernel that maps the same
+    physical memory at the same virtual address. *)
+
+(** [field_offset decl name]
+    @raise Not_found *)
+val field_offset : Ctype.decl -> string -> int
+
+val struct_size : Ctype.decl -> int
+
+val write_field_u32 :
+  Node.t -> decl:Ctype.decl -> base_va:Addr.t -> string -> int32 -> unit
+
+val read_field_u32 :
+  Node.t -> decl:Ctype.decl -> base_va:Addr.t -> string -> int32
+
+val write_field_u64 :
+  Node.t -> decl:Ctype.decl -> base_va:Addr.t -> string -> int64 -> unit
+
+val read_field_u64 :
+  Node.t -> decl:Ctype.decl -> base_va:Addr.t -> string -> int64

@@ -1,0 +1,61 @@
+open Linux_import
+
+type t = {
+  sim : Sim.t;
+  node : Node.t;
+  vfs : Vfs.t;
+  slab : Slab.t;
+  gup : Gup.t;
+  service_cpus : Resource.t;
+  nohz_full : bool;
+  rng : Rng.t;
+  mutable hfi1 : Hfi1_driver.t option;
+}
+
+let pid_counter = ref 1000
+
+let boot sim ~node ~service_cores ~nohz_full ~rng =
+  if service_cores <= 0 then invalid_arg "Kernel.boot: service_cores must be > 0";
+  let service_cpus =
+    Resource.create sim
+      ~name:(Printf.sprintf "linux%d-service-cpus" node.Node.id)
+      ~capacity:service_cores
+  in
+  Irq.set_service node.Node.irq (Some service_cpus);
+  { sim; node; vfs = Vfs.create sim; slab = Slab.create sim ~node;
+    gup = Gup.create sim; service_cpus; nohz_full; rng; hfi1 = None }
+
+let attach_hfi1 t hfi =
+  let drv =
+    Hfi1_driver.probe t.sim ~node:t.node ~hfi ~slab:t.slab ~gup:t.gup
+      ~vfs:t.vfs
+  in
+  t.hfi1 <- Some drv;
+  drv
+
+let hfi1 t =
+  match t.hfi1 with
+  | Some d -> d
+  | None -> invalid_arg "Kernel.hfi1: driver not attached"
+
+let noise_clock t =
+  Noise.create t.sim ~rng:(Rng.split t.rng) ~nohz_full:t.nohz_full
+
+let syscall t ?profile ~name f =
+  let started = Sim.now t.sim in
+  Sim.delay t.sim Costs.current.linux_syscall;
+  let finish () =
+    match profile with
+    | Some reg -> Stats.Registry.add reg name (Sim.now t.sim -. started)
+    | None -> ()
+  in
+  match f () with
+  | v -> finish (); v
+  | exception e -> finish (); raise e
+
+let next_pid _t =
+  incr pid_counter;
+  !pid_counter
+
+let new_process t =
+  Uproc.create ~node:t.node ~pid:(next_pid t)

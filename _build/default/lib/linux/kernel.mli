@@ -1,0 +1,52 @@
+(** A booted Linux instance on one node.
+
+    Owns the VFS, slab, GUP machinery, the pool of OS-service CPUs (which
+    services interrupts and — under a multi-kernel — offloaded system
+    calls), and the HFI1 driver once attached. *)
+
+open Linux_import
+
+type t = {
+  sim : Sim.t;
+  node : Node.t;
+  vfs : Vfs.t;
+  slab : Slab.t;
+  gup : Gup.t;
+  service_cpus : Resource.t;
+  nohz_full : bool;
+  rng : Rng.t;
+  mutable hfi1 : Hfi1_driver.t option;
+}
+
+(** [boot sim ~node ~service_cores ~nohz_full ~rng] brings Linux up and
+    binds interrupt servicing to [service_cores] CPUs. *)
+val boot :
+  Sim.t ->
+  node:Node.t ->
+  service_cores:int ->
+  nohz_full:bool ->
+  rng:Rng.t ->
+  t
+
+(** Probe the HFI1 driver against an HFI device. *)
+val attach_hfi1 : t -> Hfi.t -> Hfi1_driver.t
+
+val hfi1 : t -> Hfi1_driver.t
+
+(** Fresh noise clock for one Linux application core. *)
+val noise_clock : t -> Noise.t
+
+(** [syscall t ~profile ~name f] runs [f] as a native Linux system call on
+    the calling process's own core: charges entry/exit cost and records
+    kernel time into [profile] when provided. *)
+val syscall :
+  t ->
+  ?profile:Stats.Registry.t ->
+  name:string ->
+  (unit -> 'a) ->
+  'a
+
+(** Spawn a user process structure on this node. *)
+val new_process : t -> Uproc.t
+
+val next_pid : t -> int

@@ -1,0 +1,39 @@
+open Linux_import
+
+(* 48-bit-truncated forms of the canonical x86_64 Linux constants. *)
+
+let user_top = 0x8000_0000_0000
+
+let direct_map_base = 0x8800_0000_0000
+
+let direct_map_size = 64 * 1024 * 1024 * 1024 * 1024 (* 64 TB *)
+
+let vmalloc_base = 0xC900_0000_0000
+
+let vmalloc_size = 32 * 1024 * 1024 * 1024 * 1024
+
+let kernel_text_base = 0xFFFF_8000_0000
+
+let module_base = 0xFFFF_A000_0000
+
+let module_top = 0xFFFF_FF5F_FFFF
+
+let va_of_pa pa = direct_map_base + pa
+
+let pa_of_va va =
+  if va < direct_map_base || va >= direct_map_base + direct_map_size then
+    invalid_arg
+      (Printf.sprintf "Layout.pa_of_va: %s not in the direct map"
+         (Addr.to_hex va));
+  va - direct_map_base
+
+let in_direct_map va =
+  va >= direct_map_base && va < direct_map_base + direct_map_size
+
+let in_user va = va >= 0 && va < user_top
+
+let in_module_space va = va >= module_base && va < module_top
+
+let canonical_hex va =
+  if va land (1 lsl 47) <> 0 then Printf.sprintf "0xffff%012x" va
+  else Printf.sprintf "0x%x" va

@@ -1,0 +1,45 @@
+(** The x86_64 Linux kernel virtual address layout (paper Figure 3, left).
+
+    Canonical "high half" addresses are stored truncated to 48 bits (see
+    {!Pico_hw.Addr}), so the direct map at [0xFFFF8800_00000000] appears
+    here as [0x8800_00000000] with bit 47 set marking kernel space. *)
+
+open Linux_import
+
+(** End of user space (exclusive): [0x0000_7FFF_FFFF_FFFF + 1]. *)
+val user_top : Addr.t
+
+(** Base of the direct mapping of all physical memory (64 TB area). *)
+val direct_map_base : Addr.t
+
+val direct_map_size : int
+
+(** vmalloc()/ioremap() dynamic range. *)
+val vmalloc_base : Addr.t
+
+val vmalloc_size : int
+
+(** Kernel TEXT/DATA/BSS. *)
+val kernel_text_base : Addr.t
+
+(** Kernel module space: [module_base, module_top). *)
+val module_base : Addr.t
+
+val module_top : Addr.t
+
+(** [va_of_pa pa] — address of [pa] inside the direct map. *)
+val va_of_pa : Addr.t -> Addr.t
+
+(** [pa_of_va va] — inverse; only valid for direct-map addresses.
+    @raise Invalid_argument otherwise *)
+val pa_of_va : Addr.t -> Addr.t
+
+val in_direct_map : Addr.t -> bool
+
+val in_user : Addr.t -> bool
+
+val in_module_space : Addr.t -> bool
+
+(** Render with the canonical sign-extension restored,
+    e.g. [0xffff880000000000]. *)
+val canonical_hex : Addr.t -> string

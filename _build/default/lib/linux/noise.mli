@@ -1,0 +1,29 @@
+(** Operating-system noise.
+
+    Linux application cores suffer residual daemon/timer interruptions even
+    in Fujitsu's HPC-optimised configuration ([nohz_full] removes most tick
+    processing but not everything).  McKernel cores are noise-free — the
+    original multi-kernel selling point.  Collective operations take the
+    maximum across ranks, so even sub-percent noise grows with node count;
+    this is the second ingredient (besides SDMA request size) behind the
+    application-level gaps in Figures 5–7. *)
+
+open Linux_import
+
+type t
+
+(** [create sim ~rng ~nohz_full] — a noisy Linux core clock. *)
+val create : Sim.t -> rng:Rng.t -> nohz_full:bool -> t
+
+(** A noiseless clock (LWK cores). *)
+val pure : Sim.t -> t
+
+(** [compute t d] blocks the calling process for [d] ns of useful work plus
+    whatever noise lands in the window. *)
+val compute : t -> float -> unit
+
+(** Total injected noise so far, ns. *)
+val injected_ns : t -> float
+
+(** Expected (asymptotic) overhead fraction of this clock, e.g. 0.025. *)
+val expected_overhead : t -> float

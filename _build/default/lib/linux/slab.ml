@@ -1,0 +1,88 @@
+open Linux_import
+
+(* Power-of-two size classes from 32 B to 4 MB, like kmalloc caches. *)
+
+type slab = {
+  class_size : int;
+  mutable partial : Addr.t list; (* free objects (direct-map VAs) *)
+}
+
+type t = {
+  sim : Sim.t;
+  node : Node.t;
+  slabs : (int, slab) Hashtbl.t;
+  objects : (Addr.t, int) Hashtbl.t; (* live object -> class size *)
+  mutable live : int;
+  mutable total : int;
+  mutable footprint : int;
+}
+
+let create sim ~node =
+  { sim; node; slabs = Hashtbl.create 16; objects = Hashtbl.create 256;
+    live = 0; total = 0; footprint = 0 }
+
+let class_of size =
+  let rec go c = if c >= size then c else go (c * 2) in
+  go 32
+
+let slab_for t cls =
+  match Hashtbl.find_opt t.slabs cls with
+  | Some s -> s
+  | None ->
+    let s = { class_size = cls; partial = [] } in
+    Hashtbl.add t.slabs cls s;
+    s
+
+let charge t cost = if Sim.in_process t.sim then Sim.delay t.sim cost
+
+let refill t s =
+  (* Grab one or more frames and carve them into objects. *)
+  let bytes = max s.class_size Addr.page_size in
+  let frames = bytes / Addr.page_size in
+  match Node.alloc_frames t.node ~pref:Numa.Ddr4 frames with
+  | None -> raise Out_of_memory
+  | Some pa ->
+    t.footprint <- t.footprint + bytes;
+    let objs = max 1 (bytes / s.class_size) in
+    for i = 0 to objs - 1 do
+      s.partial <- Layout.va_of_pa (pa + (i * s.class_size)) :: s.partial
+    done
+
+let kmalloc t size =
+  if size <= 0 then invalid_arg "Slab.kmalloc: size must be > 0";
+  charge t Costs.current.kmalloc;
+  let cls = class_of size in
+  let s = slab_for t cls in
+  if s.partial = [] then refill t s;
+  match s.partial with
+  | [] -> raise Out_of_memory
+  | va :: rest ->
+    s.partial <- rest;
+    Hashtbl.add t.objects va cls;
+    t.live <- t.live + 1;
+    t.total <- t.total + 1;
+    va
+
+let kfree t va =
+  charge t Costs.current.kfree;
+  match Hashtbl.find_opt t.objects va with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Slab.kfree: %s is not a live kmalloc object"
+         (Addr.to_hex va))
+  | Some cls ->
+    Hashtbl.remove t.objects va;
+    t.live <- t.live - 1;
+    let s = slab_for t cls in
+    s.partial <- va :: s.partial
+
+let usable_size t va =
+  match Hashtbl.find_opt t.objects va with
+  | Some cls -> cls
+  | None -> invalid_arg "Slab.usable_size: not a live object"
+
+let live t = t.live
+
+let total_allocated t = t.total
+
+let footprint t = t.footprint

@@ -1,0 +1,32 @@
+(** kmalloc/kfree: the Linux slab allocator over the direct map.
+
+    Returned addresses are {e kernel virtual addresses inside the direct
+    map}, so after the PicoDriver address-space unification they can be
+    dereferenced from McKernel unchanged — the property everything in
+    Section 3.1 exists to provide. *)
+
+open Linux_import
+
+type t
+
+val create : Sim.t -> node:Node.t -> t
+
+(** [kmalloc t size] allocates [size] bytes (rounded up to the slab size
+    class) and returns the direct-map VA.  Charges allocator cost.
+    @raise Out_of_memory when the node has no frames left *)
+val kmalloc : t -> int -> Addr.t
+
+(** [kfree t va]
+    @raise Invalid_argument on double free or foreign pointer *)
+val kfree : t -> Addr.t -> unit
+
+(** Size class actually backing an allocation. *)
+val usable_size : t -> Addr.t -> int
+
+(** Objects currently live. *)
+val live : t -> int
+
+val total_allocated : t -> int
+
+(** Bytes of physical memory pinned by live objects. *)
+val footprint : t -> int

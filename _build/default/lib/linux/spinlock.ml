@@ -1,0 +1,67 @@
+open Linux_import
+
+type t = {
+  sim : Sim.t;
+  lname : string;
+  mutable held_by : string option;
+  waiters : (unit -> unit) Queue.t;
+  mutable contended : int;
+  mutable acquisitions : int;
+}
+
+let cacheline_bounce = 80.
+
+let create sim ~name =
+  { sim; lname = name; held_by = None; waiters = Queue.create ();
+    contended = 0; acquisitions = 0 }
+
+let name t = t.lname
+
+let current_holder_name t =
+  match Sim.current_name t.sim with Some n -> n | None -> "<callback>"
+
+let lock t =
+  Sim.delay t.sim Costs.current.spinlock_uncontended;
+  if t.held_by = None then begin
+    t.held_by <- Some (current_holder_name t);
+    t.acquisitions <- t.acquisitions + 1
+  end
+  else begin
+    t.contended <- t.contended + 1;
+    (* Spin: park until the holder hands over, then pay the cache-line
+       transfer. *)
+    Sim.suspend t.sim (fun resume -> Queue.add resume t.waiters);
+    Sim.delay t.sim cacheline_bounce;
+    t.held_by <- Some (current_holder_name t);
+    t.acquisitions <- t.acquisitions + 1
+  end
+
+let unlock t =
+  if t.held_by = None then invalid_arg ("Spinlock.unlock: " ^ t.lname ^ " not held");
+  match Queue.take_opt t.waiters with
+  | Some resume ->
+    (* Direct handoff: the lock stays marked held during the wake-up so a
+       third party cannot steal it in between. *)
+    t.held_by <- Some "<handoff>";
+    resume ()
+  | None -> t.held_by <- None
+
+let try_lock t =
+  if t.held_by = None then begin
+    t.held_by <- Some (current_holder_name t);
+    t.acquisitions <- t.acquisitions + 1;
+    true
+  end
+  else false
+
+let holder t = t.held_by
+
+let with_lock t f =
+  lock t;
+  match f () with
+  | v -> unlock t; v
+  | exception e -> unlock t; raise e
+
+let contended t = t.contended
+
+let acquisitions t = t.acquisitions

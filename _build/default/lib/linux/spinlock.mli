@@ -1,0 +1,34 @@
+(** Cross-kernel-compatible spin locks.
+
+    McKernel adopted the Linux x86_64 spin-lock implementation, so a lock
+    word in shared memory can be taken from either kernel (paper
+    Section 3.3).  Acquisition from process context spins — it burns
+    simulated time rather than sleeping — because Linux cannot send
+    wake-ups across the kernel boundary. *)
+
+open Linux_import
+
+type t
+
+val create : Sim.t -> name:string -> t
+
+val name : t -> string
+
+(** Spin until the lock is free, then take it.  Uncontended cost is
+    {!Costs.t.spinlock_uncontended}; contended acquisitions additionally
+    wait for the holder and pay a cache-line bounce penalty. *)
+val lock : t -> unit
+
+val unlock : t -> unit
+
+val try_lock : t -> bool
+
+val holder : t -> string option
+
+(** [with_lock t f] — lock, run, unlock (also on exceptions). *)
+val with_lock : t -> (unit -> 'a) -> 'a
+
+(** Number of contended acquisitions observed. *)
+val contended : t -> int
+
+val acquisitions : t -> int

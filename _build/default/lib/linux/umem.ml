@@ -1,0 +1,25 @@
+open Linux_import
+
+let copy_from_user node ~pt ~va ~len =
+  let segs = Pagetable.phys_segments pt ~va ~len in
+  let out = Bytes.create len in
+  let off = ref 0 in
+  List.iter
+    (fun (pa, seg_len, _) ->
+      Bytes.blit (Node.read_bytes node pa seg_len) 0 out !off seg_len;
+      off := !off + seg_len)
+    segs;
+  out
+
+let copy_to_user node ~pt ~va data =
+  let segs = Pagetable.phys_segments pt ~va ~len:(Bytes.length data) in
+  let off = ref 0 in
+  List.iter
+    (fun (pa, seg_len, _) ->
+      Node.write_bytes node pa (Bytes.sub data !off seg_len);
+      off := !off + seg_len)
+    segs
+
+let charge_copy sim len =
+  if Sim.in_process sim then
+    Sim.delay sim (float_of_int len /. Costs.current.memcpy_bandwidth)

@@ -1,0 +1,17 @@
+(** Kernel access to user memory (copy_from_user / copy_to_user).
+
+    Walks the caller's page tables and touches simulated physical memory,
+    charging copy bandwidth. *)
+
+open Linux_import
+
+(** [copy_from_user node ~pt ~va ~len] returns the bytes at user address
+    [va].
+    @raise Pico_hw.Pagetable.Not_mapped on a fault *)
+val copy_from_user : Node.t -> pt:Pagetable.t -> va:Addr.t -> len:int -> bytes
+
+val copy_to_user : Node.t -> pt:Pagetable.t -> va:Addr.t -> bytes -> unit
+
+(** Charge the simulated copy cost for [len] bytes to the calling
+    process. *)
+val charge_copy : Sim.t -> int -> unit

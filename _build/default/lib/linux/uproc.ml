@@ -1,0 +1,93 @@
+open Linux_import
+
+type t = {
+  pid : int;
+  node : Node.t;
+  pt : Pagetable.t;
+  mutable mmap_cursor : Addr.t;
+  mappings : (Addr.t, int * int) Hashtbl.t;
+}
+
+let mmap_base = 0x7f00_0000_0000
+
+let create ~node ~pid =
+  { pid; node; pt = Pagetable.create (); mmap_cursor = mmap_base;
+    mappings = Hashtbl.create 64 }
+
+let caller t : Vfs.caller = { pid = t.pid; pt = t.pt }
+
+(* Allocate one 4 kB frame, rotating the preferred NUMA domain so that
+   consecutive pages rarely sit next to each other physically. *)
+let rotor = ref 0
+
+let alloc_frame t =
+  let doms = Numa.domains_of_kind t.node.Node.numa Numa.Ddr4 in
+  let doms = if doms = [] then Numa.domains t.node.Node.numa else doms in
+  let n = List.length doms in
+  let start = !rotor in
+  incr rotor;
+  let rec try_from i =
+    if i >= n then None
+    else begin
+      let d = List.nth doms ((start + i) mod n) in
+      match Physmem.alloc d.Numa.mem 1 with
+      | Some pa -> Some pa
+      | None -> try_from (i + 1)
+    end
+  in
+  match try_from 0 with
+  | Some pa -> pa
+  | None ->
+    (match Node.alloc_frames t.node ~pref:Numa.Mcdram 1 with
+     | Some pa -> pa
+     | None -> raise Out_of_memory)
+
+let mmap_anon t len =
+  if len <= 0 then invalid_arg "Uproc.mmap_anon: len must be > 0";
+  let len = Addr.align_up len Addr.page_size in
+  let va = t.mmap_cursor in
+  t.mmap_cursor <- va + len + Addr.page_size (* guard page *);
+  let n = len / Addr.page_size in
+  for i = 0 to n - 1 do
+    let pa = alloc_frame t in
+    Pagetable.map t.pt
+      ~va:(va + (i * Addr.page_size))
+      ~pa ~page_size:Addr.page_size
+      ~flags:Pagetable.Flags.(present + writable + user)
+  done;
+  Hashtbl.add t.mappings va (n, Addr.page_size);
+  va
+
+let munmap t va =
+  match Hashtbl.find_opt t.mappings va with
+  | None -> invalid_arg "Uproc.munmap: unknown mapping"
+  | Some (n, page_size) ->
+    for i = 0 to n - 1 do
+      let m = Pagetable.unmap t.pt ~va:(va + (i * page_size)) in
+      Node.free_frames t.node m.Pagetable.pa (page_size / Addr.page_size)
+    done;
+    Hashtbl.remove t.mappings va
+
+let write t va data =
+  let segs =
+    Pagetable.phys_segments t.pt ~va ~len:(Bytes.length data)
+  in
+  let off = ref 0 in
+  List.iter
+    (fun (pa, len, _flags) ->
+      Node.write_bytes t.node pa (Bytes.sub data !off len);
+      off := !off + len)
+    segs
+
+let read t va len =
+  let segs = Pagetable.phys_segments t.pt ~va ~len in
+  let out = Bytes.create len in
+  let off = ref 0 in
+  List.iter
+    (fun (pa, seg_len, _flags) ->
+      Bytes.blit (Node.read_bytes t.node pa seg_len) 0 out !off seg_len;
+      off := !off + seg_len)
+    segs;
+  out
+
+let live_mappings t = Hashtbl.length t.mappings

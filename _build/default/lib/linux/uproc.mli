@@ -1,0 +1,42 @@
+(** Linux user processes: page tables and anonymous memory.
+
+    Linux backs anonymous mappings page-by-page with 4 kB frames taken
+    round-robin across DDR4 domains; consecutive virtual pages therefore
+    land on {e physically discontiguous} frames most of the time.  The HFI1
+    driver additionally never looks past PAGE_SIZE, so even accidental
+    contiguity is wasted — both facts together produce the 4 kB SDMA
+    requests the paper measures. *)
+
+open Linux_import
+
+type t = {
+  pid : int;
+  node : Node.t;
+  pt : Pagetable.t;
+  mutable mmap_cursor : Addr.t;
+  (* va -> (frames, page_size) for each mapping, for munmap *)
+  mappings : (Addr.t, int * int) Hashtbl.t;
+}
+
+val create : node:Node.t -> pid:int -> t
+
+val caller : t -> Vfs.caller
+
+(** [mmap_anon t len] maps [len] bytes (rounded up to 4 kB) of anonymous
+    memory and returns the user VA.  Frames are deliberately spread across
+    DDR4 domains.
+    @raise Out_of_memory *)
+val mmap_anon : t -> int -> Addr.t
+
+(** [munmap t va] releases a mapping created by [mmap_anon].
+    @raise Invalid_argument for an unknown address *)
+val munmap : t -> Addr.t -> unit
+
+(** Copy data into / out of the process's address space (through the page
+    tables, possibly spanning discontiguous frames). *)
+
+val write : t -> Addr.t -> bytes -> unit
+
+val read : t -> Addr.t -> int -> bytes
+
+val live_mappings : t -> int

@@ -1,0 +1,136 @@
+open Linux_import
+
+type caller = {
+  pid : int;
+  pt : Pagetable.t;
+}
+
+type iovec = {
+  iov_base : Addr.t;
+  iov_len : int;
+}
+
+type file = {
+  fd : int;
+  dev_name : string;
+  caller_pid : int;
+  mutable pos : int;
+  mutable private_data : Addr.t;
+}
+
+type file_ops = {
+  fop_open : file -> caller -> unit;
+  fop_read : file -> caller -> len:int -> int;
+  fop_writev : file -> caller -> iovec list -> int;
+  fop_ioctl : file -> caller -> cmd:int -> arg:Addr.t -> int;
+  fop_mmap : file -> caller -> len:int -> Addr.t;
+  fop_poll : file -> caller -> int;
+  fop_lseek : file -> caller -> off:int -> int;
+  fop_release : file -> caller -> unit;
+}
+
+let default_ops = {
+  fop_open = (fun _ _ -> ());
+  fop_read = (fun _ _ ~len:_ -> 0);
+  fop_writev = (fun _ _ iovs ->
+      List.fold_left (fun acc iov -> acc + iov.iov_len) 0 iovs);
+  fop_ioctl = (fun _ _ ~cmd:_ ~arg:_ -> 0);
+  fop_mmap = (fun _ _ ~len:_ -> 0);
+  fop_poll = (fun _ _ -> 1);
+  fop_lseek = (fun file _ ~off -> file.pos <- off; off);
+  fop_release = (fun _ _ -> ());
+}
+
+type t = {
+  sim : Sim.t;
+  devices : (string, file_ops) Hashtbl.t;
+  fds : (int * int, file) Hashtbl.t; (* (pid, fd) *)
+  mutable next_fd : int;
+}
+
+exception Bad_fd of int
+
+exception No_such_device of string
+
+(* fd lookup, path resolution, permission checks: cheap but not free. *)
+let vfs_overhead = 120.
+
+let create sim =
+  { sim; devices = Hashtbl.create 16; fds = Hashtbl.create 256; next_fd = 3 }
+
+let register_device t ~name ~ops =
+  if Hashtbl.mem t.devices name then
+    invalid_arg (Printf.sprintf "Vfs.register_device: %s already registered" name);
+  Hashtbl.add t.devices name ops
+
+let device_registered t name = Hashtbl.mem t.devices name
+
+let charge t = if Sim.in_process t.sim then Sim.delay t.sim vfs_overhead
+
+let ops_of t file =
+  match Hashtbl.find_opt t.devices file.dev_name with
+  | Some ops -> ops
+  | None -> raise (No_such_device file.dev_name)
+
+let file_of t caller fd =
+  match Hashtbl.find_opt t.fds (caller.pid, fd) with
+  | Some f -> f
+  | None -> raise (Bad_fd fd)
+
+let openf t caller name =
+  charge t;
+  match Hashtbl.find_opt t.devices name with
+  | None -> raise (No_such_device name)
+  | Some ops ->
+    let fd = t.next_fd in
+    t.next_fd <- fd + 1;
+    let file =
+      { fd; dev_name = name; caller_pid = caller.pid; pos = 0;
+        private_data = 0 }
+    in
+    Hashtbl.add t.fds (caller.pid, fd) file;
+    ops.fop_open file caller;
+    file
+
+let read t caller ~fd ~len =
+  charge t;
+  let file = file_of t caller fd in
+  (ops_of t file).fop_read file caller ~len
+
+let writev t caller ~fd iovs =
+  charge t;
+  let file = file_of t caller fd in
+  (ops_of t file).fop_writev file caller iovs
+
+let ioctl t caller ~fd ~cmd ~arg =
+  charge t;
+  let file = file_of t caller fd in
+  (ops_of t file).fop_ioctl file caller ~cmd ~arg
+
+let mmap t caller ~fd ~len =
+  charge t;
+  let file = file_of t caller fd in
+  (ops_of t file).fop_mmap file caller ~len
+
+let poll t caller ~fd =
+  charge t;
+  let file = file_of t caller fd in
+  (ops_of t file).fop_poll file caller
+
+let lseek t caller ~fd ~off =
+  charge t;
+  let file = file_of t caller fd in
+  (ops_of t file).fop_lseek file caller ~off
+
+let close t caller ~fd =
+  charge t;
+  let file = file_of t caller fd in
+  (ops_of t file).fop_release file caller;
+  Hashtbl.remove t.fds (caller.pid, fd)
+
+let lookup_fd t ~pid ~fd = Hashtbl.find_opt t.fds (pid, fd)
+
+let files_of t ~pid =
+  Hashtbl.fold
+    (fun (p, _) f acc -> if p = pid then f :: acc else acc)
+    t.fds []

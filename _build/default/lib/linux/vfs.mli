@@ -1,0 +1,81 @@
+(** The Linux Virtual File System layer: character devices, file
+    descriptors and file-operation dispatch.
+
+    Device drivers register a {!file_ops} table; user (or proxy) processes
+    open device files and invoke operations through the fd table — the
+    shape the HFI1 driver plugs into (paper Section 2.2.2). *)
+
+open Linux_import
+
+(** Who is performing the call: the driver needs the caller's user page
+    table (the proxy process shares the LWK process's user mappings). *)
+type caller = {
+  pid : int;
+  pt : Pagetable.t;
+}
+
+type iovec = {
+  iov_base : Addr.t;
+  iov_len : int;
+}
+
+type file = {
+  fd : int;
+  dev_name : string;
+  caller_pid : int;
+  mutable pos : int;
+  (** Drivers stash a kernel pointer here (hfi1_filedata for HFI). *)
+  mutable private_data : Addr.t;
+}
+
+type file_ops = {
+  fop_open : file -> caller -> unit;
+  fop_read : file -> caller -> len:int -> int;
+  fop_writev : file -> caller -> iovec list -> int;
+  fop_ioctl : file -> caller -> cmd:int -> arg:Addr.t -> int;
+  fop_mmap : file -> caller -> len:int -> Addr.t;
+  fop_poll : file -> caller -> int;
+  fop_lseek : file -> caller -> off:int -> int;
+  fop_release : file -> caller -> unit;
+}
+
+(** A do-nothing ops table to build drivers from. *)
+val default_ops : file_ops
+
+type t
+
+val create : Sim.t -> t
+
+(** @raise Invalid_argument if the name is taken *)
+val register_device : t -> name:string -> ops:file_ops -> unit
+
+val device_registered : t -> string -> bool
+
+exception Bad_fd of int
+
+exception No_such_device of string
+
+(** Each operation charges the VFS dispatch overhead and then calls into
+    the driver.  All may block (driver code runs in the caller's process
+    context, as in Linux). *)
+
+val openf : t -> caller -> string -> file
+
+val read : t -> caller -> fd:int -> len:int -> int
+
+val writev : t -> caller -> fd:int -> iovec list -> int
+
+val ioctl : t -> caller -> fd:int -> cmd:int -> arg:Addr.t -> int
+
+val mmap : t -> caller -> fd:int -> len:int -> Addr.t
+
+val poll : t -> caller -> fd:int -> int
+
+val lseek : t -> caller -> fd:int -> off:int -> int
+
+val close : t -> caller -> fd:int -> unit
+
+val lookup_fd : t -> pid:int -> fd:int -> file option
+
+(** Open files of one process (used by exit cleanup). *)
+val files_of : t -> pid:int -> file list

@@ -1,0 +1,55 @@
+open Linux_import
+
+type item = {
+  cost : float;
+  fn : unit -> unit;
+}
+
+type t = {
+  sim : Sim.t;
+  wq_name : string;
+  service : Resource.t option;
+  queue : item Mailbox.t;
+  mutable executed : int;
+  mutable queued : int;
+  mutable flush_waiters : (unit -> unit) list;
+}
+
+let worker t () =
+  let rec loop () =
+    let item = Mailbox.get t.queue in
+    (match t.service with
+     | Some r -> Resource.use r ~work:item.cost item.fn
+     | None ->
+       Sim.delay t.sim item.cost;
+       item.fn ());
+    t.executed <- t.executed + 1;
+    if t.executed = t.queued then begin
+      let ws = t.flush_waiters in
+      t.flush_waiters <- [];
+      List.iter (fun w -> w ()) ws
+    end;
+    loop ()
+  in
+  loop ()
+
+let create sim ~name ~service =
+  let t =
+    { sim; wq_name = name; service; queue = Mailbox.create sim;
+      executed = 0; queued = 0; flush_waiters = [] }
+  in
+  Sim.spawn sim ~name:("kworker/" ^ name) (worker t);
+  t
+
+let queue_work t ~cost fn =
+  t.queued <- t.queued + 1;
+  Mailbox.put t.queue { cost; fn }
+
+let flush t =
+  if t.executed < t.queued then
+    Sim.suspend t.sim (fun resume ->
+        t.flush_waiters <- resume :: t.flush_waiters)
+
+let executed t = t.executed
+
+let pending t = t.queued - t.executed

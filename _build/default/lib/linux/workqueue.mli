@@ -1,0 +1,24 @@
+(** Deferred work (bottom halves).
+
+    Linux drivers push non-urgent processing out of interrupt context into
+    workqueues.  McKernel deliberately provides no such facility (paper
+    Section 3) — the PicoDriver port replaces workqueue usage with direct
+    calls, which is one reason only the fast path is portable. *)
+
+open Linux_import
+
+type t
+
+(** [create sim ~name ~service] — items execute on [service] (the Linux
+    CPU pool) when provided. *)
+val create : Sim.t -> name:string -> service:Resource.t option -> t
+
+(** [queue_work t ~cost f] schedules [f] to run for [cost] ns of CPU. *)
+val queue_work : t -> cost:float -> (unit -> unit) -> unit
+
+(** Block the calling process until all previously queued items have run. *)
+val flush : t -> unit
+
+val executed : t -> int
+
+val pending : t -> int

@@ -1,0 +1,1 @@
+lib/mckernel/kernel.ml: Addr Costs Delegator Hashtbl List Lkernel Mck_import Mem Node Partition Printf Proc Sched Sim Stats Uproc Vfs Vspace

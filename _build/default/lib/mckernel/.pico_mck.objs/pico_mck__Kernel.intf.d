@@ -1,0 +1,1 @@
+lib/mckernel/kernel.mli: Addr Delegator Lkernel Mck_import Mem Node Partition Proc Sched Sim Stats Uproc Vfs Vspace

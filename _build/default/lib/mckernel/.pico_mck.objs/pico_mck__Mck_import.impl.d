@@ -1,0 +1,1 @@
+lib/mckernel/mck_import.ml: Pico_costs Pico_engine Pico_hw Pico_ihk Pico_linux

@@ -1,0 +1,1 @@
+lib/mckernel/mem.ml: Addr Array Costs Hashtbl List Mck_import Node Numa Option Pagetable Printf Queue Sim Vspace

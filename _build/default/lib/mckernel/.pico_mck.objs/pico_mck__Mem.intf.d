@@ -1,0 +1,1 @@
+lib/mckernel/mem.mli: Addr Mck_import Node Pagetable Sim Vspace

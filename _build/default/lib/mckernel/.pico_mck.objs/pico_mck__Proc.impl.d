@@ -1,0 +1,1 @@
+lib/mckernel/proc.ml: Addr Bytes Hashtbl List Mck_import Mem Node Pagetable

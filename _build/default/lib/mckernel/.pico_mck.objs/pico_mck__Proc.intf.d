@@ -1,0 +1,1 @@
+lib/mckernel/proc.mli: Addr Hashtbl Mck_import Mem Node Pagetable

@@ -1,0 +1,1 @@
+lib/mckernel/sched.ml: Array List Queue

@@ -1,0 +1,1 @@
+lib/mckernel/sched.mli:

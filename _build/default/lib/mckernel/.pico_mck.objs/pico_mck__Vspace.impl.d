@@ -1,0 +1,1 @@
+lib/mckernel/vspace.ml: Addr Llayout Mck_import Printf

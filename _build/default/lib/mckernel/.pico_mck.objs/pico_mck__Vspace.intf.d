@@ -1,0 +1,1 @@
+lib/mckernel/vspace.mli: Addr Mck_import

@@ -1,0 +1,90 @@
+(** A booted McKernel instance and its system-call layer.
+
+    McKernel implements the performance-sensitive calls locally (anonymous
+    mmap/munmap, nanosleep) and delegates everything else to Linux through
+    the IHK delegator and the process's proxy.  A device fast path
+    registered by the PicoDriver framework intercepts writev()/ioctl() on
+    that device {e before} the offload decision.
+
+    Every call is timed into the kernel profiler ({!kprofile}) — the
+    in-house profiler behind Figures 8 and 9. *)
+
+open Mck_import
+
+type t
+
+(** Fast-path handler table contributed by a PicoDriver (see
+    {!Pico_driver.Framework}). *)
+type fastpath = {
+  fp_writev : (pctx -> Vfs.file -> Vfs.iovec list -> int) option;
+  (** ioctl commands this PicoDriver takes locally; others offload. *)
+  fp_ioctl : (int * (pctx -> Vfs.file -> arg:Addr.t -> int)) list;
+}
+
+(** Per-process syscall context: the LWK process, its Linux proxy, and
+    the scheduler placement. *)
+and pctx = {
+  proc : Proc.t;
+  proxy : Uproc.t;
+  thread : Sched.thread;
+}
+
+val boot :
+  Sim.t ->
+  node:Node.t ->
+  linux:Lkernel.t ->
+  partition:Partition.t ->
+  vspace_kind:Vspace.kind ->
+  t
+
+val sim : t -> Sim.t
+
+val node : t -> Node.t
+
+val linux : t -> Lkernel.t
+
+val delegator : t -> Delegator.t
+
+val mem : t -> Mem.t
+
+val vspace : t -> Vspace.t
+
+val sched : t -> Sched.t
+
+val kprofile : t -> Stats.Registry.t
+
+(** Create an LWK process together with its Linux proxy. *)
+val new_process : t -> pctx
+
+(** [register_fastpath t ~dev fp]
+    @raise Invalid_argument if the device already has one *)
+val register_fastpath : t -> dev:string -> fastpath -> unit
+
+val fastpath_registered : t -> dev:string -> bool
+
+(** {2 System calls} — each charges LWK entry cost, profiles itself, and
+    either executes locally or offloads. *)
+
+val open_dev : t -> pctx -> string -> int
+
+val read : t -> pctx -> fd:int -> len:int -> int
+
+val writev : t -> pctx -> fd:int -> Vfs.iovec list -> int
+
+val ioctl : t -> pctx -> fd:int -> cmd:int -> arg:Addr.t -> int
+
+val mmap_dev : t -> pctx -> fd:int -> len:int -> Addr.t
+
+val poll : t -> pctx -> fd:int -> int
+
+val close : t -> pctx -> fd:int -> unit
+
+(** Local: McKernel's own memory manager. *)
+val mmap_anon : t -> pctx -> len:int -> Addr.t
+
+val munmap : t -> pctx -> Addr.t -> unit
+
+val nanosleep : t -> pctx -> float -> unit
+
+(** Offloaded calls count. *)
+val offloaded : t -> int

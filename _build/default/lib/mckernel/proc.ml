@@ -1,0 +1,44 @@
+open Mck_import
+
+type t = {
+  pid : int;
+  node : Node.t;
+  pt : Pagetable.t;
+  cursor : Addr.t ref;
+  mappings : (Addr.t, Mem.mapping) Hashtbl.t;
+}
+
+let mmap_base = 0x7e00_0000_0000
+
+let create ~node ~pid =
+  { pid; node; pt = Pagetable.create (); cursor = ref mmap_base;
+    mappings = Hashtbl.create 32 }
+
+let note_mapping t (m : Mem.mapping) = Hashtbl.replace t.mappings m.Mem.va m
+
+let take_mapping t va =
+  match Hashtbl.find_opt t.mappings va with
+  | Some m -> Hashtbl.remove t.mappings va; Some m
+  | None -> None
+
+let live_mappings t = Hashtbl.length t.mappings
+
+let write t va data =
+  let segs = Pagetable.phys_segments t.pt ~va ~len:(Bytes.length data) in
+  let off = ref 0 in
+  List.iter
+    (fun (pa, len, _) ->
+      Node.write_bytes t.node pa (Bytes.sub data !off len);
+      off := !off + len)
+    segs
+
+let read t va len =
+  let segs = Pagetable.phys_segments t.pt ~va ~len in
+  let out = Bytes.create len in
+  let off = ref 0 in
+  List.iter
+    (fun (pa, seg_len, _) ->
+      Bytes.blit (Node.read_bytes t.node pa seg_len) 0 out !off seg_len;
+      off := !off + seg_len)
+    segs;
+  out

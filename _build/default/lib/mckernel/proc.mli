@@ -1,0 +1,29 @@
+(** McKernel processes.
+
+    A process owns its user page table and mmap cursor; anonymous memory
+    comes from {!Mem} (pinned, contiguous-first).  Reads/writes traverse
+    the page tables so tests can verify data integrity end-to-end. *)
+
+open Mck_import
+
+type t = {
+  pid : int;
+  node : Node.t;
+  pt : Pagetable.t;
+  cursor : Addr.t ref;
+  mappings : (Addr.t, Mem.mapping) Hashtbl.t;
+}
+
+val create : node:Node.t -> pid:int -> t
+
+(** Record an anonymous mapping for later munmap. *)
+val note_mapping : t -> Mem.mapping -> unit
+
+(** [take_mapping t va] removes and returns the mapping at [va]. *)
+val take_mapping : t -> Addr.t -> Mem.mapping option
+
+val live_mappings : t -> int
+
+val write : t -> Addr.t -> bytes -> unit
+
+val read : t -> Addr.t -> int -> bytes

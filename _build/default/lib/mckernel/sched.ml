@@ -1,0 +1,63 @@
+type thread = {
+  tid : int;
+  core : int;
+}
+
+type t = {
+  n_cores : int;
+  queues : thread Queue.t array;
+  mutable next_tid : int;
+  mutable count : int;
+}
+
+let create ~cores =
+  if cores <= 0 then invalid_arg "Sched.create: cores must be > 0";
+  { n_cores = cores; queues = Array.init cores (fun _ -> Queue.create ());
+    next_tid = 0; count = 0 }
+
+let least_loaded t =
+  let best = ref 0 in
+  for i = 1 to t.n_cores - 1 do
+    if Queue.length t.queues.(i) < Queue.length t.queues.(!best) then best := i
+  done;
+  !best
+
+let spawn_thread t =
+  let core = least_loaded t in
+  let th = { tid = t.next_tid; core } in
+  t.next_tid <- t.next_tid + 1;
+  t.count <- t.count + 1;
+  Queue.add th t.queues.(core);
+  th
+
+let threads_on t ~core =
+  if core < 0 || core >= t.n_cores then
+    invalid_arg "Sched.threads_on: bad core";
+  List.of_seq (Queue.to_seq t.queues.(core))
+
+let yield t th =
+  let q = t.queues.(th.core) in
+  match Queue.take_opt q with
+  | None -> invalid_arg "Sched.yield: thread not on its queue"
+  | Some head ->
+    Queue.add head q;
+    (match Queue.peek_opt q with
+     | Some next -> next
+     | None -> assert false)
+
+let retire t th =
+  let q = t.queues.(th.core) in
+  let keep = Queue.create () in
+  Queue.iter (fun x -> if x.tid <> th.tid then Queue.add x keep) q;
+  if Queue.length keep = Queue.length q then
+    invalid_arg "Sched.retire: unknown thread";
+  Queue.clear q;
+  Queue.transfer keep q;
+  t.count <- t.count - 1
+
+let cores t = t.n_cores
+
+let thread_count t = t.count
+
+let dedicated t =
+  Array.for_all (fun q -> Queue.length q <= 1) t.queues

@@ -1,0 +1,37 @@
+(** McKernel's co-operative, tick-less round-robin scheduler.
+
+    Ranks in the simulation are event-driven processes, so this module is
+    the bookkeeping view of scheduling: thread-to-core placement (one rank
+    per core in HPC practice) and an explicit run queue per core for the
+    oversubscribed case.  Being tick-less, an LWK core never interrupts a
+    running thread — which is exactly why the noise model gives LWK cores
+    a pure clock. *)
+
+type thread = {
+  tid : int;
+  core : int;
+}
+
+type t
+
+val create : cores:int -> t
+
+(** Place a new thread on the least-loaded core (round-robin on ties). *)
+val spawn_thread : t -> thread
+
+(** Threads currently placed on [core]. *)
+val threads_on : t -> core:int -> thread list
+
+(** Co-operative yield: rotate the run queue of the thread's core and
+    return the thread that should run next there. *)
+val yield : t -> thread -> thread
+
+val retire : t -> thread -> unit
+
+val cores : t -> int
+
+val thread_count : t -> int
+
+(** True when no core hosts more than one thread (the HPC configuration:
+    no timesharing, no preemption). *)
+val dedicated : t -> bool

@@ -1,0 +1,55 @@
+open Mck_import
+
+type kind = Original | Unified
+
+type t = { k : kind }
+
+let create k = { k }
+
+let kind t = t.k
+
+(* Original McKernel: image at the Linux kernel TEXT base (they overlap),
+   own small direct map at an arbitrary private base. *)
+let original_image_base = Llayout.kernel_text_base
+
+let original_direct_base = 0xA000_0000_0000
+
+(* Unified: image at the top of the Linux module space, direct map shared
+   with Linux. *)
+let unified_image_size = Addr.mib 64
+
+let unified_image_base = Llayout.module_top + 1 - unified_image_size
+
+let image_base t =
+  match t.k with
+  | Original -> original_image_base
+  | Unified -> unified_image_base
+
+let direct_map_base t =
+  match t.k with
+  | Original -> original_direct_base
+  | Unified -> Llayout.direct_map_base
+
+let va_of_pa t pa = direct_map_base t + pa
+
+let pa_of_va t va =
+  let base = direct_map_base t in
+  if va < base then
+    invalid_arg
+      (Printf.sprintf "Vspace.pa_of_va: %s below direct map" (Addr.to_hex va));
+  va - base
+
+let linux_pointer_valid t va =
+  match t.k with
+  | Original -> false
+  | Unified -> Llayout.in_direct_map va
+
+let image_overlaps_linux t =
+  match t.k with
+  | Original -> true
+  | Unified -> false
+
+let text_visible_in_linux t =
+  match t.k with
+  | Original -> false
+  | Unified -> true

@@ -1,0 +1,45 @@
+(** McKernel kernel virtual address layouts (paper Figure 3, middle and
+    right).
+
+    The {e original} layout places the McKernel image at the same address
+    as the Linux image and uses its own 256 GB direct map at a different
+    base — so Linux kernel pointers are meaningless inside McKernel.
+
+    The {e unified} layout (built for PicoDriver) makes three changes:
+    the McKernel image moves to the top of the Linux module space; the
+    direct map moves to the Linux direct-map base so kmalloc'd objects are
+    dereferenceable from both kernels; and McKernel's TEXT is mapped into
+    Linux so completion callbacks can be invoked from Linux CPUs. *)
+
+open Mck_import
+
+type kind = Original | Unified
+
+type t
+
+val create : kind -> t
+
+val kind : t -> kind
+
+(** Base address of the McKernel ELF image in McKernel's address space. *)
+val image_base : t -> Addr.t
+
+(** Direct-map base used by McKernel's allocators. *)
+val direct_map_base : t -> Addr.t
+
+(** [va_of_pa t pa] / [pa_of_va t va] through this layout's direct map. *)
+val va_of_pa : t -> Addr.t -> Addr.t
+
+val pa_of_va : t -> Addr.t -> Addr.t
+
+(** Can a pointer produced by Linux [kmalloc()] be dereferenced unchanged
+    inside McKernel under this layout?  True only for [Unified]. *)
+val linux_pointer_valid : t -> Addr.t -> bool
+
+(** Does the McKernel image overlap the Linux kernel image (a correctness
+    hazard the unified layout removes)? *)
+val image_overlaps_linux : t -> bool
+
+(** Is McKernel's TEXT visible from Linux (needed for cross-kernel
+    callbacks)? *)
+val text_visible_in_linux : t -> bool

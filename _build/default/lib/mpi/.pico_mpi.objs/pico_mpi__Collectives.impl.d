@@ -1,0 +1,1 @@
+lib/mpi/collectives.ml: Array Comm Costs List Mpi Mpi_import Printf

@@ -1,0 +1,1 @@
+lib/mpi/collectives.mli: Comm

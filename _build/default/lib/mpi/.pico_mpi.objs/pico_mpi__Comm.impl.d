@@ -1,0 +1,1 @@
+lib/mpi/comm.ml: Addr Endpoint Int64 Mpi_import Sim Stats

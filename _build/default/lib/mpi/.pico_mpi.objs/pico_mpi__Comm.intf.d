@@ -1,0 +1,1 @@
+lib/mpi/comm.mli: Addr Endpoint Mpi_import Sim Stats

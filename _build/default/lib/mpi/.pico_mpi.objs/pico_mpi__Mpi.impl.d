@@ -1,0 +1,1 @@
+lib/mpi/mpi.ml: Comm Endpoint List Mpi_import

@@ -1,0 +1,1 @@
+lib/mpi/mpi_import.ml: Pico_costs Pico_engine Pico_hw Pico_psm

@@ -1,0 +1,42 @@
+(** MPI collective operations over point-to-point, with the standard
+    algorithms (dissemination barrier, binomial bcast/reduce, recursive
+    doubling allreduce/scan, ring allgather, pairwise alltoallv).
+
+    Payload sizes are in bytes; data content is not interpreted (workload
+    models measure communication behaviour, not numerics — see DESIGN.md).
+    Every rank of the communicator must call each collective in the same
+    order, as in MPI. *)
+
+
+val barrier : Comm.t -> unit
+
+val bcast : Comm.t -> root:int -> len:int -> unit
+
+(** Element-wise reduction: charges local combine time per round. *)
+val allreduce : Comm.t -> len:int -> unit
+
+val reduce : Comm.t -> root:int -> len:int -> unit
+
+(** Each rank contributes [len] bytes; everyone ends with [size * len]. *)
+val allgather : Comm.t -> len:int -> unit
+
+(** Binomial-tree gather of [len] bytes per rank to [root]. *)
+val gather : Comm.t -> root:int -> len:int -> unit
+
+(** Binomial-tree scatter of [len] bytes per rank from [root]. *)
+val scatter : Comm.t -> root:int -> len:int -> unit
+
+(** [alltoallv comm ~counts] — [counts.(i)] bytes go to rank [i];
+    symmetric pattern assumed (receive counts mirror send counts). *)
+val alltoallv : Comm.t -> counts:int array -> unit
+
+val scan : Comm.t -> len:int -> unit
+
+(** Cartesian topology creation: allgather of coordinates plus
+    synchronisation — deliberately O(size) like the reorder-capable
+    implementation the paper's HACC profile shows dominating. *)
+val cart_create : Comm.t -> dims:int list -> unit
+
+val comm_create : Comm.t -> unit
+
+val comm_dup : Comm.t -> unit

@@ -1,0 +1,52 @@
+(** MPI communicators.
+
+    A communicator binds a rank's PSM endpoint to a profiling registry
+    (the I_MPI_STATS equivalent that produces Table 1) and carves the tag
+    space so collective traffic cannot collide with user point-to-point
+    tags. *)
+
+open Mpi_import
+
+type t = {
+  rank : int;
+  size : int;
+  ep : Endpoint.t;
+  profile : Stats.Registry.t;
+  sim : Sim.t;
+  mutable coll_seq : int;
+  (* Scratch buffers for collective payloads, grown on demand. *)
+  mutable scratch_send : Addr.t;
+  mutable scratch_send_len : int;
+  mutable scratch_recv : Addr.t;
+  mutable scratch_recv_len : int;
+  mutable start_time : float;
+}
+
+val create : Endpoint.t -> size:int -> t
+
+(** Duplicate with fresh profiling (used by comm_create/dup). *)
+val derive : t -> t
+
+(** [profiled t name f] — run [f], adding its wall time to [name] in the
+    registry. *)
+val profiled : t -> string -> (unit -> 'a) -> 'a
+
+(** User tag (32-bit) to wire tag. *)
+val user_tag : int -> int64
+
+(** Collective tag for instance [seq], communication [round]. *)
+val coll_tag : seq:int -> round:int -> int64
+
+(** Bump and return the collective sequence number. *)
+val next_coll : t -> int
+
+(** Scratch buffer management: returns a user VA of at least [len]. *)
+
+val send_scratch : t -> int -> Addr.t
+
+val recv_scratch : t -> int -> Addr.t
+
+(** Total wall time since [create]/[reset_profile] (the %Rt denominator). *)
+val runtime_ns : t -> float
+
+val reset_profile : t -> unit

@@ -1,0 +1,118 @@
+open Mpi_import
+
+type request = Endpoint.req
+
+let init comm f = Comm.profiled comm "MPI_Init" f
+
+let init_thread comm f = Comm.profiled comm "MPI_Init_thread" f
+
+let yield_if_pending comm req =
+  if not (Endpoint.completed req) then begin
+    let os = Endpoint.os comm.Comm.ep in
+    os.Endpoint.nanosleep 0.
+  end
+
+let isend_raw comm ~dst ~tag ~va ~len =
+  Endpoint.isend comm.Comm.ep ~dst ~tag ~va ~len
+
+let irecv_raw comm ~src ~tag ~va ~len =
+  Endpoint.irecv comm.Comm.ep ~src ~tag ~va ~len ()
+
+let wait_raw comm req =
+  yield_if_pending comm req;
+  Endpoint.wait comm.Comm.ep req
+
+let request_free _comm _req = ()
+
+let isend comm ~dst ~tag ~va ~len =
+  Comm.profiled comm "MPI_Isend" (fun () ->
+      isend_raw comm ~dst ~tag:(Comm.user_tag tag) ~va ~len)
+
+let irecv comm ~src ~tag ~va ~len =
+  Comm.profiled comm "MPI_Irecv" (fun () ->
+      irecv_raw comm ~src ~tag:(Comm.user_tag tag) ~va ~len)
+
+let wait comm req = Comm.profiled comm "MPI_Wait" (fun () -> wait_raw comm req)
+
+let waitall comm reqs =
+  Comm.profiled comm "MPI_Waitall" (fun () ->
+      List.iter (wait_raw comm) reqs)
+
+let test comm req =
+  Comm.profiled comm "MPI_Test" (fun () -> Endpoint.test comm.Comm.ep req)
+
+let send comm ~dst ~tag ~va ~len =
+  Comm.profiled comm "MPI_Send" (fun () ->
+      let r = isend_raw comm ~dst ~tag:(Comm.user_tag tag) ~va ~len in
+      wait_raw comm r)
+
+let recv comm ~src ~tag ~va ~len =
+  Comm.profiled comm "MPI_Recv" (fun () ->
+      let r = irecv_raw comm ~src ~tag:(Comm.user_tag tag) ~va ~len in
+      wait_raw comm r)
+
+let sendrecv comm ~dst ~src ~stag ~rtag ~sva ~slen ~rva ~rlen =
+  Comm.profiled comm "MPI_Sendrecv" (fun () ->
+      let r = irecv_raw comm ~src ~tag:(Comm.user_tag rtag) ~va:rva ~len:rlen in
+      let s = isend_raw comm ~dst ~tag:(Comm.user_tag stag) ~va:sva ~len:slen in
+      wait_raw comm s;
+      wait_raw comm r)
+
+(* --- persistent requests -------------------------------------------------- *)
+
+type p_kind = P_send of int | P_recv of int option
+
+type persistent = {
+  p_kind : p_kind;
+  p_tag : int64;
+  p_va : int;
+  p_len : int;
+  mutable p_active : Endpoint.req option;
+}
+
+let send_init _comm ~dst ~tag ~va ~len =
+  { p_kind = P_send dst; p_tag = Comm.user_tag tag; p_va = va; p_len = len;
+    p_active = None }
+
+let recv_init _comm ~src ~tag ~va ~len =
+  { p_kind = P_recv src; p_tag = Comm.user_tag tag; p_va = va; p_len = len;
+    p_active = None }
+
+let start comm p =
+  Comm.profiled comm "MPI_Start" (fun () ->
+      if p.p_active <> None then
+        invalid_arg "MPI_Start: request already active";
+      let req =
+        match p.p_kind with
+        | P_send dst ->
+          isend_raw comm ~dst ~tag:p.p_tag ~va:p.p_va ~len:p.p_len
+        | P_recv src ->
+          irecv_raw comm ~src ~tag:p.p_tag ~va:p.p_va ~len:p.p_len
+      in
+      p.p_active <- Some req)
+
+let wait_p comm p =
+  Comm.profiled comm "MPI_Wait" (fun () ->
+      match p.p_active with
+      | Some req ->
+        wait_raw comm req;
+        p.p_active <- None
+      | None -> ())
+
+let waitall_p comm ps =
+  Comm.profiled comm "MPI_Waitall" (fun () ->
+      List.iter
+        (fun p ->
+          match p.p_active with
+          | Some req ->
+            wait_raw comm req;
+            p.p_active <- None
+          | None -> ())
+        ps)
+
+let request_free_p comm p =
+  Comm.profiled comm "MPI_Request_free" (fun () -> p.p_active <- None)
+
+let compute comm d =
+  let os = Endpoint.os comm.Comm.ep in
+  os.Endpoint.compute d

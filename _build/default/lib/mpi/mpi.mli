@@ -1,0 +1,76 @@
+(** MPI point-to-point operations with I_MPI_STATS-style profiling.
+
+    Thin, faithfully-costed wrappers over PSM requests.  Blocking waits
+    yield with nanosleep (visible in the kernel syscall profile) before
+    parking, like Intel MPI's wait policy. *)
+
+
+type request
+
+(** [init comm f] runs [f] (endpoint/device bring-up supplied by the
+    harness) accounted as MPI_Init. *)
+val init : Comm.t -> (unit -> unit) -> unit
+
+val init_thread : Comm.t -> (unit -> unit) -> unit
+
+val send : Comm.t -> dst:int -> tag:int -> va:int -> len:int -> unit
+
+val recv : Comm.t -> src:int option -> tag:int -> va:int -> len:int -> unit
+
+val isend : Comm.t -> dst:int -> tag:int -> va:int -> len:int -> request
+
+val irecv : Comm.t -> src:int option -> tag:int -> va:int -> len:int -> request
+
+val wait : Comm.t -> request -> unit
+
+val waitall : Comm.t -> request list -> unit
+
+val test : Comm.t -> request -> bool
+
+(** [sendrecv comm ~dst ~src ~stag ~rtag ~sva ~slen ~rva ~rlen] posts the
+    receive first, then sends, then waits both — deadlock-free pairwise
+    exchange. *)
+val sendrecv :
+  Comm.t ->
+  dst:int -> src:int option -> stag:int -> rtag:int ->
+  sva:int -> slen:int -> rva:int -> rlen:int ->
+  unit
+
+(** Compute (off-MPI) time through the rank's noise-aware clock. *)
+val compute : Comm.t -> float -> unit
+
+(** {2 Persistent requests} (MPI_Send_init / MPI_Recv_init / MPI_Start)
+
+    The CORAL transport kernels (UMT2013 in particular) pre-build their
+    halo channels once and MPI_Start them every sweep — which is why
+    Table 1 shows Start/Wait rather than Isend/Irecv for them. *)
+
+type persistent
+
+val send_init : Comm.t -> dst:int -> tag:int -> va:int -> len:int -> persistent
+
+val recv_init :
+  Comm.t -> src:int option -> tag:int -> va:int -> len:int -> persistent
+
+(** Activate the channel (profiled as MPI_Start).
+    @raise Invalid_argument if already active *)
+val start : Comm.t -> persistent -> unit
+
+(** Wait for the active operation (MPI_Wait) and re-arm the channel. *)
+val wait_p : Comm.t -> persistent -> unit
+
+val waitall_p : Comm.t -> persistent list -> unit
+
+(** MPI_Request_free. *)
+val request_free_p : Comm.t -> persistent -> unit
+
+(** Raw (unprofiled) request helpers for the collectives layer. *)
+
+val isend_raw : Comm.t -> dst:int -> tag:int64 -> va:int -> len:int -> request
+
+val irecv_raw :
+  Comm.t -> src:int option -> tag:int64 -> va:int -> len:int -> request
+
+val wait_raw : Comm.t -> request -> unit
+
+val request_free : Comm.t -> request -> unit

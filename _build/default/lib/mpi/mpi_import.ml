@@ -1,0 +1,7 @@
+(* Local aliases for modules used across the MPI library. *)
+module Sim = Pico_engine.Sim
+module Stats = Pico_engine.Stats
+module Addr = Pico_hw.Addr
+module Endpoint = Pico_psm.Endpoint
+module Psm_config = Pico_psm.Config
+module Costs = Pico_costs.Costs

@@ -1,0 +1,1 @@
+lib/nic/fabric.ml: Costs Hashtbl List Nic_import Printf Sim Wire

@@ -1,0 +1,1 @@
+lib/nic/fabric.mli: Nic_import Sim Wire

@@ -1,0 +1,1 @@
+lib/nic/hfi.ml: Addr Bytes Costs Fabric Hashtbl Irq List Mailbox Nic_import Node Printf Queue Rcvarray Resource Sdma Sim Trace Wire

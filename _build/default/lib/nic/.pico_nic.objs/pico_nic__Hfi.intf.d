@@ -1,0 +1,1 @@
+lib/nic/hfi.mli: Fabric Mailbox Nic_import Node Pico_hw Rcvarray Resource Sdma Sim Wire

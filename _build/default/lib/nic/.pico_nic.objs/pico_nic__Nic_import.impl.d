@@ -1,0 +1,1 @@
+lib/nic/nic_import.ml: Pico_costs Pico_engine Pico_hw

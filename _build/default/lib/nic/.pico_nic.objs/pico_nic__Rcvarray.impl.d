@@ -1,0 +1,1 @@
+lib/nic/rcvarray.ml: Addr Array List Nic_import Sim

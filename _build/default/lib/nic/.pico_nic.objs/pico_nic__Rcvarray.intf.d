@@ -1,0 +1,1 @@
+lib/nic/rcvarray.mli: Addr Nic_import Sim

@@ -1,0 +1,1 @@
+lib/nic/sdma.ml: Addr Array Costs List Mailbox Nic_import Printf Semaphore Sim Stats

@@ -1,0 +1,1 @@
+lib/nic/sdma.mli: Addr Nic_import Sim Stats

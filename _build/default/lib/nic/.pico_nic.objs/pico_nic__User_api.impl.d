@@ -1,0 +1,1 @@
+lib/nic/user_api.ml: Addr Bytes Int32 Int64 Nic_import Printf Wire

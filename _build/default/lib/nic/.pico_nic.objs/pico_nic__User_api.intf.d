@@ -1,0 +1,1 @@
+lib/nic/user_api.mli: Addr Nic_import Wire

@@ -1,0 +1,42 @@
+open Nic_import
+
+type t = {
+  sim : Sim.t;
+  sinks : (int, Wire.packet -> unit) Hashtbl.t;
+  mutable packets : int;
+  mutable bytes : int;
+}
+
+let create sim = { sim; sinks = Hashtbl.create 64; packets = 0; bytes = 0 }
+
+let attach t ~node_id ~rx =
+  if Hashtbl.mem t.sinks node_id then
+    invalid_arg (Printf.sprintf "Fabric.attach: node %d already attached" node_id);
+  Hashtbl.add t.sinks node_id rx
+
+let detach t ~node_id = Hashtbl.remove t.sinks node_id
+
+let loopback_latency = 200.
+
+let send t (p : Wire.packet) =
+  match Hashtbl.find_opt t.sinks p.dst_node with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Fabric.send: destination node %d not attached"
+         p.dst_node)
+  | Some rx ->
+    let latency =
+      if p.src_node = p.dst_node then loopback_latency
+      else Costs.current.link_latency
+    in
+    Sim.after t.sim latency (fun () ->
+        t.packets <- t.packets + 1;
+        t.bytes <- t.bytes + p.wire_len;
+        rx p)
+
+let packets_delivered t = t.packets
+
+let bytes_delivered t = t.bytes
+
+let attached t =
+  Hashtbl.fold (fun k _ acc -> k :: acc) t.sinks [] |> List.sort compare

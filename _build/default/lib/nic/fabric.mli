@@ -1,0 +1,31 @@
+(** The interconnect: full-bisection fabric with per-hop latency.
+
+    Egress bandwidth is serialised at each node's HFI (see {!Hfi}); the
+    fabric itself adds wire/switch latency and delivers to the destination
+    node's receive demultiplexer.  This matches OmniPath practice where a
+    single host link is the bottleneck for the traffic patterns studied in
+    the paper. *)
+
+open Nic_import
+
+type t
+
+val create : Sim.t -> t
+
+(** [attach t ~node_id ~rx] registers the packet sink of a node.
+    @raise Invalid_argument if the node is already attached *)
+val attach : t -> node_id:int -> rx:(Wire.packet -> unit) -> unit
+
+val detach : t -> node_id:int -> unit
+
+(** [send t packet] delivers [packet] to the destination's sink after the
+    configured latency.  Loopback (src = dst) skips the wire and uses a
+    small fixed latency.
+    @raise Invalid_argument if the destination is not attached *)
+val send : t -> Wire.packet -> unit
+
+val packets_delivered : t -> int
+
+val bytes_delivered : t -> int
+
+val attached : t -> int list

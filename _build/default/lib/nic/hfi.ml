@@ -1,0 +1,240 @@
+open Nic_import
+
+type rx_event =
+  | Rx_packet of Wire.packet
+  | Rx_expected of {
+      tid_base : int;
+      msg_id : int;
+      offset : int;
+      frag_len : int;
+      msg_len : int;
+      src_rank : int;
+    }
+
+type ctx = {
+  id : int;
+  events : rx_event Mailbox.t;
+  rcv : Rcvarray.t;
+}
+
+type t = {
+  sim : Sim.t;
+  node : Node.t;
+  fabric : Fabric.t;
+  carry_payload : bool;
+  rcv_entries : int;
+  wire : Resource.t;
+  sdma : Sdma.t;
+  contexts : (int, ctx) Hashtbl.t;
+  mutable next_ctx : int;
+  mutable next_tx : int;
+  completions : (unit -> unit) Queue.t;
+  mutable eager_rx : int;
+  mutable expected_rx : int;
+}
+
+let sdma_irq_vector = 42
+
+(* Device BARs live far above any DRAM/MCDRAM domain. *)
+let bar_region_base = 0x3F00_0000_0000
+
+let bar_region_stride = Addr.gib 1
+
+let bar_ctx_window = Addr.mib 2
+
+let bar_pa t = bar_region_base + (t.node.Node.id * bar_region_stride)
+
+let wire_time len =
+  float_of_int (len + Costs.current.packet_overhead_bytes)
+  /. Costs.current.link_bandwidth
+
+let place_expected t ctx ~tid_base ~offset ~frag_len ~payload =
+  (* Walk the programmed run, skipping [offset] bytes, writing the
+     fragment across entry boundaries. *)
+  match payload with
+  | None -> ()
+  | Some data ->
+    let entries = Rcvarray.entries_of_run ctx.rcv ~tid_base in
+    let rec go entries skip written =
+      if written >= frag_len then ()
+      else begin
+        match entries with
+        | [] ->
+          invalid_arg "Hfi: expected fragment overruns TID registration"
+        | (e : Rcvarray.entry) :: rest ->
+          if skip >= e.len then go rest (skip - e.len) written
+          else begin
+            let room = e.len - skip in
+            let chunk = min room (frag_len - written) in
+            let piece = Bytes.sub data written chunk in
+            Node.write_bytes t.node (e.pa + skip) piece;
+            go rest 0 (written + chunk)
+          end
+      end
+    in
+    go entries offset 0
+
+let rx_dispatch t (p : Wire.packet) =
+  match Hashtbl.find_opt t.contexts p.dst_ctx with
+  | None -> () (* context closed while packet in flight: hardware drops *)
+  | Some ctx ->
+    (match p.header with
+     | Wire.Eager _ | Wire.Ctrl _ ->
+       t.eager_rx <- t.eager_rx + 1;
+       Mailbox.put ctx.events (Rx_packet p)
+     | Wire.Expected { tid_base; msg_id; offset; frag_len; msg_len; src_rank } ->
+       t.expected_rx <- t.expected_rx + 1;
+       (* [offset] is message-relative (PSM bookkeeping); the TID run was
+          registered for exactly this window, so placement starts at the
+          run's beginning. *)
+       place_expected t ctx ~tid_base ~offset:0 ~frag_len ~payload:p.payload;
+       Mailbox.put ctx.events
+         (Rx_expected { tid_base; msg_id; offset; frag_len; msg_len; src_rank }))
+
+let create sim ~node ~fabric ?(carry_payload = false)
+    ?(rcv_entries = 2048) () =
+  let wire =
+    Resource.create sim
+      ~name:(Printf.sprintf "hfi%d-wire" node.Node.id)
+      ~capacity:1
+  in
+  let transmit (req : Sdma.request) =
+    Resource.use wire ~work:(wire_time req.len) (fun () -> ())
+  in
+  let t =
+    { sim; node; fabric; carry_payload; rcv_entries; wire;
+      sdma =
+        Sdma.create sim ~n_engines:Costs.current.sdma_engines ~ring_slots:64
+          ~transmit;
+      contexts = Hashtbl.create 64;
+      next_ctx = 0;
+      next_tx = 0;
+      completions = Queue.create ();
+      eager_rx = 0;
+      expected_rx = 0 }
+  in
+  Fabric.attach fabric ~node_id:node.Node.id ~rx:(rx_dispatch t);
+  t
+
+let node t = t.node
+
+let node_id t = t.node.Node.id
+
+let open_context t =
+  let id = t.next_ctx in
+  t.next_ctx <- id + 1;
+  let ctx =
+    { id; events = Mailbox.create t.sim;
+      rcv = Rcvarray.create t.sim ~n_entries:t.rcv_entries }
+  in
+  Hashtbl.add t.contexts id ctx;
+  ctx
+
+let close_context t ctx = Hashtbl.remove t.contexts ctx.id
+
+let ctx_id ctx = ctx.id
+
+let context t id = Hashtbl.find_opt t.contexts id
+
+let rx_events ctx = ctx.events
+
+let rcvarray ctx = ctx.rcv
+
+let rewrite_eager_hdr hdr ~offset ~frag_len =
+  match hdr with
+  | Wire.Eager e -> Wire.Eager { e with offset = e.offset + offset; frag_len }
+  | Wire.Expected e ->
+    Wire.Expected { e with offset = e.offset + offset; frag_len }
+  | Wire.Ctrl _ as c -> c
+
+let slice_payload payload ~offset ~len =
+  match payload with
+  | None -> None
+  | Some b -> Some (Bytes.sub b offset len)
+
+let pio_send t ~dst_node ~dst_ctx ~hdr ~len ?payload () =
+  let c = Costs.current in
+  (* Loopback (shared-memory-style) traffic never touches the link. *)
+  let use_wire work =
+    if dst_node <> node_id t then Resource.use t.wire ~work (fun () -> ())
+  in
+  if len = 0 then begin
+    (* Zero-byte message: a single header-only packet. *)
+    Sim.delay t.sim c.pio_packet_overhead;
+    use_wire (wire_time 0);
+    Fabric.send t.fabric
+      { src_node = node_id t; dst_node; dst_ctx; wire_len = Wire.header_bytes;
+        header = hdr; payload = None }
+  end
+  else begin
+    let rec go offset =
+      if offset < len then begin
+        let frag = min c.pio_packet_size (len - offset) in
+        (* CPU stores the payload into the device send buffer. *)
+        Sim.delay t.sim
+          (c.pio_packet_overhead
+           +. (float_of_int frag /. c.pio_cpu_bandwidth));
+        use_wire (wire_time frag);
+        let payload =
+          if t.carry_payload then slice_payload payload ~offset ~len:frag
+          else None
+        in
+        Fabric.send t.fabric
+          { src_node = node_id t; dst_node; dst_ctx;
+            wire_len = frag + Wire.header_bytes;
+            header = rewrite_eager_hdr hdr ~offset ~frag_len:frag;
+            payload };
+        go (offset + frag)
+      end
+    in
+    go 0
+  end
+
+let read_requests t reqs =
+  let total = List.fold_left (fun acc (r : Sdma.request) -> acc + r.len) 0 reqs in
+  let buf = Bytes.create total in
+  let off = ref 0 in
+  List.iter
+    (fun (r : Sdma.request) ->
+      let piece = Node.read_bytes t.node r.pa r.len in
+      Bytes.blit piece 0 buf !off r.len;
+      off := !off + r.len)
+    reqs;
+  buf
+
+let sdma_submit t ~channel ~dst_node ~dst_ctx ~hdr ~reqs ~on_complete () =
+  let total = List.fold_left (fun acc (r : Sdma.request) -> acc + r.len) 0 reqs in
+  Trace.debug t.sim "hfi" "sdma_submit ch=%d dst=%d/%d %d reqs %d B (%s)"
+    channel dst_node dst_ctx (List.length reqs) total (Wire.describe hdr);
+  let tx_id = t.next_tx in
+  t.next_tx <- tx_id + 1;
+  let payload = if t.carry_payload then Some (read_requests t reqs) else None in
+  let finish () =
+    (* DMA done: packet leaves for the destination, and the completion
+       IRQ fires on this node. *)
+    Fabric.send t.fabric
+      { src_node = node_id t; dst_node; dst_ctx;
+        wire_len = total + Wire.header_bytes; header = hdr; payload };
+    Queue.add on_complete t.completions;
+    Irq.raise_irq t.node.Node.irq ~vector:sdma_irq_vector
+  in
+  Sdma.submit t.sdma
+    { tx_id; channel; requests = reqs; total_bytes = total;
+      on_complete = finish }
+
+let sdma t = t.sdma
+
+let wire t = t.wire
+
+let eager_packets_rx t = t.eager_rx
+
+let expected_msgs_rx t = t.expected_rx
+
+(* The completion queue is drained by the driver's IRQ handler. *)
+let drain_completions t =
+  let rec go acc =
+    match Queue.take_opt t.completions with
+    | Some cb -> go (cb :: acc)
+    | None -> List.rev acc
+  in
+  go []

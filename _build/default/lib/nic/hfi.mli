@@ -1,0 +1,113 @@
+(** The HFI device: contexts, PIO send, SDMA send, receive demux.
+
+    One [Hfi.t] per node.  User processes (via PSM) own {e contexts};
+    drivers (Linux HFI1 or the McKernel PicoDriver) submit SDMA work and
+    service completion interrupts.  The egress link is a single serialised
+    resource shared by PIO and all SDMA engines, matching a host whose
+    bottleneck is its OmniPath port. *)
+
+open Nic_import
+
+type t
+
+type rx_event =
+  | Rx_packet of Wire.packet
+      (** an eager fragment or a PSM control packet *)
+  | Rx_expected of {
+      tid_base : int;
+      msg_id : int;
+      offset : int;
+      frag_len : int;
+      msg_len : int;
+      src_rank : int;
+    }  (** data landed directly in registered user buffers *)
+
+type ctx
+
+(** [create sim ~node ~fabric ~carry_payload] builds the device and
+    attaches it to the fabric.  With [carry_payload] true, message bytes
+    are actually read from and written to simulated physical memory
+    (tests, examples); when false only timing is modeled (large runs). *)
+val create :
+  Sim.t -> node:Node.t -> fabric:Fabric.t -> ?carry_payload:bool ->
+  ?rcv_entries:int -> unit -> t
+
+val node : t -> Node.t
+
+val node_id : t -> int
+
+(** IRQ vector on which SDMA completions are raised. *)
+val sdma_irq_vector : int
+
+(** Physical base of the device's user-mappable BAR; each context owns a
+    2 MB window at [bar_pa + ctx_id * bar_ctx_window] (control registers,
+    PIO buffers, RcvHdrQ) that the driver's mmap() exposes to user
+    space. *)
+val bar_pa : t -> Pico_hw.Addr.t
+
+val bar_ctx_window : int
+
+(** Open a receive context (what the driver does on open()). *)
+val open_context : t -> ctx
+
+val close_context : t -> ctx -> unit
+
+val ctx_id : ctx -> int
+
+val context : t -> int -> ctx option
+
+val rx_events : ctx -> rx_event Mailbox.t
+
+val rcvarray : ctx -> Rcvarray.t
+
+(** {2 Transmit paths} *)
+
+(** [pio_send t ~dst_node ~dst_ctx ~hdr ~len ?payload ()] — programmed
+    I/O: the {e calling process} pays per-packet CPU cost and wire
+    occupancy.  Fragments larger than the PIO packet size are split, with
+    [hdr]'s offsets rewritten per fragment.  Entirely user-space driven:
+    no driver, no syscall. *)
+val pio_send :
+  t ->
+  dst_node:int ->
+  dst_ctx:int ->
+  hdr:Wire.header ->
+  len:int ->
+  ?payload:bytes ->
+  unit ->
+  unit
+
+(** [sdma_submit t ~channel ~dst_node ~dst_ctx ~hdr ~reqs ~on_complete ()]
+    — [channel] identifies the flow (sender context): descriptors of one
+    flow are processed serially by one engine, like the hfi1 engine
+    selector.
+    driver-built SDMA transfer.  [reqs] are physically-contiguous pieces
+    (each at most the hardware max).  Blocks only while the engine ring is
+    full; the transfer itself proceeds asynchronously and [on_complete]
+    runs from the completion-IRQ handler on a Linux CPU. *)
+val sdma_submit :
+  t ->
+  channel:int ->
+  dst_node:int ->
+  dst_ctx:int ->
+  hdr:Wire.header ->
+  reqs:Sdma.request list ->
+  on_complete:(unit -> unit) ->
+  unit ->
+  unit
+
+(** Remove and return all pending completion callbacks.  Called by the
+    driver's SDMA-completion IRQ handler; the handler decides what running
+    a callback costs (the crux of Section 3.3: McKernel-allocated metadata
+    must be freed with McKernel's [kfree], even on a Linux CPU). *)
+val drain_completions : t -> (unit -> unit) list
+
+(** {2 Introspection} *)
+
+val sdma : t -> Sdma.t
+
+val wire : t -> Resource.t
+
+val eager_packets_rx : t -> int
+
+val expected_msgs_rx : t -> int

@@ -1,0 +1,11 @@
+(* Local aliases for engine and hardware modules used across this library. *)
+module Sim = Pico_engine.Sim
+module Mailbox = Pico_engine.Mailbox
+module Semaphore = Pico_engine.Semaphore
+module Resource = Pico_engine.Resource
+module Stats = Pico_engine.Stats
+module Trace = Pico_engine.Trace
+module Addr = Pico_hw.Addr
+module Node = Pico_hw.Node
+module Irq = Pico_hw.Irq
+module Costs = Pico_costs.Costs

@@ -1,0 +1,80 @@
+open Nic_import
+
+type entry = {
+  pa : Addr.t;
+  len : int;
+}
+
+type t = {
+  sim : Sim.t;
+  slots : entry option array;
+  mutable in_use : int;
+  mutable programmed_total : int;
+}
+
+(* Device-register write per entry: cheaper than a full MMIO doorbell
+   because entries are written through the mapped RcvArray region. *)
+let per_entry_write = 15.
+
+let create sim ~n_entries =
+  if n_entries <= 0 then invalid_arg "Rcvarray.create: n_entries must be > 0";
+  { sim; slots = Array.make n_entries None; in_use = 0; programmed_total = 0 }
+
+let capacity t = Array.length t.slots
+
+let in_use t = t.in_use
+
+let find_free_run t n =
+  let cap = Array.length t.slots in
+  let rec scan start run i =
+    if i >= cap then None
+    else begin
+      match t.slots.(i) with
+      | None ->
+        let run = run + 1 in
+        if run = n then Some start else scan start run (i + 1)
+      | Some _ -> scan (i + 1) 0 (i + 1)
+    end
+  in
+  scan 0 0 0
+
+let program t entries =
+  let n = List.length entries in
+  if n = 0 then invalid_arg "Rcvarray.program: empty entry list";
+  match find_free_run t n with
+  | None -> None
+  | Some base ->
+    List.iteri (fun i e -> t.slots.(base + i) <- Some e) entries;
+    t.in_use <- t.in_use + n;
+    t.programmed_total <- t.programmed_total + n;
+    if Sim.in_process t.sim then
+      Sim.delay t.sim (float_of_int n *. per_entry_write);
+    Some base
+
+let unprogram t ~tid_base ~count =
+  if tid_base < 0 || tid_base + count > Array.length t.slots then
+    invalid_arg "Rcvarray.unprogram: range out of bounds";
+  for i = tid_base to tid_base + count - 1 do
+    match t.slots.(i) with
+    | Some _ -> t.slots.(i) <- None; t.in_use <- t.in_use - 1
+    | None -> invalid_arg "Rcvarray.unprogram: entry not programmed"
+  done;
+  if Sim.in_process t.sim then
+    Sim.delay t.sim (float_of_int count *. per_entry_write)
+
+let lookup t ~tid =
+  if tid < 0 || tid >= Array.length t.slots then None else t.slots.(tid)
+
+let entries_of_run t ~tid_base =
+  let cap = Array.length t.slots in
+  let rec collect i acc =
+    if i >= cap then List.rev acc
+    else begin
+      match t.slots.(i) with
+      | Some e -> collect (i + 1) (e :: acc)
+      | None -> List.rev acc
+    end
+  in
+  collect tid_base []
+
+let programmed_total t = t.programmed_total

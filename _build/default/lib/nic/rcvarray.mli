@@ -1,0 +1,45 @@
+(** RcvArray: the receive-side address-translation table of an HFI
+    context.
+
+    Expected (direct-data-placement) receives require the driver to
+    {e program} RcvArray entries: each entry maps a TID to one
+    physically-contiguous chunk of a pinned user buffer.  User space
+    identifies registrations by TID numbers, and can {e unprogram} them to
+    unregister (paper Section 2.2.2).
+
+    Programming is a device write, so the per-entry cost is charged to the
+    calling (driver) process. *)
+
+open Nic_import
+
+type entry = {
+  pa : Addr.t;
+  len : int;
+}
+
+type t
+
+val create : Sim.t -> n_entries:int -> t
+
+val capacity : t -> int
+
+val in_use : t -> int
+
+(** [program t entries] allocates a contiguous run of TIDs, programs them
+    and returns the base TID, or [None] when the array is full.  Charges
+    simulated device-write time to the caller. *)
+val program : t -> entry list -> int option
+
+(** [unprogram t ~tid_base ~count] frees a run of entries.
+    @raise Invalid_argument if any entry in the run is not programmed *)
+val unprogram : t -> tid_base:int -> count:int -> unit
+
+val lookup : t -> tid:int -> entry option
+
+(** [entries_of_run t ~tid_base] returns consecutive programmed entries
+    starting at [tid_base] (used by the hardware to place arriving
+    fragments). *)
+val entries_of_run : t -> tid_base:int -> entry list
+
+(** Total entries programmed over the lifetime (statistics). *)
+val programmed_total : t -> int

@@ -1,0 +1,104 @@
+open Nic_import
+
+type request = {
+  pa : Addr.t;
+  len : int;
+}
+
+type tx = {
+  tx_id : int;
+  channel : int;
+  requests : request list;
+  total_bytes : int;
+  on_complete : unit -> unit;
+}
+
+type engine = {
+  ring : tx Mailbox.t;
+  slots : Semaphore.t;
+}
+
+type t = {
+  sim : Sim.t;
+  engines : engine array;
+  transmit : request -> unit;
+  mutable requests_submitted : int;
+  mutable bytes_submitted : int;
+  mutable txs_completed : int;
+  size_hist : Stats.Summary.t;
+  mutable busy : float;
+}
+
+let engine_loop t e () =
+  (* Engines run forever; simulations end when no more work is queued,
+     which leaves the engine blocked in Mailbox.get — harmless. *)
+  let rec loop () =
+    let tx = Mailbox.get e.ring in
+    let started = Sim.now t.sim in
+    List.iter
+      (fun req ->
+        Sim.delay t.sim Costs.current.sdma_request_overhead;
+        t.transmit req)
+      tx.requests;
+    t.busy <- t.busy +. (Sim.now t.sim -. started);
+    t.txs_completed <- t.txs_completed + 1;
+    Semaphore.release e.slots;
+    tx.on_complete ();
+    loop ()
+  in
+  loop ()
+
+let create sim ~n_engines ~ring_slots ~transmit =
+  if n_engines <= 0 then invalid_arg "Sdma.create: n_engines must be > 0";
+  if ring_slots <= 0 then invalid_arg "Sdma.create: ring_slots must be > 0";
+  let t =
+    { sim;
+      engines =
+        Array.init n_engines (fun _ ->
+            { ring = Mailbox.create sim; slots = Semaphore.create sim ring_slots });
+      transmit;
+      requests_submitted = 0;
+      bytes_submitted = 0;
+      txs_completed = 0;
+      size_hist = Stats.Summary.create ();
+      busy = 0. }
+  in
+  Array.iteri
+    (fun i e -> Sim.spawn sim ~name:(Printf.sprintf "sdma-engine-%d" i)
+        (engine_loop t e))
+    t.engines;
+  t
+
+let submit t tx =
+  List.iter
+    (fun r ->
+      if r.len <= 0 then invalid_arg "Sdma.submit: empty request";
+      if r.len > Costs.current.sdma_max_request then
+        invalid_arg
+          (Printf.sprintf
+             "Sdma.submit: request of %d bytes exceeds hardware max %d"
+             r.len Costs.current.sdma_max_request))
+    tx.requests;
+  (* Engine selection is per flow (context), like the hfi1 selector:
+     one flow's descriptors are processed serially by one engine. *)
+  let e = t.engines.(tx.channel mod Array.length t.engines) in
+  Semaphore.acquire e.slots;
+  List.iter
+    (fun (r : request) ->
+      t.requests_submitted <- t.requests_submitted + 1;
+      t.bytes_submitted <- t.bytes_submitted + r.len;
+      Stats.Summary.add t.size_hist (float_of_int r.len))
+    tx.requests;
+  Mailbox.put e.ring tx
+
+let n_engines t = Array.length t.engines
+
+let requests_submitted t = t.requests_submitted
+
+let bytes_submitted t = t.bytes_submitted
+
+let txs_completed t = t.txs_completed
+
+let request_size_hist t = t.size_hist
+
+let busy_ns t = t.busy

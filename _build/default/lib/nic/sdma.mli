@@ -1,0 +1,66 @@
+(** SDMA engines: descriptor rings + DMA pacing.
+
+    The HFI1 has 16 independent SDMA engines for CPU offload of large
+    sends.  A transfer ([tx]) is a list of {e requests}, each describing one
+    physically-contiguous range of at most {!Costs.t.sdma_max_request}
+    bytes (10 kB on hardware).  {b How a buffer is cut into requests is the
+    driver's decision} — the Linux HFI1 driver cuts at PAGE_SIZE (4 kB),
+    the PicoDriver cuts at hardware max when physical contiguity allows;
+    this single difference produces the Fig. 4 bandwidth gap.
+
+    Engines process their rings FIFO; each descriptor costs
+    [sdma_request_overhead] engine time plus wire occupancy obtained from
+    the [transmit] callback supplied by the HFI.  When the last descriptor
+    of a tx has been put on the wire, [on_complete] runs (the HFI raises
+    the completion IRQ there). *)
+
+open Nic_import
+
+type request = {
+  pa : Addr.t;
+  len : int;
+}
+
+type tx = {
+  tx_id : int;
+  channel : int;   (** flow identifier (sender context); selects the engine *)
+  requests : request list;
+  total_bytes : int;
+  on_complete : unit -> unit;
+}
+
+type t
+
+(** [create sim ~n_engines ~ring_slots ~transmit] — [transmit req] is
+    called in engine context and must block for the wire time. *)
+val create :
+  Sim.t ->
+  n_engines:int ->
+  ring_slots:int ->
+  transmit:(request -> unit) ->
+  t
+
+(** Validate and enqueue a transfer on the flow's engine.
+    Blocks (process context) while the chosen engine's ring is full —
+    exactly the back-pressure a driver sees.
+    @raise Invalid_argument if any request exceeds the hardware maximum or
+    has non-positive length *)
+val submit : t -> tx -> unit
+
+val n_engines : t -> int
+
+(** Cumulative counters. *)
+
+val requests_submitted : t -> int
+
+val bytes_submitted : t -> int
+
+val txs_completed : t -> int
+
+(** Distribution of request sizes — the instrumentation used in the paper
+    to verify that Linux submits only 4 kB requests while the PicoDriver
+    reaches the 10 kB maximum. *)
+val request_size_hist : t -> Stats.Summary.t
+
+(** Busy time summed over engines (for utilisation reporting). *)
+val busy_ns : t -> float

@@ -1,0 +1,119 @@
+open Nic_import
+
+let ioctl_tid_update = 0x01
+
+let ioctl_tid_free = 0x02
+
+let ioctl_ctxt_info = 0x03
+
+let ioctl_user_info = 0x04
+
+let ioctl_set_pkey = 0x05
+
+let ioctl_ack_event = 0x06
+
+let ioctl_ctxt_reset = 0x07
+
+let ioctl_get_vers = 0x08
+
+let all_ioctls =
+  [ ioctl_tid_update; ioctl_tid_free; ioctl_ctxt_info; ioctl_user_info;
+    ioctl_set_pkey; ioctl_ack_event; ioctl_ctxt_reset; ioctl_get_vers ]
+
+type sdma_kind = Sdma_eager | Sdma_expected
+
+type sdma_req = {
+  dst_node : int;
+  dst_ctx : int;
+  kind : sdma_kind;
+  tag : int64;
+  msg_id : int;
+  offset : int;
+  msg_len : int;
+  tid_base : int;
+  src_rank : int;
+}
+
+let sdma_req_bytes = 64
+
+let encode_sdma_req r =
+  let b = Bytes.make sdma_req_bytes '\000' in
+  Bytes.set_int32_le b 0 (Int32.of_int r.dst_node);
+  Bytes.set_int32_le b 4 (Int32.of_int r.dst_ctx);
+  Bytes.set_int32_le b 8
+    (match r.kind with Sdma_eager -> 0l | Sdma_expected -> 1l);
+  Bytes.set_int64_le b 16 r.tag;
+  Bytes.set_int64_le b 24 (Int64.of_int r.msg_id);
+  Bytes.set_int64_le b 32 (Int64.of_int r.offset);
+  Bytes.set_int64_le b 40 (Int64.of_int r.msg_len);
+  Bytes.set_int32_le b 48 (Int32.of_int r.tid_base);
+  Bytes.set_int32_le b 52 (Int32.of_int r.src_rank);
+  b
+
+let decode_sdma_req b =
+  if Bytes.length b < sdma_req_bytes then
+    invalid_arg "User_api.decode_sdma_req: short buffer";
+  let kind =
+    match Int32.to_int (Bytes.get_int32_le b 8) with
+    | 0 -> Sdma_eager
+    | 1 -> Sdma_expected
+    | k -> invalid_arg (Printf.sprintf "User_api: bad sdma kind %d" k)
+  in
+  { dst_node = Int32.to_int (Bytes.get_int32_le b 0);
+    dst_ctx = Int32.to_int (Bytes.get_int32_le b 4);
+    kind;
+    tag = Bytes.get_int64_le b 16;
+    msg_id = Int64.to_int (Bytes.get_int64_le b 24);
+    offset = Int64.to_int (Bytes.get_int64_le b 32);
+    msg_len = Int64.to_int (Bytes.get_int64_le b 40);
+    tid_base = Int32.to_int (Bytes.get_int32_le b 48);
+    src_rank = Int32.to_int (Bytes.get_int32_le b 52) }
+
+let wire_header_of_req r ~frag_len =
+  match r.kind with
+  | Sdma_eager ->
+    Wire.Eager
+      { tag = r.tag; msg_id = r.msg_id; offset = r.offset; frag_len;
+        msg_len = r.msg_len; src_rank = r.src_rank }
+  | Sdma_expected ->
+    Wire.Expected
+      { tid_base = r.tid_base; msg_id = r.msg_id; offset = r.offset;
+        frag_len; msg_len = r.msg_len; src_rank = r.src_rank }
+
+type tid_update = {
+  tu_va : Addr.t;
+  tu_len : int;
+}
+
+let tid_update_bytes = 16
+
+let encode_tid_update u =
+  let b = Bytes.make tid_update_bytes '\000' in
+  Bytes.set_int64_le b 0 (Int64.of_int u.tu_va);
+  Bytes.set_int64_le b 8 (Int64.of_int u.tu_len);
+  b
+
+let decode_tid_update b =
+  if Bytes.length b < tid_update_bytes then
+    invalid_arg "User_api.decode_tid_update: short buffer";
+  { tu_va = Int64.to_int (Bytes.get_int64_le b 0);
+    tu_len = Int64.to_int (Bytes.get_int64_le b 8) }
+
+type tid_free = {
+  tf_tid_base : int;
+  tf_count : int;
+}
+
+let tid_free_bytes = 8
+
+let encode_tid_free f =
+  let b = Bytes.make tid_free_bytes '\000' in
+  Bytes.set_int32_le b 0 (Int32.of_int f.tf_tid_base);
+  Bytes.set_int32_le b 4 (Int32.of_int f.tf_count);
+  b
+
+let decode_tid_free b =
+  if Bytes.length b < tid_free_bytes then
+    invalid_arg "User_api.decode_tid_free: short buffer";
+  { tf_tid_base = Int32.to_int (Bytes.get_int32_le b 0);
+    tf_count = Int32.to_int (Bytes.get_int32_le b 4) }

@@ -1,0 +1,82 @@
+(** The user/kernel ABI of the HFI1 driver (the hfi1_user.h of this
+    simulation): ioctl command numbers and the binary layouts that PSM
+    writes into user memory and the driver parses back.
+
+    Both the Linux driver and the McKernel PicoDriver decode these —
+    sharing the ABI is what lets the fast path move kernels without
+    touching PSM. *)
+
+open Nic_import
+
+(** {2 ioctl commands} (subset mirroring the real driver's >dozen) *)
+
+val ioctl_tid_update : int   (** register expected-receive buffer *)
+
+val ioctl_tid_free : int     (** unregister *)
+
+val ioctl_ctxt_info : int
+
+val ioctl_user_info : int
+
+val ioctl_set_pkey : int
+
+val ioctl_ack_event : int
+
+val ioctl_ctxt_reset : int
+
+val ioctl_get_vers : int
+
+(** All commands the driver accepts. *)
+val all_ioctls : int list
+
+(** {2 SDMA request header} — iovec\[0\] of every writev *)
+
+type sdma_kind = Sdma_eager | Sdma_expected
+
+type sdma_req = {
+  dst_node : int;
+  dst_ctx : int;
+  kind : sdma_kind;
+  tag : int64;
+  msg_id : int;
+  offset : int;      (** offset of this window within the message *)
+  msg_len : int;     (** whole-message length *)
+  tid_base : int;    (** valid for [Sdma_expected] *)
+  src_rank : int;
+}
+
+(** Size of the encoded header, bytes. *)
+val sdma_req_bytes : int
+
+val encode_sdma_req : sdma_req -> bytes
+
+(** @raise Invalid_argument on malformed input *)
+val decode_sdma_req : bytes -> sdma_req
+
+(** Wire header for the data described by a decoded request ([frag_len] =
+    bytes carried by this transfer). *)
+val wire_header_of_req : sdma_req -> frag_len:int -> Wire.header
+
+(** {2 TID update/free argument} *)
+
+type tid_update = {
+  tu_va : Addr.t;
+  tu_len : int;
+}
+
+val tid_update_bytes : int
+
+val encode_tid_update : tid_update -> bytes
+
+val decode_tid_update : bytes -> tid_update
+
+type tid_free = {
+  tf_tid_base : int;
+  tf_count : int;
+}
+
+val tid_free_bytes : int
+
+val encode_tid_free : tid_free -> bytes
+
+val decode_tid_free : bytes -> tid_free

@@ -1,0 +1,40 @@
+type ctrl = ..
+
+type header =
+  | Eager of {
+      tag : int64;
+      msg_id : int;
+      offset : int;
+      frag_len : int;
+      msg_len : int;
+      src_rank : int;
+    }
+  | Expected of {
+      tid_base : int;
+      msg_id : int;
+      offset : int;
+      frag_len : int;
+      msg_len : int;
+      src_rank : int;
+    }
+  | Ctrl of ctrl
+
+type packet = {
+  src_node : int;
+  dst_node : int;
+  dst_ctx : int;
+  wire_len : int;
+  header : header;
+  payload : bytes option;
+}
+
+let header_bytes = 64
+
+let describe = function
+  | Eager e ->
+    Printf.sprintf "eager(tag=%Ld msg=%d off=%d len=%d/%d)" e.tag e.msg_id
+      e.offset e.frag_len e.msg_len
+  | Expected e ->
+    Printf.sprintf "expected(tid=%d msg=%d off=%d len=%d/%d)" e.tid_base
+      e.msg_id e.offset e.frag_len e.msg_len
+  | Ctrl _ -> "ctrl"

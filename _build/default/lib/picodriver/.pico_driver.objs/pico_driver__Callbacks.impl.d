@@ -1,0 +1,1 @@
+lib/picodriver/callbacks.ml: Addr Hashtbl Pd_import Printf Vspace

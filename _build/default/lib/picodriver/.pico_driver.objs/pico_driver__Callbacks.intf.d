@@ -1,0 +1,1 @@
+lib/picodriver/callbacks.mli: Addr Pd_import Vspace

@@ -1,0 +1,1 @@
+lib/picodriver/framework.ml: Addr Callbacks Mck Pd_import Unified_vspace Vfs

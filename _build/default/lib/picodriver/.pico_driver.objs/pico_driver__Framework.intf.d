@@ -1,0 +1,1 @@
+lib/picodriver/framework.mli: Addr Callbacks Mck Pd_import Vfs

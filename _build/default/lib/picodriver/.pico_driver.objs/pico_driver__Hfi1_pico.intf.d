@@ -1,0 +1,1 @@
+lib/picodriver/hfi1_pico.mli: Encode Framework Hfi1_driver Mck Pd_import

@@ -1,0 +1,1 @@
+lib/picodriver/mlx_pico.ml: Costs Framework List Mck Pagetable Pd_import Pico_hw Pico_linux Proc Sim Spinlock Unified_vspace Vfs

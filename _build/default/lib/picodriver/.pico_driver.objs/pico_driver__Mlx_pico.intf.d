@@ -1,0 +1,1 @@
+lib/picodriver/mlx_pico.mli: Mck Pd_import Pico_linux

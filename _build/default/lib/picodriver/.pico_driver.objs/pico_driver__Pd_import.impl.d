@@ -1,0 +1,1 @@
+lib/picodriver/pd_import.ml: Pico_costs Pico_dwarf Pico_engine Pico_hw Pico_linux Pico_mck Pico_nic

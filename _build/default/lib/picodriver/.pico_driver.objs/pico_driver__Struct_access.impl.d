@@ -1,0 +1,1 @@
+lib/picodriver/struct_access.ml: Encode Extract Int64 Node Pd_import Unified_vspace

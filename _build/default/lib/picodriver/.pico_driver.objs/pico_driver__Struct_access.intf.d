@@ -1,0 +1,1 @@
+lib/picodriver/struct_access.mli: Addr Encode Node Pd_import Vspace

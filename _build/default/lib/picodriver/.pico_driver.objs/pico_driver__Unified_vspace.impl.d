@@ -1,0 +1,1 @@
+lib/picodriver/unified_vspace.ml: Addr Format Llayout Pd_import Printf Vspace

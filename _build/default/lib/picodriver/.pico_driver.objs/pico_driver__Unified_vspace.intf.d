@@ -1,0 +1,1 @@
+lib/picodriver/unified_vspace.mli: Addr Format Pd_import Vspace

@@ -1,0 +1,42 @@
+open Pd_import
+
+exception Callback_fault of string
+
+type t = {
+  vs : Vspace.t;
+  table : (Addr.t, string * bool * (unit -> unit)) Hashtbl.t;
+  mutable next : Addr.t;
+  mutable invocations : int;
+}
+
+let create ~vs =
+  (* "Function pointers" live in the McKernel image. *)
+  { vs; table = Hashtbl.create 16; next = Vspace.image_base vs + 0x1000;
+    invocations = 0 }
+
+let register ?(once = false) t ~name fn =
+  let ptr = t.next in
+  t.next <- t.next + 16;
+  Hashtbl.add t.table ptr (name, once, fn);
+  ptr
+
+let invoke t ~from_linux ptr =
+  if from_linux && not (Vspace.text_visible_in_linux t.vs) then
+    raise
+      (Callback_fault
+         (Printf.sprintf
+            "Linux CPU jumped to unmapped McKernel TEXT at %s"
+            (Addr.to_hex ptr)));
+  match Hashtbl.find_opt t.table ptr with
+  | Some (_name, once, fn) ->
+    t.invocations <- t.invocations + 1;
+    if once then Hashtbl.remove t.table ptr;
+    fn ()
+  | None ->
+    raise
+      (Callback_fault
+         (Printf.sprintf "wild callback pointer %s" (Addr.to_hex ptr)))
+
+let registered t = Hashtbl.length t.table
+
+let invocations t = t.invocations

@@ -1,0 +1,34 @@
+(** Cross-kernel callback functions.
+
+    SDMA completion interrupts are processed on Linux CPUs, but transfers
+    submitted by McKernel carry callbacks living in McKernel TEXT with
+    metadata allocated by McKernel's allocator.  The paper's solution is
+    (a) map McKernel TEXT into Linux, and (b) duplicate the driver
+    callback, swapping the deallocation routine for McKernel's
+    (Section 3.3).
+
+    Invoking a callback checks (a); the registered closures are expected
+    to implement (b) — see {!Hfi1_pico}. *)
+
+open Pd_import
+
+exception Callback_fault of string
+
+type t
+
+val create : vs:Vspace.t -> t
+
+(** Register an LWK callback; returns its "function pointer".
+    [once] drops the entry after its first invocation (per-transfer
+    completion callbacks). *)
+val register : ?once:bool -> t -> name:string -> (unit -> unit) -> Addr.t
+
+(** [invoke t ~from_linux ptr] runs the callback.  With [from_linux]
+    true, the McKernel TEXT mapping is required.
+    @raise Callback_fault if the pointer would fault (unmapped TEXT or
+    unknown pointer) *)
+val invoke : t -> from_linux:bool -> Addr.t -> unit
+
+val registered : t -> int
+
+val invocations : t -> int

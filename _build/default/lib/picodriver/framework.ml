@@ -1,0 +1,24 @@
+open Pd_import
+
+type ops = {
+  pd_name : string;
+  pd_dev : string;
+  pd_writev : (Mck.pctx -> Vfs.file -> Vfs.iovec list -> int) option;
+  pd_ioctls : (int * (Mck.pctx -> Vfs.file -> arg:Addr.t -> int)) list;
+}
+
+type installed = {
+  ops : ops;
+  callbacks : Callbacks.t;
+}
+
+let install mck ops =
+  Unified_vspace.require (Mck.vspace mck);
+  let callbacks = Callbacks.create ~vs:(Mck.vspace mck) in
+  Mck.register_fastpath mck ~dev:ops.pd_dev
+    { Mck.fp_writev = ops.pd_writev; fp_ioctl = ops.pd_ioctls };
+  { ops; callbacks }
+
+let local_ops mck ~dev =
+  if Mck.fastpath_registered mck ~dev then [ "writev"; "ioctl(subset)" ]
+  else []

@@ -1,0 +1,32 @@
+(** The PicoDriver framework: install a fast-path driver into McKernel.
+
+    A PicoDriver provides LWK implementations for {e some} operations of
+    {e one} device; every other operation keeps offloading to the
+    unmodified Linux driver.  Installation verifies the unified address
+    space first — without it the fast path cannot co-operate with Linux
+    state. *)
+
+open Pd_import
+
+type ops = {
+  pd_name : string;  (** human-readable, e.g. "hfi1-picodriver" *)
+  pd_dev : string;   (** device whose fast path is taken over *)
+  pd_writev : (Mck.pctx -> Vfs.file -> Vfs.iovec list -> int) option;
+  pd_ioctls : (int * (Mck.pctx -> Vfs.file -> arg:Addr.t -> int)) list;
+}
+
+type installed = {
+  ops : ops;
+  callbacks : Callbacks.t;
+}
+
+(** [install mck ops] — verifies the layout ({!Unified_vspace.require}),
+    registers the fast paths with the LWK syscall layer, and returns the
+    installation record.
+    @raise Unified_vspace.Layout_unsuitable under the original layout
+    @raise Invalid_argument if the device already has a PicoDriver *)
+val install : Mck.t -> ops -> installed
+
+(** Operations a PicoDriver of this device handles locally, as shown by
+    the LWK syscall table. *)
+val local_ops : Mck.t -> dev:string -> string list

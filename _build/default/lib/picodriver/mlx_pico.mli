@@ -1,0 +1,24 @@
+(** The InfiniBand memory-registration PicoDriver — the paper's stated
+    future work ("porting memory registration routines from the Mellanox
+    Infiniband driver"), built here to demonstrate that the framework
+    generalises beyond the HFI1 with zero framework changes.
+
+    Only [REG_MR] and [DEREG_MR] move to the LWK: registration walks
+    McKernel's pinned page tables (no get_user_pages) and produces one
+    MTT entry per physically-contiguous run instead of one per 4 kB page.
+    Every other uverbs command keeps offloading to the unmodified Linux
+    driver. *)
+
+open Pd_import
+
+type t
+
+val attach :
+  Mck.t -> linux_driver:Pico_linux.Mlx_driver.t -> (t, string) result
+
+val reg_fast : t -> int
+
+val dereg_fast : t -> int
+
+(** MTT entries saved vs the per-page Linux path, cumulative. *)
+val entries_saved : t -> int

@@ -1,0 +1,52 @@
+open Pd_import
+
+type report = {
+  images_disjoint : bool;
+  direct_maps_unified : bool;
+  text_visible : bool;
+}
+
+let check vs =
+  { images_disjoint = not (Vspace.image_overlaps_linux vs);
+    direct_maps_unified =
+      Vspace.direct_map_base vs = Llayout.direct_map_base;
+    text_visible = Vspace.text_visible_in_linux vs }
+
+let satisfied r =
+  r.images_disjoint && r.direct_maps_unified && r.text_visible
+
+exception Layout_unsuitable of string
+
+let require vs =
+  let r = check vs in
+  if not r.images_disjoint then
+    raise
+      (Layout_unsuitable
+         "McKernel image overlaps the Linux kernel image (move it to the \
+          top of the module space)");
+  if not r.direct_maps_unified then
+    raise
+      (Layout_unsuitable
+         "direct maps differ: Linux kmalloc pointers are not \
+          dereferenceable in McKernel");
+  if not r.text_visible then
+    raise
+      (Layout_unsuitable
+         "McKernel TEXT is not mapped in Linux: completion callbacks \
+          would fault on Linux CPUs")
+
+let translate_linux_pointer vs va =
+  if Vspace.kind vs = Vspace.Original then
+    raise
+      (Layout_unsuitable
+         "original McKernel layout cannot interpret Linux pointers");
+  if not (Llayout.in_direct_map va) then
+    invalid_arg
+      (Printf.sprintf "translate_linux_pointer: %s is not a direct-map address"
+         (Addr.to_hex va));
+  Llayout.pa_of_va va
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "images_disjoint=%b direct_maps_unified=%b text_visible=%b"
+    r.images_disjoint r.direct_maps_unified r.text_visible

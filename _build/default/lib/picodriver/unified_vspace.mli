@@ -1,0 +1,36 @@
+(** Verification of the PicoDriver address-space requirements
+    (paper Section 3.1).
+
+    Three properties must hold before any fast-path code may touch Linux
+    data structures:
+
+    + the two kernel images must not overlap;
+    + dynamically allocated Linux objects (direct-map addresses) must
+      resolve to the same physical memory in McKernel, and vice-versa;
+    + McKernel TEXT must be visible from Linux (callback invocation). *)
+
+open Pd_import
+
+type report = {
+  images_disjoint : bool;
+  direct_maps_unified : bool;
+  text_visible : bool;
+}
+
+val check : Vspace.t -> report
+
+val satisfied : report -> bool
+
+exception Layout_unsuitable of string
+
+(** [require vs] — raise unless all three properties hold.
+    The exception message names the first violated requirement. *)
+val require : Vspace.t -> unit
+
+(** [translate_linux_pointer vs va] converts a Linux direct-map pointer to
+    the physical address both kernels agree on.
+    @raise Layout_unsuitable under the original layout
+    @raise Invalid_argument if [va] is not a direct-map address *)
+val translate_linux_pointer : Vspace.t -> Addr.t -> Addr.t
+
+val pp_report : Format.formatter -> report -> unit

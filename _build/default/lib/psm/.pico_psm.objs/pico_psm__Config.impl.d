@@ -1,0 +1,1 @@
+lib/psm/config.ml:

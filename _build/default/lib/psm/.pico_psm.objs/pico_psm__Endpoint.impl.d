@@ -1,0 +1,1 @@
+lib/psm/endpoint.ml: Addr Array Bytes Config Costs Hashtbl Hfi List Mailbox Mq Printf Proto Psm_import Sim User_api Vfs Wire

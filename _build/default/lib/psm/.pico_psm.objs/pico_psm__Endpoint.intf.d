@@ -1,0 +1,1 @@
+lib/psm/endpoint.mli: Addr Hfi Psm_import Sim Vfs

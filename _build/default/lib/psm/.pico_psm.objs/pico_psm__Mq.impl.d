@@ -1,0 +1,1 @@
+lib/psm/mq.ml: Int64 List

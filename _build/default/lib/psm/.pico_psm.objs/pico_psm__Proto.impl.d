@@ -1,0 +1,1 @@
+lib/psm/proto.ml: Printf Psm_import Wire

@@ -1,0 +1,1 @@
+lib/psm/proto.mli: Psm_import Wire

@@ -1,0 +1,13 @@
+let eager_threshold = ref 65536
+
+let window_size = ref (1024 * 1024)
+
+let pipeline_depth = ref 2
+
+let tid_cache = ref false
+
+let reset () =
+  eager_threshold := 65536;
+  window_size := 1024 * 1024;
+  pipeline_depth := 2;
+  tid_cache := false

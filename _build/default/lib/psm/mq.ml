@@ -1,0 +1,64 @@
+type 'p posted = {
+  p_src : int option;
+  p_tag : int64;
+  p_mask : int64;
+  p_val : 'p;
+}
+
+type 'u unexpected = {
+  u_src : int;
+  u_tag : int64;
+  u_val : 'u;
+}
+
+type ('p, 'u) t = {
+  mutable posted : 'p posted list; (* oldest first *)
+  mutable unexpected : 'u unexpected list;
+}
+
+let create () = { posted = []; unexpected = [] }
+
+let tag_matches ~tag ~want ~mask =
+  Int64.logand tag mask = Int64.logand want mask
+
+let post t ~src ~tag ~mask v =
+  t.posted <- t.posted @ [ { p_src = src; p_tag = tag; p_mask = mask; p_val = v } ]
+
+let posted_matches p ~src ~tag =
+  (match p.p_src with None -> true | Some s -> s = src)
+  && tag_matches ~tag ~want:p.p_tag ~mask:p.p_mask
+
+let match_posted t ~src ~tag =
+  let rec go acc = function
+    | [] -> None
+    | p :: rest ->
+      if posted_matches p ~src ~tag then begin
+        t.posted <- List.rev_append acc rest;
+        Some p.p_val
+      end
+      else go (p :: acc) rest
+  in
+  go [] t.posted
+
+let posted_count t = List.length t.posted
+
+let add_unexpected t ~src ~tag v =
+  t.unexpected <- t.unexpected @ [ { u_src = src; u_tag = tag; u_val = v } ]
+
+let match_unexpected t ~src ~tag ~mask =
+  let rec go acc = function
+    | [] -> None
+    | u :: rest ->
+      let src_ok = match src with None -> true | Some s -> s = u.u_src in
+      if src_ok && tag_matches ~tag:u.u_tag ~want:tag ~mask then begin
+        t.unexpected <- List.rev_append acc rest;
+        Some (u.u_src, u.u_tag, u.u_val)
+      end
+      else go (u :: acc) rest
+  in
+  go [] t.unexpected
+
+let unexpected_count t = List.length t.unexpected
+
+let would_match t ~src ~tag =
+  List.exists (fun p -> posted_matches p ~src ~tag) t.posted

@@ -1,0 +1,38 @@
+(** Matched queues: PSM's tag-matching engine.
+
+    Two FIFO lists — posted receives and unexpected arrivals — with MPI
+    matching semantics: a posted receive takes the {e earliest} matching
+    unexpected message; an arriving message takes the earliest matching
+    posted receive.  Matching is on (source, 64-bit tag) with a tag mask;
+    [None] source is a wildcard. *)
+
+type ('p, 'u) t
+
+val create : unit -> ('p, 'u) t
+
+(** {2 Posted-receive side} *)
+
+val post :
+  ('p, 'u) t -> src:int option -> tag:int64 -> mask:int64 -> 'p -> unit
+
+(** [match_posted t ~src ~tag] removes and returns the earliest posted
+    entry matching an arrival from [src] with [tag]. *)
+val match_posted : ('p, 'u) t -> src:int -> tag:int64 -> 'p option
+
+val posted_count : ('p, 'u) t -> int
+
+(** {2 Unexpected side} *)
+
+val add_unexpected : ('p, 'u) t -> src:int -> tag:int64 -> 'u -> unit
+
+(** [match_unexpected t ~src ~tag ~mask] removes and returns the earliest
+    unexpected entry a new posted receive would match. *)
+val match_unexpected :
+  ('p, 'u) t -> src:int option -> tag:int64 -> mask:int64 ->
+  (int * int64 * 'u) option
+
+val unexpected_count : ('p, 'u) t -> int
+
+(** Does an arrival from [src] with [tag] match a posted entry
+    (without removing)? *)
+val would_match : ('p, 'u) t -> src:int -> tag:int64 -> bool

@@ -1,0 +1,27 @@
+open Psm_import
+
+type Wire.ctrl +=
+  | Rts of {
+      tag : int64;
+      msg_id : int;
+      msg_len : int;
+      src_rank : int;
+    }
+  | Cts of {
+      msg_id : int;
+      offset : int;
+      win_len : int;
+      tid_base : int;
+      dst_rank : int;
+    }
+
+let ctrl_bytes = 32
+
+let describe = function
+  | Rts r ->
+    Printf.sprintf "RTS(tag=%Ld msg=%d len=%d from=%d)" r.tag r.msg_id
+      r.msg_len r.src_rank
+  | Cts c ->
+    Printf.sprintf "CTS(msg=%d off=%d len=%d tid=%d)" c.msg_id c.offset
+      c.win_len c.tid_base
+  | _ -> "ctrl(?)"

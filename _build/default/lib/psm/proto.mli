@@ -1,0 +1,25 @@
+(** PSM rendezvous control messages, carried as fabric control packets. *)
+
+open Psm_import
+
+type Wire.ctrl +=
+  | Rts of {
+      tag : int64;
+      msg_id : int;
+      msg_len : int;
+      src_rank : int;
+    }
+      (** request-to-send: announces a large message *)
+  | Cts of {
+      msg_id : int;
+      offset : int;       (** window offset within the message *)
+      win_len : int;
+      tid_base : int;     (** -1: receiver could not register; send eager *)
+      dst_rank : int;     (** rank that issued the CTS *)
+    }
+      (** clear-to-send: one window is registered and may be SDMA'd *)
+
+(** Size on the wire of a control message. *)
+val ctrl_bytes : int
+
+val describe : Wire.ctrl -> string

@@ -1,0 +1,11 @@
+(* Local aliases for modules used across the PSM library. *)
+module Sim = Pico_engine.Sim
+module Mailbox = Pico_engine.Mailbox
+module Stats = Pico_engine.Stats
+module Addr = Pico_hw.Addr
+module Node = Pico_hw.Node
+module Wire = Pico_nic.Wire
+module Hfi = Pico_nic.Hfi
+module User_api = Pico_nic.User_api
+module Vfs = Pico_linux.Vfs
+module Costs = Pico_costs.Costs

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Hashtbl List Pico_apps Pico_costs Pico_engine Pico_harness Pico_mpi Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dwarf.ml: Alcotest Buffer Compile Ctype Encode Extract Leb128 List Pico_dwarf Pico_linux Printf QCheck2 QCheck_alcotest String

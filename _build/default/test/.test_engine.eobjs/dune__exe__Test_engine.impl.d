@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Heap Int64 List Mailbox Pico_engine QCheck2 QCheck_alcotest Resource Rng Semaphore Sim Stats Trace

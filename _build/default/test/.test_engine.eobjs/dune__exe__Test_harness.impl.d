@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Bytes List Pico_costs Pico_engine Pico_harness Pico_hw Pico_mpi Pico_nic Pico_psm Printf String

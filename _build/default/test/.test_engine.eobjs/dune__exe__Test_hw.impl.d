@@ -1,0 +1,1 @@
+test/test_hw.ml: Addr Alcotest Array Bytes Char Cpu Irq List Node Numa Option Pagetable Physmem Pico_engine Pico_hw QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_linux.ml: Alcotest Bytes Char Gup Hfi1_driver Kernel Layout List Noise Pico_costs Pico_engine Pico_hw Pico_linux Pico_nic Printf Slab Spinlock Uproc Vfs Workqueue

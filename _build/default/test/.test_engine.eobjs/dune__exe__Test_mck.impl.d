@@ -1,0 +1,1 @@
+test/test_mck.ml: Alcotest Bytes Char List Pico_costs Pico_engine Pico_hw Pico_ihk Pico_linux Pico_mck Pico_nic Printf

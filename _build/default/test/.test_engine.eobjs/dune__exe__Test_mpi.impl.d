@@ -1,0 +1,1 @@
+test/test_mpi.ml: Alcotest Array Bytes Char Float List Pico_apps Pico_costs Pico_engine Pico_harness Pico_mpi Pico_psm

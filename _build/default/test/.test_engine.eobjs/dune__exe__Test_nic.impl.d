@@ -1,0 +1,1 @@
+test/test_nic.ml: Alcotest Bytes Char Fabric Hfi Int64 List Option Pico_costs Pico_engine Pico_hw Pico_nic QCheck2 QCheck_alcotest Rcvarray Sdma User_api Wire

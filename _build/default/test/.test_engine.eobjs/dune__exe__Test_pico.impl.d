@@ -1,0 +1,1 @@
+test/test_pico.ml: Alcotest Bytes Char List Option Pico_costs Pico_driver Pico_dwarf Pico_engine Pico_hw Pico_ihk Pico_linux Pico_mck Pico_nic String

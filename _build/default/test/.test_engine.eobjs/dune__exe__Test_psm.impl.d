@@ -1,0 +1,1 @@
+test/test_psm.ml: Alcotest Bytes Char Int64 List Option Pico_costs Pico_engine Pico_harness Pico_hw Pico_linux Pico_mpi Pico_nic Pico_psm Printf QCheck2 QCheck_alcotest

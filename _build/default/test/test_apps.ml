@@ -1,0 +1,219 @@
+(* Tests for the workload library: topology helpers, the IMB benchmark
+   and the mini-application skeletons. *)
+
+module Sim = Pico_engine.Sim
+module H = Pico_harness
+module A = Pico_apps
+module Workload = Pico_apps.Workload
+module Comm = Pico_mpi.Comm
+module Costs = Pico_costs.Costs
+
+let () = Costs.reset ()
+
+(* --- dims3 / coords3 / neighbors3 ------------------------------------------ *)
+
+let test_dims3_products () =
+  List.iter
+    (fun n ->
+      let a, b, c = Workload.dims3 n in
+      Alcotest.(check int) (Printf.sprintf "product %d" n) n (a * b * c))
+    [ 1; 2; 3; 4; 8; 12; 16; 27; 60; 64; 100; 128; 256; 2048 ]
+
+let test_dims3_cubic () =
+  Alcotest.(check (triple int int int)) "64 = 4x4x4" (4, 4, 4)
+    (Workload.dims3 64);
+  Alcotest.(check (triple int int int)) "8 = 2x2x2" (2, 2, 2)
+    (Workload.dims3 8);
+  let a, b, c = Workload.dims3 12 in
+  Alcotest.(check int) "12 balanced" 12 (a * b * c);
+  Alcotest.(check bool) "ordered" true (a >= b && b >= c)
+
+let test_coords_roundtrip () =
+  let dims = Workload.dims3 24 in
+  let px, py, pz = dims in
+  let seen = Hashtbl.create 24 in
+  for r = 0 to 23 do
+    let x, y, z = Workload.coords3 ~rank:r ~dims in
+    Alcotest.(check bool) "in range" true
+      (x >= 0 && x < px && y >= 0 && y < py && z >= 0 && z < pz);
+    Alcotest.(check bool) "unique" false (Hashtbl.mem seen (x, y, z));
+    Hashtbl.add seen (x, y, z) ()
+  done
+
+let test_neighbors_symmetric () =
+  let n = 24 in
+  let dims = Workload.dims3 n in
+  for r = 0 to n - 1 do
+    let ns = Workload.neighbors3 ~rank:r ~dims in
+    Alcotest.(check bool) "no self" false (List.mem r ns);
+    List.iter
+      (fun peer ->
+        let back = Workload.neighbors3 ~rank:peer ~dims in
+        Alcotest.(check bool)
+          (Printf.sprintf "symmetry %d<->%d" r peer)
+          true (List.mem r back))
+      ns
+  done
+
+let prop_neighbors_bounded =
+  QCheck2.Test.make ~name:"at most 6 neighbours, all valid" ~count:60
+    QCheck2.Gen.(int_range 1 512)
+    (fun n ->
+      let dims = Workload.dims3 n in
+      let ns = Workload.neighbors3 ~rank:(n / 2) ~dims in
+      List.length ns <= 6
+      && List.for_all (fun r -> r >= 0 && r < n) ns
+      && List.sort_uniq compare ns = ns)
+
+(* --- timed_loop / halo_exchange ----------------------------------------------- *)
+
+let run_world ?(nodes = 2) ?(rpn = 2) app =
+  let cl = H.Cluster.build H.Cluster.Linux ~n_nodes:nodes () in
+  H.Experiment.run cl ~ranks_per_node:rpn (fun c -> app c)
+
+let test_timed_loop_measures () =
+  let res =
+    run_world (fun comm ->
+        Workload.timed_loop comm ~steps:3 (fun _ ->
+            Workload.compute comm 1000.))
+  in
+  (* 3 steps x 1 us plus barrier costs. *)
+  Alcotest.(check bool) "at least the compute time" true
+    (res.H.Experiment.fom_ns >= 3000.)
+
+let test_halo_exchange_completes () =
+  let res =
+    run_world ~nodes:2 ~rpn:4 (fun comm ->
+        let dims = Workload.dims3 comm.Comm.size in
+        let neighbors = Workload.neighbors3 ~rank:comm.Comm.rank ~dims in
+        let n = max 1 (List.length neighbors) in
+        let sbuf = Workload.alloc comm (n * 4096) in
+        let rbuf = Workload.alloc comm (n * 4096) in
+        Workload.timed_loop comm ~steps:2 (fun _ ->
+            Workload.halo_exchange comm ~neighbors ~bytes:4096 ~tag_base:50
+              ~sbuf ~rbuf))
+  in
+  Alcotest.(check bool) "finished" true (res.H.Experiment.fom_ns > 0.)
+
+(* --- IMB --------------------------------------------------------------------- *)
+
+let test_imb_sizes () =
+  let s = A.Imb.sizes ~max_size:1024 () in
+  Alcotest.(check (list int)) "powers of two"
+    [ 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 ] s
+
+let test_imb_pingpong_monotone_time () =
+  let out = ref [] in
+  let cl = H.Cluster.build H.Cluster.Linux ~n_nodes:2 () in
+  ignore
+    (H.Experiment.run cl ~ranks_per_node:1 (fun comm ->
+         A.Imb.pingpong ~iters:10 ~sizes:[ 1024; 65536; 1048576 ] ~out comm));
+  (match !out with
+   | [ a; b; c ] ->
+     Alcotest.(check bool) "latency grows with size" true
+       (a.A.Imb.time_ns < b.A.Imb.time_ns && b.A.Imb.time_ns < c.A.Imb.time_ns);
+     Alcotest.(check bool) "bandwidth grows with size" true
+       (a.A.Imb.mbps < c.A.Imb.mbps)
+   | _ -> Alcotest.fail "expected three points")
+
+let test_imb_suite_benchmarks () =
+  (* Each suite member completes and produces plausible points. *)
+  let run bench payload =
+    let out = ref [] in
+    let cl = H.Cluster.build H.Cluster.Linux ~n_nodes:2 () in
+    ignore
+      (H.Experiment.run cl ~ranks_per_node:2 (fun comm ->
+           bench ?iters:(Some 5) ?sizes:(Some [ 1024; 262144 ]) ~out comm));
+    List.iter
+      (fun (p : A.Imb.point) ->
+        Alcotest.(check bool) "positive time" true (p.A.Imb.time_ns > 0.);
+        if payload then
+          Alcotest.(check bool) "positive bw" true (p.A.Imb.mbps > 0.))
+      !out;
+    Alcotest.(check int) "two points" 2 (List.length !out)
+  in
+  run A.Imb.pingping true;
+  run A.Imb.sendrecv true;
+  run A.Imb.exchange true;
+  run A.Imb.bcast false;
+  run A.Imb.allreduce false;
+  run A.Imb.reduce false;
+  run A.Imb.allgather false;
+  run A.Imb.alltoall false;
+  run A.Imb.gather false;
+  run A.Imb.scatter false
+
+let test_imb_barrier () =
+  let out = ref [] in
+  let cl = H.Cluster.build H.Cluster.Linux ~n_nodes:2 () in
+  ignore
+    (H.Experiment.run cl ~ranks_per_node:2 (fun comm ->
+         A.Imb.barrier ~iters:10 ~out comm));
+  (match !out with
+   | [ p ] -> Alcotest.(check bool) "positive" true (p.A.Imb.time_ns > 0.)
+   | _ -> Alcotest.fail "one point expected")
+
+(* --- app skeletons ------------------------------------------------------------- *)
+
+let test_apps_run_and_scale () =
+  (* Every app completes and returns a positive, steps-scaled FOM. *)
+  let fom ?(rpn = 4) app =
+    (run_world ~nodes:2 ~rpn app).H.Experiment.fom_ns
+  in
+  let lammps1 =
+    fom (fun c ->
+        A.Lammps.run ~params:{ A.Lammps.default with A.Lammps.steps = 2 } c)
+  in
+  let lammps2 =
+    fom (fun c ->
+        A.Lammps.run ~params:{ A.Lammps.default with A.Lammps.steps = 6 } c)
+  in
+  Alcotest.(check bool) "lammps scales with steps" true
+    (lammps2 > 2. *. lammps1);
+  Alcotest.(check bool) "nekbone" true (fom (fun c -> A.Nekbone.run c) > 0.);
+  Alcotest.(check bool) "umt" true (fom (fun c -> A.Umt.run c) > 0.);
+  Alcotest.(check bool) "hacc" true (fom (fun c -> A.Hacc.run c) > 0.);
+  Alcotest.(check bool) "qbox" true (fom (fun c -> A.Qbox.run c) > 0.)
+
+let test_qbox_needs_four_ranks () =
+  Alcotest.(check bool) "raises under 4 ranks" true
+    (try
+       ignore (run_world ~nodes:1 ~rpn:2 (fun c -> A.Qbox.run c));
+       false
+     with Failure _ -> true)
+
+let test_umt_communication_dominated_at_scale () =
+  (* The UMT skeleton must be communication-heavy enough that the OS
+     configurations can differ: MPI time > 30% of runtime at 2 nodes. *)
+  let cl = H.Cluster.build H.Cluster.Linux ~n_nodes:2 () in
+  let res = H.Experiment.run cl ~ranks_per_node:8 (fun c -> A.Umt.run c) in
+  let mpi =
+    Pico_engine.Stats.Registry.grand_total
+      (H.Experiment.merged_mpi_profile res)
+  in
+  let rt = H.Experiment.total_runtime_ns res in
+  Alcotest.(check bool) "MPI share > 30%" true (mpi /. rt > 0.3)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "apps"
+    [ ("topology",
+       [ Alcotest.test_case "dims3 products" `Quick test_dims3_products;
+         Alcotest.test_case "dims3 cubic" `Quick test_dims3_cubic;
+         Alcotest.test_case "coords roundtrip" `Quick test_coords_roundtrip;
+         Alcotest.test_case "neighbors symmetric" `Quick test_neighbors_symmetric;
+         qc prop_neighbors_bounded ]);
+      ("workload",
+       [ Alcotest.test_case "timed loop" `Quick test_timed_loop_measures;
+         Alcotest.test_case "halo exchange" `Quick test_halo_exchange_completes ]);
+      ("imb",
+       [ Alcotest.test_case "sizes" `Quick test_imb_sizes;
+         Alcotest.test_case "pingpong monotone" `Quick
+           test_imb_pingpong_monotone_time;
+         Alcotest.test_case "suite benchmarks" `Quick test_imb_suite_benchmarks;
+         Alcotest.test_case "barrier" `Quick test_imb_barrier ]);
+      ("skeletons",
+       [ Alcotest.test_case "run and scale" `Slow test_apps_run_and_scale;
+         Alcotest.test_case "qbox needs 4" `Quick test_qbox_needs_four_ranks;
+         Alcotest.test_case "umt comm heavy" `Quick
+           test_umt_communication_dominated_at_scale ]) ]

@@ -1,0 +1,331 @@
+(* Tests for the DWARF substrate: LEB128, C layout, compile/encode/parse
+   roundtrip and dwarf-extract-struct. *)
+
+open Pico_dwarf
+
+(* --- Leb128 ------------------------------------------------------------- *)
+
+let uroundtrip n =
+  let b = Buffer.create 8 in
+  Leb128.write_unsigned b n;
+  let v, pos = Leb128.read_unsigned (Buffer.contents b) 0 in
+  v = n && pos = Buffer.length b
+
+let sroundtrip n =
+  let b = Buffer.create 8 in
+  Leb128.write_signed b n;
+  let v, pos = Leb128.read_signed (Buffer.contents b) 0 in
+  v = n && pos = Buffer.length b
+
+let test_leb128_edges () =
+  List.iter
+    (fun n -> Alcotest.(check bool) (string_of_int n) true (uroundtrip n))
+    [ 0; 1; 127; 128; 129; 16383; 16384; 1 lsl 40 ];
+  List.iter
+    (fun n -> Alcotest.(check bool) (string_of_int n) true (sroundtrip n))
+    [ 0; 1; -1; 63; 64; -64; -65; 8191; -8192; 1 lsl 40; -(1 lsl 40) ]
+
+let test_leb128_truncated () =
+  Alcotest.(check bool) "truncated raises" true
+    (try ignore (Leb128.read_unsigned "\x80" 0); false
+     with Invalid_argument _ -> true)
+
+let prop_uleb_roundtrip =
+  QCheck2.Test.make ~name:"ULEB128 roundtrip" ~count:500
+    QCheck2.Gen.(int_range 0 max_int)
+    uroundtrip
+
+let prop_sleb_roundtrip =
+  QCheck2.Test.make ~name:"SLEB128 roundtrip" ~count:500 QCheck2.Gen.int
+    sroundtrip
+
+(* --- Ctype layout ---------------------------------------------------------- *)
+
+let test_ctype_scalars () =
+  Alcotest.(check int) "u8" 1 (Ctype.size_of Ctype.u8);
+  Alcotest.(check int) "u32" 4 (Ctype.size_of Ctype.u32);
+  Alcotest.(check int) "u64" 8 (Ctype.size_of Ctype.u64);
+  Alcotest.(check int) "ptr" 8 (Ctype.size_of Ctype.void_ptr);
+  Alcotest.(check int) "ptr align" 8 (Ctype.align_of Ctype.void_ptr);
+  Alcotest.(check int) "array" 40 (Ctype.size_of (Ctype.Array (Ctype.u64, 5)))
+
+let test_ctype_struct_padding () =
+  (* { u8 a; u64 b; u8 c } -> a@0, b@8, c@16, size 24. *)
+  let d : Ctype.decl =
+    { name = "p"; members = [ ("a", Ctype.u8); ("b", Ctype.u64); ("c", Ctype.u8) ] }
+  in
+  let ms = Ctype.layout `Struct d in
+  let off name =
+    (List.find (fun m -> m.Ctype.m_name = name) ms).Ctype.m_offset
+  in
+  Alcotest.(check int) "a" 0 (off "a");
+  Alcotest.(check int) "b" 8 (off "b");
+  Alcotest.(check int) "c" 16 (off "c");
+  Alcotest.(check int) "sizeof" 24 (Ctype.sized `Struct d)
+
+let test_ctype_union () =
+  let d : Ctype.decl =
+    { name = "u"; members = [ ("a", Ctype.u32); ("b", Ctype.u64) ] }
+  in
+  let ms = Ctype.layout `Union d in
+  Alcotest.(check bool) "all at 0" true
+    (List.for_all (fun m -> m.Ctype.m_offset = 0) ms);
+  Alcotest.(check int) "size is max" 8 (Ctype.sized `Union d)
+
+let test_ctype_nested () =
+  let inner : Ctype.decl =
+    { name = "in"; members = [ ("x", Ctype.u32); ("y", Ctype.u64) ] }
+  in
+  let outer : Ctype.decl =
+    { name = "out";
+      members = [ ("pre", Ctype.u8); ("s", Ctype.Struct inner) ] }
+  in
+  let ms = Ctype.layout `Struct outer in
+  Alcotest.(check int) "inner aligned to 8" 8
+    (List.nth ms 1).Ctype.m_offset;
+  Alcotest.(check int) "inner size" 16 (Ctype.sized `Struct inner)
+
+let test_ctype_typedef () =
+  let t = Ctype.Typedef ("u32_t", Ctype.u32) in
+  Alcotest.(check int) "typedef size" 4 (Ctype.size_of t);
+  Alcotest.(check string) "c string" "u32_t" (Ctype.to_c_string t)
+
+let test_ctype_empty_rejected () =
+  let d : Ctype.decl = { name = "e"; members = [] } in
+  Alcotest.(check bool) "empty raises" true
+    (try ignore (Ctype.layout `Struct d); false
+     with Invalid_argument _ -> true)
+
+(* The Listing 1 invariant: the sdma_state layout must put current_state
+   at 40, go_s99_running at 48, previous_state at 52, sizeof = 64. *)
+let test_ctype_sdma_state_offsets () =
+  let d = Pico_linux.Hfi1_structs.sdma_state in
+  let off name = Pico_linux.Hfi1_structs.field_offset d name in
+  Alcotest.(check int) "current_state" 40 (off "current_state");
+  Alcotest.(check int) "go_s99_running" 48 (off "go_s99_running");
+  Alcotest.(check int) "previous_state" 52 (off "previous_state");
+  Alcotest.(check int) "sizeof" 64 (Pico_linux.Hfi1_structs.struct_size d)
+
+(* --- Compile / Encode / Parse ----------------------------------------------- *)
+
+let sample_decls () : Ctype.decl list =
+  let ring : Ctype.decl =
+    { name = "ring"; members = [ ("head", Ctype.u64); ("tail", Ctype.u64) ] }
+  in
+  let dev : Ctype.decl =
+    { name = "dev";
+      members =
+        [ ("id", Ctype.u32);
+          ("name", Ctype.Array (Ctype.char_t, 8));
+          ("r", Ctype.Struct ring);
+          ("next", Ctype.void_ptr) ] }
+  in
+  [ ring; dev ]
+
+let compile_sections decls =
+  let c = Compile.create () in
+  List.iter (Compile.add_struct c) decls;
+  Encode.encode (Compile.finish c)
+
+let test_roundtrip_structs_present () =
+  let parsed = Encode.parse (compile_sections (sample_decls ())) in
+  let names = Extract.structs_available parsed in
+  Alcotest.(check bool) "ring present" true (List.mem "ring" names);
+  Alcotest.(check bool) "dev present" true (List.mem "dev" names)
+
+let test_roundtrip_fields () =
+  let parsed = Encode.parse (compile_sections (sample_decls ())) in
+  Alcotest.(check (list string)) "dev fields"
+    [ "id"; "name"; "r"; "next" ]
+    (Extract.fields_available parsed ~string_name:"dev")
+
+let test_parse_rejects_garbage () =
+  Alcotest.(check bool) "garbage rejected" true
+    (try
+       ignore
+         (Encode.parse { Encode.debug_abbrev = "\x00"; debug_info = "abc" });
+       false
+     with Invalid_argument _ -> true)
+
+let test_parse_rejects_truncated () =
+  let s = compile_sections (sample_decls ()) in
+  let truncated =
+    { s with Encode.debug_info = String.sub s.Encode.debug_info 0 16 }
+  in
+  Alcotest.(check bool) "truncated rejected" true
+    (try ignore (Encode.parse truncated); false
+     with Invalid_argument _ -> true)
+
+(* --- Extract ------------------------------------------------------------------ *)
+
+let test_extract_offsets_match_layout () =
+  let decls = sample_decls () in
+  let parsed = Encode.parse (compile_sections decls) in
+  let dev = List.nth decls 1 in
+  match
+    Extract.extract parsed ~struct_name:"dev"
+      ~fields:[ "id"; "name"; "r"; "next" ]
+  with
+  | Error e -> Alcotest.fail e
+  | Ok ex ->
+    let source = Ctype.layout `Struct dev in
+    List.iter
+      (fun (m : Ctype.laid_member) ->
+        let f = Extract.field ex m.Ctype.m_name in
+        Alcotest.(check int)
+          (m.Ctype.m_name ^ " offset")
+          m.Ctype.m_offset f.Extract.f_offset;
+        Alcotest.(check int)
+          (m.Ctype.m_name ^ " size")
+          m.Ctype.m_size f.Extract.f_size)
+      source;
+    Alcotest.(check int) "byte size" (Ctype.sized `Struct dev)
+      ex.Extract.e_byte_size
+
+let test_extract_array_metadata () =
+  let parsed = Encode.parse (compile_sections (sample_decls ())) in
+  match Extract.extract parsed ~struct_name:"dev" ~fields:[ "name" ] with
+  | Error e -> Alcotest.fail e
+  | Ok ex ->
+    let f = Extract.field ex "name" in
+    Alcotest.(check (option int)) "array len" (Some 8) f.Extract.f_array_len;
+    Alcotest.(check bool) "not a pointer" false f.Extract.f_is_pointer
+
+let test_extract_pointer_metadata () =
+  let parsed = Encode.parse (compile_sections (sample_decls ())) in
+  match Extract.extract parsed ~struct_name:"dev" ~fields:[ "next" ] with
+  | Error e -> Alcotest.fail e
+  | Ok ex ->
+    let f = Extract.field ex "next" in
+    Alcotest.(check bool) "pointer" true f.Extract.f_is_pointer;
+    Alcotest.(check int) "8 bytes" 8 f.Extract.f_size
+
+let test_extract_missing_struct () =
+  let parsed = Encode.parse (compile_sections (sample_decls ())) in
+  match Extract.extract parsed ~struct_name:"nope" ~fields:[ "x" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_extract_missing_field () =
+  let parsed = Encode.parse (compile_sections (sample_decls ())) in
+  match Extract.extract parsed ~struct_name:"dev" ~fields:[ "bogus" ] with
+  | Error msg ->
+    Alcotest.(check bool) "mentions field" true
+      (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "expected error"
+
+let test_render_header_shape () =
+  let parsed = Encode.parse (compile_sections (sample_decls ())) in
+  match Extract.extract parsed ~struct_name:"dev" ~fields:[ "r"; "next" ] with
+  | Error e -> Alcotest.fail e
+  | Ok ex ->
+    let header = Extract.render_c_header ex in
+    let has sub =
+      let n = String.length sub and h = String.length header in
+      let rec go i = i + n <= h && (String.sub header i n = sub || go (i + 1)) in
+      go 0
+    in
+    Alcotest.(check bool) "union" true (has "union {");
+    Alcotest.(check bool) "whole_struct" true (has "char whole_struct[");
+    Alcotest.(check bool) "padding before r" true (has "padding0[");
+    Alcotest.(check bool) "struct ring member" true (has "struct ring r;")
+
+(* Property: for random struct declarations, DWARF-extracted offsets always
+   equal the layout engine's (the invariant the whole PicoDriver approach
+   rests on). *)
+let gen_decl : Ctype.decl QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let base =
+    oneofl [ Ctype.u8; Ctype.u16; Ctype.u32; Ctype.u64; Ctype.s32;
+             Ctype.char_t; Ctype.void_ptr ]
+  in
+  let member_ty =
+    oneof
+      [ base;
+        (let* elt = base and* n = int_range 1 16 in
+         return (Ctype.Array (elt, n))) ]
+  in
+  let* n = int_range 1 10 in
+  let* tys = list_size (return n) member_ty in
+  let members = List.mapi (fun i ty -> (Printf.sprintf "f%d" i, ty)) tys in
+  return ({ name = "rand"; members } : Ctype.decl)
+
+let prop_extract_matches_layout =
+  QCheck2.Test.make ~name:"extraction offsets = source layout" ~count:100
+    gen_decl (fun decl ->
+      let sections = compile_sections [ decl ] in
+      let parsed = Encode.parse sections in
+      let fields = List.map fst decl.Ctype.members in
+      match Extract.extract parsed ~struct_name:"rand" ~fields with
+      | Error _ -> false
+      | Ok ex ->
+        List.for_all
+          (fun (m : Ctype.laid_member) ->
+            let f = Extract.field ex m.Ctype.m_name in
+            f.Extract.f_offset = m.Ctype.m_offset
+            && f.Extract.f_size = m.Ctype.m_size)
+          (Ctype.layout `Struct decl)
+        && ex.Extract.e_byte_size = Ctype.sized `Struct decl)
+
+let test_enumerators_roundtrip () =
+  let states : Ctype.t =
+    Ctype.Enum
+      { ename = "states";
+        underlying = { bname = "unsigned int"; byte_size = 4; signed = false };
+        enumerators = [ ("s_idle", 0); ("s_busy", 3); ("s_dead", 99) ] }
+  in
+  let holder : Ctype.decl =
+    { name = "holder"; members = [ ("st", states) ] }
+  in
+  let parsed = Encode.parse (compile_sections [ holder ]) in
+  Alcotest.(check (list (pair string int))) "all enumerators"
+    [ ("s_idle", 0); ("s_busy", 3); ("s_dead", 99) ]
+    (Extract.enumerators parsed ~enum:"states");
+  Alcotest.(check (option int)) "lookup" (Some 3)
+    (Extract.enum_value parsed ~enum:"states" ~enumerator:"s_busy");
+  Alcotest.(check (option int)) "missing enumerator" None
+    (Extract.enum_value parsed ~enum:"states" ~enumerator:"nope");
+  Alcotest.(check (option int)) "missing enum" None
+    (Extract.enum_value parsed ~enum:"nope" ~enumerator:"s_busy")
+
+let test_sdma_states_in_module_binary () =
+  let parsed = Encode.parse (Pico_linux.Hfi1_structs.module_binary ()) in
+  Alcotest.(check (option int)) "s99_running recovered" (Some 10)
+    (Extract.enum_value parsed ~enum:"sdma_states"
+       ~enumerator:"sdma_state_s99_running");
+  Alcotest.(check int) "11 states" 11
+    (List.length (Extract.enumerators parsed ~enum:"sdma_states"))
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "dwarf"
+    [ ("leb128",
+       [ Alcotest.test_case "edges" `Quick test_leb128_edges;
+         Alcotest.test_case "truncated" `Quick test_leb128_truncated;
+         qc prop_uleb_roundtrip;
+         qc prop_sleb_roundtrip ]);
+      ("ctype",
+       [ Alcotest.test_case "scalars" `Quick test_ctype_scalars;
+         Alcotest.test_case "struct padding" `Quick test_ctype_struct_padding;
+         Alcotest.test_case "union" `Quick test_ctype_union;
+         Alcotest.test_case "nested" `Quick test_ctype_nested;
+         Alcotest.test_case "typedef" `Quick test_ctype_typedef;
+         Alcotest.test_case "empty rejected" `Quick test_ctype_empty_rejected;
+         Alcotest.test_case "sdma_state offsets (Listing 1)" `Quick
+           test_ctype_sdma_state_offsets ]);
+      ("roundtrip",
+       [ Alcotest.test_case "structs present" `Quick test_roundtrip_structs_present;
+         Alcotest.test_case "fields" `Quick test_roundtrip_fields;
+         Alcotest.test_case "garbage rejected" `Quick test_parse_rejects_garbage;
+         Alcotest.test_case "truncated rejected" `Quick test_parse_rejects_truncated ]);
+      ("extract",
+       [ Alcotest.test_case "offsets match layout" `Quick test_extract_offsets_match_layout;
+         Alcotest.test_case "array metadata" `Quick test_extract_array_metadata;
+         Alcotest.test_case "pointer metadata" `Quick test_extract_pointer_metadata;
+         Alcotest.test_case "missing struct" `Quick test_extract_missing_struct;
+         Alcotest.test_case "missing field" `Quick test_extract_missing_field;
+         Alcotest.test_case "header shape" `Quick test_render_header_shape;
+         Alcotest.test_case "enumerators" `Quick test_enumerators_roundtrip;
+         Alcotest.test_case "sdma_states in binary" `Quick
+           test_sdma_states_in_module_binary;
+         qc prop_extract_matches_layout ]) ]

@@ -1,0 +1,438 @@
+(* Unit and property tests for the hardware substrate. *)
+
+open Pico_hw
+module Sim = Pico_engine.Sim
+module Resource = Pico_engine.Resource
+
+(* --- Addr ----------------------------------------------------------------- *)
+
+let test_addr_align () =
+  Alcotest.(check int) "down" 0x1000 (Addr.align_down 0x1fff 0x1000);
+  Alcotest.(check int) "up" 0x2000 (Addr.align_up 0x1001 0x1000);
+  Alcotest.(check int) "up exact" 0x1000 (Addr.align_up 0x1000 0x1000);
+  Alcotest.(check bool) "aligned" true (Addr.is_aligned 0x2000 0x1000);
+  Alcotest.(check bool) "unaligned" false (Addr.is_aligned 0x2001 0x1000)
+
+let test_addr_pages_spanned () =
+  Alcotest.(check int) "within page" 1 (Addr.pages_spanned ~addr:0 ~len:4096);
+  Alcotest.(check int) "crosses" 2 (Addr.pages_spanned ~addr:4095 ~len:2);
+  Alcotest.(check int) "exact two" 2 (Addr.pages_spanned ~addr:0 ~len:8192);
+  Alcotest.(check int) "zero len" 0 (Addr.pages_spanned ~addr:100 ~len:0);
+  Alcotest.(check int) "offset big" 3
+    (Addr.pages_spanned ~addr:(4096 + 100) ~len:8192)
+
+let test_addr_units () =
+  Alcotest.(check int) "kib" 2048 (Addr.kib 2);
+  Alcotest.(check int) "mib" (2 * 1024 * 1024) (Addr.mib 2);
+  Alcotest.(check int) "gib" (1024 * 1024 * 1024) (Addr.gib 1);
+  Alcotest.(check int) "large page" (2 * 1024 * 1024) Addr.large_page_size
+
+let prop_align_idempotent =
+  QCheck2.Test.make ~name:"align_up idempotent" ~count:200
+    QCheck2.Gen.(pair (int_range 0 (1 lsl 40)) (int_range 0 8))
+    (fun (a, shift) ->
+      let alignment = 4096 lsl shift in
+      let up = Addr.align_up a alignment in
+      Addr.align_up up alignment = up && up >= a && up - a < alignment)
+
+(* --- Physmem ---------------------------------------------------------------- *)
+
+let mk_mem ?(frames = 64) () =
+  Physmem.create ~base:0x10000 ~size:(frames * Addr.page_size)
+
+let test_physmem_alloc_free () =
+  let m = mk_mem () in
+  let pa = Option.get (Physmem.alloc m 4) in
+  Alcotest.(check int) "base" 0x10000 pa;
+  Alcotest.(check int) "used" (4 * 4096) (Physmem.used m);
+  Physmem.free m pa 4;
+  Alcotest.(check int) "freed" 0 (Physmem.used m)
+
+let test_physmem_coalesce () =
+  let m = mk_mem ~frames:8 () in
+  let a = Option.get (Physmem.alloc m 4) in
+  let b = Option.get (Physmem.alloc m 4) in
+  Physmem.free m a 4;
+  Physmem.free m b 4;
+  (* After coalescing, the whole region is one hole again. *)
+  Alcotest.(check int) "largest hole" 8 (Physmem.largest_hole m);
+  let c = Option.get (Physmem.alloc m 8) in
+  Alcotest.(check int) "full realloc" a c
+
+let test_physmem_double_free () =
+  let m = mk_mem () in
+  let pa = Option.get (Physmem.alloc m 2) in
+  Physmem.free m pa 2;
+  Alcotest.(check bool) "double free raises" true
+    (try Physmem.free m pa 2; false with Invalid_argument _ -> true)
+
+let test_physmem_oom () =
+  let m = mk_mem ~frames:4 () in
+  Alcotest.(check bool) "too big" true (Physmem.alloc m 5 = None);
+  ignore (Physmem.alloc m 4);
+  Alcotest.(check bool) "full" true (Physmem.alloc m 1 = None)
+
+let test_physmem_alignment () =
+  let m = Physmem.create ~base:0x1000 ~size:(Addr.mib 8) in
+  ignore (Physmem.alloc m 1);
+  let pa = Option.get (Physmem.alloc m ~align:Addr.large_page_size 512) in
+  Alcotest.(check bool) "2MB aligned" true
+    (Addr.is_aligned pa Addr.large_page_size)
+
+let test_physmem_rw () =
+  let m = mk_mem () in
+  let pa = Option.get (Physmem.alloc m 3) in
+  let data = Bytes.init 10000 (fun i -> Char.chr (i land 0xff)) in
+  Physmem.write_bytes m (pa + 100) data;
+  let back = Physmem.read_bytes m (pa + 100) 10000 in
+  Alcotest.(check bytes) "rw roundtrip across frames" data back
+
+let test_physmem_zero_fill () =
+  let m = mk_mem () in
+  let pa = Option.get (Physmem.alloc m 1) in
+  Physmem.write_u64 m pa 0xDEADBEEFL;
+  Physmem.free m pa 1;
+  let pa2 = Option.get (Physmem.alloc m 1) in
+  Alcotest.(check int) "same frame" pa pa2;
+  Alcotest.(check int64) "zeroed after free" 0L (Physmem.read_u64 m pa2)
+
+let test_physmem_sparse () =
+  let m = Physmem.create ~base:0 ~size:(Addr.mib 64) in
+  ignore (Physmem.alloc m 1024);
+  Alcotest.(check int) "no resident frames before writes" 0
+    (Physmem.resident_frames m);
+  Physmem.write_u8 m 0 1;
+  Alcotest.(check int) "one after a write" 1 (Physmem.resident_frames m)
+
+let test_physmem_scalar_access () =
+  let m = mk_mem () in
+  let pa = Option.get (Physmem.alloc m 1) in
+  Physmem.write_u32 m pa 0x12345678l;
+  Alcotest.(check int32) "u32" 0x12345678l (Physmem.read_u32 m pa);
+  (* Little endian byte order, like x86. *)
+  Alcotest.(check int) "LE low byte" 0x78 (Physmem.read_u8 m pa);
+  Physmem.write_u64 m (pa + 8) (-1L);
+  Alcotest.(check int64) "u64" (-1L) (Physmem.read_u64 m (pa + 8))
+
+let test_physmem_out_of_range () =
+  let m = mk_mem ~frames:1 () in
+  Alcotest.(check bool) "read out of range raises" true
+    (try ignore (Physmem.read_bytes m 0 8); false
+     with Invalid_argument _ -> true)
+
+(* Property: under a random alloc/free interleaving, live allocations
+   never overlap and a full drain restores one maximal hole. *)
+let prop_physmem_no_overlap =
+  QCheck2.Test.make ~name:"allocator: no overlap, full coalesce" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 40) (pair bool (int_range 1 8)))
+    (fun ops ->
+      let frames = 128 in
+      let m = Physmem.create ~base:0 ~size:(frames * Addr.page_size) in
+      let live = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun (is_alloc, n) ->
+          if is_alloc then begin
+            match Physmem.alloc m n with
+            | Some pa ->
+              (* overlap check against every live allocation *)
+              List.iter
+                (fun (opa, on) ->
+                  let e1 = pa + (n * Addr.page_size) in
+                  let e2 = opa + (on * Addr.page_size) in
+                  if not (e1 <= opa || e2 <= pa) then ok := false)
+                !live;
+              live := (pa, n) :: !live
+            | None -> ()
+          end
+          else begin
+            match !live with
+            | (pa, n) :: rest ->
+              Physmem.free m pa n;
+              live := rest
+            | [] -> ()
+          end)
+        ops;
+      List.iter (fun (pa, n) -> Physmem.free m pa n) !live;
+      !ok && Physmem.largest_hole m = frames && Physmem.used m = 0)
+
+(* --- Pagetable ----------------------------------------------------------------- *)
+
+let flags_rw = Pagetable.Flags.(present + writable)
+
+let test_pt_map_translate () =
+  let pt = Pagetable.create () in
+  Pagetable.map pt ~va:0x4000_0000 ~pa:0x8000 ~page_size:Addr.page_size
+    ~flags:flags_rw;
+  Alcotest.(check int) "pa_of offset" (0x8000 + 42)
+    (Pagetable.pa_of pt (0x4000_0000 + 42));
+  (match Pagetable.translate pt 0x4000_0123 with
+   | Some m ->
+     Alcotest.(check int) "page va" 0x4000_0000 m.Pagetable.va;
+     Alcotest.(check int) "size" 4096 m.Pagetable.page_size
+   | None -> Alcotest.fail "unmapped")
+
+let test_pt_large_page () =
+  let pt = Pagetable.create () in
+  Pagetable.map pt ~va:(Addr.mib 2) ~pa:(Addr.mib 4)
+    ~page_size:Addr.large_page_size ~flags:flags_rw;
+  Alcotest.(check int) "inside 2M page"
+    (Addr.mib 4 + Addr.mib 1)
+    (Pagetable.pa_of pt (Addr.mib 2 + Addr.mib 1));
+  Alcotest.(check int) "leaves" 1 (Pagetable.leaf_count pt)
+
+let test_pt_already_mapped () =
+  let pt = Pagetable.create () in
+  Pagetable.map pt ~va:0x1000 ~pa:0x2000 ~page_size:4096 ~flags:flags_rw;
+  Alcotest.(check bool) "remap raises" true
+    (try
+       Pagetable.map pt ~va:0x1000 ~pa:0x3000 ~page_size:4096 ~flags:flags_rw;
+       false
+     with Pagetable.Already_mapped _ -> true)
+
+let test_pt_unmap () =
+  let pt = Pagetable.create () in
+  Pagetable.map pt ~va:0x1000 ~pa:0x2000 ~page_size:4096 ~flags:flags_rw;
+  let m = Pagetable.unmap pt ~va:0x1234 in
+  Alcotest.(check int) "unmapped pa" 0x2000 m.Pagetable.pa;
+  Alcotest.(check bool) "translate now fails" true
+    (Pagetable.translate pt 0x1000 = None);
+  Alcotest.(check bool) "unmap again raises" true
+    (try ignore (Pagetable.unmap pt ~va:0x1000); false
+     with Pagetable.Not_mapped _ -> true)
+
+let test_pt_phys_segments_coalesce () =
+  let pt = Pagetable.create () in
+  (* Three virtually AND physically consecutive 4k pages -> one segment. *)
+  Pagetable.map_range pt ~va:0x10000 ~pa:0x50000 ~len:(3 * 4096)
+    ~page_size:4096 ~flags:flags_rw;
+  (match Pagetable.phys_segments pt ~va:0x10000 ~len:(3 * 4096) with
+   | [ (pa, len, _) ] ->
+     Alcotest.(check int) "pa" 0x50000 pa;
+     Alcotest.(check int) "len" (3 * 4096) len
+   | segs ->
+     Alcotest.failf "expected 1 segment, got %d" (List.length segs))
+
+let test_pt_phys_segments_split () =
+  let pt = Pagetable.create () in
+  (* Two virtually consecutive pages, physically apart -> two segments. *)
+  Pagetable.map pt ~va:0x10000 ~pa:0x50000 ~page_size:4096 ~flags:flags_rw;
+  Pagetable.map pt ~va:0x11000 ~pa:0x90000 ~page_size:4096 ~flags:flags_rw;
+  Alcotest.(check int) "two segments" 2
+    (List.length (Pagetable.phys_segments pt ~va:0x10000 ~len:8192))
+
+let test_pt_phys_segments_subrange () =
+  let pt = Pagetable.create () in
+  Pagetable.map pt ~va:0x10000 ~pa:0x50000 ~page_size:4096 ~flags:flags_rw;
+  (match Pagetable.phys_segments pt ~va:0x10100 ~len:256 with
+   | [ (pa, len, _) ] ->
+     Alcotest.(check int) "offset pa" 0x50100 pa;
+     Alcotest.(check int) "sub len" 256 len
+   | _ -> Alcotest.fail "expected 1 segment")
+
+let test_pt_phys_segments_mixed_sizes () =
+  let pt = Pagetable.create () in
+  (* A 4k page physically right before a 2M page: coalesces. *)
+  let large_va = Addr.mib 4 and large_pa = Addr.mib 32 in
+  Pagetable.map pt ~va:(large_va - 4096) ~pa:(large_pa - 4096)
+    ~page_size:4096 ~flags:flags_rw;
+  Pagetable.map pt ~va:large_va ~pa:large_pa
+    ~page_size:Addr.large_page_size ~flags:flags_rw;
+  (match
+     Pagetable.phys_segments pt ~va:(large_va - 4096)
+       ~len:(4096 + Addr.large_page_size)
+   with
+   | [ (pa, len, _) ] ->
+     Alcotest.(check int) "pa" (large_pa - 4096) pa;
+     Alcotest.(check int) "len" (4096 + Addr.large_page_size) len
+   | segs -> Alcotest.failf "expected 1 segment, got %d" (List.length segs))
+
+let test_pt_phys_segments_hole () =
+  let pt = Pagetable.create () in
+  Pagetable.map pt ~va:0x10000 ~pa:0x50000 ~page_size:4096 ~flags:flags_rw;
+  Alcotest.(check bool) "hole raises" true
+    (try ignore (Pagetable.phys_segments pt ~va:0x10000 ~len:8192); false
+     with Pagetable.Not_mapped _ -> true)
+
+let test_pt_flags () =
+  let pt = Pagetable.create () in
+  let flags = Pagetable.Flags.(present + writable + pinned) in
+  Pagetable.map pt ~va:0x1000 ~pa:0x2000 ~page_size:4096 ~flags;
+  (match Pagetable.translate pt 0x1000 with
+   | Some m ->
+     Alcotest.(check bool) "pinned" true
+       Pagetable.Flags.(has m.Pagetable.flags pinned);
+     Alcotest.(check bool) "user not set" false
+       Pagetable.Flags.(has m.Pagetable.flags user)
+   | None -> Alcotest.fail "unmapped")
+
+let prop_pt_random_mappings =
+  QCheck2.Test.make ~name:"random disjoint maps all translate back" ~count:50
+    QCheck2.Gen.(list_size (int_range 1 30) (int_range 0 1000))
+    (fun page_idxs ->
+      let idxs = List.sort_uniq compare page_idxs in
+      let pt = Pagetable.create () in
+      List.iter
+        (fun i ->
+          Pagetable.map pt ~va:(i * 4096) ~pa:((i + 5000) * 4096)
+            ~page_size:4096 ~flags:flags_rw)
+        idxs;
+      List.for_all
+        (fun i -> Pagetable.pa_of pt (i * 4096) = (i + 5000) * 4096)
+        idxs)
+
+(* --- Numa / Cpu ------------------------------------------------------------------ *)
+
+let test_numa_knl () =
+  let n = Numa.knl_snc4 ~scale:0.001 () in
+  Alcotest.(check int) "8 domains" 8 (Numa.n_domains n);
+  Alcotest.(check int) "4 mcdram" 4
+    (List.length (Numa.domains_of_kind n Numa.Mcdram));
+  Alcotest.(check int) "4 ddr" 4
+    (List.length (Numa.domains_of_kind n Numa.Ddr4))
+
+let test_numa_pref_fallback () =
+  let n =
+    Numa.create ~mcdram_domains:1 ~mcdram_per_domain:(Addr.kib 8)
+      ~ddr_domains:1 ~ddr_per_domain:(Addr.mib 1) ()
+  in
+  (* Two frames fit MCDRAM; the next request falls back to DDR. *)
+  let d1, _ = Option.get (Numa.alloc_pref n ~pref:Numa.Mcdram 2) in
+  Alcotest.(check bool) "mcdram first" true (d1.Numa.kind = Numa.Mcdram);
+  let d2, _ = Option.get (Numa.alloc_pref n ~pref:Numa.Mcdram 2) in
+  Alcotest.(check bool) "fallback ddr" true (d2.Numa.kind = Numa.Ddr4)
+
+let test_numa_owner () =
+  let n = Numa.knl_snc4 ~scale:0.001 () in
+  let d, pa = Option.get (Numa.alloc_pref n ~pref:Numa.Ddr4 1) in
+  (match Numa.owner n pa with
+   | Some od -> Alcotest.(check int) "owner id" d.Numa.id od.Numa.id
+   | None -> Alcotest.fail "no owner");
+  Alcotest.(check bool) "outside" true (Numa.owner n 1 = None)
+
+let test_cpu_topology () =
+  let cpus = Cpu.knl_7250 () in
+  Alcotest.(check int) "272 logical" 272 (Array.length cpus);
+  Alcotest.(check int) "all linux initially" 272
+    (Cpu.count_owned cpus Cpu.Linux);
+  let c17 = cpus.(17) in
+  Alcotest.(check int) "core of 17" 4 c17.Cpu.core_id;
+  Alcotest.(check int) "thread of 17" 1 c17.Cpu.thread_id
+
+(* --- Irq -------------------------------------------------------------------------- *)
+
+let test_irq_basic () =
+  let sim = Sim.create () in
+  let irq = Irq.create sim in
+  let fired = ref 0 in
+  Irq.register irq ~vector:5 ~name:"test" (fun () -> incr fired);
+  Irq.raise_irq irq ~vector:5;
+  Irq.raise_irq irq ~vector:5;
+  ignore (Sim.run sim);
+  Alcotest.(check int) "handler ran" 2 !fired;
+  Alcotest.(check int) "delivered" 2 (Irq.delivered irq)
+
+let test_irq_duplicate_vector () =
+  let sim = Sim.create () in
+  let irq = Irq.create sim in
+  Irq.register irq ~vector:1 ~name:"a" (fun () -> ());
+  Alcotest.(check bool) "duplicate raises" true
+    (try Irq.register irq ~vector:1 ~name:"b" (fun () -> ()); false
+     with Invalid_argument _ -> true)
+
+let test_irq_spurious () =
+  let sim = Sim.create () in
+  let irq = Irq.create sim in
+  Irq.raise_irq irq ~vector:99;
+  ignore (Sim.run sim);
+  Alcotest.(check int) "spurious counted" 1 (Irq.delivered irq)
+
+let test_irq_service_contention () =
+  let sim = Sim.create () in
+  let irq = Irq.create sim in
+  let cpus = Resource.create sim ~name:"cpus" ~capacity:1 in
+  Irq.set_service irq (Some cpus);
+  Irq.set_dispatch_latency irq 0.;
+  let times = ref [] in
+  Irq.register irq ~vector:1 ~name:"h" (fun () ->
+      Sim.delay sim 100.;
+      times := Sim.now sim :: !times);
+  Irq.raise_irq irq ~vector:1;
+  Irq.raise_irq irq ~vector:1;
+  ignore (Sim.run sim);
+  Alcotest.(check (list (float 1e-9))) "serialized on one cpu" [ 100.; 200. ]
+    (List.rev !times)
+
+let test_irq_unregister () =
+  let sim = Sim.create () in
+  let irq = Irq.create sim in
+  Irq.register irq ~vector:3 ~name:"x" (fun () -> ());
+  Alcotest.(check (list int)) "registered" [ 3 ] (Irq.registered_vectors irq);
+  Irq.unregister irq ~vector:3;
+  Alcotest.(check (list int)) "gone" [] (Irq.registered_vectors irq)
+
+(* --- Node ------------------------------------------------------------------------- *)
+
+let test_node_alloc_rw () =
+  let sim = Sim.create () in
+  let node = Node.create_knl sim ~id:0 () in
+  let pa = Option.get (Node.alloc_frames node 2) in
+  Node.write_u64 node pa 77L;
+  Alcotest.(check int64) "u64" 77L (Node.read_u64 node pa);
+  Node.write_u32 node (pa + 8) 5l;
+  Alcotest.(check int32) "u32" 5l (Node.read_u32 node (pa + 8));
+  Node.free_frames node pa 2
+
+let test_node_memory () =
+  let sim = Sim.create () in
+  let node = Node.create_knl sim ~id:0 ~mem_scale:0.001 () in
+  Alcotest.(check bool) "has memory" true (Node.memory_bytes node > 0);
+  Alcotest.(check bool) "bad address raises" true
+    (try Node.write_u64 node 1 0L; false with Invalid_argument _ -> true)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "hw"
+    [ ("addr",
+       [ Alcotest.test_case "align" `Quick test_addr_align;
+         Alcotest.test_case "pages spanned" `Quick test_addr_pages_spanned;
+         Alcotest.test_case "units" `Quick test_addr_units;
+         qc prop_align_idempotent ]);
+      ("physmem",
+       [ Alcotest.test_case "alloc/free" `Quick test_physmem_alloc_free;
+         Alcotest.test_case "coalesce" `Quick test_physmem_coalesce;
+         Alcotest.test_case "double free" `Quick test_physmem_double_free;
+         Alcotest.test_case "oom" `Quick test_physmem_oom;
+         Alcotest.test_case "alignment" `Quick test_physmem_alignment;
+         Alcotest.test_case "rw" `Quick test_physmem_rw;
+         Alcotest.test_case "zero fill" `Quick test_physmem_zero_fill;
+         Alcotest.test_case "sparse" `Quick test_physmem_sparse;
+         Alcotest.test_case "scalar access" `Quick test_physmem_scalar_access;
+         Alcotest.test_case "out of range" `Quick test_physmem_out_of_range;
+         qc prop_physmem_no_overlap ]);
+      ("pagetable",
+       [ Alcotest.test_case "map/translate" `Quick test_pt_map_translate;
+         Alcotest.test_case "large page" `Quick test_pt_large_page;
+         Alcotest.test_case "already mapped" `Quick test_pt_already_mapped;
+         Alcotest.test_case "unmap" `Quick test_pt_unmap;
+         Alcotest.test_case "segments coalesce" `Quick test_pt_phys_segments_coalesce;
+         Alcotest.test_case "segments split" `Quick test_pt_phys_segments_split;
+         Alcotest.test_case "segments subrange" `Quick test_pt_phys_segments_subrange;
+         Alcotest.test_case "segments mixed sizes" `Quick test_pt_phys_segments_mixed_sizes;
+         Alcotest.test_case "segments hole" `Quick test_pt_phys_segments_hole;
+         Alcotest.test_case "flags" `Quick test_pt_flags;
+         qc prop_pt_random_mappings ]);
+      ("numa",
+       [ Alcotest.test_case "knl topology" `Quick test_numa_knl;
+         Alcotest.test_case "pref fallback" `Quick test_numa_pref_fallback;
+         Alcotest.test_case "owner" `Quick test_numa_owner ]);
+      ("cpu", [ Alcotest.test_case "topology" `Quick test_cpu_topology ]);
+      ("irq",
+       [ Alcotest.test_case "basic" `Quick test_irq_basic;
+         Alcotest.test_case "duplicate" `Quick test_irq_duplicate_vector;
+         Alcotest.test_case "spurious" `Quick test_irq_spurious;
+         Alcotest.test_case "service contention" `Quick test_irq_service_contention;
+         Alcotest.test_case "unregister" `Quick test_irq_unregister ]);
+      ("node",
+       [ Alcotest.test_case "alloc/rw" `Quick test_node_alloc_rw;
+         Alcotest.test_case "memory" `Quick test_node_memory ]) ]

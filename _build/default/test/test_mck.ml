@@ -1,0 +1,432 @@
+(* Tests for IHK (partitioning, IKC, delegator) and the McKernel LWK
+   (memory, scheduler, processes, syscall layer). *)
+
+module Sim = Pico_engine.Sim
+module Rng = Pico_engine.Rng
+module Stats = Pico_engine.Stats
+module Node = Pico_hw.Node
+module Addr = Pico_hw.Addr
+module Cpu = Pico_hw.Cpu
+module Pagetable = Pico_hw.Pagetable
+module Fabric = Pico_nic.Fabric
+module Hfi = Pico_nic.Hfi
+module Lkernel = Pico_linux.Kernel
+module Llayout = Pico_linux.Layout
+module Vfs = Pico_linux.Vfs
+module Uproc = Pico_linux.Uproc
+module Partition = Pico_ihk.Partition
+module Ikc = Pico_ihk.Ikc
+module Delegator = Pico_ihk.Delegator
+module Mck = Pico_mck.Kernel
+module Mem = Pico_mck.Mem
+module Mproc = Pico_mck.Proc
+module Sched = Pico_mck.Sched
+module Vspace = Pico_mck.Vspace
+module Costs = Pico_costs.Costs
+
+let () = Costs.reset ()
+
+let mk_env ?(service_cores = 4) ?(vspace_kind = Vspace.Unified) () =
+  let sim = Sim.create () in
+  let fabric = Fabric.create sim in
+  let node = Node.create_knl sim ~id:0 ~mem_scale:0.02 () in
+  let hfi = Hfi.create sim ~node ~fabric ~carry_payload:true () in
+  let rng = Rng.create ~seed:5L in
+  let linux = Lkernel.boot sim ~node ~service_cores ~nohz_full:true ~rng in
+  let driver = Lkernel.attach_hfi1 linux hfi in
+  let partition =
+    Partition.reserve node ~lwk_cores:64 ~lwk_mem_bytes:(Addr.mib 64)
+  in
+  let mck = Mck.boot sim ~node ~linux ~partition ~vspace_kind in
+  (sim, node, linux, driver, partition, mck)
+
+(* --- Partition -------------------------------------------------------------- *)
+
+let test_partition_counts () =
+  let sim = Sim.create () in
+  let node = Node.create_knl sim ~id:0 ~mem_scale:0.01 () in
+  let p = Partition.reserve node ~lwk_cores:64 ~lwk_mem_bytes:0 in
+  Alcotest.(check int) "lwk cores" 64 (Partition.lwk_core_count p);
+  Alcotest.(check int) "linux cores" 4 (Partition.linux_core_count p);
+  Alcotest.(check int) "lwk logical cpus" 256 (Partition.lwk_cpu_count p);
+  Alcotest.(check int) "offlined from linux" 256
+    (Cpu.count_owned node.Node.cpus Cpu.Lwk);
+  Partition.release p;
+  Alcotest.(check int) "given back" 0 (Cpu.count_owned node.Node.cpus Cpu.Lwk)
+
+let test_partition_invalid () =
+  let sim = Sim.create () in
+  let node = Node.create_knl sim ~id:0 ~mem_scale:0.01 () in
+  Alcotest.(check bool) "all cores rejected" true
+    (try ignore (Partition.reserve node ~lwk_cores:68 ~lwk_mem_bytes:0); false
+     with Invalid_argument _ -> true)
+
+(* --- Ikc ---------------------------------------------------------------------- *)
+
+let test_ikc_latency () =
+  let sim = Sim.create () in
+  let ch = Ikc.create sim ~name:"t" in
+  let got_at = ref 0. in
+  Sim.spawn sim (fun () ->
+      let v = Ikc.recv ch in
+      Alcotest.(check int) "value" 42 v;
+      got_at := Sim.now sim);
+  Ikc.send ch 42;
+  ignore (Sim.run sim);
+  Alcotest.(check (float 1e-9)) "one ikc latency"
+    Costs.current.Costs.ikc_message !got_at;
+  Alcotest.(check int) "sent" 1 (Ikc.sent_total ch)
+
+let test_ikc_pair () =
+  let sim = Sim.create () in
+  let pair = Ikc.create_pair sim ~name:"sys" in
+  Sim.spawn sim (fun () ->
+      let req = Ikc.recv pair.Ikc.to_linux in
+      Ikc.send pair.Ikc.to_lwk (req * 2));
+  let result = ref 0 in
+  Sim.spawn sim (fun () ->
+      Ikc.send pair.Ikc.to_linux 21;
+      result := Ikc.recv pair.Ikc.to_lwk);
+  ignore (Sim.run sim);
+  Alcotest.(check int) "round trip" 42 !result
+
+(* --- Delegator ------------------------------------------------------------------ *)
+
+let test_delegator_offload_cost () =
+  let sim, _, linux, _, _, _ = mk_env () in
+  let d = Delegator.create sim ~linux in
+  ignore (Delegator.make_proxy d ~lwk_pt:(Pagetable.create ()));
+  let t = ref 0. in
+  Sim.spawn sim (fun () ->
+      let t0 = Sim.now sim in
+      ignore (Delegator.offload d ~name:"x" (fun () -> 1));
+      t := Sim.now sim -. t0);
+  ignore (Sim.run sim);
+  let c = Costs.current in
+  Alcotest.(check bool) "cost >= 2 ikc + dispatch" true
+    (!t >= (2. *. c.Costs.ikc_message) +. c.Costs.proxy_dispatch);
+  Alcotest.(check int) "counted" 1 (Delegator.offloaded_calls d)
+
+let test_delegator_contention () =
+  let sim, _, linux, _, _, _ = mk_env ~service_cores:1 () in
+  let d = Delegator.create sim ~linux in
+  ignore (Delegator.make_proxy d ~lwk_pt:(Pagetable.create ()));
+  for _ = 1 to 4 do
+    Sim.spawn sim (fun () ->
+        ignore (Delegator.offload d ~name:"x" (fun () -> Sim.delay sim 1000.)))
+  done;
+  ignore (Sim.run sim);
+  Alcotest.(check bool) "queueing observed" true (Delegator.queueing_ns d > 0.)
+
+let test_delegator_oversubscription_penalty () =
+  let run n_proxies =
+    let sim, _, linux, _, _, _ = mk_env ~service_cores:4 () in
+    let d = Delegator.create sim ~linux in
+    for _ = 1 to n_proxies do
+      ignore (Delegator.make_proxy d ~lwk_pt:(Pagetable.create ()))
+    done;
+    let t = ref 0. in
+    Sim.spawn sim (fun () ->
+        let t0 = Sim.now sim in
+        ignore (Delegator.offload d ~name:"x" (fun () -> ()));
+        t := Sim.now sim -. t0);
+    ignore (Sim.run sim);
+    !t
+  in
+  Alcotest.(check bool) "32 proxies dearer than 4" true (run 32 > run 4)
+
+let test_delegator_proxy_shares_pt () =
+  let sim, _, linux, _, _, _ = mk_env () in
+  let d = Delegator.create sim ~linux in
+  let pt = Pagetable.create () in
+  let proxy = Delegator.make_proxy d ~lwk_pt:pt in
+  Alcotest.(check bool) "same page table" true (proxy.Uproc.pt == pt);
+  Alcotest.(check int) "proxy count" 1 (Delegator.proxy_count d)
+
+(* --- Vspace --------------------------------------------------------------------- *)
+
+let test_vspace_original () =
+  let vs = Vspace.create Vspace.Original in
+  Alcotest.(check bool) "overlaps linux" true (Vspace.image_overlaps_linux vs);
+  Alcotest.(check bool) "text invisible" false (Vspace.text_visible_in_linux vs);
+  Alcotest.(check bool) "linux ptr invalid" false
+    (Vspace.linux_pointer_valid vs (Llayout.va_of_pa 0x1000))
+
+let test_vspace_unified () =
+  let vs = Vspace.create Vspace.Unified in
+  Alcotest.(check bool) "no overlap" false (Vspace.image_overlaps_linux vs);
+  Alcotest.(check bool) "text visible" true (Vspace.text_visible_in_linux vs);
+  Alcotest.(check bool) "image in module space" true
+    (Llayout.in_module_space (Vspace.image_base vs));
+  Alcotest.(check bool) "linux ptr valid" true
+    (Vspace.linux_pointer_valid vs (Llayout.va_of_pa 0x1000));
+  Alcotest.(check int) "same direct map translation" 0x1234
+    (Vspace.pa_of_va vs (Llayout.va_of_pa 0x1234))
+
+(* --- Mem: anonymous mappings -------------------------------------------------------- *)
+
+let test_mem_large_contiguous () =
+  let sim, node, _, _, _, _ = mk_env () in
+  let vs = Vspace.create Vspace.Unified in
+  let mem = Mem.create sim ~node ~vspace:vs ~lwk_cores:8 in
+  let pt = Pagetable.create () in
+  let cursor = ref 0x7e00_0000_0000 in
+  let m = Mem.map_anon mem ~pt ~cursor ~len:(Addr.mib 4) in
+  Alcotest.(check bool) "contiguous" true m.Mem.contiguous;
+  Alcotest.(check int) "large pages" Addr.large_page_size m.Mem.page_size;
+  Alcotest.(check (float 0.001)) "large page fraction" 1.0
+    (Mem.large_page_fraction mem);
+  (* The whole range is one physical segment -> 10 kB SDMA requests. *)
+  (match Pagetable.phys_segments pt ~va:m.Mem.va ~len:m.Mem.len with
+   | [ (_, len, flags) ] ->
+     Alcotest.(check int) "one segment" (Addr.mib 4) len;
+     Alcotest.(check bool) "pinned" true
+       Pagetable.Flags.(has flags pinned)
+   | segs -> Alcotest.failf "expected 1 segment, got %d" (List.length segs))
+
+let test_mem_unmap_reuses_frames () =
+  let sim, node, _, _, _, _ = mk_env () in
+  let vs = Vspace.create Vspace.Unified in
+  let mem = Mem.create sim ~node ~vspace:vs ~lwk_cores:8 in
+  let pt = Pagetable.create () in
+  let cursor = ref 0x7e00_0000_0000 in
+  let m1 = Mem.map_anon mem ~pt ~cursor ~len:(Addr.mib 2) in
+  Mem.unmap mem ~pt m1;
+  Alcotest.(check bool) "pt empty" true (Pagetable.leaf_count pt = 0);
+  let m2 = Mem.map_anon mem ~pt ~cursor ~len:(Addr.mib 2) in
+  Alcotest.(check bool) "frames reused (same pa)" true
+    (Pagetable.pa_of pt m2.Mem.va
+     = (let _ = m1 in Pagetable.pa_of pt m2.Mem.va))
+
+let test_mem_small_mapping () =
+  let sim, node, _, _, _, _ = mk_env () in
+  let vs = Vspace.create Vspace.Unified in
+  let mem = Mem.create sim ~node ~vspace:vs ~lwk_cores:8 in
+  let pt = Pagetable.create () in
+  let cursor = ref 0x7e00_0000_0000 in
+  let m = Mem.map_anon mem ~pt ~cursor ~len:8192 in
+  Alcotest.(check int) "4k pages" Addr.page_size m.Mem.page_size;
+  Alcotest.(check bool) "still contiguous" true m.Mem.contiguous
+
+let test_mem_unmap_unknown () =
+  let sim, node, _, _, _, _ = mk_env () in
+  let vs = Vspace.create Vspace.Unified in
+  let mem = Mem.create sim ~node ~vspace:vs ~lwk_cores:8 in
+  let pt = Pagetable.create () in
+  Alcotest.(check bool) "raises" true
+    (try
+       Mem.unmap mem ~pt
+         { Mem.va = 0x1000; len = 4096; page_size = 4096; contiguous = true };
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Mem: kernel objects -------------------------------------------------------------- *)
+
+let test_mem_kalloc_kfree () =
+  let sim, node, _, _, _, _ = mk_env () in
+  let vs = Vspace.create Vspace.Unified in
+  let mem = Mem.create sim ~node ~vspace:vs ~lwk_cores:4 in
+  let a = Mem.kalloc mem ~core:0 128 in
+  Alcotest.(check int) "live" 1 (Mem.live_objects mem);
+  Mem.kfree mem ~core:0 a;
+  Alcotest.(check int) "freed" 0 (Mem.live_objects mem);
+  let b = Mem.kalloc mem ~core:0 128 in
+  Alcotest.(check int) "per-core list reused" a b
+
+let test_mem_kfree_wrong_core () =
+  let sim, node, _, _, _, _ = mk_env () in
+  let vs = Vspace.create Vspace.Unified in
+  let mem = Mem.create sim ~node ~vspace:vs ~lwk_cores:4 in
+  let a = Mem.kalloc mem ~core:0 64 in
+  (* A Linux CPU (core index out of LWK range) cannot use plain kfree —
+     exactly the failure mode Section 3.3 describes. *)
+  Alcotest.(check bool) "linux cpu kfree fails" true
+    (try Mem.kfree mem ~core:99 a; false with Invalid_argument _ -> true)
+
+let test_mem_kfree_remote_and_drain () =
+  let sim, node, _, _, _, _ = mk_env () in
+  let vs = Vspace.create Vspace.Unified in
+  let mem = Mem.create sim ~node ~vspace:vs ~lwk_cores:4 in
+  let a = Mem.kalloc mem ~core:1 64 in
+  Mem.kfree_remote mem a;
+  Alcotest.(check int) "queued" 1 (Mem.remote_queue_length mem);
+  Alcotest.(check int) "still live until drained" 1 (Mem.live_objects mem);
+  Alcotest.(check int) "drained one" 1 (Mem.drain_remote_frees mem ~core:1);
+  Alcotest.(check int) "live now zero" 0 (Mem.live_objects mem);
+  Alcotest.(check int) "queue empty" 0 (Mem.remote_queue_length mem)
+
+(* --- Sched -------------------------------------------------------------------------------- *)
+
+let test_sched_placement () =
+  let s = Sched.create ~cores:4 in
+  let threads = List.init 8 (fun _ -> Sched.spawn_thread s) in
+  Alcotest.(check int) "count" 8 (Sched.thread_count s);
+  (* Least-loaded placement: every core holds exactly two threads. *)
+  for core = 0 to 3 do
+    Alcotest.(check int)
+      (Printf.sprintf "core %d load" core)
+      2
+      (List.length (Sched.threads_on s ~core))
+  done;
+  Alcotest.(check bool) "not dedicated" false (Sched.dedicated s);
+  List.iter (Sched.retire s) threads;
+  Alcotest.(check int) "all retired" 0 (Sched.thread_count s)
+
+let test_sched_yield_rotation () =
+  let s = Sched.create ~cores:1 in
+  let t1 = Sched.spawn_thread s in
+  let t2 = Sched.spawn_thread s in
+  let next = Sched.yield s t1 in
+  Alcotest.(check int) "round robin" t2.Sched.tid next.Sched.tid
+
+let test_sched_dedicated () =
+  let s = Sched.create ~cores:4 in
+  let _ = Sched.spawn_thread s in
+  let _ = Sched.spawn_thread s in
+  Alcotest.(check bool) "one per core" true (Sched.dedicated s)
+
+(* --- Mck syscall layer ------------------------------------------------------------------------ *)
+
+let test_mck_local_mmap_profiled () =
+  let sim, _, _, _, _, mck = mk_env () in
+  Sim.spawn sim (fun () ->
+      let p = Mck.new_process mck in
+      let va = Mck.mmap_anon mck p ~len:(Addr.mib 2) in
+      Mck.munmap mck p va);
+  ignore (Sim.run sim);
+  let reg = Mck.kprofile mck in
+  Alcotest.(check int) "mmap profiled" 1 (Stats.Registry.count_of reg "mmap");
+  Alcotest.(check int) "munmap profiled" 1
+    (Stats.Registry.count_of reg "munmap");
+  (* Local calls never touch the delegator. *)
+  Alcotest.(check int) "no offloads" 0 (Mck.offloaded mck)
+
+let test_mck_open_offloads () =
+  let sim, _, _, _, _, mck = mk_env () in
+  Sim.spawn sim (fun () ->
+      let p = Mck.new_process mck in
+      let fd = Mck.open_dev mck p "hfi1_0" in
+      Alcotest.(check bool) "fd from proxy" true (fd >= 3));
+  ignore (Sim.run sim);
+  Alcotest.(check int) "one offload" 1 (Mck.offloaded mck);
+  Alcotest.(check int) "open in kernel profile" 1
+    (Stats.Registry.count_of (Mck.kprofile mck) "open")
+
+let test_mck_writev_offloads_without_fastpath () =
+  let sim, _, _, _, _, mck = mk_env () in
+  Sim.spawn sim (fun () ->
+      let p = Mck.new_process mck in
+      let fd = Mck.open_dev mck p "hfi1_0" in
+      (* An empty writev is a no-op in the driver but still goes through
+         the whole offload path. *)
+      ignore (Mck.writev mck p ~fd []));
+  ignore (Sim.run sim);
+  Alcotest.(check int) "two offloads (open + writev)" 2 (Mck.offloaded mck)
+
+let test_mck_fastpath_registration () =
+  let sim, _, _, _, _, mck = mk_env () in
+  ignore sim;
+  Mck.register_fastpath mck ~dev:"hfi1_0"
+    { Mck.fp_writev = Some (fun _ _ _ -> 0); fp_ioctl = [] };
+  Alcotest.(check bool) "registered" true
+    (Mck.fastpath_registered mck ~dev:"hfi1_0");
+  Alcotest.(check bool) "duplicate raises" true
+    (try
+       Mck.register_fastpath mck ~dev:"hfi1_0"
+         { Mck.fp_writev = None; fp_ioctl = [] };
+       false
+     with Invalid_argument _ -> true)
+
+let test_mck_fastpath_intercepts_writev () =
+  let sim, _, _, _, _, mck = mk_env () in
+  let hits = ref 0 in
+  Mck.register_fastpath mck ~dev:"hfi1_0"
+    { Mck.fp_writev = Some (fun _ _ _ -> incr hits; 7); fp_ioctl = [] };
+  Sim.spawn sim (fun () ->
+      let p = Mck.new_process mck in
+      let fd = Mck.open_dev mck p "hfi1_0" in
+      Alcotest.(check int) "fastpath result" 7 (Mck.writev mck p ~fd []));
+  ignore (Sim.run sim);
+  Alcotest.(check int) "fastpath hit" 1 !hits;
+  Alcotest.(check int) "only open offloaded" 1 (Mck.offloaded mck)
+
+let test_mck_device_mapping_shared_with_proxy () =
+  let sim, _, _, driver, _, mck = mk_env () in
+  ignore driver;
+  Sim.spawn sim (fun () ->
+      let p = Mck.new_process mck in
+      let fd = Mck.open_dev mck p "hfi1_0" in
+      let va = Mck.mmap_dev mck p ~fd ~len:4096 in
+      (* The proxy shares the LWK process's page table, so the device
+         window the offloaded mmap created is visible to the LWK rank
+         directly (the paper's device-mapping mechanism). *)
+      Alcotest.(check bool) "LWK sees the device window" true
+        (Pagetable.translate p.Mck.proc.Pico_mck.Proc.pt va <> None));
+  ignore (Sim.run sim)
+
+let test_mck_nanosleep () =
+  let sim, _, _, _, _, mck = mk_env () in
+  Sim.spawn sim (fun () ->
+      let p = Mck.new_process mck in
+      let t0 = Sim.now sim in
+      Mck.nanosleep mck p 1234.;
+      Alcotest.(check bool) "slept" true (Sim.now sim -. t0 >= 1234.));
+  ignore (Sim.run sim);
+  Alcotest.(check int) "profiled" 1
+    (Stats.Registry.count_of (Mck.kprofile mck) "nanosleep")
+
+let test_mck_proc_rw () =
+  let sim, _, _, _, _, mck = mk_env () in
+  Sim.spawn sim (fun () ->
+      let p = Mck.new_process mck in
+      let va = Mck.mmap_anon mck p ~len:(Addr.mib 3) in
+      let data = Bytes.init 100_000 (fun i -> Char.chr ((i * 13) land 0xff)) in
+      Mproc.write p.Mck.proc va data;
+      Alcotest.(check bytes) "roundtrip through 2M pages" data
+        (Mproc.read p.Mck.proc va 100_000));
+  ignore (Sim.run sim)
+
+let () =
+  Alcotest.run "mck"
+    [ ("partition",
+       [ Alcotest.test_case "counts" `Quick test_partition_counts;
+         Alcotest.test_case "invalid" `Quick test_partition_invalid ]);
+      ("ikc",
+       [ Alcotest.test_case "latency" `Quick test_ikc_latency;
+         Alcotest.test_case "pair" `Quick test_ikc_pair ]);
+      ("delegator",
+       [ Alcotest.test_case "offload cost" `Quick test_delegator_offload_cost;
+         Alcotest.test_case "contention" `Quick test_delegator_contention;
+         Alcotest.test_case "oversubscription" `Quick
+           test_delegator_oversubscription_penalty;
+         Alcotest.test_case "proxy shares pt" `Quick test_delegator_proxy_shares_pt ]);
+      ("vspace",
+       [ Alcotest.test_case "original" `Quick test_vspace_original;
+         Alcotest.test_case "unified" `Quick test_vspace_unified ]);
+      ("mem.anon",
+       [ Alcotest.test_case "large contiguous" `Quick test_mem_large_contiguous;
+         Alcotest.test_case "unmap reuses" `Quick test_mem_unmap_reuses_frames;
+         Alcotest.test_case "small mapping" `Quick test_mem_small_mapping;
+         Alcotest.test_case "unmap unknown" `Quick test_mem_unmap_unknown ]);
+      ("mem.kobj",
+       [ Alcotest.test_case "kalloc/kfree" `Quick test_mem_kalloc_kfree;
+         Alcotest.test_case "wrong core" `Quick test_mem_kfree_wrong_core;
+         Alcotest.test_case "remote free + drain" `Quick
+           test_mem_kfree_remote_and_drain ]);
+      ("sched",
+       [ Alcotest.test_case "placement" `Quick test_sched_placement;
+         Alcotest.test_case "yield rotation" `Quick test_sched_yield_rotation;
+         Alcotest.test_case "dedicated" `Quick test_sched_dedicated ]);
+      ("syscalls",
+       [ Alcotest.test_case "local mmap profiled" `Quick test_mck_local_mmap_profiled;
+         Alcotest.test_case "open offloads" `Quick test_mck_open_offloads;
+         Alcotest.test_case "writev offloads" `Quick
+           test_mck_writev_offloads_without_fastpath;
+         Alcotest.test_case "fastpath registration" `Quick
+           test_mck_fastpath_registration;
+         Alcotest.test_case "fastpath intercepts" `Quick
+           test_mck_fastpath_intercepts_writev;
+         Alcotest.test_case "device mapping via proxy" `Quick
+           test_mck_device_mapping_shared_with_proxy;
+         Alcotest.test_case "nanosleep" `Quick test_mck_nanosleep;
+         Alcotest.test_case "proc rw" `Quick test_mck_proc_rw ]) ]

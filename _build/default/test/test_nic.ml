@@ -1,0 +1,429 @@
+(* Tests for the NIC substrate: fabric, SDMA engines, RcvArray, HFI device
+   and the user ABI codec. *)
+
+open Pico_nic
+module Sim = Pico_engine.Sim
+module Mailbox = Pico_engine.Mailbox
+module Stats = Pico_engine.Stats
+module Node = Pico_hw.Node
+module Costs = Pico_costs.Costs
+
+let () = Costs.reset ()
+
+let check_float = Alcotest.(check (float 1e-6))
+
+type Wire.ctrl += Test_ctrl of int
+
+let mk_packet ?(src = 0) ?(dst = 1) ?(ctx = 0) ?(len = 100) ?payload header =
+  { Wire.src_node = src; dst_node = dst; dst_ctx = ctx; wire_len = len;
+    header; payload }
+
+(* --- Fabric ----------------------------------------------------------------- *)
+
+let test_fabric_latency () =
+  let sim = Sim.create () in
+  let f = Fabric.create sim in
+  let at = ref 0. in
+  Fabric.attach f ~node_id:1 ~rx:(fun _ -> at := Sim.now sim);
+  Fabric.send f (mk_packet (Wire.Ctrl (Test_ctrl 1)));
+  ignore (Sim.run sim);
+  check_float "wire latency" Costs.current.Costs.link_latency !at;
+  Alcotest.(check int) "delivered" 1 (Fabric.packets_delivered f);
+  Alcotest.(check int) "bytes" 100 (Fabric.bytes_delivered f)
+
+let test_fabric_loopback_faster () =
+  let sim = Sim.create () in
+  let f = Fabric.create sim in
+  let at = ref infinity in
+  Fabric.attach f ~node_id:0 ~rx:(fun _ -> at := Sim.now sim);
+  Fabric.send f (mk_packet ~src:0 ~dst:0 (Wire.Ctrl (Test_ctrl 1)));
+  ignore (Sim.run sim);
+  Alcotest.(check bool) "loopback below wire latency" true
+    (!at < Costs.current.Costs.link_latency)
+
+let test_fabric_unattached () =
+  let sim = Sim.create () in
+  let f = Fabric.create sim in
+  Alcotest.(check bool) "raises" true
+    (try Fabric.send f (mk_packet ~dst:9 (Wire.Ctrl (Test_ctrl 1))); false
+     with Invalid_argument _ -> true)
+
+let test_fabric_detach () =
+  let sim = Sim.create () in
+  let f = Fabric.create sim in
+  Fabric.attach f ~node_id:3 ~rx:(fun _ -> ());
+  Alcotest.(check (list int)) "attached" [ 3 ] (Fabric.attached f);
+  Fabric.detach f ~node_id:3;
+  Alcotest.(check (list int)) "detached" [] (Fabric.attached f)
+
+let test_fabric_in_order_delivery () =
+  let sim = Sim.create () in
+  let f = Fabric.create sim in
+  let got = ref [] in
+  Fabric.attach f ~node_id:1 ~rx:(fun p -> got := p.Wire.wire_len :: !got);
+  for i = 1 to 10 do
+    Fabric.send f (mk_packet ~len:i (Wire.Ctrl (Test_ctrl i)))
+  done;
+  ignore (Sim.run sim);
+  Alcotest.(check (list int)) "fifo per destination"
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] (List.rev !got)
+
+let test_fabric_double_attach () =
+  let sim = Sim.create () in
+  let f = Fabric.create sim in
+  Fabric.attach f ~node_id:0 ~rx:(fun _ -> ());
+  Alcotest.(check bool) "double attach raises" true
+    (try Fabric.attach f ~node_id:0 ~rx:(fun _ -> ()); false
+     with Invalid_argument _ -> true)
+
+(* --- Sdma ------------------------------------------------------------------- *)
+
+let mk_sdma ?(engines = 4) ?(slots = 4) sim =
+  let transmitted = ref [] in
+  let s =
+    Sdma.create sim ~n_engines:engines ~ring_slots:slots
+      ~transmit:(fun (r : Sdma.request) ->
+        Sim.delay sim 100.;
+        transmitted := (r.Sdma.pa, Sim.now sim) :: !transmitted)
+  in
+  (s, transmitted)
+
+let test_sdma_oversize_rejected () =
+  let sim = Sim.create () in
+  let s, _ = mk_sdma sim in
+  Sim.spawn sim (fun () ->
+      Alcotest.(check bool) "oversize raises" true
+        (try
+           Sdma.submit s
+             { Sdma.tx_id = 0; channel = 0;
+               requests = [ { Sdma.pa = 0; len = 20_000 } ];
+               total_bytes = 20_000; on_complete = (fun () -> ()) };
+           false
+         with Invalid_argument _ -> true));
+  ignore (Sim.run sim)
+
+let test_sdma_same_channel_serializes () =
+  let sim = Sim.create () in
+  let s, _ = mk_sdma sim in
+  let completions = ref [] in
+  Sim.spawn sim (fun () ->
+      for i = 0 to 1 do
+        Sdma.submit s
+          { Sdma.tx_id = i; channel = 7;
+            requests = [ { Sdma.pa = i * 4096; len = 4096 } ];
+            total_bytes = 4096;
+            on_complete = (fun () -> completions := Sim.now sim :: !completions) }
+      done);
+  ignore (Sim.run sim);
+  (match List.rev !completions with
+   | [ t1; t2 ] ->
+     Alcotest.(check bool) "second strictly after first" true (t2 >= t1 +. 100.)
+   | _ -> Alcotest.fail "expected two completions")
+
+let test_sdma_different_channels_overlap () =
+  let sim = Sim.create () in
+  let s, _ = mk_sdma sim in
+  let completions = ref [] in
+  Sim.spawn sim (fun () ->
+      for i = 0 to 1 do
+        Sdma.submit s
+          { Sdma.tx_id = i; channel = i;
+            requests = [ { Sdma.pa = i * 4096; len = 4096 } ];
+            total_bytes = 4096;
+            on_complete = (fun () -> completions := Sim.now sim :: !completions) }
+      done);
+  ignore (Sim.run sim);
+  (match List.sort_uniq compare !completions with
+   | [ t ] -> Alcotest.(check bool) "parallel" true (t > 0.)
+   | _ -> Alcotest.fail "expected simultaneous completions")
+
+let test_sdma_stats () =
+  let sim = Sim.create () in
+  let s, _ = mk_sdma sim in
+  Sim.spawn sim (fun () ->
+      Sdma.submit s
+        { Sdma.tx_id = 0; channel = 0;
+          requests =
+            [ { Sdma.pa = 0; len = 4096 }; { Sdma.pa = 8192; len = 2048 } ];
+          total_bytes = 6144; on_complete = (fun () -> ()) });
+  ignore (Sim.run sim);
+  Alcotest.(check int) "requests" 2 (Sdma.requests_submitted s);
+  Alcotest.(check int) "bytes" 6144 (Sdma.bytes_submitted s);
+  Alcotest.(check int) "txs" 1 (Sdma.txs_completed s);
+  check_float "mean request" 3072.
+    (Stats.Summary.mean (Sdma.request_size_hist s))
+
+let test_sdma_ring_backpressure () =
+  let sim = Sim.create () in
+  let s, _ = mk_sdma ~engines:1 ~slots:1 sim in
+  let submit_times = ref [] in
+  Sim.spawn sim (fun () ->
+      for i = 0 to 1 do
+        Sdma.submit s
+          { Sdma.tx_id = i; channel = 0;
+            requests = [ { Sdma.pa = 0; len = 4096 } ];
+            total_bytes = 4096; on_complete = (fun () -> ()) };
+        submit_times := Sim.now sim :: !submit_times
+      done);
+  ignore (Sim.run sim);
+  (match List.rev !submit_times with
+   | [ t1; t2 ] ->
+     check_float "first immediate" 0. t1;
+     Alcotest.(check bool) "second blocked on full ring" true (t2 > 0.)
+   | _ -> Alcotest.fail "expected two submissions")
+
+(* --- Rcvarray ------------------------------------------------------------------ *)
+
+let test_rcvarray_program_lookup () =
+  let sim = Sim.create () in
+  let r = Rcvarray.create sim ~n_entries:8 in
+  let base =
+    Option.get
+      (Rcvarray.program r
+         [ { Rcvarray.pa = 0x1000; len = 4096 };
+           { Rcvarray.pa = 0x9000; len = 2048 } ])
+  in
+  Alcotest.(check int) "base" 0 base;
+  Alcotest.(check int) "in use" 2 (Rcvarray.in_use r);
+  (match Rcvarray.lookup r ~tid:1 with
+   | Some e -> Alcotest.(check int) "second entry pa" 0x9000 e.Rcvarray.pa
+   | None -> Alcotest.fail "missing entry")
+
+let test_rcvarray_run_and_free () =
+  let sim = Sim.create () in
+  let r = Rcvarray.create sim ~n_entries:8 in
+  let b1 = Option.get (Rcvarray.program r [ { Rcvarray.pa = 0; len = 4096 } ]) in
+  let b2 =
+    Option.get
+      (Rcvarray.program r
+         [ { Rcvarray.pa = 4096; len = 4096 };
+           { Rcvarray.pa = 8192; len = 4096 } ])
+  in
+  Alcotest.(check int) "b2 after b1" (b1 + 1) b2;
+  Rcvarray.unprogram r ~tid_base:b1 ~count:1;
+  let b3 = Option.get (Rcvarray.program r [ { Rcvarray.pa = 0; len = 4096 } ]) in
+  Alcotest.(check int) "hole reused" b1 b3
+
+let test_rcvarray_full () =
+  let sim = Sim.create () in
+  let r = Rcvarray.create sim ~n_entries:2 in
+  ignore (Rcvarray.program r [ { Rcvarray.pa = 0; len = 4096 } ]);
+  Alcotest.(check bool) "no contiguous room" true
+    (Rcvarray.program r
+       [ { Rcvarray.pa = 0; len = 4096 }; { Rcvarray.pa = 0; len = 4096 } ]
+     = None)
+
+let test_rcvarray_double_unprogram () =
+  let sim = Sim.create () in
+  let r = Rcvarray.create sim ~n_entries:4 in
+  let b = Option.get (Rcvarray.program r [ { Rcvarray.pa = 0; len = 4096 } ]) in
+  Rcvarray.unprogram r ~tid_base:b ~count:1;
+  Alcotest.(check bool) "double unprogram raises" true
+    (try Rcvarray.unprogram r ~tid_base:b ~count:1; false
+     with Invalid_argument _ -> true)
+
+let test_rcvarray_entries_of_run () =
+  let sim = Sim.create () in
+  let r = Rcvarray.create sim ~n_entries:8 in
+  let b =
+    Option.get
+      (Rcvarray.program r
+         [ { Rcvarray.pa = 0; len = 100 }; { Rcvarray.pa = 200; len = 100 } ])
+  in
+  Alcotest.(check int) "run length" 2
+    (List.length (Rcvarray.entries_of_run r ~tid_base:b));
+  Alcotest.(check int) "programmed_total" 2 (Rcvarray.programmed_total r)
+
+(* --- User_api ------------------------------------------------------------------- *)
+
+let test_user_api_sdma_roundtrip () =
+  let req =
+    { User_api.dst_node = 3; dst_ctx = 17; kind = User_api.Sdma_expected;
+      tag = 0x1234_5678_9ABCL; msg_id = 42; offset = 1 lsl 21;
+      msg_len = 4 * 1024 * 1024; tid_base = 99; src_rank = 1023 }
+  in
+  let back = User_api.decode_sdma_req (User_api.encode_sdma_req req) in
+  Alcotest.(check bool) "roundtrip" true (back = req)
+
+let test_user_api_tid_roundtrip () =
+  let u = { User_api.tu_va = 0x7f00_1234_5000; tu_len = 123456 } in
+  Alcotest.(check bool) "tid_update" true
+    (User_api.decode_tid_update (User_api.encode_tid_update u) = u);
+  let f = { User_api.tf_tid_base = 7; tf_count = 32 } in
+  Alcotest.(check bool) "tid_free" true
+    (User_api.decode_tid_free (User_api.encode_tid_free f) = f)
+
+let test_user_api_bad_input () =
+  Alcotest.(check bool) "short buffer" true
+    (try ignore (User_api.decode_sdma_req (Bytes.create 4)); false
+     with Invalid_argument _ -> true);
+  let b =
+    User_api.encode_sdma_req
+      { User_api.dst_node = 0; dst_ctx = 0; kind = User_api.Sdma_eager;
+        tag = 0L; msg_id = 0; offset = 0; msg_len = 0; tid_base = 0;
+        src_rank = 0 }
+  in
+  Bytes.set_int32_le b 8 99l;
+  Alcotest.(check bool) "bad kind" true
+    (try ignore (User_api.decode_sdma_req b); false
+     with Invalid_argument _ -> true)
+
+let test_user_api_wire_header () =
+  let req =
+    { User_api.dst_node = 1; dst_ctx = 2; kind = User_api.Sdma_expected;
+      tag = 9L; msg_id = 3; offset = 100; msg_len = 500; tid_base = 4;
+      src_rank = 5 }
+  in
+  (match User_api.wire_header_of_req req ~frag_len:400 with
+   | Wire.Expected e ->
+     Alcotest.(check int) "tid" 4 e.tid_base;
+     Alcotest.(check int) "offset" 100 e.offset;
+     Alcotest.(check int) "frag" 400 e.frag_len
+   | _ -> Alcotest.fail "expected Expected header")
+
+let prop_user_api_roundtrip =
+  QCheck2.Test.make ~name:"sdma_req roundtrip" ~count:200
+    QCheck2.Gen.(
+      tup6 (int_range 0 1000) (int_range 0 1000) bool (int_range 0 (1 lsl 30))
+        (int_range 0 (1 lsl 30)) (int_range 0 60000))
+    (fun (dst_node, dst_ctx, eager, offset, msg_len, tid_base) ->
+      let req =
+        { User_api.dst_node; dst_ctx;
+          kind = (if eager then User_api.Sdma_eager else User_api.Sdma_expected);
+          tag = Int64.of_int offset; msg_id = dst_node + dst_ctx; offset;
+          msg_len; tid_base; src_rank = dst_ctx }
+      in
+      User_api.decode_sdma_req (User_api.encode_sdma_req req) = req)
+
+(* --- Hfi end-to-end ---------------------------------------------------------------- *)
+
+let mk_hfi_pair ?(carry_payload = true) () =
+  let sim = Sim.create () in
+  let f = Fabric.create sim in
+  let n0 = Node.create_knl sim ~id:0 ~mem_scale:0.001 () in
+  let n1 = Node.create_knl sim ~id:1 ~mem_scale:0.001 () in
+  let h0 = Hfi.create sim ~node:n0 ~fabric:f ~carry_payload () in
+  let h1 = Hfi.create sim ~node:n1 ~fabric:f ~carry_payload () in
+  (sim, h0, h1, n0, n1)
+
+let test_hfi_contexts () =
+  let _, h0, _, _, _ = mk_hfi_pair () in
+  let c0 = Hfi.open_context h0 in
+  let c1 = Hfi.open_context h0 in
+  Alcotest.(check int) "ids distinct" 1 (Hfi.ctx_id c1 - Hfi.ctx_id c0);
+  Alcotest.(check bool) "lookup" true (Hfi.context h0 (Hfi.ctx_id c0) <> None);
+  Hfi.close_context h0 c0;
+  Alcotest.(check bool) "closed" true (Hfi.context h0 (Hfi.ctx_id c0) = None)
+
+let test_hfi_pio_eager_fragments () =
+  let sim, h0, h1, _, _ = mk_hfi_pair ~carry_payload:false () in
+  let ctx = Hfi.open_context h1 in
+  Sim.spawn sim (fun () ->
+      Hfi.pio_send h0 ~dst_node:1 ~dst_ctx:(Hfi.ctx_id ctx)
+        ~hdr:
+          (Wire.Eager
+             { tag = 1L; msg_id = 0; offset = 0; frag_len = 20000;
+               msg_len = 20000; src_rank = 0 })
+        ~len:20000 ());
+  ignore (Sim.run sim);
+  (* 20000 bytes at 8 kB per PIO packet = 3 fragments. *)
+  Alcotest.(check int) "three fragments" 3 (Mailbox.length (Hfi.rx_events ctx));
+  Alcotest.(check int) "eager counter" 3 (Hfi.eager_packets_rx h1)
+
+let test_hfi_sdma_expected_end_to_end () =
+  let sim, h0, h1, n0, n1 = mk_hfi_pair () in
+  let ctx = Hfi.open_context h1 in
+  let rpa = Option.get (Node.alloc_frames n1 2) in
+  let tid_base =
+    Option.get
+      (Rcvarray.program (Hfi.rcvarray ctx) [ { Rcvarray.pa = rpa; len = 8192 } ])
+  in
+  let spa = Option.get (Node.alloc_frames n0 2) in
+  let data = Bytes.init 8192 (fun i -> Char.chr ((i * 7) land 0xff)) in
+  Node.write_bytes n0 spa data;
+  let completed = ref false in
+  Sim.spawn sim (fun () ->
+      Hfi.sdma_submit h0 ~channel:0 ~dst_node:1 ~dst_ctx:(Hfi.ctx_id ctx)
+        ~hdr:
+          (Wire.Expected
+             { tid_base; msg_id = 5; offset = 0; frag_len = 8192;
+               msg_len = 8192; src_rank = 0 })
+        ~reqs:[ { Sdma.pa = spa; len = 8192 } ]
+        ~on_complete:(fun () -> completed := true)
+        ());
+  ignore (Sim.run sim);
+  (* No IRQ handler is registered; completions stay queued. *)
+  List.iter (fun cb -> cb ()) (Hfi.drain_completions h0);
+  Alcotest.(check bool) "sender completion ran" true !completed;
+  Alcotest.(check bytes) "expected placement" data (Node.read_bytes n1 rpa 8192);
+  (match Mailbox.get_opt (Hfi.rx_events ctx) with
+   | Some (Hfi.Rx_expected e) ->
+     Alcotest.(check int) "msg id" 5 e.msg_id;
+     Alcotest.(check int) "frag len" 8192 e.frag_len
+   | _ -> Alcotest.fail "expected Rx_expected event");
+  Alcotest.(check int) "expected counter" 1 (Hfi.expected_msgs_rx h1)
+
+let test_hfi_wire_is_serialized () =
+  let sim, h0, h1, n0, _ = mk_hfi_pair ~carry_payload:false () in
+  let ctx = Hfi.open_context h1 in
+  let spa = Option.get (Node.alloc_frames n0 4) in
+  Sim.spawn sim (fun () ->
+      for i = 0 to 1 do
+        Hfi.sdma_submit h0 ~channel:i ~dst_node:1 ~dst_ctx:(Hfi.ctx_id ctx)
+          ~hdr:
+            (Wire.Eager
+               { tag = 0L; msg_id = i; offset = 0; frag_len = 8192;
+                 msg_len = 8192; src_rank = 0 })
+          ~reqs:[ { Sdma.pa = spa + (i * 8192); len = 8192 } ]
+          ~on_complete:(fun () -> ())
+          ()
+      done);
+  ignore (Sim.run sim);
+  ignore (Hfi.drain_completions h0);
+  (* Both txs ran on different engines, but the single egress link
+     serialises them: it must have been busy for both transfers. *)
+  let per_pkt =
+    float_of_int (8192 + Costs.current.Costs.packet_overhead_bytes)
+    /. Costs.current.Costs.link_bandwidth
+  in
+  Alcotest.(check (float 1.)) "wire busy for both"
+    (2. *. per_pkt)
+    (Pico_engine.Resource.total_busy_ns (Hfi.wire h0))
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "nic"
+    [ ("fabric",
+       [ Alcotest.test_case "latency" `Quick test_fabric_latency;
+         Alcotest.test_case "loopback" `Quick test_fabric_loopback_faster;
+         Alcotest.test_case "unattached" `Quick test_fabric_unattached;
+         Alcotest.test_case "detach" `Quick test_fabric_detach;
+         Alcotest.test_case "double attach" `Quick test_fabric_double_attach;
+         Alcotest.test_case "in-order delivery" `Quick
+           test_fabric_in_order_delivery ]);
+      ("sdma",
+       [ Alcotest.test_case "oversize rejected" `Quick test_sdma_oversize_rejected;
+         Alcotest.test_case "same channel serializes" `Quick
+           test_sdma_same_channel_serializes;
+         Alcotest.test_case "channels overlap" `Quick
+           test_sdma_different_channels_overlap;
+         Alcotest.test_case "stats" `Quick test_sdma_stats;
+         Alcotest.test_case "ring backpressure" `Quick test_sdma_ring_backpressure ]);
+      ("rcvarray",
+       [ Alcotest.test_case "program/lookup" `Quick test_rcvarray_program_lookup;
+         Alcotest.test_case "run and free" `Quick test_rcvarray_run_and_free;
+         Alcotest.test_case "full" `Quick test_rcvarray_full;
+         Alcotest.test_case "double unprogram" `Quick test_rcvarray_double_unprogram;
+         Alcotest.test_case "entries of run" `Quick test_rcvarray_entries_of_run ]);
+      ("user_api",
+       [ Alcotest.test_case "sdma roundtrip" `Quick test_user_api_sdma_roundtrip;
+         Alcotest.test_case "tid roundtrip" `Quick test_user_api_tid_roundtrip;
+         Alcotest.test_case "bad input" `Quick test_user_api_bad_input;
+         Alcotest.test_case "wire header" `Quick test_user_api_wire_header;
+         qc prop_user_api_roundtrip ]);
+      ("hfi",
+       [ Alcotest.test_case "contexts" `Quick test_hfi_contexts;
+         Alcotest.test_case "pio fragments" `Quick test_hfi_pio_eager_fragments;
+         Alcotest.test_case "sdma expected e2e" `Quick
+           test_hfi_sdma_expected_end_to_end;
+         Alcotest.test_case "wire serialized" `Quick test_hfi_wire_is_serialized ]) ]
