@@ -140,6 +140,7 @@ let run_micro () =
              let r = Analyze.one ols Instance.monotonic_clock bench in
              match Analyze.OLS.estimates r with
              | Some [ est ] ->
+               Pico_harness.Report.record ~figure:"micro" ~metric:name est;
                Printf.printf "  %-44s %12.1f ns/iter\n" name est
              | _ -> Printf.printf "  %-44s (no estimate)\n" name))
     tests;
@@ -156,8 +157,26 @@ let run_figures () =
   in
   print_endline "=== Paper evaluation: every table and figure ===";
   print_newline ();
+  (* Sweep points fan out over PICO_JOBS domains (Figures' default). *)
   print_string (Pico_harness.Figures.all ~scale ())
+
+(* PICO_BENCH_JSON=<path> additionally dumps every recorded figure of
+   merit — micro ns/iter and per-figure FOMs — as sorted JSON, so the
+   performance trajectory can be tracked across runs. *)
+let write_json () =
+  match Sys.getenv_opt "PICO_BENCH_JSON" with
+  | None -> ()
+  | Some path ->
+    let scale =
+      Option.value ~default:"quick" (Sys.getenv_opt "PICO_BENCH_SCALE")
+    in
+    let jobs = Pico_harness.Pool.default_jobs () in
+    Pico_harness.Report.write
+      ~extra:[ ("scale", scale); ("jobs", string_of_int jobs) ]
+      path;
+    Printf.printf "wrote %s (%d metrics)\n" path (Pico_harness.Report.size ())
 
 let () =
   run_micro ();
-  run_figures ()
+  run_figures ();
+  write_json ()

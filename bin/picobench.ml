@@ -1,11 +1,17 @@
 (* picobench: regenerate every table and figure of the paper's evaluation.
 
    One subcommand per experiment (see DESIGN.md's per-experiment index);
-   `picobench all` runs the full set at the chosen scale. *)
+   `picobench all` runs the full set at the chosen scale.
+
+   Sweeps run in parallel over OCaml domains: -j/--jobs (or PICO_JOBS)
+   picks the worker count, and the rendered output is byte-identical at
+   every setting.  --json dumps the recorded figures of merit. *)
 
 open Cmdliner
 
 module F = Pico_harness.Figures
+module Pool = Pico_harness.Pool
+module Report = Pico_harness.Report
 
 let scale_conv =
   let parse = function
@@ -38,16 +44,49 @@ let rpn_arg default =
   let doc = "MPI ranks per node." in
   Arg.(value & opt int default & info [ "r"; "ranks-per-node" ] ~docv:"RPN" ~doc)
 
-let emit s = print_string s
+let jobs_arg =
+  let doc =
+    "Worker domains for the sweep (1 = sequential).  Defaults to \
+     $(b,PICO_JOBS) or the recommended domain count.  Output is \
+     byte-identical regardless of the setting."
+  in
+  Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"JOBS" ~doc)
+
+let json_arg =
+  let doc =
+    "Also write the recorded figures of merit as JSON to $(docv) \
+     (machine-readable; keys are sorted, so files diff cleanly)."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
+
+(* Every run goes through here: print the rendered text, then dump the
+   figures of merit the run recorded if --json was given. *)
+let emit ?json ?jobs s =
+  print_string s;
+  match json with
+  | None -> ()
+  | Some path ->
+    let jobs =
+      match jobs with Some j -> j | None -> Pool.default_jobs ()
+    in
+    (try Report.write ~extra:[ ("jobs", string_of_int jobs) ] path
+     with Sys_error msg ->
+       prerr_endline ("picobench: cannot write JSON: " ^ msg);
+       exit Cmd.Exit.some_error)
 
 let cmd name ~doc term = Cmd.v (Cmd.info name ~doc) term
 
 let fig4_cmd =
   cmd "fig4" ~doc:"Figure 4: IMB PingPong bandwidth (3 OS configs)"
-    Term.(const (fun () -> emit (F.fig4 ())) $ const ())
+    Term.(
+      const (fun jobs json -> emit ?json ?jobs (F.fig4 ?jobs ()))
+      $ jobs_arg $ json_arg)
 
-let app_cmd name ~doc (f : ?scale:F.scale -> unit -> string) =
-  cmd name ~doc Term.(const (fun scale -> emit (f ~scale ())) $ scale_arg)
+let app_cmd name ~doc (f : ?scale:F.scale -> ?jobs:int -> unit -> string) =
+  cmd name ~doc
+    Term.(
+      const (fun scale jobs json -> emit ?json ?jobs (f ~scale ?jobs ()))
+      $ scale_arg $ jobs_arg $ json_arg)
 
 let fig5a_cmd = app_cmd "fig5a" ~doc:"Figure 5a: LAMMPS scaling" F.fig5a_lammps
 
@@ -62,20 +101,23 @@ let fig7_cmd = app_cmd "fig7" ~doc:"Figure 7: QBOX scaling" F.fig7_qbox
 let table1_cmd =
   cmd "table1" ~doc:"Table 1: communication profile (UMT, HACC, QBOX)"
     Term.(
-      const (fun nodes rpn -> emit (F.table1 ~nodes ~ranks_per_node:rpn ()))
-      $ nodes_arg 8 $ rpn_arg 8)
+      const (fun nodes rpn jobs json ->
+          emit ?json ?jobs (F.table1 ~nodes ~ranks_per_node:rpn ?jobs ()))
+      $ nodes_arg 8 $ rpn_arg 8 $ jobs_arg $ json_arg)
 
 let fig8_cmd =
   cmd "fig8" ~doc:"Figure 8: system call breakdown for UMT2013"
     Term.(
-      const (fun nodes rpn -> emit (F.fig8_umt ~nodes ~ranks_per_node:rpn ()))
-      $ nodes_arg 8 $ rpn_arg 8)
+      const (fun nodes rpn jobs json ->
+          emit ?json ?jobs (F.fig8_umt ~nodes ~ranks_per_node:rpn ?jobs ()))
+      $ nodes_arg 8 $ rpn_arg 8 $ jobs_arg $ json_arg)
 
 let fig9_cmd =
   cmd "fig9" ~doc:"Figure 9: system call breakdown for QBOX"
     Term.(
-      const (fun nodes rpn -> emit (F.fig9_qbox ~nodes ~ranks_per_node:rpn ()))
-      $ nodes_arg 8 $ rpn_arg 8)
+      const (fun nodes rpn jobs json ->
+          emit ?json ?jobs (F.fig9_qbox ~nodes ~ranks_per_node:rpn ?jobs ()))
+      $ nodes_arg 8 $ rpn_arg 8 $ jobs_arg $ json_arg)
 
 let listing1_cmd =
   cmd "listing1" ~doc:"Listing 1: dwarf-extract-struct output for sdma_state"
@@ -88,22 +130,29 @@ let sloc_cmd =
 let imb_cmd =
   cmd "imb" ~doc:"The wider IMB-MPI1 suite (PingPing, SendRecv, Exchange, ...)"
     Term.(
-      const (fun nodes rpn -> emit (F.imb_suite ~nodes ~ranks_per_node:rpn ()))
-      $ nodes_arg 2 $ rpn_arg 1)
+      const (fun nodes rpn jobs json ->
+          emit ?json ?jobs (F.imb_suite ~nodes ~ranks_per_node:rpn ?jobs ()))
+      $ nodes_arg 2 $ rpn_arg 1 $ jobs_arg $ json_arg)
 
 let ibreg_cmd =
   cmd "ibreg"
     ~doc:"Extension: InfiniBand memory-registration latency (future work)"
-    Term.(const (fun () -> emit (F.ibreg ())) $ const ())
+    Term.(
+      const (fun jobs json -> emit ?json ?jobs (F.ibreg ?jobs ()))
+      $ jobs_arg $ json_arg)
 
 let ablations_cmd =
   cmd "ablations"
     ~doc:"Design-choice ablations: SDMA request size, OS noise, TID cache"
-    Term.(const (fun () -> emit (F.ablations ())) $ const ())
+    Term.(
+      const (fun json -> emit ?json ~jobs:1 (F.ablations ()))
+      $ json_arg)
 
 let all_cmd =
   cmd "all" ~doc:"Run every experiment at the chosen scale"
-    Term.(const (fun scale -> emit (F.all ~scale ())) $ scale_arg)
+    Term.(
+      const (fun scale jobs json -> emit ?json ?jobs (F.all ~scale ?jobs ()))
+      $ scale_arg $ jobs_arg $ json_arg)
 
 let main =
   let doc =
@@ -116,4 +165,10 @@ let main =
       table1_cmd; fig8_cmd; fig9_cmd; listing1_cmd; imb_cmd; ibreg_cmd;
       ablations_cmd; sloc_cmd; all_cmd ]
 
-let () = exit (Cmd.eval main)
+let () =
+  (* Surface a malformed PICO_JOBS as a CLI error, not a backtrace. *)
+  match Pool.default_jobs () with
+  | exception Invalid_argument msg ->
+    prerr_endline ("picobench: " ^ msg);
+    exit Cmd.Exit.cli_error
+  | _ -> exit (Cmd.eval main)

@@ -8,7 +8,11 @@ let free comm va = (os comm).Endpoint.munmap va
 
 let compute comm d = Mpi.compute comm d
 
-let dims3_memo : (int, int * int * int) Hashtbl.t = Hashtbl.create 16
+(* Per-domain memo: [dims3] is pure, so each domain caching its own
+   results is merely a little redundant work — and it keeps the hot
+   per-halo-exchange lookup free of locks and cross-domain races. *)
+let dims3_memo_key : (int, int * int * int) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
 
 let dims3_uncached n =
   if n <= 0 then invalid_arg "dims3: n must be > 0";
@@ -38,11 +42,12 @@ let dims3_uncached n =
   !best
 
 let dims3 n =
-  match Hashtbl.find_opt dims3_memo n with
+  let memo = Domain.DLS.get dims3_memo_key in
+  match Hashtbl.find_opt memo n with
   | Some d -> d
   | None ->
     let d = dims3_uncached n in
-    Hashtbl.add dims3_memo n d;
+    Hashtbl.add memo n d;
     d
 
 let coords3 ~rank ~dims:(px, py, pz) =

@@ -77,7 +77,19 @@ let defaults () = {
   pico_init = 5.0e6;
 }
 
-let current = defaults ()
+(* One table per domain: parallel sweeps (harness pool workers) each get
+   their own copy, so [with_patched]/ablation mutations in one domain can
+   never leak into experiments running in another.  A fresh domain starts
+   from the calibrated defaults; the harness pool overrides that by
+   [restore]-ing a snapshot of the submitting domain's table into the
+   worker before each job. *)
+let dls_key : t Domain.DLS.key = Domain.DLS.new_key (fun () -> defaults ())
+
+let current () = Domain.DLS.get dls_key
+
+let copy src = { src with link_bandwidth = src.link_bandwidth }
+
+let snapshot () = copy (current ())
 
 let assign dst src =
   dst.link_bandwidth <- src.link_bandwidth;
@@ -111,11 +123,14 @@ let assign dst src =
   dst.mpi_init_per_round <- src.mpi_init_per_round;
   dst.pico_init <- src.pico_init
 
-let reset () = assign current (defaults ())
+let restore src = assign (current ()) src
+
+let reset () = assign (current ()) (defaults ())
 
 let with_patched patch f =
-  let saved = { current with link_bandwidth = current.link_bandwidth } in
-  patch current;
+  let cur = current () in
+  let saved = copy cur in
+  patch cur;
   match f () with
-  | v -> assign current saved; v
-  | exception e -> assign current saved; raise e
+  | v -> assign cur saved; v
+  | exception e -> assign cur saved; raise e

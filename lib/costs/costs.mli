@@ -50,14 +50,29 @@ type t = {
   mutable pico_init : float;           (** one-time LWK driver mapping init *)
 }
 
-(** The live configuration (mutable, read by all models). *)
-val current : t
+(** The live configuration of the calling domain (mutable, read by all
+    models).  Each OCaml domain owns an independent table ([Domain.DLS]):
+    a fresh domain starts from {!defaults}, and mutations — including
+    {!with_patched} and ablation-style field pokes — stay local to the
+    domain that made them.  The harness pool propagates the submitting
+    domain's table to its workers via {!snapshot}/{!restore}. *)
+val current : unit -> t
 
 (** Fresh copy of the calibrated defaults. *)
 val defaults : unit -> t
 
-(** Restore [current] to defaults (used by tests). *)
+(** Independent copy of an arbitrary table. *)
+val copy : t -> t
+
+(** Independent copy of the calling domain's live table. *)
+val snapshot : unit -> t
+
+(** Overwrite the calling domain's live table with the given values. *)
+val restore : t -> unit
+
+(** Restore the calling domain's [current] to defaults (used by tests). *)
 val reset : unit -> unit
 
-(** Run [f] with [current] temporarily replaced by a modified copy. *)
+(** Run [f] with the calling domain's [current] temporarily replaced by a
+    modified copy. *)
 val with_patched : (t -> unit) -> (unit -> 'a) -> 'a

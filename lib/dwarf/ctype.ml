@@ -54,6 +54,27 @@ type laid_member = {
   m_size : int;
 }
 
+(* Layouts are recomputed for the same (static) declaration on every
+   [Struct_access] read — the PicoDriver hot path — so [layout]/[sized]
+   memoize per declaration.  The cache is keyed by declaration name and
+   validated by physical equality (declarations are immutable, and the
+   driver models declare them once at module level).  It lives in
+   domain-local storage: each domain of a parallel sweep fills its own
+   table, keeping the hot path free of locks.  Buckets are capped so
+   dynamically rebuilt declarations (e.g. fresh DWARF parses) cannot grow
+   a bucket without bound. *)
+type memo_entry = {
+  e_kind : bool; (* true = struct, false = union *)
+  e_decl : decl;
+  e_layout : laid_member list;
+  e_size : int;
+}
+
+let memo_key : (string, memo_entry list) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let memo_bucket_cap = 8
+
 let rec align_of t =
   match strip_typedefs t with
   | Base b -> b.byte_size
@@ -76,7 +97,7 @@ and size_of t =
   | Union d -> sized `Union d
   | Typedef _ -> assert false
 
-and layout kind d =
+and layout_uncached kind d =
   if d.members = [] then
     invalid_arg ("Ctype.layout: empty aggregate " ^ d.name);
   match kind with
@@ -98,15 +119,37 @@ and layout kind d =
     in
     List.rev rev
 
-and sized kind d =
-  let members = layout kind d in
-  let align =
-    List.fold_left (fun acc m -> max acc (align_of m.m_type)) 1 members
-  in
-  let last_end =
-    List.fold_left (fun acc m -> max acc (m.m_offset + m.m_size)) 0 members
-  in
-  (last_end + align - 1) land lnot (align - 1)
+and memo_entry kind d =
+  let is_struct = kind = `Struct in
+  let tbl = Domain.DLS.get memo_key in
+  let bucket = Option.value ~default:[] (Hashtbl.find_opt tbl d.name) in
+  match
+    List.find_opt (fun e -> e.e_decl == d && e.e_kind = is_struct) bucket
+  with
+  | Some e -> e
+  | None ->
+    let members = layout_uncached kind d in
+    let align =
+      List.fold_left (fun acc m -> max acc (align_of m.m_type)) 1 members
+    in
+    let last_end =
+      List.fold_left (fun acc m -> max acc (m.m_offset + m.m_size)) 0 members
+    in
+    let size = (last_end + align - 1) land lnot (align - 1) in
+    let e =
+      { e_kind = is_struct; e_decl = d; e_layout = members; e_size = size }
+    in
+    let bucket =
+      if List.length bucket >= memo_bucket_cap then
+        e :: List.filteri (fun i _ -> i < memo_bucket_cap - 1) bucket
+      else e :: bucket
+    in
+    Hashtbl.replace tbl d.name bucket;
+    e
+
+and layout kind d = (memo_entry kind d).e_layout
+
+and sized kind d = (memo_entry kind d).e_size
 
 let rec to_c_string t =
   match t with

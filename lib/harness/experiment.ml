@@ -34,8 +34,8 @@ let run (cl : Cluster.t) ~ranks_per_node app =
              size (visible as MPI_Init on every OS configuration). *)
           let rounds = max 1 (int_of_float (Float.log2 (float_of_int world))) in
           Sim.delay sim
-            (Costs.current.Costs.mpi_init_base
-             +. (float_of_int rounds *. Costs.current.Costs.mpi_init_per_round));
+            ((Costs.current ()).Costs.mpi_init_base
+             +. (float_of_int rounds *. (Costs.current ()).Costs.mpi_init_per_round));
           let comm = Comm.create ep ~size:world in
           Stats.Registry.add comm.Comm.profile "MPI_Init" (Sim.now sim -. t0);
           inits.(rank) <- Sim.now sim -. t0;

@@ -14,24 +14,44 @@ let full =
 
 let os_kinds = [ Cluster.Linux; Cluster.Mckernel; Cluster.Mckernel_hfi ]
 
+let os_tag = function
+  | Cluster.Linux -> "linux"
+  | Cluster.Mckernel -> "mck"
+  | Cluster.Mckernel_hfi -> "hfi"
+
 let buf_add = Buffer.add_string
+
+(* Every sweep below fans its points out over a domain pool ([Pool.map]);
+   points are independent simulated worlds and results are reassembled
+   by sweep index, so the rendered text is identical to a sequential run
+   (PICO_JOBS=1 takes the exact sequential path). *)
 
 (* --- Figure 4 ----------------------------------------------------------- *)
 
-let fig4 ?(max_size = 4 * 1024 * 1024) ?iters () =
+let fig4 ?(max_size = 4 * 1024 * 1024) ?iters ?jobs () =
   let series =
-    List.map
-      (fun kind ->
-        let cl = Cluster.build kind ~n_nodes:2 () in
-        let out = ref [] in
-        ignore
-          (Experiment.run cl ~ranks_per_node:1 (fun comm ->
-               Pico_apps.Imb.pingpong ?iters
-                 ~sizes:(Pico_apps.Imb.sizes ~max_size ())
-                 ~out comm));
-        (kind, !out))
-      os_kinds
+    Pool.with_pool ?jobs (fun pool ->
+        Pool.map pool
+          (fun kind ->
+            let cl = Cluster.build kind ~n_nodes:2 () in
+            let out = ref [] in
+            ignore
+              (Experiment.run cl ~ranks_per_node:1 (fun comm ->
+                   Pico_apps.Imb.pingpong ?iters
+                     ~sizes:(Pico_apps.Imb.sizes ~max_size ())
+                     ~out comm));
+            (kind, !out))
+          os_kinds)
   in
+  List.iter
+    (fun (kind, pts) ->
+      List.iter
+        (fun (p : Pico_apps.Imb.point) ->
+          Report.record ~figure:"fig4"
+            ~metric:(Printf.sprintf "%s/%dB_mbps" (os_tag kind) p.size)
+            p.mbps)
+        pts)
+    series;
   let linux = List.assoc Cluster.Linux series in
   let mck = List.assoc Cluster.Mckernel series in
   let hfi = List.assoc Cluster.Mckernel_hfi series in
@@ -66,60 +86,72 @@ let run_app kind ~n_nodes ~ranks_per_node app =
   let res = Experiment.run cl ~ranks_per_node app in
   res.Experiment.fom_ns
 
-let app_figure ~title ~app ~min_nodes ?(rpn_factor = 1) scale =
+let app_figure ~title ~tag ~app ~min_nodes ?(rpn_factor = 1) ?jobs scale =
   let rpn = scale.ranks_per_node * rpn_factor in
-  let rows =
-    List.filter_map
-      (fun n ->
-        if n < min_nodes then None
-        else begin
-          let linux = run_app Cluster.Linux ~n_nodes:n ~ranks_per_node:rpn app in
-          let mck =
-            run_app Cluster.Mckernel ~n_nodes:n ~ranks_per_node:rpn app
-          in
-          let hfi =
-            run_app Cluster.Mckernel_hfi ~n_nodes:n ~ranks_per_node:rpn app
-          in
-          Some
-            [ string_of_int n;
-              "100.0%";
-              Tables.pct (linux /. mck);
-              Tables.pct (linux /. hfi);
-              Tables.ns linux ]
-        end)
-      scale.node_counts
+  let nodes = List.filter (fun n -> n >= min_nodes) scale.node_counts in
+  let points =
+    List.concat_map (fun n -> List.map (fun k -> (n, k)) os_kinds) nodes
   in
+  let foms =
+    Pool.with_pool ?jobs (fun pool ->
+        Pool.map pool
+          (fun (n, kind) -> run_app kind ~n_nodes:n ~ranks_per_node:rpn app)
+          points)
+  in
+  (* One row per node count, from the three per-OS results in sweep
+     order (the [points] list is node-major). *)
+  let rec to_rows nodes foms acc =
+    match (nodes, foms) with
+    | [], [] -> List.rev acc
+    | n :: nrest, linux :: mck :: hfi :: frest ->
+      Report.record ~figure:tag ~metric:(Printf.sprintf "linux_fom_ns/n%d" n)
+        linux;
+      Report.record ~figure:tag ~metric:(Printf.sprintf "mck_rel/n%d" n)
+        (linux /. mck);
+      Report.record ~figure:tag ~metric:(Printf.sprintf "hfi_rel/n%d" n)
+        (linux /. hfi);
+      let row =
+        [ string_of_int n;
+          "100.0%";
+          Tables.pct (linux /. mck);
+          Tables.pct (linux /. hfi);
+          Tables.ns linux ]
+      in
+      to_rows nrest frest (row :: acc)
+    | _ -> invalid_arg "app_figure: result shape mismatch"
+  in
+  let rows = to_rows nodes foms [] in
   Printf.sprintf "%s (relative performance to Linux, %d ranks/node)\n" title
     rpn
   ^ Tables.render
       ~header:[ "nodes"; "Linux"; "McKernel"; "McKernel+HFI1"; "Linux FOM" ]
       rows
 
-let fig5a_lammps ?(scale = quick) () =
-  app_figure ~title:"Figure 5a: LAMMPS" ~min_nodes:1 ~rpn_factor:2
+let fig5a_lammps ?(scale = quick) ?jobs () =
+  app_figure ~title:"Figure 5a: LAMMPS" ~tag:"fig5a" ~min_nodes:1 ~rpn_factor:2
     ~app:(fun c -> Pico_apps.Lammps.run c)
-    scale
+    ?jobs scale
 
-let fig5b_nekbone ?(scale = quick) () =
-  app_figure ~title:"Figure 5b: Nekbone" ~min_nodes:1
+let fig5b_nekbone ?(scale = quick) ?jobs () =
+  app_figure ~title:"Figure 5b: Nekbone" ~tag:"fig5b" ~min_nodes:1
     ~app:(fun c -> Pico_apps.Nekbone.run c)
-    scale
+    ?jobs scale
 
-let fig6a_umt ?(scale = quick) () =
-  app_figure ~title:"Figure 6a: UMT2013" ~min_nodes:1
+let fig6a_umt ?(scale = quick) ?jobs () =
+  app_figure ~title:"Figure 6a: UMT2013" ~tag:"fig6a" ~min_nodes:1
     ~app:(fun c -> Pico_apps.Umt.run c)
-    scale
+    ?jobs scale
 
-let fig6b_hacc ?(scale = quick) () =
-  app_figure ~title:"Figure 6b: HACC" ~min_nodes:1
+let fig6b_hacc ?(scale = quick) ?jobs () =
+  app_figure ~title:"Figure 6b: HACC" ~tag:"fig6b" ~min_nodes:1
     ~app:(fun c -> Pico_apps.Hacc.run c)
-    scale
+    ?jobs scale
 
-let fig7_qbox ?(scale = quick) () =
+let fig7_qbox ?(scale = quick) ?jobs () =
   (* The QBOX inputs need at least 4 ranks; the paper starts at 4 nodes. *)
-  app_figure ~title:"Figure 7: QBOX" ~min_nodes:4
+  app_figure ~title:"Figure 7: QBOX" ~tag:"fig7" ~min_nodes:4
     ~app:(fun c -> Pico_apps.Qbox.run c)
-    scale
+    ?jobs scale
 
 (* --- Table 1 ------------------------------------------------------------- *)
 
@@ -139,7 +171,33 @@ let profile_block res =
            Tables.pct (time /. grand_mpi);
            Tables.pct (time /. runtime) ])
 
-let table1 ?(nodes = 8) ?(ranks_per_node = 8) () =
+let table1 ?(nodes = 8) ?(ranks_per_node = 8) ?jobs () =
+  let combos =
+    List.concat_map
+      (fun (app_name, app) ->
+        List.map (fun kind -> (app_name, app, kind)) os_kinds)
+      table1_apps
+  in
+  let blocks =
+    Pool.with_pool ?jobs (fun pool ->
+        Pool.map pool
+          (fun (app_name, app, kind) ->
+            let cl = Cluster.build kind ~n_nodes:nodes () in
+            let res = Experiment.run cl ~ranks_per_node app in
+            let reg = Experiment.merged_mpi_profile res in
+            Report.record ~figure:"table1"
+              ~metric:(Printf.sprintf "%s/%s_mpi_ms" app_name (os_tag kind))
+              (Stats.Registry.grand_total reg /. 1e6);
+            Report.record ~figure:"table1"
+              ~metric:(Printf.sprintf "%s/%s_runtime_ms" app_name (os_tag kind))
+              (Experiment.total_runtime_ns res /. 1e6);
+            Printf.sprintf "%s / %s\n" app_name (Cluster.kind_to_string kind)
+            ^ Tables.render
+                ~header:[ "Call"; "Time(ms)"; "%MPI"; "%Rt" ]
+                (profile_block res)
+            ^ "\n")
+          combos)
+  in
   let b = Buffer.create 4096 in
   buf_add b
     (Printf.sprintf
@@ -147,21 +205,7 @@ let table1 ?(nodes = 8) ?(ranks_per_node = 8) () =
         Time = cumulative over ranks (ms); %%MPI = share of MPI time; \
         %%Rt = share of total runtime\n\n"
        nodes ranks_per_node);
-  List.iter
-    (fun (app_name, app) ->
-      List.iter
-        (fun kind ->
-          let cl = Cluster.build kind ~n_nodes:nodes () in
-          let res = Experiment.run cl ~ranks_per_node app in
-          buf_add b
-            (Printf.sprintf "%s / %s\n" app_name (Cluster.kind_to_string kind));
-          buf_add b
-            (Tables.render
-               ~header:[ "Call"; "Time(ms)"; "%MPI"; "%Rt" ]
-               (profile_block res));
-          buf_add b "\n")
-        os_kinds)
-    table1_apps;
+  List.iter (buf_add b) blocks;
   Buffer.contents b
 
 (* --- Figures 8/9: kernel-level syscall breakdown ------------------------- *)
@@ -169,7 +213,7 @@ let table1 ?(nodes = 8) ?(ranks_per_node = 8) () =
 let syscall_names =
   [ "read"; "open"; "mmap"; "munmap"; "ioctl"; "writev"; "nanosleep" ]
 
-let kernel_breakdown ~title ~app ~nodes ~ranks_per_node =
+let kernel_breakdown ~title ~tag ~app ~nodes ~ranks_per_node ?jobs () =
   let run kind =
     let cl = Cluster.build kind ~n_nodes:nodes () in
     let res = Experiment.run cl ~ranks_per_node app in
@@ -177,10 +221,20 @@ let kernel_breakdown ~title ~app ~nodes ~ranks_per_node =
     | Some reg -> reg
     | None -> invalid_arg "kernel_breakdown: no LWK profile (Linux config?)"
   in
-  let mck = run Cluster.Mckernel in
-  let hfi = run Cluster.Mckernel_hfi in
+  let mck, hfi =
+    match
+      Pool.with_pool ?jobs (fun pool ->
+          Pool.map pool run [ Cluster.Mckernel; Cluster.Mckernel_hfi ])
+    with
+    | [ m; h ] -> (m, h)
+    | _ -> assert false
+  in
   let total reg = Stats.Registry.grand_total reg in
   let t_mck = total mck and t_hfi = total hfi in
+  Report.record ~figure:tag ~metric:"kernel_ns_mck" t_mck;
+  Report.record ~figure:tag ~metric:"kernel_ns_hfi" t_hfi;
+  Report.record ~figure:tag ~metric:"hfi_over_mck"
+    (if t_mck > 0. then t_hfi /. t_mck else 0.);
   let rows reg t =
     List.map
       (fun name ->
@@ -206,15 +260,17 @@ let kernel_breakdown ~title ~app ~nodes ~ranks_per_node =
        (Tables.pct (if t_mck > 0. then t_hfi /. t_mck else 0.)));
   Buffer.contents b
 
-let fig8_umt ?(nodes = 8) ?(ranks_per_node = 8) () =
+let fig8_umt ?(nodes = 8) ?(ranks_per_node = 8) ?jobs () =
   kernel_breakdown ~title:"Figure 8: system call breakdown for UMT2013"
+    ~tag:"fig8"
     ~app:(fun c -> Pico_apps.Umt.run c)
-    ~nodes ~ranks_per_node
+    ~nodes ~ranks_per_node ?jobs ()
 
-let fig9_qbox ?(nodes = 8) ?(ranks_per_node = 8) () =
+let fig9_qbox ?(nodes = 8) ?(ranks_per_node = 8) ?jobs () =
   kernel_breakdown ~title:"Figure 9: system call breakdown for QBOX"
+    ~tag:"fig9"
     ~app:(fun c -> Pico_apps.Qbox.run c)
-    ~nodes ~ranks_per_node
+    ~nodes ~ranks_per_node ?jobs ()
 
 (* --- Listing 1 ------------------------------------------------------------ *)
 
@@ -285,7 +341,7 @@ let sloc () =
 
 (* --- The wider IMB-MPI1 suite ---------------------------------------------- *)
 
-let imb_suite ?(nodes = 2) ?(ranks_per_node = 1) () =
+let imb_suite ?(nodes = 2) ?(ranks_per_node = 1) ?jobs () =
   let sizes = [ 1024; 65536; 1048576 ] in
   let benches :
       (string * bool
@@ -304,28 +360,68 @@ let imb_suite ?(nodes = 2) ?(ranks_per_node = 1) () =
       ("Gather", false, Pico_apps.Imb.gather);
       ("Scatter", false, Pico_apps.Imb.scatter) ]
   in
+  let points =
+    List.concat_map
+      (fun kind ->
+        List.map (fun (name, _payload, bench) -> (kind, name, Some bench))
+          benches
+        @ [ (kind, "Barrier", None) ])
+      os_kinds
+  in
+  let outcomes =
+    Pool.with_pool ?jobs (fun pool ->
+        Pool.map pool
+          (fun (kind, name, bench) ->
+            let cl = Cluster.build kind ~n_nodes:nodes () in
+            let out = ref [] in
+            (match bench with
+             | Some bench ->
+               ignore
+                 (Experiment.run cl ~ranks_per_node (fun comm ->
+                      bench ?iters:(Some 20) ?sizes:(Some sizes) ~out comm))
+             | None ->
+               ignore
+                 (Experiment.run cl ~ranks_per_node (fun comm ->
+                      Pico_apps.Imb.barrier ~iters:50 ~out comm)));
+            (kind, name, !out))
+          points)
+  in
   let results =
     List.map
       (fun kind ->
         let per_bench =
-          List.map
-            (fun (name, _payload, bench) ->
-              let cl = Cluster.build kind ~n_nodes:nodes () in
-              let out = ref [] in
-              ignore
-                (Experiment.run cl ~ranks_per_node (fun comm ->
-                     bench ?iters:(Some 20) ?sizes:(Some sizes) ~out comm));
-              (name, !out))
-            benches
+          List.filter_map
+            (fun (k, name, out) -> if k = kind then Some (name, out) else None)
+            outcomes
         in
-        let barrier_out = ref [] in
-        let cl = Cluster.build kind ~n_nodes:nodes () in
-        ignore
-          (Experiment.run cl ~ranks_per_node (fun comm ->
-               Pico_apps.Imb.barrier ~iters:50 ~out:barrier_out comm));
-        (kind, ("Barrier", !barrier_out) :: List.rev per_bench))
+        (kind, per_bench))
       os_kinds
   in
+  List.iter
+    (fun ((name, payload, _) :
+           string * bool
+           * (?iters:int -> ?sizes:int list ->
+              out:Pico_apps.Imb.point list ref -> Comm.t -> float)) ->
+      List.iter
+        (fun kind ->
+          let per_bench = List.assoc kind results in
+          List.iter
+            (fun (p : Pico_apps.Imb.point) ->
+              if payload then
+                Report.record ~figure:"imb"
+                  ~metric:
+                    (Printf.sprintf "%s/%s/%dB_mbps" name (os_tag kind)
+                       p.Pico_apps.Imb.size)
+                  p.Pico_apps.Imb.mbps
+              else
+                Report.record ~figure:"imb"
+                  ~metric:
+                    (Printf.sprintf "%s/%s/%dB_ns" name (os_tag kind)
+                       p.Pico_apps.Imb.size)
+                  p.Pico_apps.Imb.time_ns)
+            (List.assoc name per_bench))
+        os_kinds)
+    benches;
   let b = Buffer.create 4096 in
   buf_add b
     (Printf.sprintf "IMB-MPI1 suite (%d nodes x %d ranks)
@@ -380,7 +476,7 @@ let imb_suite ?(nodes = 2) ?(ranks_per_node = 1) () =
 
 (* --- Extension: InfiniBand memory registration ---------------------------- *)
 
-let ibreg ?(registrations = 64) () =
+let ibreg ?(registrations = 64) ?jobs () =
   let module Mlx = Pico_linux.Mlx_driver in
   let run kind =
     let cl = Cluster.build kind ~n_nodes:1 () in
@@ -428,16 +524,22 @@ let ibreg ?(registrations = 64) () =
            done;
            mean := (Sim.now sim -. t0) /. float_of_int registrations));
     ignore (Sim.run sim);
-    (!mean, env)
+    let saved =
+      match env.Cluster.mlx_pico with
+      | Some mp -> Pico_driver.Mlx_pico.entries_saved mp
+      | None -> 0
+    in
+    (!mean, saved)
   in
-  let linux, _ = run Cluster.Linux in
-  let mck, _ = run Cluster.Mckernel in
-  let hfi, env = run Cluster.Mckernel_hfi in
-  let saved =
-    match env.Cluster.mlx_pico with
-    | Some mp -> Pico_driver.Mlx_pico.entries_saved mp
-    | None -> 0
+  let linux, mck, hfi, saved =
+    match Pool.with_pool ?jobs (fun pool -> Pool.map pool run os_kinds) with
+    | [ (l, _); (m, _); (h, saved) ] -> (l, m, h, saved)
+    | _ -> assert false
   in
+  Report.record ~figure:"ibreg" ~metric:"linux_ns" linux;
+  Report.record ~figure:"ibreg" ~metric:"mck_ns" mck;
+  Report.record ~figure:"ibreg" ~metric:"hfi_ns" hfi;
+  Report.record ~figure:"ibreg" ~metric:"mtt_saved" (float_of_int saved);
   "Extension (paper future work): InfiniBand memory registration\n   (register + deregister one pinned 2 MB buffer; mean per cycle)\n"
   ^ Tables.render
       ~header:[ "OS"; "reg+dereg"; "vs Linux" ]
@@ -459,16 +561,23 @@ let pingpong_once kind ~size =
   | [ p ] -> p.Pico_apps.Imb.mbps
   | _ -> invalid_arg "pingpong_once: unexpected output"
 
+(* Runs inline on the calling domain: each configuration patches the
+   (domain-local) cost table or the PSM config around a single run, so
+   there is no homogeneous sweep to fan out. *)
 let ablations () =
   let b = Buffer.create 2048 in
   let size = 4 * 1024 * 1024 in
   (* 1. SDMA request size. *)
   let linux = pingpong_once Cluster.Linux ~size in
   let hfi_10k = pingpong_once Cluster.Mckernel_hfi ~size in
-  let saved = Costs.current.Costs.sdma_max_request in
-  Costs.current.Costs.sdma_max_request <- 4096;
-  let hfi_4k = pingpong_once Cluster.Mckernel_hfi ~size in
-  Costs.current.Costs.sdma_max_request <- saved;
+  let hfi_4k =
+    Costs.with_patched
+      (fun c -> c.Costs.sdma_max_request <- 4096)
+      (fun () -> pingpong_once Cluster.Mckernel_hfi ~size)
+  in
+  Report.record ~figure:"ablations" ~metric:"sdma_linux_mbps" linux;
+  Report.record ~figure:"ablations" ~metric:"sdma_hfi_10k_mbps" hfi_10k;
+  Report.record ~figure:"ablations" ~metric:"sdma_hfi_4k_mbps" hfi_4k;
   buf_add b "Ablation 1: SDMA request size (4 MB ping-pong, MB/s)\n";
   buf_add b
     (Tables.render
@@ -485,11 +594,15 @@ let ablations () =
       .Experiment.fom_ns
   in
   let tuned = nekbone Cluster.Linux in
-  let saved_factor = Costs.current.Costs.nohz_full_factor in
-  Costs.current.Costs.nohz_full_factor <- 1.0;
-  let stock = nekbone Cluster.Linux in
-  Costs.current.Costs.nohz_full_factor <- saved_factor;
+  let stock =
+    Costs.with_patched
+      (fun c -> c.Costs.nohz_full_factor <- 1.0)
+      (fun () -> nekbone Cluster.Linux)
+  in
   let lwk = nekbone Cluster.Mckernel in
+  Report.record ~figure:"ablations" ~metric:"noise_tuned_fom_ns" tuned;
+  Report.record ~figure:"ablations" ~metric:"noise_stock_fom_ns" stock;
+  Report.record ~figure:"ablations" ~metric:"noise_lwk_fom_ns" lwk;
   buf_add b "\nAblation 2: OS noise (Nekbone, 4 nodes x 16 ranks)\n";
   buf_add b
     (Tables.render
@@ -504,6 +617,8 @@ let ablations () =
   Pico_psm.Config.tid_cache := true;
   let mck_cache = pingpong_once Cluster.Mckernel ~size in
   Pico_psm.Config.tid_cache := false;
+  Report.record ~figure:"ablations" ~metric:"tid_nocache_mbps" mck_nocache;
+  Report.record ~figure:"ablations" ~metric:"tid_cache_mbps" mck_cache;
   buf_add b "\nAblation 3: TID registration cache (4 MB ping-pong, MB/s)\n";
   buf_add b
     (Tables.render
@@ -518,21 +633,21 @@ let ablations () =
 
 (* --- everything ------------------------------------------------------------- *)
 
-let all ?(scale = quick) () =
+let all ?(scale = quick) ?jobs () =
   let b = Buffer.create (1 lsl 16) in
   let add s = buf_add b s; buf_add b "\n" in
-  add (fig4 ());
-  add (fig5a_lammps ~scale ());
-  add (fig5b_nekbone ~scale ());
-  add (fig6a_umt ~scale ());
-  add (fig6b_hacc ~scale ());
-  add (fig7_qbox ~scale ());
-  add (imb_suite ());
-  add (table1 ~ranks_per_node:scale.ranks_per_node ());
-  add (fig8_umt ~ranks_per_node:scale.ranks_per_node ());
-  add (fig9_qbox ~ranks_per_node:scale.ranks_per_node ());
+  add (fig4 ?jobs ());
+  add (fig5a_lammps ~scale ?jobs ());
+  add (fig5b_nekbone ~scale ?jobs ());
+  add (fig6a_umt ~scale ?jobs ());
+  add (fig6b_hacc ~scale ?jobs ());
+  add (fig7_qbox ~scale ?jobs ());
+  add (imb_suite ?jobs ());
+  add (table1 ~ranks_per_node:scale.ranks_per_node ?jobs ());
+  add (fig8_umt ~ranks_per_node:scale.ranks_per_node ?jobs ());
+  add (fig9_qbox ~ranks_per_node:scale.ranks_per_node ?jobs ());
   add (listing1 ());
-  add (ibreg ());
+  add (ibreg ?jobs ());
   add (ablations ());
   add (sloc ());
   Buffer.contents b

@@ -18,32 +18,41 @@ val medium : scale
 
 val full : scale
 
+(** Every experiment function below takes an optional [?jobs] argument:
+    the number of OCaml domains used to fan the sweep's independent
+    points out over a {!Pool}.  It defaults to {!Pool.default_jobs}
+    (the [PICO_JOBS] environment variable, falling back to
+    [Domain.recommended_domain_count]).  [~jobs:1] runs the exact
+    sequential path; any other value produces byte-identical output.
+    Headline figures of merit are also {!Report.record}ed as a side
+    effect, for [--json] output. *)
+
 (** Figure 4: IMB PingPong bandwidth, 3 OS configurations. *)
-val fig4 : ?max_size:int -> ?iters:int -> unit -> string
+val fig4 : ?max_size:int -> ?iters:int -> ?jobs:int -> unit -> string
 
 (** Figures 5–7: relative performance to Linux per node count. *)
 
-val fig5a_lammps : ?scale:scale -> unit -> string
+val fig5a_lammps : ?scale:scale -> ?jobs:int -> unit -> string
 
-val fig5b_nekbone : ?scale:scale -> unit -> string
+val fig5b_nekbone : ?scale:scale -> ?jobs:int -> unit -> string
 
-val fig6a_umt : ?scale:scale -> unit -> string
+val fig6a_umt : ?scale:scale -> ?jobs:int -> unit -> string
 
-val fig6b_hacc : ?scale:scale -> unit -> string
+val fig6b_hacc : ?scale:scale -> ?jobs:int -> unit -> string
 
-val fig7_qbox : ?scale:scale -> unit -> string
+val fig7_qbox : ?scale:scale -> ?jobs:int -> unit -> string
 
 (** Table 1: top-5 MPI calls (Time, %MPI, %Rt) for UMT2013, HACC and
     QBOX on [nodes] nodes under the three OS configurations. *)
-val table1 : ?nodes:int -> ?ranks_per_node:int -> unit -> string
+val table1 : ?nodes:int -> ?ranks_per_node:int -> ?jobs:int -> unit -> string
 
 (** Figures 8/9: in-kernel system-call time breakdown for McKernel vs
     McKernel+HFI (UMT2013 and QBOX respectively), plus the ratio of
     total kernel time between the two configurations. *)
 
-val fig8_umt : ?nodes:int -> ?ranks_per_node:int -> unit -> string
+val fig8_umt : ?nodes:int -> ?ranks_per_node:int -> ?jobs:int -> unit -> string
 
-val fig9_qbox : ?nodes:int -> ?ranks_per_node:int -> unit -> string
+val fig9_qbox : ?nodes:int -> ?ranks_per_node:int -> ?jobs:int -> unit -> string
 
 (** Listing 1: the dwarf-extract-struct output for [sdma_state]. *)
 val listing1 : unit -> string
@@ -54,12 +63,12 @@ val sloc : unit -> string
 
 (** The wider IMB-MPI1 suite (PingPing, SendRecv, Exchange, Bcast,
     Allreduce, Barrier) across the three OS configurations. *)
-val imb_suite : ?nodes:int -> ?ranks_per_node:int -> unit -> string
+val imb_suite : ?nodes:int -> ?ranks_per_node:int -> ?jobs:int -> unit -> string
 
 (** Extension (paper future work): InfiniBand memory-registration
     latency under the three OS configurations, with and without the
     Mellanox PicoDriver. *)
-val ibreg : ?registrations:int -> unit -> string
+val ibreg : ?registrations:int -> ?jobs:int -> unit -> string
 
 (** The design-choice ablations DESIGN.md calls out:
     1. SDMA request size capped at PAGE_SIZE (undoes Section 3.4);
@@ -68,4 +77,4 @@ val ibreg : ?registrations:int -> unit -> string
 val ablations : unit -> string
 
 (** Run everything at the given scale (the bench harness entry point). *)
-val all : ?scale:scale -> unit -> string
+val all : ?scale:scale -> ?jobs:int -> unit -> string

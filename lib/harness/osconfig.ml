@@ -86,7 +86,7 @@ let init_mckernel (cl : Cluster.t) env ~rank ~with_pico =
   (* PicoDriver: one-time per-process initialisation of the LWK-side
      kernel mappings of driver internals (paper: visible as extra
      MPI_Init time). *)
-  if with_pico then Sim.delay sim Costs.current.pico_init;
+  if with_pico then Sim.delay sim (Costs.current ()).pico_init;
   let file =
     match
       Vfs.lookup_fd env.Cluster.linux.Lkernel.vfs

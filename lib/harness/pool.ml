@@ -1,0 +1,122 @@
+module Costs = Pico_costs.Costs
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let default_jobs () =
+  match Sys.getenv_opt "PICO_JOBS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> n
+     | _ -> invalid_arg (Printf.sprintf "PICO_JOBS=%S: expected integer >= 1" s))
+  | None -> max 1 (Domain.recommended_domain_count ())
+
+(* Workers drain the queue before honouring [closed], so a shutdown
+   never drops submitted jobs. *)
+let rec worker_loop t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.queue && not t.closed do
+    Condition.wait t.work t.mutex
+  done;
+  if Queue.is_empty t.queue then Mutex.unlock t.mutex
+  else begin
+    let job = Queue.pop t.queue in
+    Mutex.unlock t.mutex;
+    job ();
+    worker_loop t
+  end
+
+let create ?jobs () =
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> default_jobs ()
+  in
+  let t =
+    { jobs; mutex = Mutex.create (); work = Condition.create ();
+      queue = Queue.create (); closed = false; domains = [] }
+  in
+  (* The submitting domain helps run jobs during [map], so [jobs] total
+     domains work the queue. *)
+  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let jobs t = t.jobs
+
+let map (type b) t f xs : b list =
+  if t.jobs = 1 then List.map f xs (* exact sequential path *)
+  else begin
+    match xs with
+    | [] -> []
+    | _ ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let results : b option array = Array.make n None in
+      let errors = Array.make n None in
+      let remaining = ref n in
+      let finished = Condition.create () in
+      (* Propagate the submitting domain's cost table (possibly patched by
+         an enclosing ablation) into whichever domain runs each job. *)
+      let costs = Costs.snapshot () in
+      let job i () =
+        Costs.restore costs;
+        (match f arr.(i) with
+         | v -> results.(i) <- Some v
+         | exception e ->
+           errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+        Mutex.lock t.mutex;
+        decr remaining;
+        if !remaining = 0 then Condition.broadcast finished;
+        Mutex.unlock t.mutex
+      in
+      Mutex.lock t.mutex;
+      for i = 0 to n - 1 do
+        Queue.push (job i) t.queue
+      done;
+      Condition.broadcast t.work;
+      (* Help drain the queue, then wait for stragglers running on
+         workers. *)
+      while not (Queue.is_empty t.queue) do
+        let j = Queue.pop t.queue in
+        Mutex.unlock t.mutex;
+        j ();
+        Mutex.lock t.mutex
+      done;
+      while !remaining > 0 do
+        Condition.wait finished t.mutex
+      done;
+      Mutex.unlock t.mutex;
+      (* Deterministic error reporting: first failing index wins, exactly
+         like the sequential path encountering it first. *)
+      Array.iteri
+        (fun _ -> function
+          | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+          | None -> ())
+        errors;
+      Array.to_list results
+      |> List.map (function Some v -> v | None -> assert false)
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.closed then Mutex.unlock t.mutex
+  else begin
+    t.closed <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  match f t with
+  | v -> shutdown t; v
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    shutdown t;
+    Printexc.raise_with_backtrace e bt

@@ -1,0 +1,47 @@
+(** A work-distributing pool of OCaml 5 domains for the experiment
+    harness.
+
+    Every sweep point of the paper's evaluation (message sizes x node
+    counts x OS configurations) is an independent, self-contained
+    simulated world: it builds its own [Sim.t], seeds its own RNGs and
+    shares no mutable state with any other point.  The pool exploits
+    that: [map] fans the points out over worker domains and reassembles
+    the results keyed by input index, so the rendered figures and tables
+    are byte-identical to a sequential run.
+
+    Cost-model safety: [Costs.current] is domain-local.  [map] takes a
+    {!Costs.snapshot} of the submitting domain's table at submission
+    time and [Costs.restore]s it inside the worker before running each
+    job, so ablation sweeps that patch the cost table behave identically
+    in parallel and in sequential mode.
+
+    [jobs = 1] is guaranteed to take the exact sequential path: no
+    domains are spawned and [map] is [List.map]. *)
+
+type t
+
+(** Worker count from the environment: [PICO_JOBS] when set to a
+    positive integer, otherwise [Domain.recommended_domain_count ()]. *)
+val default_jobs : unit -> int
+
+(** [create ~jobs ()] spawns [jobs - 1 ] worker domains ([jobs] defaults
+    to {!default_jobs}; values < 1 are clamped to 1).  With [jobs = 1]
+    no domain is spawned. *)
+val create : ?jobs:int -> unit -> t
+
+val jobs : t -> int
+
+(** [map t f xs] applies [f] to every element of [xs] — in submission
+    order on the calling domain when [jobs t = 1], otherwise distributed
+    over the workers (the calling domain helps) — and returns the
+    results in input order.  If any job raises, the exception of the
+    lowest-indexed failing job is re-raised after all jobs finish.
+    Jobs must not themselves call [map] on the same pool. *)
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Signal the workers to exit and join them.  Idempotent. *)
+val shutdown : t -> unit
+
+(** [with_pool ~jobs f] = [create], run [f], [shutdown] (also on
+    exception). *)
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a

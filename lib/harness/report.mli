@@ -1,0 +1,29 @@
+(** Machine-readable results: a process-wide collector of named numeric
+    figures of merit, dumped as JSON so the performance trajectory of the
+    reproduction can be tracked across runs (and PRs).
+
+    Thread-safety: [record] may be called from any domain (the parallel
+    harness workers record from inside jobs); the collector is
+    mutex-protected and the JSON output is sorted by key, so emission
+    order never depends on the parallel schedule. *)
+
+(** [record ~figure ~metric v] stores [v] under ["figure/metric"],
+    overwriting any previous value for that key. *)
+val record : figure:string -> metric:string -> float -> unit
+
+(** Drop everything recorded so far. *)
+val clear : unit -> unit
+
+(** Number of metrics currently recorded. *)
+val size : unit -> int
+
+(** All recorded metrics, sorted by key. *)
+val dump : unit -> (string * float) list
+
+(** JSON object with a [schema] marker, the given extra string fields,
+    and a sorted ["metrics"] object. *)
+val to_json : ?extra:(string * string) list -> unit -> string
+
+(** [write ?extra path] writes {!to_json} to [path] (trailing newline
+    included). *)
+val write : ?extra:(string * string) list -> string -> unit

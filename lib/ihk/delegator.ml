@@ -15,7 +15,7 @@ let create sim ~linux =
    pays scheduler wake-up and context-switch costs on the oversubscribed
    cores — the "high contention on a few Linux CPUs" of Section 4.3. *)
 let dispatch_cost t =
-  let c = Costs.current in
+  let c = Costs.current () in
   let capacity = Resource.capacity t.lkernel.Lkernel.service_cpus in
   let ratio = float_of_int t.proxies /. float_of_int capacity in
   if ratio <= 1.0 then c.proxy_dispatch
@@ -35,7 +35,7 @@ let offload t ~name f =
   t.calls <- t.calls + 1;
   Pico_engine.Trace.debug t.sim "delegator" "offload %s (proxies=%d)" name
     t.proxies;
-  let c = Costs.current in
+  let c = Costs.current () in
   (* Request message to Linux. *)
   Sim.delay t.sim c.ikc_message;
   (* Wait for a Linux CPU; the delegator thread and proxy run there. *)

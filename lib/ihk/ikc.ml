@@ -11,7 +11,7 @@ let create sim ~name = { sim; ch_name = name; queue = Mailbox.create sim; sent =
 
 let send ch v =
   ch.sent <- ch.sent + 1;
-  Sim.after ch.sim Costs.current.ikc_message (fun () -> Mailbox.put ch.queue v)
+  Sim.after ch.sim (Costs.current ()).ikc_message (fun () -> Mailbox.put ch.queue v)
 
 let recv ch = Mailbox.get ch.queue
 

@@ -19,7 +19,7 @@ let get_user_pages t ~pt ~va ~len =
   if len <= 0 then invalid_arg "Gup.get_user_pages: len must be > 0";
   let first = Addr.align_down va Addr.page_size in
   let n = Addr.pages_spanned ~addr:va ~len in
-  charge t (float_of_int n *. Costs.current.gup_per_page);
+  charge t (float_of_int n *. (Costs.current ()).gup_per_page);
   let pins = ref [] in
   for i = n - 1 downto 0 do
     let page_va = first + (i * Addr.page_size) in
@@ -32,7 +32,7 @@ let get_user_pages t ~pt ~va ~len =
 
 let put_pages t pins =
   let n = List.length pins in
-  charge t (float_of_int n *. (Costs.current.gup_per_page /. 4.));
+  charge t (float_of_int n *. ((Costs.current ()).gup_per_page /. 4.));
   t.pinned <- t.pinned - n
 
 let pinned t = t.pinned

@@ -314,7 +314,7 @@ let probe sim ~node ~hfi ~slab ~gup ~vfs =
   let devdata_va =
     Slab.kmalloc slab (Hfi1_structs.struct_size Hfi1_structs.hfi1_devdata)
   in
-  let n_engines = Costs.current.sdma_engines in
+  let n_engines = (Costs.current ()).sdma_engines in
   let engine_size = Hfi1_structs.struct_size Hfi1_structs.sdma_engine in
   let per_sdma_va = Slab.kmalloc slab (n_engines * engine_size) in
   let t =

@@ -105,20 +105,18 @@ let all =
   [ kref; completion; sdma_state; sdma_engine; hfi1_devdata; hfi1_ctxtdata;
     hfi1_filedata; user_sdma_request ]
 
+(* Compiled eagerly at module initialisation (before any domain can be
+   spawned) so the memo needs no cross-domain synchronisation. *)
 let module_binary =
-  let memo = ref None in
-  fun () ->
-    match !memo with
-    | Some s -> s
-    | None ->
-      let c =
-        Compile.create
-          ~producer:"GNU C 4.8.5 (hfi1.ko, simulated Intel OPA driver)" ()
-      in
-      List.iter (Compile.add_struct c) all;
-      let sections = Encode.encode (Compile.finish c) in
-      memo := Some sections;
-      sections
+  let sections =
+    let c =
+      Compile.create
+        ~producer:"GNU C 4.8.5 (hfi1.ko, simulated Intel OPA driver)" ()
+    in
+    List.iter (Compile.add_struct c) all;
+    Encode.encode (Compile.finish c)
+  in
+  fun () -> sections
 
 let field_offset decl name =
   let members = Ctype.layout `Struct decl in

@@ -10,9 +10,8 @@ type t = {
   nohz_full : bool;
   rng : Rng.t;
   mutable hfi1 : Hfi1_driver.t option;
+  mutable next_pid_counter : int;
 }
-
-let pid_counter = ref 1000
 
 let boot sim ~node ~service_cores ~nohz_full ~rng =
   if service_cores <= 0 then invalid_arg "Kernel.boot: service_cores must be > 0";
@@ -23,7 +22,8 @@ let boot sim ~node ~service_cores ~nohz_full ~rng =
   in
   Irq.set_service node.Node.irq (Some service_cpus);
   { sim; node; vfs = Vfs.create sim; slab = Slab.create sim ~node;
-    gup = Gup.create sim; service_cpus; nohz_full; rng; hfi1 = None }
+    gup = Gup.create sim; service_cpus; nohz_full; rng; hfi1 = None;
+    next_pid_counter = 1000 }
 
 let attach_hfi1 t hfi =
   let drv =
@@ -43,7 +43,7 @@ let noise_clock t =
 
 let syscall t ?profile ~name f =
   let started = Sim.now t.sim in
-  Sim.delay t.sim Costs.current.linux_syscall;
+  Sim.delay t.sim (Costs.current ()).linux_syscall;
   let finish () =
     match profile with
     | Some reg -> Stats.Registry.add reg name (Sim.now t.sim -. started)
@@ -53,9 +53,12 @@ let syscall t ?profile ~name f =
   | v -> finish (); v
   | exception e -> finish (); raise e
 
-let next_pid _t =
-  incr pid_counter;
-  !pid_counter
+(* Per-kernel, not a global counter: every simulated world must be
+   self-contained so experiments stay deterministic when run in
+   parallel domains. *)
+let next_pid t =
+  t.next_pid_counter <- t.next_pid_counter + 1;
+  t.next_pid_counter
 
 let new_process t =
   Uproc.create ~node:t.node ~pid:(next_pid t)

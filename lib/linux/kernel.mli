@@ -16,6 +16,7 @@ type t = {
   nohz_full : bool;
   rng : Rng.t;
   mutable hfi1 : Hfi1_driver.t option;
+  mutable next_pid_counter : int;
 }
 
 (** [boot sim ~node ~service_cores ~nohz_full ~rng] brings Linux up and

@@ -12,7 +12,7 @@ type t = {
 }
 
 let create sim ~rng ~nohz_full =
-  let c = Costs.current in
+  let c = Costs.current () in
   let factor = if nohz_full then c.nohz_full_factor else 1.0 in
   let interval = c.noise_interval in
   let duration = c.noise_duration *. factor in

@@ -50,7 +50,7 @@ let refill t s =
 
 let kmalloc t size =
   if size <= 0 then invalid_arg "Slab.kmalloc: size must be > 0";
-  charge t Costs.current.kmalloc;
+  charge t (Costs.current ()).kmalloc;
   let cls = class_of size in
   let s = slab_for t cls in
   if s.partial = [] then refill t s;
@@ -64,7 +64,7 @@ let kmalloc t size =
     va
 
 let kfree t va =
-  charge t Costs.current.kfree;
+  charge t (Costs.current ()).kfree;
   match Hashtbl.find_opt t.objects va with
   | None ->
     invalid_arg

@@ -21,7 +21,7 @@ let current_holder_name t =
   match Sim.current_name t.sim with Some n -> n | None -> "<callback>"
 
 let lock t =
-  Sim.delay t.sim Costs.current.spinlock_uncontended;
+  Sim.delay t.sim (Costs.current ()).spinlock_uncontended;
   if t.held_by = None then begin
     t.held_by <- Some (current_holder_name t);
     t.acquisitions <- t.acquisitions + 1

@@ -22,4 +22,4 @@ let copy_to_user node ~pt ~va data =
 
 let charge_copy sim len =
   if Sim.in_process sim then
-    Sim.delay sim (float_of_int len /. Costs.current.memcpy_bandwidth)
+    Sim.delay sim (float_of_int len /. (Costs.current ()).memcpy_bandwidth)

@@ -5,6 +5,7 @@ type t = {
   node : Node.t;
   pt : Pagetable.t;
   mutable mmap_cursor : Addr.t;
+  mutable rotor : int;
   mappings : (Addr.t, int * int) Hashtbl.t;
 }
 
@@ -12,20 +13,21 @@ let mmap_base = 0x7f00_0000_0000
 
 let create ~node ~pid =
   { pid; node; pt = Pagetable.create (); mmap_cursor = mmap_base;
-    mappings = Hashtbl.create 64 }
+    rotor = pid; mappings = Hashtbl.create 64 }
 
 let caller t : Vfs.caller = { pid = t.pid; pt = t.pt }
 
 (* Allocate one 4 kB frame, rotating the preferred NUMA domain so that
-   consecutive pages rarely sit next to each other physically. *)
-let rotor = ref 0
-
+   consecutive pages rarely sit next to each other physically.  The rotor
+   is per-process (seeded from the pid) rather than a global: simulated
+   worlds must not share mutable state, or parallel experiment sweeps
+   would lose their run-to-run determinism. *)
 let alloc_frame t =
   let doms = Numa.domains_of_kind t.node.Node.numa Numa.Ddr4 in
   let doms = if doms = [] then Numa.domains t.node.Node.numa else doms in
   let n = List.length doms in
-  let start = !rotor in
-  incr rotor;
+  let start = t.rotor in
+  t.rotor <- t.rotor + 1;
   let rec try_from i =
     if i >= n then None
     else begin

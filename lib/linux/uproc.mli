@@ -14,6 +14,9 @@ type t = {
   node : Node.t;
   pt : Pagetable.t;
   mutable mmap_cursor : Addr.t;
+  (* per-process NUMA rotation cursor for frame allocation; global state
+     would break determinism of parallel experiment sweeps *)
+  mutable rotor : int;
   (* va -> (frames, page_size) for each mapping, for munmap *)
   mappings : (Addr.t, int * int) Hashtbl.t;
 }

@@ -72,7 +72,7 @@ let fastpath_registered t ~dev = Hashtbl.mem t.fastpaths dev
    from entry to return, including offload waiting). *)
 let profiled t name f =
   let started = Sim.now t.sim in
-  Sim.delay t.sim Costs.current.lwk_syscall;
+  Sim.delay t.sim (Costs.current ()).lwk_syscall;
   let finish () = Stats.Registry.add t.kprofile name (Sim.now t.sim -. started) in
   match f () with
   | v -> finish (); v

@@ -170,7 +170,7 @@ let class_of size =
 let kalloc t ~core size =
   if core < 0 || core >= t.lwk_cores then
     invalid_arg "Mem.kalloc: bad core index";
-  charge t (Costs.current.kmalloc /. 2.) (* per-core lists: cheaper *);
+  charge t ((Costs.current ()).kmalloc /. 2.) (* per-core lists: cheaper *);
   let cls = class_of size in
   let slab = t.core_slabs.(core) in
   let free = Option.value ~default:[] (Hashtbl.find_opt slab cls) in
@@ -200,7 +200,7 @@ let kfree t ~core va =
       (Printf.sprintf
          "Mem.kfree: core %d is not an LWK core (Linux CPUs must use \
           kfree_remote)" core);
-  charge t Costs.current.kfree;
+  charge t (Costs.current ()).kfree;
   match Hashtbl.find_opt t.objects va with
   | None -> invalid_arg "Mem.kfree: not a live object"
   | Some cls ->
@@ -211,7 +211,7 @@ let kfree t ~core va =
       (va :: Option.value ~default:[] (Hashtbl.find_opt slab cls))
 
 let kfree_remote t va =
-  charge t Costs.current.kfree_remote;
+  charge t (Costs.current ()).kfree_remote;
   match Hashtbl.find_opt t.objects va with
   | None -> invalid_arg "Mem.kfree_remote: not a live object"
   | Some _ -> Queue.add va t.remote_free

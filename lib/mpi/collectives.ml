@@ -263,7 +263,7 @@ let alltoallv_inner comm ~counts =
   let rank = comm.Comm.rank in
   (* Local block: a memcpy. *)
   if counts.(rank) > 0 then
-    Mpi.compute comm (float_of_int counts.(rank) /. Costs.current.memcpy_bandwidth);
+    Mpi.compute comm (float_of_int counts.(rank) /. (Costs.current ()).memcpy_bandwidth);
   if n > 1 then begin
     let seq = Comm.next_coll comm in
     for i = 1 to n - 1 do

@@ -27,7 +27,7 @@ let send t (p : Wire.packet) =
   | Some rx ->
     let latency =
       if p.src_node = p.dst_node then loopback_latency
-      else Costs.current.link_latency
+      else (Costs.current ()).link_latency
     in
     Sim.after t.sim latency (fun () ->
         t.packets <- t.packets + 1;

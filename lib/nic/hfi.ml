@@ -45,8 +45,8 @@ let bar_ctx_window = Addr.mib 2
 let bar_pa t = bar_region_base + (t.node.Node.id * bar_region_stride)
 
 let wire_time len =
-  float_of_int (len + Costs.current.packet_overhead_bytes)
-  /. Costs.current.link_bandwidth
+  float_of_int (len + (Costs.current ()).packet_overhead_bytes)
+  /. (Costs.current ()).link_bandwidth
 
 let place_expected t ctx ~tid_base ~offset ~frag_len ~payload =
   (* Walk the programmed run, skipping [offset] bytes, writing the
@@ -104,7 +104,7 @@ let create sim ~node ~fabric ?(carry_payload = false)
   let t =
     { sim; node; fabric; carry_payload; rcv_entries; wire;
       sdma =
-        Sdma.create sim ~n_engines:Costs.current.sdma_engines ~ring_slots:64
+        Sdma.create sim ~n_engines:(Costs.current ()).sdma_engines ~ring_slots:64
           ~transmit;
       contexts = Hashtbl.create 64;
       next_ctx = 0;
@@ -153,7 +153,7 @@ let slice_payload payload ~offset ~len =
   | Some b -> Some (Bytes.sub b offset len)
 
 let pio_send t ~dst_node ~dst_ctx ~hdr ~len ?payload () =
-  let c = Costs.current in
+  let c = Costs.current () in
   (* Loopback (shared-memory-style) traffic never touches the link. *)
   let use_wire work =
     if dst_node <> node_id t then Resource.use t.wire ~work (fun () -> ())

@@ -37,7 +37,7 @@ let engine_loop t e () =
     let started = Sim.now t.sim in
     List.iter
       (fun req ->
-        Sim.delay t.sim Costs.current.sdma_request_overhead;
+        Sim.delay t.sim (Costs.current ()).sdma_request_overhead;
         t.transmit req)
       tx.requests;
     t.busy <- t.busy +. (Sim.now t.sim -. started);
@@ -73,11 +73,11 @@ let submit t tx =
   List.iter
     (fun r ->
       if r.len <= 0 then invalid_arg "Sdma.submit: empty request";
-      if r.len > Costs.current.sdma_max_request then
+      if r.len > (Costs.current ()).sdma_max_request then
         invalid_arg
           (Printf.sprintf
              "Sdma.submit: request of %d bytes exceeds hardware max %d"
-             r.len Costs.current.sdma_max_request))
+             r.len (Costs.current ()).sdma_max_request))
     tx.requests;
   (* Engine selection is per flow (context), like the hfi1 selector:
      one flow's descriptors are processed serially by one engine. *)

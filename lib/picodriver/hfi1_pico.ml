@@ -82,7 +82,7 @@ let engine_running t ~engine_idx =
 (* Chop physically contiguous segments at the hardware maximum.  Unlike
    the Linux driver, a request may span page boundaries and large pages. *)
 let requests_of_segments t segs =
-  let maxreq = Costs.current.sdma_max_request in
+  let maxreq = (Costs.current ()).sdma_max_request in
   List.concat_map
     (fun (pa, len, flags) ->
       if not (Pagetable.Flags.has flags Pagetable.Flags.pinned) then
@@ -102,7 +102,7 @@ let requests_of_segments t segs =
 let walk_cost segs =
   (* One table walk per leaf entry visited: with 2 MB pages this is
      hundreds of times cheaper than per-4 kB-page get_user_pages. *)
-  float_of_int (List.length segs) *. Costs.current.ptwalk_per_page
+  float_of_int (List.length segs) *. (Costs.current ()).ptwalk_per_page
 
 let fast_writev t (p : Mck.pctx) (file : Vfs.file) (iovs : Vfs.iovec list) =
   t.writev_fast <- t.writev_fast + 1;

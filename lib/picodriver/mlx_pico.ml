@@ -16,7 +16,7 @@ let dereg_fast t = t.dereg_fast
 let entries_saved t = t.entries_saved
 
 let walk_cost segs =
-  float_of_int (List.length segs) *. Costs.current.ptwalk_per_page
+  float_of_int (List.length segs) *. (Costs.current ()).ptwalk_per_page
 
 let fast_reg_mr t (p : Mck.pctx) (_file : Vfs.file) ~arg =
   t.reg_fast <- t.reg_fast + 1;

@@ -210,7 +210,7 @@ let isend t ~dst ~tag ~va ~len =
 
 let memcpy_charge t len =
   if len > 0 then
-    Sim.delay t.os.sim (float_of_int len /. Costs.current.memcpy_bandwidth)
+    Sim.delay t.os.sim (float_of_int len /. (Costs.current ()).memcpy_bandwidth)
 
 (* Register one window of the receive buffer and grant it to the sender. *)
 let register_window t ~va ~len =

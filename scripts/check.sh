@@ -1,0 +1,36 @@
+#!/bin/sh
+# Repository check gate: full build (warnings are errors), the whole test
+# suite, and the parallel-harness determinism contract — `picobench all`
+# must render byte-identically whatever PICO_JOBS is set to.
+#
+# Usage: scripts/check.sh          (from the repo root)
+#        PICO_CHECK_JOBS=8 scripts/check.sh
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+jobs="${PICO_CHECK_JOBS:-4}"
+
+echo "== dune build @all =="
+dune build @all
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== determinism: picobench all -s quick, jobs=1 vs jobs=$jobs =="
+seq_out="$(mktemp)"
+par_out="$(mktemp)"
+trap 'rm -f "$seq_out" "$par_out"' EXIT
+
+PICO_JOBS=1 dune exec --no-build bin/picobench.exe -- all -s quick \
+  > "$seq_out"
+PICO_JOBS="$jobs" dune exec --no-build bin/picobench.exe -- all -s quick \
+  > "$par_out"
+
+if ! diff -u "$seq_out" "$par_out"; then
+  echo "FAIL: parallel output differs from sequential" >&2
+  exit 1
+fi
+
+echo "OK: all checks passed (output identical at jobs=1 and jobs=$jobs)"

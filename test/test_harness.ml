@@ -19,22 +19,22 @@ let () = Costs.reset ()
 (* --- Costs ------------------------------------------------------------------ *)
 
 let test_costs_reset () =
-  let saved = Costs.current.Costs.link_bandwidth in
-  Costs.current.Costs.link_bandwidth <- 1.0;
+  let saved = (Costs.current ()).Costs.link_bandwidth in
+  (Costs.current ()).Costs.link_bandwidth <- 1.0;
   Costs.reset ();
   Alcotest.(check (float 1e-9)) "restored" saved
-    Costs.current.Costs.link_bandwidth
+    (Costs.current ()).Costs.link_bandwidth
 
 let test_costs_with_patched () =
-  let before = Costs.current.Costs.lwk_syscall in
+  let before = (Costs.current ()).Costs.lwk_syscall in
   let inside =
     Costs.with_patched
       (fun c -> c.Costs.lwk_syscall <- 99.)
-      (fun () -> Costs.current.Costs.lwk_syscall)
+      (fun () -> (Costs.current ()).Costs.lwk_syscall)
   in
   Alcotest.(check (float 1e-9)) "patched inside" 99. inside;
   Alcotest.(check (float 1e-9)) "restored after" before
-    Costs.current.Costs.lwk_syscall;
+    (Costs.current ()).Costs.lwk_syscall;
   (* Exception safety. *)
   (try
      Costs.with_patched
@@ -42,7 +42,7 @@ let test_costs_with_patched () =
        (fun () -> failwith "x")
    with Failure _ -> ());
   Alcotest.(check (float 1e-9)) "restored after exn" before
-    Costs.current.Costs.lwk_syscall
+    (Costs.current ()).Costs.lwk_syscall
 
 (* --- Tables -------------------------------------------------------------------- *)
 

@@ -483,7 +483,7 @@ let test_kernel_syscall_profile () =
   Alcotest.(check int) "recorded" 1 (Stats.Registry.count_of reg "nanosleep");
   Alcotest.(check bool) "includes entry cost" true
     (Stats.Registry.time_of reg "nanosleep"
-     >= 500. +. Costs.current.Costs.linux_syscall)
+     >= 500. +. (Costs.current ()).Costs.linux_syscall)
 
 let () =
   Alcotest.run "linux"

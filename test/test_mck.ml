@@ -74,7 +74,7 @@ let test_ikc_latency () =
   Ikc.send ch 42;
   ignore (Sim.run sim);
   Alcotest.(check (float 1e-9)) "one ikc latency"
-    Costs.current.Costs.ikc_message !got_at;
+    (Costs.current ()).Costs.ikc_message !got_at;
   Alcotest.(check int) "sent" 1 (Ikc.sent_total ch)
 
 let test_ikc_pair () =
@@ -102,7 +102,7 @@ let test_delegator_offload_cost () =
       ignore (Delegator.offload d ~name:"x" (fun () -> 1));
       t := Sim.now sim -. t0);
   ignore (Sim.run sim);
-  let c = Costs.current in
+  let c = Costs.current () in
   Alcotest.(check bool) "cost >= 2 ikc + dispatch" true
     (!t >= (2. *. c.Costs.ikc_message) +. c.Costs.proxy_dispatch);
   Alcotest.(check int) "counted" 1 (Delegator.offloaded_calls d)

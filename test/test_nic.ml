@@ -27,7 +27,7 @@ let test_fabric_latency () =
   Fabric.attach f ~node_id:1 ~rx:(fun _ -> at := Sim.now sim);
   Fabric.send f (mk_packet (Wire.Ctrl (Test_ctrl 1)));
   ignore (Sim.run sim);
-  check_float "wire latency" Costs.current.Costs.link_latency !at;
+  check_float "wire latency" (Costs.current ()).Costs.link_latency !at;
   Alcotest.(check int) "delivered" 1 (Fabric.packets_delivered f);
   Alcotest.(check int) "bytes" 100 (Fabric.bytes_delivered f)
 
@@ -39,7 +39,7 @@ let test_fabric_loopback_faster () =
   Fabric.send f (mk_packet ~src:0 ~dst:0 (Wire.Ctrl (Test_ctrl 1)));
   ignore (Sim.run sim);
   Alcotest.(check bool) "loopback below wire latency" true
-    (!at < Costs.current.Costs.link_latency)
+    (!at < (Costs.current ()).Costs.link_latency)
 
 let test_fabric_unattached () =
   let sim = Sim.create () in
@@ -383,8 +383,8 @@ let test_hfi_wire_is_serialized () =
   (* Both txs ran on different engines, but the single egress link
      serialises them: it must have been busy for both transfers. *)
   let per_pkt =
-    float_of_int (8192 + Costs.current.Costs.packet_overhead_bytes)
-    /. Costs.current.Costs.link_bandwidth
+    float_of_int (8192 + (Costs.current ()).Costs.packet_overhead_bytes)
+    /. (Costs.current ()).Costs.link_bandwidth
   in
   Alcotest.(check (float 1.)) "wire busy for both"
     (2. *. per_pkt)

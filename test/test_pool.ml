@@ -1,0 +1,129 @@
+(* Tests for the domain pool and the domain-safety of the cost table:
+   order preservation, the sequential fall-back, error propagation,
+   cost-table snapshotting into workers, cross-domain isolation of
+   [Costs.with_patched], and byte-identical parallel figure output. *)
+
+module Pool = Pico_harness.Pool
+module Figures = Pico_harness.Figures
+module Costs = Pico_costs.Costs
+
+let () = Costs.reset ()
+
+(* --- Pool.map --------------------------------------------------------------- *)
+
+let test_map_order () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let xs = List.init 100 Fun.id in
+      Alcotest.(check (list int)) "same as List.map"
+        (List.map (fun x -> x * x) xs)
+        (Pool.map pool (fun x -> x * x) xs))
+
+let test_map_empty () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      Alcotest.(check (list int)) "empty" [] (Pool.map pool Fun.id []))
+
+let test_map_sequential_path () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check int) "jobs clamps to 1" 1 (Pool.jobs pool);
+      (* jobs = 1 runs on the submitting domain: side effects land here. *)
+      let seen = ref [] in
+      let out = Pool.map pool (fun x -> seen := x :: !seen; x + 1) [ 1; 2; 3 ] in
+      Alcotest.(check (list int)) "results" [ 2; 3; 4 ] out;
+      Alcotest.(check (list int)) "ran in order" [ 3; 2; 1 ] !seen)
+
+let test_map_first_error_wins () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let run () =
+        Pool.map pool
+          (fun x -> if x >= 5 then failwith (string_of_int x) else x)
+          (List.init 10 Fun.id)
+      in
+      (* Index 5 fails first in list order, like the sequential path. *)
+      match run () with
+      | _ -> Alcotest.fail "expected failure"
+      | exception Failure m -> Alcotest.(check string) "first index" "5" m)
+
+let test_map_reusable_after_error () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      (try ignore (Pool.map pool (fun _ -> failwith "boom") [ 0 ])
+       with Failure _ -> ());
+      Alcotest.(check (list int)) "pool still works" [ 1; 2 ]
+        (Pool.map pool Fun.id [ 1; 2 ]))
+
+(* --- Cost-table propagation -------------------------------------------------- *)
+
+let test_map_sees_patched_costs () =
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let observed =
+        Costs.with_patched
+          (fun c -> c.Costs.lwk_syscall <- 123.)
+          (fun () ->
+            Pool.map pool
+              (fun _ -> (Costs.current ()).Costs.lwk_syscall)
+              (List.init 8 Fun.id))
+      in
+      List.iter
+        (Alcotest.(check (float 1e-9)) "worker sees snapshot" 123.)
+        observed);
+  Costs.reset ()
+
+let prop_with_patched_no_cross_domain_leak =
+  QCheck2.Test.make ~name:"with_patched never leaks across domains" ~count:25
+    QCheck2.Gen.(float_range 1. 1e6)
+    (fun v ->
+      let before = (Costs.current ()).Costs.lwk_syscall in
+      (* The other domain patches its own table and holds the patch while
+         we read ours. *)
+      let patched = Atomic.make false in
+      let release = Atomic.make false in
+      let d =
+        Domain.spawn (fun () ->
+            Costs.with_patched
+              (fun c -> c.Costs.lwk_syscall <- v)
+              (fun () ->
+                Atomic.set patched true;
+                while not (Atomic.get release) do Domain.cpu_relax () done;
+                (Costs.current ()).Costs.lwk_syscall))
+      in
+      while not (Atomic.get patched) do Domain.cpu_relax () done;
+      let here_during = (Costs.current ()).Costs.lwk_syscall in
+      Atomic.set release true;
+      let there = Domain.join d in
+      let here_after = (Costs.current ()).Costs.lwk_syscall in
+      here_during = before && here_after = before && there = v)
+
+let prop_pool_map_matches_list_map =
+  QCheck2.Test.make ~name:"Pool.map agrees with List.map" ~count:30
+    QCheck2.Gen.(pair (int_range 1 6) (list_size (int_range 0 40) small_int))
+    (fun (jobs, xs) ->
+      Pool.with_pool ~jobs (fun pool ->
+          Pool.map pool (fun x -> (x * 7) + 1) xs
+          = List.map (fun x -> (x * 7) + 1) xs))
+
+(* --- Determinism of the figure harness --------------------------------------- *)
+
+(* The acceptance bar: every figure and table renders byte-identically
+   whatever the worker count. *)
+let test_figures_all_deterministic () =
+  let seq = Figures.all ~scale:Figures.quick ~jobs:1 () in
+  let par = Figures.all ~scale:Figures.quick ~jobs:4 () in
+  Alcotest.(check string) "jobs=4 output equals jobs=1" seq par
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "pool"
+    [ ("map",
+       [ Alcotest.test_case "order" `Quick test_map_order;
+         Alcotest.test_case "empty" `Quick test_map_empty;
+         Alcotest.test_case "sequential path" `Quick test_map_sequential_path;
+         Alcotest.test_case "first error wins" `Quick test_map_first_error_wins;
+         Alcotest.test_case "reusable after error" `Quick
+           test_map_reusable_after_error;
+         qc prop_pool_map_matches_list_map ]);
+      ("costs domain safety",
+       [ Alcotest.test_case "snapshot into workers" `Quick
+           test_map_sees_patched_costs;
+         qc prop_with_patched_no_cross_domain_leak ]);
+      ("determinism",
+       [ Alcotest.test_case "figures identical at jobs=4" `Slow
+           test_figures_all_deterministic ]) ]
