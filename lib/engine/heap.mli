@@ -2,7 +2,11 @@
 
     Entries are ordered by a [float] key with an integer sequence number as a
     tie-breaker, so that events scheduled for the same instant fire in
-    insertion order (deterministic simulation). *)
+    insertion order (deterministic simulation).
+
+    The heap is laid out as three parallel flat arrays (keys / seqs /
+    values), so the float keys stay unboxed and the hot-path operations
+    ([push], [top_key], [pop]) allocate nothing. *)
 
 type 'a t
 
@@ -15,8 +19,17 @@ val is_empty : 'a t -> bool
 (** [push h ~key ~seq v] inserts [v] with priority [(key, seq)]. *)
 val push : 'a t -> key:float -> seq:int -> 'a -> unit
 
+(** [top_key h] returns the smallest key without removing it.
+    @raise Invalid_argument on an empty heap *)
+val top_key : 'a t -> float
+
+(** [pop h] removes the minimum entry and returns its value.
+    @raise Invalid_argument on an empty heap *)
+val pop : 'a t -> 'a
+
 (** [pop_min h] removes and returns the minimum entry as
-    [Some (key, seq, v)], or [None] when the heap is empty. *)
+    [Some (key, seq, v)], or [None] when the heap is empty.  Allocating
+    convenience wrapper around {!pop}. *)
 val pop_min : 'a t -> (float * int * 'a) option
 
 (** [peek_key h] returns the smallest key without removing it. *)

@@ -52,6 +52,13 @@ let use r ~work f =
   | v -> finish (); v
   | exception e -> finish (); raise e
 
+let idle r = r.in_use = 0 && Queue.is_empty r.pending
+
+let account r ~waited ~busy =
+  r.total_wait <- r.total_wait +. waited;
+  r.total_busy <- r.total_busy +. busy;
+  r.total_served <- r.total_served + 1
+
 let total_served r = r.total_served
 
 let total_wait_ns r = r.total_wait

@@ -30,6 +30,15 @@ val release : t -> unit
     service time. *)
 val use : t -> work:float -> (unit -> 'a) -> 'a
 
+(** True when no server is held and nobody is queued. *)
+val idle : t -> bool
+
+(** [account r ~waited ~busy] books one served request's statistics
+    without running any event — the bookkeeping half of {!use}, for
+    batched fast paths that charge several uncontended uses in one event
+    (the caller must replicate {!use}'s float arithmetic exactly). *)
+val account : t -> waited:float -> busy:float -> unit
+
 (** Cumulative statistics. *)
 
 val total_served : t -> int

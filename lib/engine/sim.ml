@@ -1,28 +1,78 @@
 exception Not_in_process
 
+(* Hot-path events are resumptions of processes blocked in [delay]; those
+   go through a [cell] taken from a per-simulator free list, so the
+   steady-state event loop allocates no closure per event.  [Call] covers
+   everything else (spawn, [at]/[after] callbacks, suspend wake-ups). *)
+type event =
+  | Call of (unit -> unit)
+  | Resume of cell
+
+and cell = {
+  mutable cont : (unit, unit) Effect.Deep.continuation option;
+  mutable cname : string option;
+  boxed : event; (* [Resume self], allocated once per cell *)
+}
+
 type t = {
   mutable now : float;
-  queue : (unit -> unit) Heap.t;
+  queue : event Heap.t;
   mutable seq : int;
   mutable processed : int;
   mutable current : string option;
   mutable running : bool; (* a process frame is on the stack *)
+  (* free list of resume cells, as a stack *)
+  mutable pool : cell array;
+  mutable pool_n : int;
+  (* observability *)
+  mutable peak_heap : int;
+  mutable elided : int;
+  mutable reused : int;
 }
 
 type _ Effect.t +=
   | Delay : t * float -> unit Effect.t
+  | Until : t * float -> unit Effect.t
   | Suspend : t * ((unit -> unit) -> unit) -> unit Effect.t
 
 let create () =
   { now = 0.; queue = Heap.create (); seq = 0; processed = 0;
-    current = None; running = false }
+    current = None; running = false; pool = [||]; pool_n = 0;
+    peak_heap = 0; elided = 0; reused = 0 }
 
 let now t = t.now
 
-let schedule t time f =
+let make_cell () =
+  let rec c = { cont = None; cname = None; boxed = Resume c } in
+  c
+
+let acquire_cell t =
+  if t.pool_n = 0 then make_cell ()
+  else begin
+    t.pool_n <- t.pool_n - 1;
+    t.reused <- t.reused + 1;
+    t.pool.(t.pool_n)
+  end
+
+let release_cell t c =
+  let cap = Array.length t.pool in
+  if t.pool_n = cap then begin
+    let ncap = if cap = 0 then 32 else cap * 2 in
+    let np = Array.make ncap c in
+    Array.blit t.pool 0 np 0 cap;
+    t.pool <- np
+  end;
+  t.pool.(t.pool_n) <- c;
+  t.pool_n <- t.pool_n + 1
+
+let schedule_event t time ev =
   let time = if time < t.now then t.now else time in
-  Heap.push t.queue ~key:time ~seq:t.seq f;
-  t.seq <- t.seq + 1
+  Heap.push t.queue ~key:time ~seq:t.seq ev;
+  t.seq <- t.seq + 1;
+  let d = Heap.length t.queue in
+  if d > t.peak_heap then t.peak_heap <- d
+
+let schedule t time f = schedule_event t time (Call f)
 
 let at = schedule
 
@@ -32,15 +82,15 @@ let in_process t = t.running
 
 let current_name t = t.current
 
-(* Run [f] as a process body: install the effect handler that turns Delay
-   and Suspend into event-queue operations. *)
+(* Run [f] as a process body: install the effect handler that turns Delay,
+   Until and Suspend into event-queue operations. *)
 let handle_process t name f =
   let open Effect.Deep in
-  let saved_name = ref name in
+  let some_name = Some name in
   match_with
     (fun () ->
       t.running <- true;
-      t.current <- Some !saved_name;
+      t.current <- some_name;
       f ())
     ()
     {
@@ -52,12 +102,19 @@ let handle_process t name f =
           | Delay (t', dt) when t' == t ->
             Some
               (fun (k : (a, _) continuation) ->
-                let resume () =
-                  t.running <- true;
-                  t.current <- Some !saved_name;
-                  continue k ()
-                in
-                schedule t (t.now +. dt) resume;
+                let c = acquire_cell t in
+                c.cont <- Some k;
+                c.cname <- some_name;
+                schedule_event t (t.now +. dt) c.boxed;
+                t.running <- false;
+                t.current <- None)
+          | Until (t', time) when t' == t ->
+            Some
+              (fun (k : (a, _) continuation) ->
+                let c = acquire_cell t in
+                c.cont <- Some k;
+                c.cname <- some_name;
+                schedule_event t time c.boxed;
                 t.running <- false;
                 t.current <- None)
           | Suspend (t', register) when t' == t ->
@@ -70,7 +127,7 @@ let handle_process t name f =
                   resumed := true;
                   schedule t t.now (fun () ->
                       t.running <- true;
-                      t.current <- Some !saved_name;
+                      t.current <- some_name;
                       continue k ())
                 in
                 register resume;
@@ -87,6 +144,12 @@ let delay t dt =
     invalid_arg "Sim.delay: negative or non-finite delay";
   Effect.perform (Delay (t, dt))
 
+let delay_until t time =
+  if not t.running then raise Not_in_process;
+  if not (Float.is_finite time) then
+    invalid_arg "Sim.delay_until: non-finite time";
+  Effect.perform (Until (t, time))
+
 let suspend t register =
   if not t.running then raise Not_in_process;
   Effect.perform (Suspend (t, register))
@@ -95,27 +158,43 @@ let yield t = delay t 0.
 
 let run ?until t =
   let count = ref 0 in
-  let continue = ref true in
-  while !continue do
-    match Heap.peek_key t.queue with
-    | None -> continue := false
-    | Some key ->
-      (match until with
-       | Some limit when key > limit ->
-         t.now <- limit;
-         continue := false
-       | _ ->
-         (match Heap.pop_min t.queue with
-          | None -> continue := false
-          | Some (time, _, f) ->
-            t.now <- time;
-            t.processed <- t.processed + 1;
-            incr count;
-            f ()))
+  let continue_ = ref true in
+  while !continue_ do
+    if Heap.is_empty t.queue then continue_ := false
+    else begin
+      let key = Heap.top_key t.queue in
+      match until with
+      | Some limit when key > limit ->
+        t.now <- limit;
+        continue_ := false
+      | _ ->
+        t.now <- key;
+        t.processed <- t.processed + 1;
+        incr count;
+        (match Heap.pop t.queue with
+         | Call f -> f ()
+         | Resume c ->
+           let k = match c.cont with Some k -> k | None -> assert false in
+           let nm = c.cname in
+           c.cont <- None;
+           c.cname <- None;
+           release_cell t c;
+           t.running <- true;
+           t.current <- nm;
+           Effect.Deep.continue k ())
+    end
   done;
   !count
 
 let events_processed t = t.processed
+
+let note_elided t n = if n > 0 then t.elided <- t.elided + n
+
+let events_elided t = t.elided
+
+let peak_heap_depth t = t.peak_heap
+
+let cells_reused t = t.reused
 
 let ns x = x
 

@@ -38,6 +38,15 @@ val after : t -> float -> (unit -> unit) -> unit
     @raise Invalid_argument if [dt] is negative or not finite *)
 val delay : t -> float -> unit
 
+(** [delay_until t time] suspends the calling process until absolute
+    [time] (clamped to the current time if already past).  Unlike
+    [delay t (time -. now t)], this resumes at exactly [time] with no
+    float round-trip — batched event trains use it to land on the same
+    bit-exact timestamps as the per-event path they replace.
+    @raise Not_in_process outside a process
+    @raise Invalid_argument if [time] is not finite *)
+val delay_until : t -> float -> unit
+
 (** [suspend t register] suspends the calling process; [register] receives a
     [resume] thunk that some other event must eventually call to wake the
     process up (at the simulated time of the call).  Calling [resume] more
@@ -56,6 +65,21 @@ val run : ?until:float -> t -> int
 
 (** Number of events processed so far over all [run] calls. *)
 val events_processed : t -> int
+
+(** [note_elided t n] records that [n] events were avoided by a
+    semantics-preserving batching shortcut (e.g. a packet train charged
+    as one event).  Negative [n] is ignored. *)
+val note_elided : t -> int -> unit
+
+(** Events avoided by batching shortcuts, as reported via {!note_elided}. *)
+val events_elided : t -> int
+
+(** High-water mark of the event queue depth. *)
+val peak_heap_depth : t -> int
+
+(** Number of process resumptions served from the free list of resume
+    cells (i.e. closure allocations avoided on the [delay] hot path). *)
+val cells_reused : t -> int
 
 (** True while a process of this simulator is executing. *)
 val in_process : t -> bool

@@ -10,6 +10,11 @@ val set_level : level -> unit
 
 val level : unit -> level
 
+(** [enabled l] — would a message at level [l] be emitted?  Use to guard
+    hot-path trace calls whose arguments are expensive to build (lengths,
+    [Wire.describe], ...): [if Trace.enabled Debug then Trace.debug ...]. *)
+val enabled : level -> bool
+
 (** [info sim "component" fmt ...] prints "[time] component: message" when
     the level is at least [Info]. *)
 val info : Sim.t -> string -> ('a, Format.formatter, unit) format -> 'a

@@ -1,0 +1,64 @@
+open H_import
+
+(* One process-wide accumulation window.  Figures run sequentially (the
+   parallelism is per sweep point, inside a figure), so a single window
+   is enough; the mutex is for the worker domains of [Pool.map], which
+   report their finished simulations concurrently. *)
+type window = {
+  mutable events : int;
+  mutable elided : int;
+  mutable reused : int;
+  mutable peak : int;
+  mutable sims : int;
+}
+
+let mutex = Mutex.create ()
+
+let win = { events = 0; elided = 0; reused = 0; peak = 0; sims = 0 }
+
+let note_sim sim =
+  let events = Sim.events_processed sim in
+  let elided = Sim.events_elided sim in
+  let reused = Sim.cells_reused sim in
+  let peak = Sim.peak_heap_depth sim in
+  Mutex.lock mutex;
+  win.events <- win.events + events;
+  win.elided <- win.elided + elided;
+  win.reused <- win.reused + reused;
+  if peak > win.peak then win.peak <- peak;
+  win.sims <- win.sims + 1;
+  Mutex.unlock mutex
+
+let reset () =
+  Mutex.lock mutex;
+  win.events <- 0;
+  win.elided <- 0;
+  win.reused <- 0;
+  win.peak <- 0;
+  win.sims <- 0;
+  Mutex.unlock mutex
+
+let snapshot () =
+  Mutex.lock mutex;
+  let s = (win.events, win.elided, win.reused, win.peak, win.sims) in
+  Mutex.unlock mutex;
+  s
+
+let measure ~figure f =
+  reset ();
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let host = Unix.gettimeofday () -. t0 in
+  let events, elided, reused, peak, sims = snapshot () in
+  let fi = float_of_int in
+  let rate n = if host > 0. then fi n /. host else 0. in
+  Report.record ~figure ~metric:"engine/events" (fi events);
+  Report.record ~figure ~metric:"engine/events_elided" (fi elided);
+  Report.record ~figure ~metric:"engine/cells_reused" (fi reused);
+  Report.record ~figure ~metric:"engine/peak_heap" (fi peak);
+  Report.record ~figure ~metric:"engine/sims" (fi sims);
+  Report.record ~figure ~metric:"engine/host_seconds" host;
+  Report.record ~figure ~metric:"engine/events_per_sec" (rate events);
+  Report.record ~figure ~metric:"engine/equiv_events_per_sec"
+    (rate (events + elided));
+  result

@@ -1,0 +1,32 @@
+(** Event-engine observability: how much simulation work a figure did and
+    how fast the host chewed through it.
+
+    Every completed simulation reports its {!Pico_engine.Sim} counters via
+    {!note_sim} (thread-safe: sweep points finish on pool worker domains);
+    {!measure} brackets one figure, turning the accumulated window into
+    [engine/*] metrics in {!Report}:
+
+    - [engine/events]: events actually processed by the event loops
+    - [engine/events_elided]: events avoided by semantics-preserving
+      batching (packet trains charged in closed form)
+    - [engine/cells_reused]: process resumptions served from the
+      simulator's free list (closure allocations avoided)
+    - [engine/peak_heap]: deepest event queue over the figure's sims
+    - [engine/sims]: number of simulated worlds
+    - [engine/host_seconds]: host wall-clock for the figure
+    - [engine/events_per_sec]: processed events per host second
+    - [engine/equiv_events_per_sec]: (processed + elided) per host second
+      — the throughput in {e per-packet-equivalent} events, comparable
+      across batching changes; [scripts/perf.sh] gates on this
+
+    Host wall-clock is used {e only} here, and only ends up in the JSON
+    report (never on stdout), so `picobench` output stays byte-identical
+    across hosts and runs. *)
+
+(** [note_sim sim] adds a finished simulation's engine counters to the
+    current window. *)
+val note_sim : Pico_engine.Sim.t -> unit
+
+(** [measure ~figure f] runs [f] in a fresh window and records the
+    [engine/*] metrics for [figure] into {!Report}. *)
+val measure : figure:string -> (unit -> 'a) -> 'a

@@ -56,6 +56,7 @@ let run (cl : Cluster.t) ~ranks_per_node app =
           errors := (rank, e) :: !errors)
   done;
   ignore (Sim.run sim);
+  Engine_obs.note_sim sim;
   (match !errors with
    | [] -> ()
    | (rank, e) :: _ ->

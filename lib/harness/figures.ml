@@ -29,6 +29,7 @@ let buf_add = Buffer.add_string
 (* --- Figure 4 ----------------------------------------------------------- *)
 
 let fig4 ?(max_size = 4 * 1024 * 1024) ?iters ?jobs () =
+  Engine_obs.measure ~figure:"fig4" @@ fun () ->
   let series =
     Pool.with_pool ?jobs (fun pool ->
         Pool.map pool
@@ -87,6 +88,7 @@ let run_app kind ~n_nodes ~ranks_per_node app =
   res.Experiment.fom_ns
 
 let app_figure ~title ~tag ~app ~min_nodes ?(rpn_factor = 1) ?jobs scale =
+  Engine_obs.measure ~figure:tag @@ fun () ->
   let rpn = scale.ranks_per_node * rpn_factor in
   let nodes = List.filter (fun n -> n >= min_nodes) scale.node_counts in
   let points =
@@ -172,6 +174,7 @@ let profile_block res =
            Tables.pct (time /. runtime) ])
 
 let table1 ?(nodes = 8) ?(ranks_per_node = 8) ?jobs () =
+  Engine_obs.measure ~figure:"table1" @@ fun () ->
   let combos =
     List.concat_map
       (fun (app_name, app) ->
@@ -214,6 +217,7 @@ let syscall_names =
   [ "read"; "open"; "mmap"; "munmap"; "ioctl"; "writev"; "nanosleep" ]
 
 let kernel_breakdown ~title ~tag ~app ~nodes ~ranks_per_node ?jobs () =
+  Engine_obs.measure ~figure:tag @@ fun () ->
   let run kind =
     let cl = Cluster.build kind ~n_nodes:nodes () in
     let res = Experiment.run cl ~ranks_per_node app in
@@ -342,6 +346,7 @@ let sloc () =
 (* --- The wider IMB-MPI1 suite ---------------------------------------------- *)
 
 let imb_suite ?(nodes = 2) ?(ranks_per_node = 1) ?jobs () =
+  Engine_obs.measure ~figure:"imb" @@ fun () ->
   let sizes = [ 1024; 65536; 1048576 ] in
   let benches :
       (string * bool
@@ -477,6 +482,7 @@ let imb_suite ?(nodes = 2) ?(ranks_per_node = 1) ?jobs () =
 (* --- Extension: InfiniBand memory registration ---------------------------- *)
 
 let ibreg ?(registrations = 64) ?jobs () =
+  Engine_obs.measure ~figure:"ibreg" @@ fun () ->
   let module Mlx = Pico_linux.Mlx_driver in
   let run kind =
     let cl = Cluster.build kind ~n_nodes:1 () in
@@ -524,6 +530,7 @@ let ibreg ?(registrations = 64) ?jobs () =
            done;
            mean := (Sim.now sim -. t0) /. float_of_int registrations));
     ignore (Sim.run sim);
+    Engine_obs.note_sim sim;
     let saved =
       match env.Cluster.mlx_pico with
       | Some mp -> Pico_driver.Mlx_pico.entries_saved mp
@@ -565,6 +572,7 @@ let pingpong_once kind ~size =
    (domain-local) cost table or the PSM config around a single run, so
    there is no homogeneous sweep to fan out. *)
 let ablations () =
+  Engine_obs.measure ~figure:"ablations" @@ fun () ->
   let b = Buffer.create 2048 in
   let size = 4 * 1024 * 1024 in
   (* 1. SDMA request size. *)

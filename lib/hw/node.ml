@@ -37,6 +37,10 @@ let write_bytes t pa b = Physmem.write_bytes (dom_of t pa) pa b
 
 let read_bytes t pa len = Physmem.read_bytes (dom_of t pa) pa len
 
+let write_sub t pa src ~off ~len = Physmem.write_sub (dom_of t pa) pa src ~off ~len
+
+let read_into t pa dst ~off ~len = Physmem.read_into (dom_of t pa) pa dst ~off ~len
+
 let read_u64 t pa = Physmem.read_u64 (dom_of t pa) pa
 
 let write_u64 t pa v = Physmem.write_u64 (dom_of t pa) pa v

@@ -38,6 +38,14 @@ val write_bytes : t -> Addr.t -> bytes -> unit
 
 val read_bytes : t -> Addr.t -> int -> bytes
 
+(** [write_sub t pa src ~off ~len] writes the slice [src[off .. off+len)]
+    without an intermediate copy. *)
+val write_sub : t -> Addr.t -> bytes -> off:int -> len:int -> unit
+
+(** [read_into t pa dst ~off ~len] reads straight into a caller buffer
+    (single blit, no intermediate allocation). *)
+val read_into : t -> Addr.t -> bytes -> off:int -> len:int -> unit
+
 val read_u64 : t -> Addr.t -> int64
 
 val write_u64 : t -> Addr.t -> int64 -> unit

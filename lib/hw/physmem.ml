@@ -141,6 +141,38 @@ let read_bytes t pa len =
   go pa 0 len;
   dst
 
+let write_sub t pa src ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length src then
+    invalid_arg "Physmem.write_sub: bad slice";
+  check_range t pa len;
+  let rec go pa off remaining =
+    if remaining > 0 then begin
+      let frame = frame_of_pa t pa in
+      let in_page = Addr.offset_in_page pa in
+      let chunk = min remaining (Addr.page_size - in_page) in
+      Bytes.blit src off (frame_bytes t frame) in_page chunk;
+      go (pa + chunk) (off + chunk) (remaining - chunk)
+    end
+  in
+  go pa off len
+
+let read_into t pa dst ~off ~len =
+  if off < 0 || len < 0 || off + len > Bytes.length dst then
+    invalid_arg "Physmem.read_into: bad slice";
+  check_range t pa len;
+  let rec go pa off remaining =
+    if remaining > 0 then begin
+      let frame = frame_of_pa t pa in
+      let in_page = Addr.offset_in_page pa in
+      let chunk = min remaining (Addr.page_size - in_page) in
+      (match Hashtbl.find_opt t.contents frame with
+       | Some b -> Bytes.blit b in_page dst off chunk
+       | None -> Bytes.fill dst off chunk '\000');
+      go (pa + chunk) (off + chunk) (remaining - chunk)
+    end
+  in
+  go pa off len
+
 let write_u8 t pa v =
   check_range t pa 1;
   Bytes.set_uint8 (frame_bytes t (frame_of_pa t pa)) (Addr.offset_in_page pa)

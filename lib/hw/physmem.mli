@@ -44,6 +44,14 @@ val write_bytes : t -> Addr.t -> bytes -> unit
 
 val read_bytes : t -> Addr.t -> int -> bytes
 
+(** [write_sub t pa src ~off ~len] writes [src[off .. off+len)] to [pa]
+    without materialising an intermediate copy. *)
+val write_sub : t -> Addr.t -> bytes -> off:int -> len:int -> unit
+
+(** [read_into t pa dst ~off ~len] reads [len] bytes at [pa] straight
+    into [dst[off .. off+len)] (never-written memory reads as zeros). *)
+val read_into : t -> Addr.t -> bytes -> off:int -> len:int -> unit
+
 val write_u8 : t -> Addr.t -> int -> unit
 
 val read_u8 : t -> Addr.t -> int

@@ -18,7 +18,7 @@ let detach t ~node_id = Hashtbl.remove t.sinks node_id
 
 let loopback_latency = 200.
 
-let send t (p : Wire.packet) =
+let send_at t ~time (p : Wire.packet) =
   match Hashtbl.find_opt t.sinks p.dst_node with
   | None ->
     invalid_arg
@@ -29,10 +29,12 @@ let send t (p : Wire.packet) =
       if p.src_node = p.dst_node then loopback_latency
       else (Costs.current ()).link_latency
     in
-    Sim.after t.sim latency (fun () ->
+    Sim.at t.sim (time +. latency) (fun () ->
         t.packets <- t.packets + 1;
         t.bytes <- t.bytes + p.wire_len;
         rx p)
+
+let send t p = send_at t ~time:(Sim.now t.sim) p
 
 let packets_delivered t = t.packets
 

@@ -24,6 +24,12 @@ val detach : t -> node_id:int -> unit
     @raise Invalid_argument if the destination is not attached *)
 val send : t -> Wire.packet -> unit
 
+(** [send_at t ~time packet] is {!send} as if issued at absolute [time]
+    (delivery at [time +. latency]).  Batched packet trains use it to give
+    each packet of the train the exact egress instant the per-packet path
+    would have produced. *)
+val send_at : t -> time:float -> Wire.packet -> unit
+
 val packets_delivered : t -> int
 
 val bytes_delivered : t -> int

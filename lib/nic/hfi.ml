@@ -17,6 +17,22 @@ type ctx = {
   rcv : Rcvarray.t;
 }
 
+(* A batched SDMA request train in progress (see the batching note below):
+   the engine process sleeps until [t2.(n-1)] while the train's wire
+   occupancy exists only as this precomputed schedule.  Any process that
+   wants the wire mid-train calls {!maybe_abort_train}, which converts the
+   not-yet-elapsed tail of the train back to per-packet processing at the
+   exact boundary the per-packet path would be at. *)
+type train = {
+  tr_reqs : Sdma.request array;
+  tr_t1 : float array; (* wire acquire instant of request i *)
+  tr_t2 : float array; (* wire release instant of request i *)
+  mutable tr_gen : int; (* guard generation: stale wake-ups are no-ops *)
+  mutable tr_resume : (unit -> unit) option;
+  mutable tr_abort_i : int; (* -1 while unaborted *)
+  mutable tr_abort_gap : bool;
+}
+
 type t = {
   sim : Sim.t;
   node : Node.t;
@@ -31,6 +47,7 @@ type t = {
   completions : (unit -> unit) Queue.t;
   mutable eager_rx : int;
   mutable expected_rx : int;
+  mutable train : train option;
 }
 
 let sdma_irq_vector = 42
@@ -66,8 +83,7 @@ let place_expected t ctx ~tid_base ~offset ~frag_len ~payload =
           else begin
             let room = e.len - skip in
             let chunk = min room (frag_len - written) in
-            let piece = Bytes.sub data written chunk in
-            Node.write_bytes t.node (e.pa + skip) piece;
+            Node.write_sub t.node (e.pa + skip) data ~off:written ~len:chunk;
             go rest 0 (written + chunk)
           end
       end
@@ -91,6 +107,151 @@ let rx_dispatch t (p : Wire.packet) =
        Mailbox.put ctx.events
          (Rx_expected { tid_base; msg_id; offset; frag_len; msg_len; src_rank }))
 
+(* --- Packet-train batching ------------------------------------------------
+
+   When a multi-event train (SDMA request list, PIO fragment loop) is
+   provably alone on this HFI — at most one open context, the wire
+   [Resource] idle, and no other SDMA transfer in flight — its per-event
+   delays are deterministic, so the train can be charged in closed form:
+   one event at the train's end, computed with the {e exact} sequence of
+   float additions the per-event path performs (float [+.] is not
+   associative, so no n*x shortcuts).  Per-packet wire overhead
+   ([packet_overhead_bytes] in {!wire_time}) and per-request engine
+   overhead are still charged for every packet of the train, and the wire
+   resource is held for the train's duration, so contention semantics and
+   the paper's 4 kB/10 kB request-size gap are untouched.  Any contention
+   visible at train start falls back to per-packet emission. *)
+
+(* Test hook: byte-identity of batched vs per-packet execution is checked
+   by running both settings (test_nic); never mutated inside a sweep. *)
+let batching = ref true
+
+let train_alone t =
+  Hashtbl.length t.contexts <= 1 && Resource.idle t.wire
+
+(* Wake the sleeping engine process of train [tr] at absolute [time] —
+   unless the train has been re-targeted since ([tr_gen] mismatch), in
+   which case this guard is stale and fires as a no-op. *)
+let schedule_guard t (tr : train) gen time =
+  Sim.at t.sim time (fun () ->
+      if tr.tr_gen = gen then
+        match tr.tr_resume with
+        | Some r ->
+          tr.tr_resume <- None;
+          r ()
+        | None -> ())
+
+(* A process wants this HFI's wire while a batched SDMA train is in
+   flight: convert the train's remaining tail back to per-packet
+   processing, positioned exactly where the per-packet path would be at
+   this instant.  Requests that already finished (strictly before now)
+   are booked here, in schedule order, so the wire's accounting stream is
+   the same as per-packet; the engine is re-targeted to wake at the
+   current per-packet boundary — end of the in-service request (wire
+   stays held until then, so the caller queues like any waiter), or end
+   of the in-progress engine overhead gap (wire released now, as the
+   per-packet engine would not be holding it). *)
+let maybe_abort_train t =
+  match t.train with
+  | None -> ()
+  | Some tr ->
+    let now = Sim.now t.sim in
+    let n = Array.length tr.tr_reqs in
+    let rec find i =
+      if i >= n then n - 1 (* at train end: the engine wake is still pending *)
+      else if tr.tr_t2.(i) > now then i
+      else find (i + 1)
+    in
+    let i = find 0 in
+    let gap = now < tr.tr_t1.(i) in
+    for j = 0 to i - 1 do
+      Resource.account t.wire ~waited:0. ~busy:(tr.tr_t2.(j) -. tr.tr_t1.(j))
+    done;
+    tr.tr_abort_i <- i;
+    tr.tr_abort_gap <- gap;
+    if gap then Resource.release t.wire;
+    tr.tr_gen <- tr.tr_gen + 1;
+    schedule_guard t tr tr.tr_gen (if gap then tr.tr_t1.(i) else tr.tr_t2.(i));
+    t.train <- None
+
+(* Engine-context hook: charge a whole SDMA request train in closed form.
+   Mirrors [Sdma.engine_loop]'s per-request path — delay
+   [sdma_request_overhead], then occupy the wire for [wire_time len] —
+   with the exact same sequence of float additions.  The engine sleeps
+   until the train's end behind a movable guard; if any process touches
+   the wire mid-train, {!maybe_abort_train} rewinds the uncommitted tail
+   to per-packet processing, so contention is byte-identical too. *)
+let sdma_batch t (tx : Sdma.tx) =
+  if
+    not
+      (!batching && train_alone t && Sdma.in_flight t.sdma = 1
+       && t.train = None
+       && tx.Sdma.requests <> [])
+  then false
+  else begin
+    let c = Costs.current () in
+    ignore (Resource.acquire t.wire);
+    let reqs = Array.of_list tx.Sdma.requests in
+    let n = Array.length reqs in
+    let t1 = Array.make n 0. in
+    let t2 = Array.make n 0. in
+    let cur = ref (Sim.now t.sim) in
+    for i = 0 to n - 1 do
+      let a = !cur +. c.Costs.sdma_request_overhead in
+      let b = a +. wire_time reqs.(i).Sdma.len in
+      t1.(i) <- a;
+      t2.(i) <- b;
+      cur := b
+    done;
+    let tr =
+      { tr_reqs = reqs; tr_t1 = t1; tr_t2 = t2; tr_gen = 0;
+        tr_resume = None; tr_abort_i = -1; tr_abort_gap = false }
+    in
+    t.train <- Some tr;
+    Sim.suspend t.sim (fun resume ->
+        tr.tr_resume <- Some resume;
+        schedule_guard t tr 0 t2.(n - 1));
+    (match tr.tr_abort_i with
+     | -1 ->
+       (* Committed untouched: book every request, in order, and hand the
+          wire back at the exact instant the last request would end. *)
+       for i = 0 to n - 1 do
+         Resource.account t.wire ~waited:0. ~busy:(t2.(i) -. t1.(i))
+       done;
+       t.train <- None;
+       Resource.release t.wire;
+       Sim.note_elided t.sim ((2 * n) - 2)
+     | i ->
+       (* Aborted: [t.train] was already cleared; we woke at the exact
+          per-packet boundary and continue with the real per-packet code
+          (wire contention with the aborter included). *)
+       let per_packet j =
+         Resource.use t.wire ~work:(wire_time reqs.(j).Sdma.len) (fun () -> ())
+       in
+       let rest first =
+         for j = first to n - 1 do
+           Sim.delay t.sim (Costs.current ()).Costs.sdma_request_overhead;
+           per_packet j
+         done
+       in
+       if tr.tr_abort_gap then begin
+         (* Woke at t1.(i): request [i]'s engine overhead has elapsed and
+            the wire was released at abort time; send it per-packet. *)
+         per_packet i;
+         rest (i + 1);
+         Sim.note_elided t.sim ((2 * i) - 2)
+       end
+       else begin
+         (* Woke at t2.(i): request [i] just left the wire; book it and
+            hand the wire to whoever queued during it. *)
+         Resource.account t.wire ~waited:0. ~busy:(t2.(i) -. t1.(i));
+         Resource.release t.wire;
+         rest (i + 1);
+         Sim.note_elided t.sim ((2 * i) - 1)
+       end);
+    true
+  end
+
 let create sim ~node ~fabric ?(carry_payload = false)
     ?(rcv_entries = 2048) () =
   let wire =
@@ -98,7 +259,12 @@ let create sim ~node ~fabric ?(carry_payload = false)
       ~name:(Printf.sprintf "hfi%d-wire" node.Node.id)
       ~capacity:1
   in
+  (* [transmit] is handed to [Sdma.create] before [t] exists; the forward
+     reference lets per-packet engines abort a sibling engine's batched
+     train before contending for the wire. *)
+  let tref = ref None in
   let transmit (req : Sdma.request) =
+    (match !tref with Some t -> maybe_abort_train t | None -> ());
     Resource.use wire ~work:(wire_time req.len) (fun () -> ())
   in
   let t =
@@ -111,9 +277,12 @@ let create sim ~node ~fabric ?(carry_payload = false)
       next_tx = 0;
       completions = Queue.create ();
       eager_rx = 0;
-      expected_rx = 0 }
+      expected_rx = 0;
+      train = None }
   in
+  tref := Some t;
   Fabric.attach fabric ~node_id:node.Node.id ~rx:(rx_dispatch t);
+  Sdma.set_batch t.sdma (sdma_batch t);
   t
 
 let node t = t.node
@@ -152,11 +321,71 @@ let slice_payload payload ~offset ~len =
   | None -> None
   | Some b -> Some (Bytes.sub b offset len)
 
+(* Closed-form variant of [pio_send]'s fragment loop (see the batching
+   note above [train_alone]): one event for the whole train; every
+   fragment still pays its own CPU-store and wire-overhead arithmetic and
+   leaves on the fabric at its exact per-packet egress instant. *)
+let pio_train t ~dst_node ~dst_ctx ~hdr ~len ?payload c =
+  ignore (Resource.acquire t.wire);
+  let t_cur = ref (Sim.now t.sim) in
+  let elided = ref 0 in
+  if len = 0 then begin
+    let t1 = !t_cur +. c.Costs.pio_packet_overhead in
+    let t2 = t1 +. wire_time 0 in
+    Resource.account t.wire ~waited:0. ~busy:(t2 -. t1);
+    t_cur := t2;
+    Fabric.send_at t.fabric ~time:t2
+      { src_node = node_id t; dst_node; dst_ctx; wire_len = Wire.header_bytes;
+        header = hdr; payload = None };
+    elided := 1
+  end
+  else begin
+    let rec go offset =
+      if offset < len then begin
+        let frag = min c.Costs.pio_packet_size (len - offset) in
+        let t1 =
+          !t_cur
+          +. (c.Costs.pio_packet_overhead
+              +. (float_of_int frag /. c.Costs.pio_cpu_bandwidth))
+        in
+        let t2 = t1 +. wire_time frag in
+        Resource.account t.wire ~waited:0. ~busy:(t2 -. t1);
+        t_cur := t2;
+        let payload =
+          if t.carry_payload then slice_payload payload ~offset ~len:frag
+          else None
+        in
+        Fabric.send_at t.fabric ~time:t2
+          { src_node = node_id t; dst_node; dst_ctx;
+            wire_len = frag + Wire.header_bytes;
+            header = rewrite_eager_hdr hdr ~offset ~frag_len:frag;
+            payload };
+        elided := !elided + 2;
+        go (offset + frag)
+      end
+    in
+    go 0;
+    elided := !elided - 1
+  end;
+  Sim.note_elided t.sim !elided;
+  Sim.delay_until t.sim !t_cur;
+  Resource.release t.wire
+
 let pio_send t ~dst_node ~dst_ctx ~hdr ~len ?payload () =
   let c = Costs.current () in
+  if
+    !batching
+    && dst_node <> node_id t
+    && train_alone t
+    && Sdma.in_flight t.sdma = 0
+  then pio_train t ~dst_node ~dst_ctx ~hdr ~len ?payload c
+  else begin
   (* Loopback (shared-memory-style) traffic never touches the link. *)
   let use_wire work =
-    if dst_node <> node_id t then Resource.use t.wire ~work (fun () -> ())
+    if dst_node <> node_id t then begin
+      maybe_abort_train t;
+      Resource.use t.wire ~work (fun () -> ())
+    end
   in
   if len = 0 then begin
     (* Zero-byte message: a single header-only packet. *)
@@ -189,6 +418,7 @@ let pio_send t ~dst_node ~dst_ctx ~hdr ~len ?payload () =
     in
     go 0
   end
+  end
 
 let read_requests t reqs =
   let total = List.fold_left (fun acc (r : Sdma.request) -> acc + r.len) 0 reqs in
@@ -196,16 +426,18 @@ let read_requests t reqs =
   let off = ref 0 in
   List.iter
     (fun (r : Sdma.request) ->
-      let piece = Node.read_bytes t.node r.pa r.len in
-      Bytes.blit piece 0 buf !off r.len;
+      Node.read_into t.node r.pa buf ~off:!off ~len:r.len;
       off := !off + r.len)
     reqs;
   buf
 
 let sdma_submit t ~channel ~dst_node ~dst_ctx ~hdr ~reqs ~on_complete () =
   let total = List.fold_left (fun acc (r : Sdma.request) -> acc + r.len) 0 reqs in
-  Trace.debug t.sim "hfi" "sdma_submit ch=%d dst=%d/%d %d reqs %d B (%s)"
-    channel dst_node dst_ctx (List.length reqs) total (Wire.describe hdr);
+  (* Tracing off is the common case: don't pay List.length/Wire.describe
+     on the hot path unless the line will actually be emitted. *)
+  if Trace.enabled Trace.Debug then
+    Trace.debug t.sim "hfi" "sdma_submit ch=%d dst=%d/%d %d reqs %d B (%s)"
+      channel dst_node dst_ctx (List.length reqs) total (Wire.describe hdr);
   let tx_id = t.next_tx in
   t.next_tx <- tx_id + 1;
   let payload = if t.carry_payload then Some (read_requests t reqs) else None in

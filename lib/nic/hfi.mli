@@ -62,6 +62,13 @@ val rcvarray : ctx -> Rcvarray.t
 
 (** {2 Transmit paths} *)
 
+(** Packet-train batching switch (default [true]).  Batching is
+    semantics-preserving — per-packet wire overhead, engine overhead and
+    contention fallback keep timings bit-identical — so this exists only
+    for the equivalence tests, which run every scenario under both
+    settings and compare.  Never toggled inside a parallel sweep. *)
+val batching : bool ref
+
 (** [pio_send t ~dst_node ~dst_ctx ~hdr ~len ?payload ()] — programmed
     I/O: the {e calling process} pays per-packet CPU cost and wire
     occupancy.  Fragments larger than the PIO packet size are split, with

@@ -22,9 +22,15 @@ type t = {
   sim : Sim.t;
   engines : engine array;
   transmit : request -> unit;
+  (* [batch tx] may process the whole request train of [tx] in one event
+     (charging the exact per-request arithmetic in closed form) and return
+     true; returning false falls back to the per-request path.  Installed
+     by the HFI, which owns the wire-contention knowledge. *)
+  mutable batch : tx -> bool;
   mutable requests_submitted : int;
   mutable bytes_submitted : int;
   mutable txs_completed : int;
+  mutable in_flight : int;
   size_hist : Stats.Summary.t;
   mutable busy : float;
 }
@@ -35,13 +41,15 @@ let engine_loop t e () =
   let rec loop () =
     let tx = Mailbox.get e.ring in
     let started = Sim.now t.sim in
-    List.iter
-      (fun req ->
-        Sim.delay t.sim (Costs.current ()).sdma_request_overhead;
-        t.transmit req)
-      tx.requests;
+    if not (t.batch tx) then
+      List.iter
+        (fun req ->
+          Sim.delay t.sim (Costs.current ()).sdma_request_overhead;
+          t.transmit req)
+        tx.requests;
     t.busy <- t.busy +. (Sim.now t.sim -. started);
     t.txs_completed <- t.txs_completed + 1;
+    t.in_flight <- t.in_flight - 1;
     Semaphore.release e.slots;
     tx.on_complete ();
     loop ()
@@ -57,9 +65,11 @@ let create sim ~n_engines ~ring_slots ~transmit =
         Array.init n_engines (fun _ ->
             { ring = Mailbox.create sim; slots = Semaphore.create sim ring_slots });
       transmit;
+      batch = (fun _ -> false);
       requests_submitted = 0;
       bytes_submitted = 0;
       txs_completed = 0;
+      in_flight = 0;
       size_hist = Stats.Summary.create ();
       busy = 0. }
   in
@@ -83,6 +93,7 @@ let submit t tx =
      one flow's descriptors are processed serially by one engine. *)
   let e = t.engines.(tx.channel mod Array.length t.engines) in
   Semaphore.acquire e.slots;
+  t.in_flight <- t.in_flight + 1;
   List.iter
     (fun (r : request) ->
       t.requests_submitted <- t.requests_submitted + 1;
@@ -90,6 +101,10 @@ let submit t tx =
       Stats.Summary.add t.size_hist (float_of_int r.len))
     tx.requests;
   Mailbox.put e.ring tx
+
+let set_batch t f = t.batch <- f
+
+let in_flight t = t.in_flight
 
 let n_engines t = Array.length t.engines
 

@@ -47,6 +47,18 @@ val create :
     has non-positive length *)
 val submit : t -> tx -> unit
 
+(** [set_batch t f] installs the packet-train batching hook: the engine
+    loop calls [f tx] (in engine process context) before falling back to
+    per-request processing; [f] returning true means it already charged
+    the whole train — with bit-identical timing — in one event.  The
+    default hook always returns false. *)
+val set_batch : t -> (tx -> bool) -> unit
+
+(** Transfers submitted but not yet completed, across all engines —
+    batching hooks use [in_flight t = 1] to prove the current train is
+    alone on this HFI. *)
+val in_flight : t -> int
+
 val n_engines : t -> int
 
 (** Cumulative counters. *)

@@ -1,0 +1,96 @@
+#!/bin/sh
+# Engine-throughput gate: run one picobench figure (default: the fig4
+# sweep), record host seconds and events/sec into BENCH_engine.json, and
+# fail if throughput regressed more than 20% against the checked-in
+# baseline (scripts/perf_baseline.json).
+#
+# The gating metric is engine/equiv_events_per_sec: (events processed +
+# events elided by semantics-preserving batching) per host second.
+# Counting elided events makes the number a *per-packet-equivalent*
+# throughput, so it stays comparable when a change moves work between
+# the per-packet and batched paths; a change that merely skipped
+# simulation work would show up as a byte-diff in check.sh instead.
+#
+# The baseline is host-specific (wall-clock!); refresh it on your machine
+# with:  PICO_PERF_UPDATE=1 scripts/perf.sh
+#
+# Usage: scripts/perf.sh                (from the repo root)
+#        PICO_PERF_FIG=imb scripts/perf.sh
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+fig="${PICO_PERF_FIG:-fig4}"
+out="${PICO_PERF_JSON:-BENCH_engine.json}"
+baseline="scripts/perf_baseline.json"
+
+dune build bin/picobench.exe 2>/dev/null || dune build bin/picobench.exe
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+PICO_JOBS="${PICO_JOBS:-1}" dune exec --no-build bin/picobench.exe -- \
+  "$fig" --json "$tmp" > /dev/null
+
+metric() {
+  awk -F': ' -v key="\"$1/engine/$2\"" \
+    '$0 ~ key { gsub(/[ ,]/, "", $2); print $2 }' "$tmp"
+}
+
+events="$(metric "$fig" events)"
+elided="$(metric "$fig" events_elided)"
+host="$(metric "$fig" host_seconds)"
+eps="$(metric "$fig" events_per_sec)"
+eeps="$(metric "$fig" equiv_events_per_sec)"
+
+if [ -z "$eeps" ]; then
+  echo "perf.sh: no engine metrics for figure '$fig' in picobench JSON" >&2
+  exit 1
+fi
+
+cat > "$out" <<EOF
+{
+  "schema": "picodriver-perf-v1",
+  "figure": "$fig",
+  "events": $events,
+  "events_elided": $elided,
+  "host_seconds": $host,
+  "events_per_sec": $eps,
+  "equiv_events_per_sec": $eeps
+}
+EOF
+
+printf 'perf.sh: %s: %s events (+%s elided) in %ss = %s equiv events/sec\n' \
+  "$fig" "$events" "$elided" "$host" "$eeps"
+
+if [ "${PICO_PERF_UPDATE:-0}" = "1" ]; then
+  cp "$out" "$baseline"
+  echo "perf.sh: baseline updated: $baseline"
+  exit 0
+fi
+
+if [ ! -f "$baseline" ]; then
+  echo "perf.sh: no baseline ($baseline); run PICO_PERF_UPDATE=1 scripts/perf.sh"
+  exit 0
+fi
+
+base_eeps="$(awk -F': ' '/"equiv_events_per_sec"/ { gsub(/[ ,]/,"",$2); print $2 }' "$baseline")"
+base_fig="$(awk -F': ' '/"figure"/ { gsub(/[ ",]/,"",$2); print $2 }' "$baseline")"
+
+if [ "$base_fig" != "$fig" ]; then
+  echo "perf.sh: baseline is for '$base_fig', not '$fig'; skipping comparison"
+  exit 0
+fi
+
+awk -v now="$eeps" -v base="$base_eeps" 'BEGIN {
+  ratio = now / base;
+  printf "perf.sh: %.2fx of baseline (%.4g vs %.4g equiv events/sec)\n",
+    ratio, now, base;
+  if (ratio < 0.8) {
+    print "perf.sh: FAIL: >20% regression vs checked-in baseline" > "/dev/stderr";
+    exit 1;
+  }
+}'
+
+echo "perf.sh: OK"

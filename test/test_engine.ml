@@ -74,6 +74,72 @@ let prop_heap_sorts =
       in
       drain [] = List.sort compare keys)
 
+(* Pit the parallel-array heap against a trivial reference model (a list
+   drained in (key, seq) order) under arbitrary push/pop interleavings:
+   [Some key] pushes, [None] pops from both and compares. *)
+let prop_heap_model =
+  QCheck2.Test.make
+    ~name:"heap matches reference model under push/pop interleavings"
+    ~count:300
+    QCheck2.Gen.(list (option (float_bound_inclusive 1000.)))
+    (fun ops ->
+      let h = Heap.create () in
+      let model = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      let model_pop () =
+        match !model with
+        | [] -> None
+        | hd :: tl ->
+          let mn = List.fold_left min hd tl in
+          model := List.filter (fun e -> e <> mn) !model;
+          Some mn
+      in
+      let pop_both () =
+        match (Heap.pop_min h, model_pop ()) with
+        | None, None -> ()
+        | Some got, Some want -> if got <> want then ok := false
+        | _ -> ok := false
+      in
+      List.iter
+        (function
+          | Some key ->
+            Heap.push h ~key ~seq:!seq !seq;
+            model := (key, !seq, !seq) :: !model;
+            incr seq
+          | None -> pop_both ())
+        ops;
+      while !ok && not (Heap.is_empty h && !model = []) do
+        pop_both ()
+      done;
+      !ok)
+
+let test_heap_grow () =
+  let h = Heap.create () in
+  for i = 0 to 9999 do
+    Heap.push h ~key:(float_of_int (9999 - i)) ~seq:i i
+  done;
+  Alcotest.(check int) "length" 10000 (Heap.length h);
+  let prev = ref neg_infinity in
+  for _ = 1 to 10000 do
+    let k = Heap.top_key h in
+    Alcotest.(check bool) "ascending" true (k >= !prev);
+    prev := k;
+    ignore (Heap.pop h)
+  done;
+  Alcotest.(check bool) "drained" true (Heap.is_empty h)
+
+let test_heap_raises_empty () =
+  let h : int Heap.t = Heap.create () in
+  (try
+     ignore (Heap.top_key h);
+     Alcotest.fail "top_key on empty must raise"
+   with Invalid_argument _ -> ());
+  try
+    ignore (Heap.pop h);
+    Alcotest.fail "pop on empty must raise"
+  with Invalid_argument _ -> ()
+
 (* --- Sim ----------------------------------------------------------------- *)
 
 let test_sim_delay_ordering () =
@@ -191,6 +257,34 @@ let test_sim_units () =
   check_float "us" 1e3 (Sim.us 1.);
   check_float "ms" 1e6 (Sim.ms 1.);
   check_float "s" 1e9 (Sim.s 1.)
+
+let test_sim_delay_until () =
+  let sim = Sim.create () in
+  let t = ref 0. in
+  Sim.spawn sim (fun () ->
+      Sim.delay sim 3.;
+      Sim.delay_until sim 10.;
+      (* A target already in the past clamps to the current time. *)
+      Sim.delay_until sim 5.;
+      t := Sim.now sim);
+  ignore (Sim.run sim);
+  check_float "landed at target" 10. !t
+
+let test_sim_obs_counters () =
+  let sim = Sim.create () in
+  Sim.spawn sim (fun () ->
+      for _ = 1 to 100 do
+        Sim.delay sim 1.
+      done);
+  ignore (Sim.run sim);
+  (* The first delay allocates a resume cell; the remaining 99 reuse it. *)
+  Alcotest.(check int) "cells reused" 99 (Sim.cells_reused sim);
+  Alcotest.(check bool) "peak depth" true (Sim.peak_heap_depth sim >= 1);
+  Alcotest.(check bool) "events counted" true (Sim.events_processed sim >= 100);
+  Sim.note_elided sim 5;
+  Sim.note_elided sim (-3);
+  Sim.note_elided sim 0;
+  Alcotest.(check int) "elided (negatives ignored)" 5 (Sim.events_elided sim)
 
 (* --- Mailbox ------------------------------------------------------------- *)
 
@@ -465,7 +559,10 @@ let () =
          Alcotest.test_case "empty" `Quick test_heap_empty;
          Alcotest.test_case "interleaved" `Quick test_heap_interleaved;
          Alcotest.test_case "clear" `Quick test_heap_clear;
-         qc prop_heap_sorts ]);
+         Alcotest.test_case "grow" `Quick test_heap_grow;
+         Alcotest.test_case "raises on empty" `Quick test_heap_raises_empty;
+         qc prop_heap_sorts;
+         qc prop_heap_model ]);
       ("sim",
        [ Alcotest.test_case "delay ordering" `Quick test_sim_delay_ordering;
          Alcotest.test_case "after/at" `Quick test_sim_after_at;
@@ -477,7 +574,9 @@ let () =
          Alcotest.test_case "suspend/resume" `Quick test_sim_suspend_resume;
          Alcotest.test_case "double resume" `Quick test_sim_double_resume_rejected;
          Alcotest.test_case "determinism" `Quick test_sim_determinism;
-         Alcotest.test_case "units" `Quick test_sim_units ]);
+         Alcotest.test_case "units" `Quick test_sim_units;
+         Alcotest.test_case "delay_until" `Quick test_sim_delay_until;
+         Alcotest.test_case "obs counters" `Quick test_sim_obs_counters ]);
       ("mailbox",
        [ Alcotest.test_case "fifo" `Quick test_mailbox_fifo;
          Alcotest.test_case "blocking wakeup" `Quick test_mailbox_blocking_wakeup;

@@ -390,6 +390,162 @@ let test_hfi_wire_is_serialized () =
     (2. *. per_pkt)
     (Pico_engine.Resource.total_busy_ns (Hfi.wire h0))
 
+(* --- Packet-train batching equivalence -------------------------------------
+
+   Batching (Hfi.pio_train / the SDMA train fast path) must be invisible:
+   every scenario is run once per-packet and once batched, and the
+   observable outcomes — final simulated time, completion instants,
+   delivered packets/bytes, egress-wire accounting — must be bit-identical
+   floats.  The mid-train scenarios drive Hfi's train-abort path, where a
+   competing wire user arrives while a batched SDMA train is in flight. *)
+
+type outcome = {
+  o_end : float;
+  o_complete : float;
+  o_pio_done : float;
+  o_packets : int;
+  o_bytes : int;
+  o_busy : float;
+  o_served : int;
+  o_elided : int;
+}
+
+let eager_hdr len =
+  Wire.Eager
+    { tag = 0L; msg_id = 0; offset = 0; frag_len = len; msg_len = len;
+      src_rank = 0 }
+
+let run_scenario ~batching f =
+  Hfi.batching := batching;
+  Fun.protect
+    ~finally:(fun () -> Hfi.batching := true)
+    (fun () ->
+      let sim = Sim.create () in
+      let fab = Fabric.create sim in
+      let n0 = Node.create_knl sim ~id:0 ~mem_scale:0.001 () in
+      let n1 = Node.create_knl sim ~id:1 ~mem_scale:0.001 () in
+      let h0 = Hfi.create sim ~node:n0 ~fabric:fab ~carry_payload:false () in
+      let h1 = Hfi.create sim ~node:n1 ~fabric:fab ~carry_payload:false () in
+      let ctx = Hfi.open_context h1 in
+      let complete = ref 0. in
+      let pio_done = ref 0. in
+      f sim h0 n0 (Hfi.ctx_id ctx) complete pio_done;
+      ignore (Sim.run sim);
+      ignore (Hfi.drain_completions h0);
+      { o_end = Sim.now sim;
+        o_complete = !complete;
+        o_pio_done = !pio_done;
+        o_packets = Fabric.packets_delivered fab;
+        o_bytes = Fabric.bytes_delivered fab;
+        o_busy = Pico_engine.Resource.total_busy_ns (Hfi.wire h0);
+        o_served = Pico_engine.Resource.total_served (Hfi.wire h0);
+        o_elided = Sim.events_elided sim })
+
+let check_equiv name scenario =
+  let per_packet = run_scenario ~batching:false scenario in
+  let batched = run_scenario ~batching:true scenario in
+  let exact = Alcotest.(check (float 0.)) in
+  exact (name ^ ": end time") per_packet.o_end batched.o_end;
+  exact (name ^ ": completion") per_packet.o_complete batched.o_complete;
+  exact (name ^ ": pio done") per_packet.o_pio_done batched.o_pio_done;
+  exact (name ^ ": wire busy") per_packet.o_busy batched.o_busy;
+  Alcotest.(check int)
+    (name ^ ": packets") per_packet.o_packets batched.o_packets;
+  Alcotest.(check int) (name ^ ": bytes") per_packet.o_bytes batched.o_bytes;
+  Alcotest.(check int) (name ^ ": served") per_packet.o_served batched.o_served;
+  Alcotest.(check int) (name ^ ": nothing elided per-packet") 0
+    per_packet.o_elided;
+  batched
+
+let pio_scenario len sim h0 _n0 dst_ctx _complete pio_done =
+  Sim.spawn sim (fun () ->
+      Hfi.pio_send h0 ~dst_node:1 ~dst_ctx ~hdr:(eager_hdr len) ~len ();
+      pio_done := Sim.now sim)
+
+let sdma_scenario lens sim h0 n0 dst_ctx complete _pio_done =
+  let spa = Option.get (Node.alloc_frames n0 4) in
+  let reqs = List.map (fun len -> { Sdma.pa = spa; len }) lens in
+  let total = List.fold_left ( + ) 0 lens in
+  Sim.spawn sim (fun () ->
+      Hfi.sdma_submit h0 ~channel:0 ~dst_node:1 ~dst_ctx
+        ~hdr:(eager_hdr total) ~reqs
+        ~on_complete:(fun () -> complete := Sim.now sim)
+        ())
+
+(* An SDMA train plus a competitor that wants the wire [d] ns in:
+   a PIO send from the same node, or a second SDMA transfer on another
+   engine.  Sweeping [d] crosses every train phase (first gap, in-request,
+   inter-request gap, at/after train end). *)
+let midtrain_scenario ~d ~pio_len ~via_sdma lens sim h0 n0 dst_ctx complete
+    pio_done =
+  sdma_scenario lens sim h0 n0 dst_ctx complete (ref 0.);
+  Sim.spawn sim (fun () ->
+      Sim.delay sim d;
+      if via_sdma then begin
+        let spa = Option.get (Node.alloc_frames n0 1) in
+        Hfi.sdma_submit h0 ~channel:1 ~dst_node:1 ~dst_ctx
+          ~hdr:(eager_hdr 4096)
+          ~reqs:[ { Sdma.pa = spa; len = 4096 } ]
+          ~on_complete:(fun () -> ())
+          ()
+      end
+      else
+        Hfi.pio_send h0 ~dst_node:1 ~dst_ctx ~hdr:(eager_hdr pio_len)
+          ~len:pio_len ();
+      pio_done := Sim.now sim)
+
+let train_span lens =
+  let c = Costs.current () in
+  List.fold_left
+    (fun acc len ->
+      acc +. c.Costs.sdma_request_overhead
+      +. (float_of_int (len + c.Costs.packet_overhead_bytes)
+          /. c.Costs.link_bandwidth))
+    0. lens
+
+let test_batching_pio_equiv () =
+  let b = check_equiv "pio 0B" (pio_scenario 0) in
+  Alcotest.(check bool) "0B train elides" true (b.o_elided > 0);
+  let b = check_equiv "pio 20000B" (pio_scenario 20000) in
+  Alcotest.(check bool) "20000B train elides" true (b.o_elided > 0)
+
+let test_batching_sdma_equiv () =
+  let b = check_equiv "sdma 1 req" (sdma_scenario [ 8192 ]) in
+  Alcotest.(check bool) "1-req train elides" true (b.o_elided >= 0);
+  let b = check_equiv "sdma 4 reqs" (sdma_scenario [ 8192; 8192; 4096; 500 ]) in
+  Alcotest.(check bool) "4-req train elides" true (b.o_elided > 0)
+
+let test_batching_midtrain_sweep () =
+  let lens = [ 8192; 8192; 4096; 8192 ] in
+  let span = train_span lens in
+  for i = 0 to 23 do
+    let d = float_of_int i *. span /. 20. in
+    ignore
+      (check_equiv
+         (Printf.sprintf "midtrain pio0 d=%d/20" i)
+         (midtrain_scenario ~d ~pio_len:0 ~via_sdma:false lens))
+  done
+
+let prop_batching_midtrain =
+  QCheck2.Test.make
+    ~name:"mid-train wire arrivals: batched = per-packet (bit-exact)"
+    ~count:80
+    QCheck2.Gen.(
+      triple
+        (float_bound_inclusive 1.2)
+        (oneofl [ 0; 300; 20000 ])
+        bool)
+    (fun (frac, pio_len, via_sdma) ->
+      let lens = [ 8192; 4096; 8192; 1000; 8192 ] in
+      let d = frac *. train_span lens in
+      let scenario = midtrain_scenario ~d ~pio_len ~via_sdma lens in
+      let a = run_scenario ~batching:false scenario in
+      let b = run_scenario ~batching:true scenario in
+      a.o_end = b.o_end && a.o_complete = b.o_complete
+      && a.o_pio_done = b.o_pio_done
+      && a.o_packets = b.o_packets && a.o_bytes = b.o_bytes
+      && a.o_busy = b.o_busy && a.o_served = b.o_served)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "nic"
@@ -426,4 +582,9 @@ let () =
          Alcotest.test_case "pio fragments" `Quick test_hfi_pio_eager_fragments;
          Alcotest.test_case "sdma expected e2e" `Quick
            test_hfi_sdma_expected_end_to_end;
-         Alcotest.test_case "wire serialized" `Quick test_hfi_wire_is_serialized ]) ]
+         Alcotest.test_case "wire serialized" `Quick test_hfi_wire_is_serialized ]);
+      ("batching",
+       [ Alcotest.test_case "pio equivalence" `Quick test_batching_pio_equiv;
+         Alcotest.test_case "sdma equivalence" `Quick test_batching_sdma_equiv;
+         Alcotest.test_case "mid-train sweep" `Quick test_batching_midtrain_sweep;
+         qc prop_batching_midtrain ]) ]
