@@ -12,6 +12,8 @@ open Cmdliner
 module F = Pico_harness.Figures
 module Pool = Pico_harness.Pool
 module Report = Pico_harness.Report
+module Span = Pico_engine.Span
+module Tracefile = Pico_harness.Tracefile
 
 let scale_conv =
   let parse = function
@@ -59,34 +61,56 @@ let json_arg =
   in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH" ~doc)
 
-(* Every run goes through here: print the rendered text, then dump the
-   figures of merit the run recorded if --json was given. *)
-let emit ?json ?jobs s =
+let trace_arg =
+  let doc =
+    "Record begin/end spans (offload, sdma, pio, lock, syscall, gup) over \
+     simulated time and write them to $(docv) as Chrome trace-event JSON, \
+     loadable in Perfetto or chrome://tracing.  Deterministic: re-running \
+     the same figure writes a byte-identical file."
+  in
+  let env = Cmd.Env.info "PICO_TRACE_JSON" ~doc:"Same as $(b,--trace)." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH" ~doc ~env)
+
+(* Every run goes through here: enable span recording if --trace was
+   given (it must be on before the figure runs), print the rendered
+   text, then dump the recorded figures of merit / collected trace. *)
+let emit ?json ?trace ?jobs run =
+  Span.set_on (trace <> None);
+  let s = run () in
   print_string s;
-  match json with
+  let write what path f =
+    try f path
+    with Sys_error msg ->
+      prerr_endline (Printf.sprintf "picobench: cannot write %s: %s" what msg);
+      exit Cmd.Exit.some_error
+  in
+  (match json with
+   | None -> ()
+   | Some path ->
+     let jobs =
+       match jobs with Some j -> j | None -> Pool.default_jobs ()
+     in
+     write "JSON" path
+       (Report.write ~extra:[ ("jobs", string_of_int jobs) ]));
+  match trace with
   | None -> ()
-  | Some path ->
-    let jobs =
-      match jobs with Some j -> j | None -> Pool.default_jobs ()
-    in
-    (try Report.write ~extra:[ ("jobs", string_of_int jobs) ] path
-     with Sys_error msg ->
-       prerr_endline ("picobench: cannot write JSON: " ^ msg);
-       exit Cmd.Exit.some_error)
+  | Some path -> write "trace" path Tracefile.write
 
 let cmd name ~doc term = Cmd.v (Cmd.info name ~doc) term
 
 let fig4_cmd =
   cmd "fig4" ~doc:"Figure 4: IMB PingPong bandwidth (3 OS configs)"
     Term.(
-      const (fun jobs json -> emit ?json ?jobs (F.fig4 ?jobs ()))
-      $ jobs_arg $ json_arg)
+      const (fun jobs json trace ->
+          emit ?json ?trace ?jobs (fun () -> F.fig4 ?jobs ()))
+      $ jobs_arg $ json_arg $ trace_arg)
 
 let app_cmd name ~doc (f : ?scale:F.scale -> ?jobs:int -> unit -> string) =
   cmd name ~doc
     Term.(
-      const (fun scale jobs json -> emit ?json ?jobs (f ~scale ?jobs ()))
-      $ scale_arg $ jobs_arg $ json_arg)
+      const (fun scale jobs json trace ->
+          emit ?json ?trace ?jobs (fun () -> f ~scale ?jobs ()))
+      $ scale_arg $ jobs_arg $ json_arg $ trace_arg)
 
 let fig5a_cmd = app_cmd "fig5a" ~doc:"Figure 5a: LAMMPS scaling" F.fig5a_lammps
 
@@ -101,58 +125,65 @@ let fig7_cmd = app_cmd "fig7" ~doc:"Figure 7: QBOX scaling" F.fig7_qbox
 let table1_cmd =
   cmd "table1" ~doc:"Table 1: communication profile (UMT, HACC, QBOX)"
     Term.(
-      const (fun nodes rpn jobs json ->
-          emit ?json ?jobs (F.table1 ~nodes ~ranks_per_node:rpn ?jobs ()))
-      $ nodes_arg 8 $ rpn_arg 8 $ jobs_arg $ json_arg)
+      const (fun nodes rpn jobs json trace ->
+          emit ?json ?trace ?jobs (fun () ->
+              F.table1 ~nodes ~ranks_per_node:rpn ?jobs ()))
+      $ nodes_arg 8 $ rpn_arg 8 $ jobs_arg $ json_arg $ trace_arg)
 
 let fig8_cmd =
   cmd "fig8" ~doc:"Figure 8: system call breakdown for UMT2013"
     Term.(
-      const (fun nodes rpn jobs json ->
-          emit ?json ?jobs (F.fig8_umt ~nodes ~ranks_per_node:rpn ?jobs ()))
-      $ nodes_arg 8 $ rpn_arg 8 $ jobs_arg $ json_arg)
+      const (fun nodes rpn jobs json trace ->
+          emit ?json ?trace ?jobs (fun () ->
+              F.fig8_umt ~nodes ~ranks_per_node:rpn ?jobs ()))
+      $ nodes_arg 8 $ rpn_arg 8 $ jobs_arg $ json_arg $ trace_arg)
 
 let fig9_cmd =
   cmd "fig9" ~doc:"Figure 9: system call breakdown for QBOX"
     Term.(
-      const (fun nodes rpn jobs json ->
-          emit ?json ?jobs (F.fig9_qbox ~nodes ~ranks_per_node:rpn ?jobs ()))
-      $ nodes_arg 8 $ rpn_arg 8 $ jobs_arg $ json_arg)
+      const (fun nodes rpn jobs json trace ->
+          emit ?json ?trace ?jobs (fun () ->
+              F.fig9_qbox ~nodes ~ranks_per_node:rpn ?jobs ()))
+      $ nodes_arg 8 $ rpn_arg 8 $ jobs_arg $ json_arg $ trace_arg)
 
 let listing1_cmd =
   cmd "listing1" ~doc:"Listing 1: dwarf-extract-struct output for sdma_state"
-    Term.(const (fun () -> emit (F.listing1 ())) $ const ())
+    Term.(const (fun () -> emit (fun () -> F.listing1 ())) $ const ())
 
 let sloc_cmd =
   cmd "sloc" ~doc:"Porting-effort comparison (50 kSLOC vs <3 kSLOC claim)"
-    Term.(const (fun () -> emit (F.sloc ())) $ const ())
+    Term.(const (fun () -> emit (fun () -> F.sloc ())) $ const ())
 
 let imb_cmd =
   cmd "imb" ~doc:"The wider IMB-MPI1 suite (PingPing, SendRecv, Exchange, ...)"
     Term.(
-      const (fun nodes rpn jobs json ->
-          emit ?json ?jobs (F.imb_suite ~nodes ~ranks_per_node:rpn ?jobs ()))
-      $ nodes_arg 2 $ rpn_arg 1 $ jobs_arg $ json_arg)
+      const (fun nodes rpn jobs json trace ->
+          emit ?json ?trace ?jobs (fun () ->
+              F.imb_suite ~nodes ~ranks_per_node:rpn ?jobs ()))
+      $ nodes_arg 2 $ rpn_arg 1 $ jobs_arg $ json_arg $ trace_arg)
 
 let ibreg_cmd =
   cmd "ibreg"
     ~doc:"Extension: InfiniBand memory-registration latency (future work)"
     Term.(
-      const (fun jobs json -> emit ?json ?jobs (F.ibreg ?jobs ()))
-      $ jobs_arg $ json_arg)
+      const (fun jobs json trace ->
+          emit ?json ?trace ?jobs (fun () -> F.ibreg ?jobs ()))
+      $ jobs_arg $ json_arg $ trace_arg)
 
 let ablations_cmd =
   cmd "ablations"
     ~doc:"Design-choice ablations: SDMA request size, OS noise, TID cache"
     Term.(
-      const (fun json -> emit ?json ~jobs:1 (F.ablations ()))
-      $ json_arg)
+      const (fun json trace ->
+          emit ?json ?trace ~jobs:1 (fun () -> F.ablations ()))
+      $ json_arg $ trace_arg)
 
 let all_cmd =
   cmd "all" ~doc:"Run every experiment at the chosen scale"
     Term.(
-      const (fun scale jobs json -> emit ?json ?jobs (F.all ~scale ?jobs ()))
-      $ scale_arg $ jobs_arg $ json_arg)
+      const (fun scale jobs json trace ->
+          emit ?json ?trace ?jobs (fun () -> F.all ~scale ?jobs ()))
+      $ scale_arg $ jobs_arg $ json_arg $ trace_arg)
 
 let main =
   let doc =

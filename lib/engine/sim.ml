@@ -14,6 +14,17 @@ and cell = {
   boxed : event; (* [Resume self], allocated once per cell *)
 }
 
+(* One traced interval of simulated time (see Span for the user API).
+   The simulator only stores spans; it never reads them. *)
+type span = {
+  sp_cat : string;
+  sp_name : string;
+  sp_track : string;
+  sp_begin : float;
+  mutable sp_end : float; (* nan until ended *)
+  mutable sp_args : (string * string) list;
+}
+
 type t = {
   mutable now : float;
   queue : event Heap.t;
@@ -28,6 +39,9 @@ type t = {
   mutable peak_heap : int;
   mutable elided : int;
   mutable reused : int;
+  (* span tracing (empty unless Span.set_on true) *)
+  mutable spans : span list; (* reverse begin order *)
+  mutable label : string;
 }
 
 type _ Effect.t +=
@@ -38,7 +52,7 @@ type _ Effect.t +=
 let create () =
   { now = 0.; queue = Heap.create (); seq = 0; processed = 0;
     current = None; running = false; pool = [||]; pool_n = 0;
-    peak_heap = 0; elided = 0; reused = 0 }
+    peak_heap = 0; elided = 0; reused = 0; spans = []; label = "" }
 
 let now t = t.now
 
@@ -195,6 +209,30 @@ let events_elided t = t.elided
 let peak_heap_depth t = t.peak_heap
 
 let cells_reused t = t.reused
+
+let set_label t l = t.label <- l
+
+let label t = t.label
+
+let span_begin t ~cat ~name =
+  let sp =
+    { sp_cat = cat; sp_name = name;
+      sp_track = (match t.current with Some n -> n | None -> "<callback>");
+      sp_begin = t.now; sp_end = Float.nan; sp_args = [] }
+  in
+  t.spans <- sp :: t.spans;
+  sp
+
+let span_end t ?(args = []) sp =
+  if Float.is_nan sp.sp_end then begin
+    sp.sp_end <- t.now;
+    sp.sp_args <- args
+  end
+
+let take_spans t =
+  let ended = List.filter (fun sp -> not (Float.is_nan sp.sp_end)) t.spans in
+  t.spans <- [];
+  List.rev ended
 
 let ns x = x
 

@@ -81,6 +81,42 @@ val peak_heap_depth : t -> int
     cells (i.e. closure allocations avoided on the [delay] hot path). *)
 val cells_reused : t -> int
 
+(** {2 Span tracing storage}
+
+    The simulator stores traced intervals; all recording policy (the
+    global on/off flag, handles, JSON) lives in {!Span}.  A span is
+    keyed by {e simulated} time and tagged with the name of the process
+    that began it. *)
+
+type span = {
+  sp_cat : string;                       (** category, e.g. ["offload"] *)
+  sp_name : string;                      (** event name within category *)
+  sp_track : string;                     (** beginning process's name *)
+  sp_begin : float;                      (** begin, simulated ns *)
+  mutable sp_end : float;                (** end, simulated ns; nan = open *)
+  mutable sp_args : (string * string) list;
+}
+
+(** [span_begin t ~cat ~name] opens a span at the current time and
+    appends it to the simulator's buffer.  Unconditional — callers go
+    through {!Span.begin_}, which performs the enabled check. *)
+val span_begin : t -> cat:string -> name:string -> span
+
+(** [span_end t ?args sp] closes [sp] at the current time.  Closing an
+    already-closed span is a no-op (the first close wins). *)
+val span_end : t -> ?args:(string * string) list -> span -> unit
+
+(** All {e closed} spans in begin order; clears the buffer.  Spans still
+    open (e.g. a server process parked forever in a mailbox) are
+    dropped. *)
+val take_spans : t -> span list
+
+(** Deterministic label for this simulated world (e.g. ["McKernel/2n"]),
+    used as the Perfetto process-track name.  Empty by default. *)
+val set_label : t -> string -> unit
+
+val label : t -> string
+
 (** True while a process of this simulator is executing. *)
 val in_process : t -> bool
 

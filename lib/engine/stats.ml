@@ -86,6 +86,10 @@ module Histogram = struct
 
   let count t = t.total
 
+  let merge a b =
+    { counts = Array.init nbuckets (fun i -> a.counts.(i) + b.counts.(i));
+      total = a.total + b.total }
+
   let buckets t =
     let acc = ref [] in
     for i = nbuckets - 1 downto 0 do
@@ -138,9 +142,13 @@ module Registry = struct
   let count_of t key =
     match Hashtbl.find_opt t key with Some c -> c.count | None -> 0
 
+  (* Descending time, ties broken by key: the order can never depend on
+     hash-table iteration (i.e. on insertion/merge order), which keeps
+     rendered profiles byte-identical across parallel schedules. *)
   let entries t =
     Hashtbl.fold (fun k c acc -> (k, c.time, c.count) :: acc) t []
-    |> List.sort (fun (_, a, _) (_, b, _) -> compare b a)
+    |> List.sort (fun (ka, a, _) (kb, b, _) ->
+           match compare b a with 0 -> compare ka kb | c -> c)
 
   let grand_total t = Hashtbl.fold (fun _ c acc -> acc +. c.time) t 0.
 

@@ -38,6 +38,12 @@ module Histogram : sig
 
   val count : t -> int
 
+  (** [merge a b] is a fresh histogram whose buckets are the bucket-wise
+      sums of [a] and [b] ([a] and [b] unchanged).  Bucket counts are
+      ints, so merging is order-insensitive — safe for cross-domain
+      aggregation. *)
+  val merge : t -> t -> t
+
   (** [buckets h] returns [(lower_bound, count)] pairs for non-empty
       buckets, sorted by bound. *)
   val buckets : t -> (float * int) list
@@ -62,7 +68,8 @@ module Registry : sig
   val count_of : t -> string -> int
 
   (** All entries as [(key, total_time, count)], sorted by descending
-      time. *)
+      time; equal times tie-break by key, so the order is a function of
+      the contents alone (never of insertion or merge order). *)
   val entries : t -> (string * float * int) list
 
   (** Sum of all recorded times. *)

@@ -20,6 +20,7 @@ type t = {
   nodes : node_env array;
   carry_payload : bool;
   rng : Rng.t;
+  uid : int;
 }
 
 let kind_to_string = function
@@ -27,10 +28,16 @@ let kind_to_string = function
   | Mckernel -> "McKernel"
   | Mckernel_hfi -> "McKernel+HFI1"
 
+(* Host-side identity for the observability collectors (never part of
+   any simulated or reported value: allocation order varies with the
+   worker-domain schedule). *)
+let next_uid = Atomic.make 0
+
 let build kind ~n_nodes ?(carry_payload = false) ?(service_cores = 4)
     ?(lwk_cores = 64) ?(seed = 0x5EEDL) ?rcv_entries () =
   if n_nodes <= 0 then invalid_arg "Cluster.build: n_nodes must be > 0";
   let sim = Sim.create () in
+  Sim.set_label sim (Printf.sprintf "%s/%dn" (kind_to_string kind) n_nodes);
   let fabric = Fabric.create sim in
   let rng = Rng.create ~seed in
   let make_node id =
@@ -84,7 +91,7 @@ let build kind ~n_nodes ?(carry_payload = false) ?(service_cores = 4)
     { node; hfi; linux; driver; mlx; mck; pico; mlx_pico }
   in
   { sim; fabric; kind; nodes = Array.init n_nodes make_node;
-    carry_payload; rng }
+    carry_payload; rng; uid = Atomic.fetch_and_add next_uid 1 }
 
 let node_env t i = t.nodes.(i)
 

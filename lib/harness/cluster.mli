@@ -30,6 +30,10 @@ type t = {
   nodes : node_env array;
   carry_payload : bool;
   rng : Rng.t;
+  uid : int;
+      (** host-side identity used by the observability collectors to
+          count a re-measured cluster once; allocation-order-dependent,
+          so it must never feed a simulated or reported value *)
 }
 
 (** [build kind ~n_nodes] assembles the cluster.  [carry_payload] turns

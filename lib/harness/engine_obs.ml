@@ -17,6 +17,7 @@ let mutex = Mutex.create ()
 let win = { events = 0; elided = 0; reused = 0; peak = 0; sims = 0 }
 
 let note_sim sim =
+  Tracefile.note_sim sim;
   let events = Sim.events_processed sim in
   let elided = Sim.events_elided sim in
   let reused = Sim.cells_reused sim in
@@ -46,9 +47,11 @@ let snapshot () =
 
 let measure ~figure f =
   reset ();
+  Subsys_obs.reset ();
   let t0 = Unix.gettimeofday () in
   let result = f () in
   let host = Unix.gettimeofday () -. t0 in
+  Subsys_obs.flush ~figure;
   let events, elided, reused, peak, sims = snapshot () in
   let fi = float_of_int in
   let rate n = if host > 0. then fi n /. host else 0. in

@@ -57,6 +57,7 @@ let run (cl : Cluster.t) ~ranks_per_node app =
   done;
   ignore (Sim.run sim);
   Engine_obs.note_sim sim;
+  Subsys_obs.note_cluster cl;
   (match !errors with
    | [] -> ()
    | (rank, e) :: _ ->

@@ -531,6 +531,7 @@ let ibreg ?(registrations = 64) ?jobs () =
            mean := (Sim.now sim -. t0) /. float_of_int registrations));
     ignore (Sim.run sim);
     Engine_obs.note_sim sim;
+    Subsys_obs.note_cluster cl;
     let saved =
       match env.Cluster.mlx_pico with
       | Some mp -> Pico_driver.Mlx_pico.entries_saved mp

@@ -1,0 +1,101 @@
+open H_import
+
+(* Process-wide collector for Chrome trace-event output ([picobench
+   --trace]).  Simulations finish on pool worker domains in
+   nondeterministic order, so the collector only accumulates under a
+   mutex and all ordering happens at render time: spans are sorted by
+   content, and pid/tid numbers are assigned from the sorted distinct
+   labels — the written file is a pure function of the simulated worlds,
+   byte-identical at any [-j] and across re-runs. *)
+
+let mutex = Mutex.create ()
+
+(* (cluster label, span) — simulations sharing a label (e.g. every
+   "McKernel+HFI1/2n" sweep point) share one Perfetto process track. *)
+let acc : (string * Sim.span) list ref = ref []
+
+let note_sim sim =
+  if Span.on () then begin
+    let label = match Sim.label sim with "" -> "sim" | l -> l in
+    match Span.drain sim with
+    | [] -> ()
+    | spans ->
+      let tagged = List.map (fun sp -> (label, sp)) spans in
+      Mutex.lock mutex;
+      acc := List.rev_append tagged !acc;
+      Mutex.unlock mutex
+  end
+
+let clear () =
+  Mutex.lock mutex;
+  acc := [];
+  Mutex.unlock mutex
+
+let size () =
+  Mutex.lock mutex;
+  let n = List.length !acc in
+  Mutex.unlock mutex;
+  n
+
+(* Content key: two identical spans compare equal, which is harmless —
+   their emitted bytes are identical too. *)
+let key_of (label, (sp : Sim.span)) =
+  ( label, sp.Sim.sp_begin, sp.Sim.sp_end, sp.Sim.sp_track, sp.Sim.sp_cat,
+    sp.Sim.sp_name, sp.Sim.sp_args )
+
+let to_json () =
+  Mutex.lock mutex;
+  let spans = !acc in
+  Mutex.unlock mutex;
+  let spans =
+    List.sort (fun a b -> compare (key_of a) (key_of b)) spans
+  in
+  let labels = List.sort_uniq compare (List.map fst spans) in
+  let pid_of = Hashtbl.create 8 in
+  List.iteri (fun i l -> Hashtbl.replace pid_of l (i + 1)) labels;
+  let tracks =
+    List.sort_uniq compare
+      (List.map (fun (l, sp) -> (l, sp.Sim.sp_track)) spans)
+  in
+  let tid_of = Hashtbl.create 64 in
+  let b = Buffer.create 65536 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
+  let emit f =
+    if !first then first := false else Buffer.add_char b ',';
+    Buffer.add_string b "\n";
+    f ()
+  in
+  List.iter
+    (fun l ->
+      emit (fun () ->
+          Span.meta_json b ~what:"process_name" ~pid:(Hashtbl.find pid_of l) l))
+    labels;
+  (* tids count per process, in sorted track order. *)
+  let next_tid = Hashtbl.create 8 in
+  List.iter
+    (fun (l, track) ->
+      let pid = Hashtbl.find pid_of l in
+      let tid =
+        1 + (match Hashtbl.find_opt next_tid pid with Some n -> n | None -> 0)
+      in
+      Hashtbl.replace next_tid pid tid;
+      Hashtbl.replace tid_of (l, track) tid;
+      emit (fun () -> Span.meta_json b ~what:"thread_name" ~pid ~tid track))
+    tracks;
+  List.iter
+    (fun (l, sp) ->
+      emit (fun () ->
+          Span.event_json b
+            ~pid:(Hashtbl.find pid_of l)
+            ~tid:(Hashtbl.find tid_of (l, sp.Sim.sp_track))
+            sp))
+    spans;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let write path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json ()))

@@ -1,15 +1,26 @@
 open Ihk_import
 
+(* Per-syscall-name round-trip latency, LWK perspective: request IKC
+   message to response IKC message, queueing included.  This is the
+   offload half of the paper's Figure 8/9 argument, so it is always on
+   (the registry update is host work, never simulated time). *)
+type stat = {
+  latency : Stats.Summary.t;
+  hist : Stats.Histogram.t;
+}
+
 type t = {
   sim : Sim.t;
   lkernel : Lkernel.t;
   mutable proxies : int;
   mutable calls : int;
   mutable queueing : float;
+  stats : (string, stat) Hashtbl.t;
 }
 
 let create sim ~linux =
-  { sim; lkernel = linux; proxies = 0; calls = 0; queueing = 0. }
+  { sim; lkernel = linux; proxies = 0; calls = 0; queueing = 0.;
+    stats = Hashtbl.create 8 }
 
 (* With many more proxy processes than Linux service CPUs, every offload
    pays scheduler wake-up and context-switch costs on the oversubscribed
@@ -31,10 +42,26 @@ let make_proxy t ~lwk_pt =
      the page table rather than copying it. *)
   { proxy with Uproc.pt = lwk_pt }
 
+let stat_of t name =
+  match Hashtbl.find_opt t.stats name with
+  | Some s -> s
+  | None ->
+    let s = { latency = Stats.Summary.create ();
+              hist = Stats.Histogram.create () } in
+    Hashtbl.add t.stats name s;
+    s
+
+let note_round_trip t name dt =
+  let s = stat_of t name in
+  Stats.Summary.add s.latency dt;
+  Stats.Histogram.add s.hist dt
+
 let offload t ~name f =
   t.calls <- t.calls + 1;
   Pico_engine.Trace.debug t.sim "delegator" "offload %s (proxies=%d)" name
     t.proxies;
+  let started = Sim.now t.sim in
+  let sp = Span.begin_ t.sim ~cat:"offload" ~name in
   let c = Costs.current () in
   (* Request message to Linux. *)
   Sim.delay t.sim c.ikc_message;
@@ -52,10 +79,21 @@ let offload t ~name f =
      finish ();
      (* Response message back to the LWK. *)
      Sim.delay t.sim c.ikc_message;
+     note_round_trip t name (Sim.now t.sim -. started);
+     Span.end_with t.sim sp (fun () ->
+         [ ("queued_ns", Printf.sprintf "%.0f" waited) ]);
      v
-   | exception e -> finish (); raise e)
+   | exception e ->
+     finish ();
+     note_round_trip t name (Sim.now t.sim -. started);
+     Span.end_ t.sim sp;
+     raise e)
 
 let offloaded_calls t = t.calls
+
+let offload_stats t =
+  Hashtbl.fold (fun k s acc -> (k, s.latency, s.hist) :: acc) t.stats []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
 
 let queueing_ns t = t.queueing
 

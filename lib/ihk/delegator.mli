@@ -29,6 +29,12 @@ val offload : t -> name:string -> (unit -> 'a) -> 'a
 (** Number of calls delegated so far. *)
 val offloaded_calls : t -> int
 
+(** Per-syscall-name round-trip latency (request IKC message to response
+    IKC message, queueing included), as a running summary plus a
+    log-scale histogram, sorted by name.  Always on — this is the
+    offload side of the Figure 8/9 profile. *)
+val offload_stats : t -> (string * Stats.Summary.t * Stats.Histogram.t) list
+
 (** Proxy processes registered on this node. *)
 val proxy_count : t -> int
 

@@ -1,5 +1,6 @@
 (* Local aliases for modules used across the IHK library. *)
 module Sim = Pico_engine.Sim
+module Span = Pico_engine.Span
 module Mailbox = Pico_engine.Mailbox
 module Resource = Pico_engine.Resource
 module Stats = Pico_engine.Stats

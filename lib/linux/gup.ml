@@ -19,6 +19,7 @@ let get_user_pages t ~pt ~va ~len =
   if len <= 0 then invalid_arg "Gup.get_user_pages: len must be > 0";
   let first = Addr.align_down va Addr.page_size in
   let n = Addr.pages_spanned ~addr:va ~len in
+  let sp = Span.begin_ t.sim ~cat:"gup" ~name:"get_user_pages" in
   charge t (float_of_int n *. (Costs.current ()).gup_per_page);
   let pins = ref [] in
   for i = n - 1 downto 0 do
@@ -28,6 +29,7 @@ let get_user_pages t ~pt ~va ~len =
   done;
   t.pinned <- t.pinned + n;
   t.total <- t.total + n;
+  Span.end_with t.sim sp (fun () -> [ ("pages", string_of_int n) ]);
   !pins
 
 let put_pages t pins =

@@ -43,11 +43,13 @@ let noise_clock t =
 
 let syscall t ?profile ~name f =
   let started = Sim.now t.sim in
+  let sp = Span.begin_ t.sim ~cat:"syscall" ~name in
   Sim.delay t.sim (Costs.current ()).linux_syscall;
   let finish () =
-    match profile with
-    | Some reg -> Stats.Registry.add reg name (Sim.now t.sim -. started)
-    | None -> ()
+    (match profile with
+     | Some reg -> Stats.Registry.add reg name (Sim.now t.sim -. started)
+     | None -> ());
+    Span.end_ t.sim sp
   in
   match f () with
   | v -> finish (); v

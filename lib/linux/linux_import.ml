@@ -1,6 +1,7 @@
 (* Local aliases for modules from the engine, hardware, NIC and DWARF
    libraries. *)
 module Sim = Pico_engine.Sim
+module Span = Pico_engine.Span
 module Mailbox = Pico_engine.Mailbox
 module Semaphore = Pico_engine.Semaphore
 module Resource = Pico_engine.Resource

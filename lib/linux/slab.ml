@@ -14,12 +14,13 @@ type t = {
   objects : (Addr.t, int) Hashtbl.t; (* live object -> class size *)
   mutable live : int;
   mutable total : int;
+  mutable frees : int;
   mutable footprint : int;
 }
 
 let create sim ~node =
   { sim; node; slabs = Hashtbl.create 16; objects = Hashtbl.create 256;
-    live = 0; total = 0; footprint = 0 }
+    live = 0; total = 0; frees = 0; footprint = 0 }
 
 let class_of size =
   let rec go c = if c >= size then c else go (c * 2) in
@@ -73,6 +74,7 @@ let kfree t va =
   | Some cls ->
     Hashtbl.remove t.objects va;
     t.live <- t.live - 1;
+    t.frees <- t.frees + 1;
     let s = slab_for t cls in
     s.partial <- va :: s.partial
 
@@ -84,5 +86,7 @@ let usable_size t va =
 let live t = t.live
 
 let total_allocated t = t.total
+
+let kfrees t = t.frees
 
 let footprint t = t.footprint

@@ -28,5 +28,9 @@ val live : t -> int
 
 val total_allocated : t -> int
 
+(** Objects freed so far (including cross-kernel frees routed here by the
+    PicoDriver completion callbacks). *)
+val kfrees : t -> int
+
 (** Bytes of physical memory pinned by live objects. *)
 val footprint : t -> int

@@ -7,13 +7,14 @@ type t = {
   waiters : (unit -> unit) Queue.t;
   mutable contended : int;
   mutable acquisitions : int;
+  mutable wait : float;
 }
 
 let cacheline_bounce = 80.
 
 let create sim ~name =
   { sim; lname = name; held_by = None; waiters = Queue.create ();
-    contended = 0; acquisitions = 0 }
+    contended = 0; acquisitions = 0; wait = 0. }
 
 let name t = t.lname
 
@@ -21,19 +22,30 @@ let current_holder_name t =
   match Sim.current_name t.sim with Some n -> n | None -> "<callback>"
 
 let lock t =
+  (* Explicit flag check rather than Span.end_with: this is the hottest
+     instrumented path, keep the disabled cost to one ref read and skip
+     even the closure. *)
+  let sp =
+    if Span.on () then Span.begin_ t.sim ~cat:"lock" ~name:t.lname
+    else Span.null
+  in
   Sim.delay t.sim (Costs.current ()).spinlock_uncontended;
   if t.held_by = None then begin
     t.held_by <- Some (current_holder_name t);
-    t.acquisitions <- t.acquisitions + 1
+    t.acquisitions <- t.acquisitions + 1;
+    Span.end_ t.sim ~args:[ ("contended", "0") ] sp
   end
   else begin
     t.contended <- t.contended + 1;
+    let started = Sim.now t.sim in
     (* Spin: park until the holder hands over, then pay the cache-line
        transfer. *)
     Sim.suspend t.sim (fun resume -> Queue.add resume t.waiters);
     Sim.delay t.sim cacheline_bounce;
+    t.wait <- t.wait +. (Sim.now t.sim -. started);
     t.held_by <- Some (current_holder_name t);
-    t.acquisitions <- t.acquisitions + 1
+    t.acquisitions <- t.acquisitions + 1;
+    Span.end_ t.sim ~args:[ ("contended", "1") ] sp
   end
 
 let unlock t =
@@ -65,3 +77,5 @@ let with_lock t f =
 let contended t = t.contended
 
 let acquisitions t = t.acquisitions
+
+let wait_ns t = t.wait

@@ -32,3 +32,8 @@ val with_lock : t -> (unit -> 'a) -> 'a
 val contended : t -> int
 
 val acquisitions : t -> int
+
+(** Cumulative simulated time spent waiting for the holder on contended
+    acquisitions, ns (the spin itself, excluding the fixed uncontended
+    cost and cache-line bounce). *)
+val wait_ns : t -> float

@@ -72,8 +72,12 @@ let fastpath_registered t ~dev = Hashtbl.mem t.fastpaths dev
    from entry to return, including offload waiting). *)
 let profiled t name f =
   let started = Sim.now t.sim in
+  let sp = Span.begin_ t.sim ~cat:"syscall" ~name in
   Sim.delay t.sim (Costs.current ()).lwk_syscall;
-  let finish () = Stats.Registry.add t.kprofile name (Sim.now t.sim -. started) in
+  let finish () =
+    Stats.Registry.add t.kprofile name (Sim.now t.sim -. started);
+    Span.end_ t.sim sp
+  in
   match f () with
   | v -> finish (); v
   | exception e -> finish (); raise e

@@ -20,6 +20,7 @@ type t = {
   core_slabs : (int, Addr.t list) Hashtbl.t array;
   objects : (Addr.t, int) Hashtbl.t;
   remote_free : Addr.t Queue.t;
+  mutable remote_frees : int;
   mutable live : int;
   mutable anon_bytes : int;
   mutable anon_large_bytes : int;
@@ -34,6 +35,7 @@ let create sim ~node ~vspace ~lwk_cores =
     core_slabs = Array.init lwk_cores (fun _ -> Hashtbl.create 8);
     objects = Hashtbl.create 256;
     remote_free = Queue.create ();
+    remote_frees = 0;
     live = 0; anon_bytes = 0; anon_large_bytes = 0;
     anon_mappings = 0; anon_contiguous = 0 }
 
@@ -214,7 +216,9 @@ let kfree_remote t va =
   charge t (Costs.current ()).kfree_remote;
   match Hashtbl.find_opt t.objects va with
   | None -> invalid_arg "Mem.kfree_remote: not a live object"
-  | Some _ -> Queue.add va t.remote_free
+  | Some _ ->
+    t.remote_frees <- t.remote_frees + 1;
+    Queue.add va t.remote_free
 
 let drain_remote_frees t ~core =
   if core < 0 || core >= t.lwk_cores then
@@ -240,3 +244,5 @@ let drain_remote_frees t ~core =
 let live_objects t = t.live
 
 let remote_queue_length t = Queue.length t.remote_free
+
+let remote_frees t = t.remote_frees

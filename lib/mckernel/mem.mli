@@ -67,3 +67,7 @@ val drain_remote_frees : t -> core:int -> int
 val live_objects : t -> int
 
 val remote_queue_length : t -> int
+
+(** Cumulative [kfree_remote] calls — cross-kernel frees issued by Linux
+    CPUs against LWK-owned objects. *)
+val remote_frees : t -> int

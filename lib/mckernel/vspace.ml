@@ -2,9 +2,14 @@ open Mck_import
 
 type kind = Original | Unified
 
-type t = { k : kind }
+(* Translation counts measure how often the LWK leans on its direct map —
+   the cheap alternative to a page-table walk or a GUP pin. *)
+type t = {
+  k : kind;
+  mutable translations : int;
+}
 
-let create k = { k }
+let create k = { k; translations = 0 }
 
 let kind t = t.k
 
@@ -30,13 +35,16 @@ let direct_map_base t =
   | Original -> original_direct_base
   | Unified -> Llayout.direct_map_base
 
-let va_of_pa t pa = direct_map_base t + pa
+let va_of_pa t pa =
+  t.translations <- t.translations + 1;
+  direct_map_base t + pa
 
 let pa_of_va t va =
   let base = direct_map_base t in
   if va < base then
     invalid_arg
       (Printf.sprintf "Vspace.pa_of_va: %s below direct map" (Addr.to_hex va));
+  t.translations <- t.translations + 1;
   va - base
 
 let linux_pointer_valid t va =
@@ -53,3 +61,5 @@ let text_visible_in_linux t =
   match t.k with
   | Original -> false
   | Unified -> true
+
+let translations t = t.translations

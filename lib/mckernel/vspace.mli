@@ -43,3 +43,7 @@ val image_overlaps_linux : t -> bool
 (** Is McKernel's TEXT visible from Linux (needed for cross-kernel
     callbacks)? *)
 val text_visible_in_linux : t -> bool
+
+(** Cumulative [va_of_pa]/[pa_of_va] translations — how often the LWK
+    leaned on its direct map instead of a page-table walk or a GUP pin. *)
+val translations : t -> int

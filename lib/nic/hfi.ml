@@ -47,6 +47,8 @@ type t = {
   completions : (unit -> unit) Queue.t;
   mutable eager_rx : int;
   mutable expected_rx : int;
+  mutable pio_packets : int;
+  mutable pio_bytes : int;
   mutable train : train option;
 }
 
@@ -278,6 +280,8 @@ let create sim ~node ~fabric ?(carry_payload = false)
       completions = Queue.create ();
       eager_rx = 0;
       expected_rx = 0;
+      pio_packets = 0;
+      pio_bytes = 0;
       train = None }
   in
   tref := Some t;
@@ -334,6 +338,7 @@ let pio_train t ~dst_node ~dst_ctx ~hdr ~len ?payload c =
     let t2 = t1 +. wire_time 0 in
     Resource.account t.wire ~waited:0. ~busy:(t2 -. t1);
     t_cur := t2;
+    t.pio_packets <- t.pio_packets + 1;
     Fabric.send_at t.fabric ~time:t2
       { src_node = node_id t; dst_node; dst_ctx; wire_len = Wire.header_bytes;
         header = hdr; payload = None };
@@ -351,6 +356,8 @@ let pio_train t ~dst_node ~dst_ctx ~hdr ~len ?payload c =
         let t2 = t1 +. wire_time frag in
         Resource.account t.wire ~waited:0. ~busy:(t2 -. t1);
         t_cur := t2;
+        t.pio_packets <- t.pio_packets + 1;
+        t.pio_bytes <- t.pio_bytes + frag;
         let payload =
           if t.carry_payload then slice_payload payload ~offset ~len:frag
           else None
@@ -373,7 +380,8 @@ let pio_train t ~dst_node ~dst_ctx ~hdr ~len ?payload c =
 
 let pio_send t ~dst_node ~dst_ctx ~hdr ~len ?payload () =
   let c = Costs.current () in
-  if
+  let sp = Span.begin_ t.sim ~cat:"pio" ~name:"pio_send" in
+  (if
     !batching
     && dst_node <> node_id t
     && train_alone t
@@ -391,6 +399,7 @@ let pio_send t ~dst_node ~dst_ctx ~hdr ~len ?payload () =
     (* Zero-byte message: a single header-only packet. *)
     Sim.delay t.sim c.pio_packet_overhead;
     use_wire (wire_time 0);
+    t.pio_packets <- t.pio_packets + 1;
     Fabric.send t.fabric
       { src_node = node_id t; dst_node; dst_ctx; wire_len = Wire.header_bytes;
         header = hdr; payload = None }
@@ -404,6 +413,8 @@ let pio_send t ~dst_node ~dst_ctx ~hdr ~len ?payload () =
           (c.pio_packet_overhead
            +. (float_of_int frag /. c.pio_cpu_bandwidth));
         use_wire (wire_time frag);
+        t.pio_packets <- t.pio_packets + 1;
+        t.pio_bytes <- t.pio_bytes + frag;
         let payload =
           if t.carry_payload then slice_payload payload ~offset ~len:frag
           else None
@@ -418,7 +429,9 @@ let pio_send t ~dst_node ~dst_ctx ~hdr ~len ?payload () =
     in
     go 0
   end
-  end
+  end);
+  Span.end_with t.sim sp (fun () ->
+      [ ("dst", string_of_int dst_node); ("len", string_of_int len) ])
 
 let read_requests t reqs =
   let total = List.fold_left (fun acc (r : Sdma.request) -> acc + r.len) 0 reqs in
@@ -461,6 +474,10 @@ let wire t = t.wire
 let eager_packets_rx t = t.eager_rx
 
 let expected_msgs_rx t = t.expected_rx
+
+let pio_packets t = t.pio_packets
+
+let pio_bytes t = t.pio_bytes
 
 (* The completion queue is drained by the driver's IRQ handler. *)
 let drain_completions t =

@@ -118,3 +118,13 @@ val wire : t -> Resource.t
 val eager_packets_rx : t -> int
 
 val expected_msgs_rx : t -> int
+
+(** PIO egress counters: packets stored through the send buffer and the
+    payload bytes they carried (headers excluded).  Counted per fragment
+    on both the per-packet and the batched paths, so the values are
+    independent of {!batching}.  With {!Sdma.bytes_submitted} these give
+    the PIO-vs-SDMA traffic split. *)
+
+val pio_packets : t -> int
+
+val pio_bytes : t -> int

@@ -1,5 +1,6 @@
 (* Local aliases for engine and hardware modules used across this library. *)
 module Sim = Pico_engine.Sim
+module Span = Pico_engine.Span
 module Mailbox = Pico_engine.Mailbox
 module Semaphore = Pico_engine.Semaphore
 module Resource = Pico_engine.Resource

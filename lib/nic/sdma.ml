@@ -14,8 +14,14 @@ type tx = {
 }
 
 type engine = {
+  idx : int;
   ring : tx Mailbox.t;
   slots : Semaphore.t;
+  (* Per-engine occupancy: what the paper's per-flow engine selection
+     trades off (one hot flow serialises on one engine). *)
+  mutable e_requests : int;
+  mutable e_bytes : int;
+  mutable e_busy : float;
 }
 
 type t = {
@@ -41,15 +47,23 @@ let engine_loop t e () =
   let rec loop () =
     let tx = Mailbox.get e.ring in
     let started = Sim.now t.sim in
+    let sp = Span.begin_ t.sim ~cat:"sdma" ~name:"tx" in
     if not (t.batch tx) then
       List.iter
         (fun req ->
           Sim.delay t.sim (Costs.current ()).sdma_request_overhead;
           t.transmit req)
         tx.requests;
-    t.busy <- t.busy +. (Sim.now t.sim -. started);
+    let took = Sim.now t.sim -. started in
+    t.busy <- t.busy +. took;
+    e.e_busy <- e.e_busy +. took;
     t.txs_completed <- t.txs_completed + 1;
     t.in_flight <- t.in_flight - 1;
+    Span.end_with t.sim sp (fun () ->
+        [ ("tx", string_of_int tx.tx_id);
+          ("engine", string_of_int e.idx);
+          ("reqs", string_of_int (List.length tx.requests));
+          ("bytes", string_of_int tx.total_bytes) ]);
     Semaphore.release e.slots;
     tx.on_complete ();
     loop ()
@@ -62,8 +76,10 @@ let create sim ~n_engines ~ring_slots ~transmit =
   let t =
     { sim;
       engines =
-        Array.init n_engines (fun _ ->
-            { ring = Mailbox.create sim; slots = Semaphore.create sim ring_slots });
+        Array.init n_engines (fun idx ->
+            { idx; ring = Mailbox.create sim;
+              slots = Semaphore.create sim ring_slots;
+              e_requests = 0; e_bytes = 0; e_busy = 0. });
       transmit;
       batch = (fun _ -> false);
       requests_submitted = 0;
@@ -98,6 +114,8 @@ let submit t tx =
     (fun (r : request) ->
       t.requests_submitted <- t.requests_submitted + 1;
       t.bytes_submitted <- t.bytes_submitted + r.len;
+      e.e_requests <- e.e_requests + 1;
+      e.e_bytes <- e.e_bytes + r.len;
       Stats.Summary.add t.size_hist (float_of_int r.len))
     tx.requests;
   Mailbox.put e.ring tx
@@ -117,3 +135,6 @@ let txs_completed t = t.txs_completed
 let request_size_hist t = t.size_hist
 
 let busy_ns t = t.busy
+
+let engine_stats t =
+  Array.map (fun e -> (e.e_requests, e.e_bytes, e.e_busy)) t.engines

@@ -76,3 +76,8 @@ val request_size_hist : t -> Stats.Summary.t
 
 (** Busy time summed over engines (for utilisation reporting). *)
 val busy_ns : t -> float
+
+(** Per-engine [(requests, bytes, busy_ns)], indexed by engine number.
+    Always on — feeds the per-engine occupancy metrics; per-flow engine
+    selection makes the skew across engines visible here. *)
+val engine_stats : t -> (int * int * float) array

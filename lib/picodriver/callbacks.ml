@@ -7,12 +7,13 @@ type t = {
   table : (Addr.t, string * bool * (unit -> unit)) Hashtbl.t;
   mutable next : Addr.t;
   mutable invocations : int;
+  mutable cross : int;
 }
 
 let create ~vs =
   (* "Function pointers" live in the McKernel image. *)
   { vs; table = Hashtbl.create 16; next = Vspace.image_base vs + 0x1000;
-    invocations = 0 }
+    invocations = 0; cross = 0 }
 
 let register ?(once = false) t ~name fn =
   let ptr = t.next in
@@ -30,6 +31,7 @@ let invoke t ~from_linux ptr =
   match Hashtbl.find_opt t.table ptr with
   | Some (_name, once, fn) ->
     t.invocations <- t.invocations + 1;
+    if from_linux then t.cross <- t.cross + 1;
     if once then Hashtbl.remove t.table ptr;
     fn ()
   | None ->
@@ -40,3 +42,5 @@ let invoke t ~from_linux ptr =
 let registered t = Hashtbl.length t.table
 
 let invocations t = t.invocations
+
+let cross_invocations t = t.cross

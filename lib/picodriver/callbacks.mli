@@ -32,3 +32,7 @@ val invoke : t -> from_linux:bool -> Addr.t -> unit
 val registered : t -> int
 
 val invocations : t -> int
+
+(** Invocations made with [~from_linux:true] — a Linux CPU jumping into
+    McKernel TEXT, the hazard the unified layout makes legal. *)
+val cross_invocations : t -> int

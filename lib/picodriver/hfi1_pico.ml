@@ -19,6 +19,7 @@ type t = {
   mutable writev_fast : int;
   mutable ioctl_fast : int;
   mutable big_requests : int;
+  mutable pt_segments : int;
 }
 
 let installed t =
@@ -33,6 +34,8 @@ let writev_fast t = t.writev_fast
 let ioctl_fast t = t.ioctl_fast
 
 let big_requests t = t.big_requests
+
+let pt_segments t = t.pt_segments
 
 let ported_ops _ = [ "writev"; "ioctl:TID_UPDATE"; "ioctl:TID_FREE" ]
 
@@ -129,6 +132,7 @@ let fast_writev t (p : Mck.pctx) (file : Vfs.file) (iovs : Vfs.iovec list) =
             Pagetable.phys_segments p.Mck.proc.Proc.pt ~va:iov.Vfs.iov_base
               ~len:iov.Vfs.iov_len
           in
+          t.pt_segments <- t.pt_segments + List.length segs;
           Sim.delay sim (walk_cost segs);
           (acc @ requests_of_segments t segs, total + iov.Vfs.iov_len))
         ([], 0) data_iovs
@@ -196,6 +200,7 @@ let fast_tid_update t (p : Mck.pctx) (file : Vfs.file) ~arg =
     Pagetable.phys_segments p.Mck.proc.Proc.pt ~va:tu.User_api.tu_va
       ~len:tu.User_api.tu_len
   in
+  t.pt_segments <- t.pt_segments + List.length segs;
   Sim.delay sim (walk_cost segs);
   let entries = entries_of_segments segs in
   Spinlock.with_lock (Hfi1_driver.tid_lock t.linux_driver) (fun () ->
@@ -280,7 +285,8 @@ let attach mck ~linux_driver ~module_sections =
       let t =
         { mck; linux_driver; acc; s99_running; install = None;
           sdma_state_header = Struct_access.c_header acc.sdma_state;
-          writev_fast = 0; ioctl_fast = 0; big_requests = 0 }
+          writev_fast = 0; ioctl_fast = 0; big_requests = 0;
+          pt_segments = 0 }
       in
       let dev = Hfi1_driver.dev_name unit_no in
       let inst =

@@ -51,6 +51,11 @@ val ioctl_fast : t -> int
     evidence: stays 0 for the Linux driver). *)
 val big_requests : t -> int
 
+(** Physical segments visited by direct page-table walks on the fast
+    paths — the GUP-free translations the PicoDriver substitutes for
+    per-page pinning. *)
+val pt_segments : t -> int
+
 (** SLOC-equivalent of the ported code paths, for the 50 K vs <3 K
     comparison (counted from this module's implementation). *)
 val ported_ops : t -> string list

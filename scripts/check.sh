@@ -21,17 +21,36 @@ dune runtest
 echo "== determinism: picobench all -s quick, jobs=1 vs jobs=$jobs =="
 seq_out="$(mktemp)"
 par_out="$(mktemp)"
-trap 'rm -f "$seq_out" "$par_out"' EXIT
+seq_json="$(mktemp)"
+par_json="$(mktemp)"
+trap 'rm -f "$seq_out" "$par_out" "$seq_json" "$par_json"' EXIT
 
 PICO_JOBS=1 dune exec --no-build bin/picobench.exe -- all -s quick \
-  > "$seq_out"
+  --json "$seq_json" > "$seq_out"
 PICO_JOBS="$jobs" dune exec --no-build bin/picobench.exe -- all -s quick \
-  > "$par_out"
+  --json "$par_json" > "$par_out"
 
 if ! diff -u "$seq_out" "$par_out"; then
   echo "FAIL: parallel output differs from sequential" >&2
   exit 1
 fi
+
+# The JSON report must be byte-identical too, apart from the keys that
+# are host wall-clock by design (engine/host_seconds, engine/*_per_sec)
+# and the echoed jobs setting itself.
+mask_json() {
+  grep -v -E '"[^"]*/engine/(host_seconds|[a-z_]*_per_sec)"|"jobs":' "$1" \
+    > "$1.masked"
+}
+
+mask_json "$seq_json"
+mask_json "$par_json"
+if ! diff -u "$seq_json.masked" "$par_json.masked"; then
+  rm -f "$seq_json.masked" "$par_json.masked"
+  echo "FAIL: JSON metrics differ between jobs=1 and jobs=$jobs" >&2
+  exit 1
+fi
+rm -f "$seq_json.masked" "$par_json.masked"
 
 # Engine throughput (wall-clock, host-specific): informative, never gates
 # the build — machines differ and CI boxes are noisy.

@@ -12,14 +12,19 @@
 # simulation work would show up as a byte-diff in check.sh instead.
 #
 # The baseline is host-specific (wall-clock!); refresh it on your machine
-# with:  PICO_PERF_UPDATE=1 scripts/perf.sh
+# with:  scripts/perf.sh --update   (or PICO_PERF_UPDATE=1 scripts/perf.sh)
 #
 # Usage: scripts/perf.sh                (from the repo root)
+#        scripts/perf.sh --update
 #        PICO_PERF_FIG=imb scripts/perf.sh
 
 set -eu
 
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--update" ]; then
+  PICO_PERF_UPDATE=1
+fi
 
 fig="${PICO_PERF_FIG:-fig4}"
 out="${PICO_PERF_JSON:-BENCH_engine.json}"

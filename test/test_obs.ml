@@ -1,0 +1,259 @@
+(* Observability tests: Trace level parsing and guards, the Span API's
+   edge cases, Histogram.merge and Registry ordering laws, and the
+   determinism of the span-trace / per-subsystem metric collectors. *)
+
+module Sim = Pico_engine.Sim
+module Span = Pico_engine.Span
+module Trace = Pico_engine.Trace
+module Stats = Pico_engine.Stats
+module H = Pico_harness
+module Cluster = H.Cluster
+module Experiment = H.Experiment
+module Tracefile = H.Tracefile
+module Subsys_obs = H.Subsys_obs
+module Report = H.Report
+module Collectives = Pico_mpi.Collectives
+module Costs = Pico_costs.Costs
+
+let () = Costs.reset ()
+
+(* --- Trace levels ------------------------------------------------------- *)
+
+let test_level_of_string () =
+  let check name want s =
+    Alcotest.(check bool) name true (Trace.level_of_string s = want)
+  in
+  check "info" Trace.Info "info";
+  check "INFO" Trace.Info "INFO";
+  check "debug" Trace.Debug "debug";
+  check "DEBUG" Trace.Debug "DEBUG";
+  check "off" Trace.Off "off";
+  check "unknown maps to off" Trace.Off "verbose";
+  check "empty maps to off" Trace.Off ""
+
+let test_enabled_guard () =
+  let saved = Trace.level () in
+  Fun.protect
+    ~finally:(fun () -> Trace.set_level saved)
+    (fun () ->
+      Trace.set_level Trace.Off;
+      Alcotest.(check bool) "off: info" false (Trace.enabled Trace.Info);
+      Alcotest.(check bool) "off: debug" false (Trace.enabled Trace.Debug);
+      Trace.set_level Trace.Info;
+      Alcotest.(check bool) "info: info" true (Trace.enabled Trace.Info);
+      Alcotest.(check bool) "info: debug" false (Trace.enabled Trace.Debug);
+      Trace.set_level Trace.Debug;
+      Alcotest.(check bool) "debug: info" true (Trace.enabled Trace.Info);
+      Alcotest.(check bool) "debug: debug" true (Trace.enabled Trace.Debug))
+
+(* --- Span API ----------------------------------------------------------- *)
+
+let with_spans on f =
+  Span.set_on on;
+  Fun.protect ~finally:(fun () -> Span.set_on false) f
+
+let test_span_disabled_is_null () =
+  with_spans false @@ fun () ->
+  let sim = Sim.create () in
+  let evaluated = ref false in
+  Sim.spawn sim (fun () ->
+      let h = Span.begin_ sim ~cat:"test" ~name:"t" in
+      Sim.delay sim 10.;
+      (* arg thunks must not run while tracing is off *)
+      Span.end_with sim h (fun () -> evaluated := true; []);
+      Span.end_ sim Span.null);
+  ignore (Sim.run sim);
+  Alcotest.(check bool) "argf not evaluated" false !evaluated;
+  Alcotest.(check int) "no spans recorded" 0 (List.length (Span.drain sim))
+
+let test_span_nested () =
+  with_spans true @@ fun () ->
+  let sim = Sim.create () in
+  Sim.spawn sim ~name:"p" (fun () ->
+      let outer = Span.begin_ sim ~cat:"a" ~name:"outer" in
+      Sim.delay sim 5.;
+      let inner = Span.begin_ sim ~cat:"b" ~name:"inner" in
+      Sim.delay sim 7.;
+      Span.end_ sim ~args:[ ("k", "v") ] inner;
+      Sim.delay sim 3.;
+      Span.end_ sim outer);
+  ignore (Sim.run sim);
+  match Span.drain sim with
+  | [ o; i ] ->
+    Alcotest.(check string) "begin order" "outer" o.Sim.sp_name;
+    Alcotest.(check (float 1e-9)) "outer begin" 0. o.Sim.sp_begin;
+    Alcotest.(check (float 1e-9)) "outer end" 15. o.Sim.sp_end;
+    Alcotest.(check (float 1e-9)) "inner begin" 5. i.Sim.sp_begin;
+    Alcotest.(check (float 1e-9)) "inner end" 12. i.Sim.sp_end;
+    Alcotest.(check string) "track is process name" "p" i.Sim.sp_track;
+    Alcotest.(check bool) "args kept" true (i.Sim.sp_args = [ ("k", "v") ])
+  | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l)
+
+let test_span_end_edge_cases () =
+  with_spans true @@ fun () ->
+  let sim = Sim.create () in
+  Sim.spawn sim (fun () ->
+      (* end-without-begin is a no-op *)
+      Span.end_ sim Span.null;
+      let h = Span.begin_ sim ~cat:"c" ~name:"once" in
+      Sim.delay sim 4.;
+      Span.end_ sim h;
+      Sim.delay sim 4.;
+      (* double-end keeps the first end time *)
+      Span.end_ sim h;
+      (* never ended: dropped by drain *)
+      ignore (Span.begin_ sim ~cat:"c" ~name:"open"));
+  ignore (Sim.run sim);
+  (match Span.drain sim with
+   | [ sp ] ->
+     Alcotest.(check string) "only the closed span" "once" sp.Sim.sp_name;
+     Alcotest.(check (float 1e-9)) "first end wins" 4. sp.Sim.sp_end
+   | l -> Alcotest.failf "expected 1 span, got %d" (List.length l));
+  Alcotest.(check int) "drain clears" 0 (List.length (Span.drain sim))
+
+let test_span_to_json_off () =
+  (* Rendering works with tracing off / nothing recorded. *)
+  let sim = Sim.create () in
+  let json = Span.to_json ~label:"empty" (Span.drain sim) in
+  Alcotest.(check bool) "valid object" true
+    (String.length json > 0 && json.[0] = '{');
+  Alcotest.(check bool) "has traceEvents" true
+    (String.length json >= 14 && String.sub json 1 13 = "\"traceEvents\"")
+
+let test_span_json_escapes () =
+  with_spans true @@ fun () ->
+  let sim = Sim.create () in
+  Sim.spawn sim (fun () ->
+      let h = Span.begin_ sim ~cat:"c" ~name:"quote\"and\\slash" in
+      Sim.delay sim 1.;
+      Span.end_ sim ~args:[ ("key\n", "tab\t") ] h);
+  ignore (Sim.run sim);
+  let json = Span.to_json (Span.drain sim) in
+  let contains needle =
+    let n = String.length needle and m = String.length json in
+    let rec go i = i + n <= m && (String.sub json i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "escaped quote" true (contains "quote\\\"and\\\\slash");
+  Alcotest.(check bool) "escaped newline" true (contains "key\\n");
+  Alcotest.(check bool) "escaped tab" true (contains "tab\\t")
+
+(* --- Stats laws --------------------------------------------------------- *)
+
+let prop_histogram_merge =
+  QCheck2.Test.make ~name:"histogram merge is bucket-wise sum" ~count:200
+    QCheck2.Gen.(
+      pair
+        (list (float_bound_inclusive 1e9))
+        (list (float_bound_inclusive 1e9)))
+    (fun (xs, ys) ->
+      let mk vs =
+        let h = Stats.Histogram.create () in
+        List.iter (Stats.Histogram.add h) vs;
+        h
+      in
+      let a = mk xs and b = mk ys in
+      let m = Stats.Histogram.merge a b in
+      let sum_assoc l1 l2 =
+        List.fold_left
+          (fun acc (k, v) ->
+            let prev = try List.assoc k acc with Not_found -> 0 in
+            (k, prev + v) :: List.remove_assoc k acc)
+          l1 l2
+        |> List.sort compare
+      in
+      Stats.Histogram.buckets m
+      = sum_assoc (Stats.Histogram.buckets a) (Stats.Histogram.buckets b)
+      && Stats.Histogram.count m
+         = Stats.Histogram.count a + Stats.Histogram.count b)
+
+let test_registry_tie_break () =
+  let r = Stats.Registry.create () in
+  (* Insert in an order that would betray hash-table iteration. *)
+  List.iter
+    (fun k -> Stats.Registry.add r k 10.)
+    [ "zeta"; "alpha"; "mu" ];
+  Stats.Registry.add r "big" 50.;
+  Alcotest.(check (list string)) "desc time, then key"
+    [ "big"; "alpha"; "mu"; "zeta" ]
+    (List.map (fun (k, _, _) -> k) (Stats.Registry.entries r));
+  Alcotest.(check (list string)) "top respects the same order"
+    [ "big"; "alpha" ]
+    (List.map (fun (k, _, _) -> k) (Stats.Registry.top 2 r))
+
+(* --- Collector determinism ---------------------------------------------- *)
+
+(* One small McKernel+HFI1 experiment with a large message: exercises
+   offload, pio, sdma, lock and syscall spans plus the subsystem
+   counters. *)
+let run_world () =
+  let cl = Cluster.build Cluster.Mckernel_hfi ~n_nodes:2 () in
+  ignore
+    (Experiment.run cl ~ranks_per_node:1 (fun comm ->
+         let os = Pico_psm.Endpoint.os comm.Pico_mpi.Comm.ep in
+         let len = 1 lsl 20 in
+         let buf = os.Pico_psm.Endpoint.mmap_anon len in
+         if comm.Pico_mpi.Comm.rank = 0 then
+           Pico_mpi.Mpi.send comm ~dst:1 ~tag:1 ~va:buf ~len
+         else Pico_mpi.Mpi.recv comm ~src:(Some 0) ~tag:1 ~va:buf ~len;
+         Collectives.barrier comm;
+         0.));
+  cl
+
+let test_tracefile_deterministic () =
+  with_spans true @@ fun () ->
+  let shot () =
+    Tracefile.clear ();
+    ignore (run_world ());
+    let s = Tracefile.to_json () in
+    Tracefile.clear ();
+    s
+  in
+  let a = shot () in
+  let b = shot () in
+  Alcotest.(check bool) "spans were recorded" true (String.length a > 100);
+  Alcotest.(check string) "byte-identical across runs" a b
+
+let test_subsys_metrics_deterministic () =
+  let shot figure =
+    Subsys_obs.reset ();
+    ignore (run_world ());
+    Subsys_obs.flush ~figure;
+    let prefix = figure ^ "/" in
+    let n = String.length prefix in
+    List.filter_map
+      (fun (k, v) ->
+        if String.length k > n && String.sub k 0 n = prefix then
+          Some (String.sub k n (String.length k - n), v)
+        else None)
+      (Report.dump ())
+  in
+  let a = shot "obs_t1" in
+  let b = shot "obs_t2" in
+  Alcotest.(check bool) "metrics recorded" true (List.length a > 10);
+  Alcotest.(check bool) "offload calls present" true
+    (List.mem_assoc "offload/calls" a);
+  Alcotest.(check bool) "sdma occupancy present" true
+    (List.mem_assoc "sdma/occupancy" a);
+  Alcotest.(check bool) "identical across runs" true (a = b)
+
+let () =
+  let qc = QCheck_alcotest.to_alcotest in
+  Alcotest.run "obs"
+    [ ("trace",
+       [ Alcotest.test_case "level_of_string" `Quick test_level_of_string;
+         Alcotest.test_case "enabled guard" `Quick test_enabled_guard ]);
+      ("span",
+       [ Alcotest.test_case "disabled is null" `Quick test_span_disabled_is_null;
+         Alcotest.test_case "nested" `Quick test_span_nested;
+         Alcotest.test_case "end edge cases" `Quick test_span_end_edge_cases;
+         Alcotest.test_case "to_json off" `Quick test_span_to_json_off;
+         Alcotest.test_case "json escapes" `Quick test_span_json_escapes ]);
+      ("stats",
+       [ qc prop_histogram_merge;
+         Alcotest.test_case "registry tie-break" `Quick test_registry_tie_break ]);
+      ("collectors",
+       [ Alcotest.test_case "tracefile deterministic" `Quick
+           test_tracefile_deterministic;
+         Alcotest.test_case "subsys metrics deterministic" `Quick
+           test_subsys_metrics_deterministic ]) ]
