@@ -63,7 +63,8 @@ let json_arg =
 
 let trace_arg =
   let doc =
-    "Record begin/end spans (offload, sdma, pio, lock, syscall, gup) over \
+    "Record begin/end spans (offload, sdma, pio, lock, syscall, gup, fault, \
+     recovery) over \
      simulated time and write them to $(docv) as Chrome trace-event JSON, \
      loadable in Perfetto or chrome://tracing.  Deterministic: re-running \
      the same figure writes a byte-identical file."
@@ -178,6 +179,16 @@ let ablations_cmd =
           emit ?json ?trace ~jobs:1 (fun () -> F.ablations ()))
       $ json_arg $ trace_arg)
 
+let faults_cmd =
+  cmd "faults"
+    ~doc:
+      "Fault injection: SDMA halt/recovery, fast-path fallback, and a \
+       seed-deterministic fault-rate sweep"
+    Term.(
+      const (fun jobs json trace ->
+          emit ?json ?trace ?jobs (fun () -> F.faults ?jobs ()))
+      $ jobs_arg $ json_arg $ trace_arg)
+
 let all_cmd =
   cmd "all" ~doc:"Run every experiment at the chosen scale"
     Term.(
@@ -194,7 +205,7 @@ let main =
     (Cmd.info "picobench" ~version:"1.0" ~doc)
     [ fig4_cmd; fig5a_cmd; fig5b_cmd; fig6a_cmd; fig6b_cmd; fig7_cmd;
       table1_cmd; fig8_cmd; fig9_cmd; listing1_cmd; imb_cmd; ibreg_cmd;
-      ablations_cmd; sloc_cmd; all_cmd ]
+      ablations_cmd; faults_cmd; sloc_cmd; all_cmd ]
 
 let () =
   (* Surface a malformed PICO_JOBS as a CLI error, not a backtrace. *)

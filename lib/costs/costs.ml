@@ -29,6 +29,17 @@ type t = {
   mutable mpi_init_base : float;
   mutable mpi_init_per_round : float;
   mutable pico_init : float;
+  mutable fault_sdma_halt_interval : float;
+  mutable fault_sdma_recovery : float;
+  mutable fault_sdma_restart : float;
+  mutable fault_ikc_drop : float;
+  mutable fault_wire_crc : float;
+  mutable fault_service_stall_interval : float;
+  mutable fault_service_stall_duration : float;
+  mutable fault_horizon : float;
+  mutable ikc_timeout : float;
+  mutable ikc_retry_backoff : float;
+  mutable ikc_max_retries : int;
 }
 
 let defaults () = {
@@ -75,6 +86,26 @@ let defaults () = {
   (* One-time PicoDriver initialisation: DWARF mapping setup, kernel VA
      unification bookkeeping (paper: visible in MPI_Init). *)
   pico_init = 5.0e6;
+  (* Fault injection: every rate is off by default — the sunny-day model
+     is byte-identical to the pre-fault tree.  Intervals are mean gaps of
+     an exponential inter-arrival process; the schedule is drawn from the
+     experiment seed up to fault_horizon ns of simulated time. *)
+  fault_sdma_halt_interval = 0.;
+  (* Engine dwell halted (firmware dump + hardware clean-up) before the
+     host driver may restart it, and the restart walk itself. *)
+  fault_sdma_recovery = 2.0e6;
+  fault_sdma_restart = 5.0e4;
+  fault_ikc_drop = 0.;
+  fault_wire_crc = 0.;
+  fault_service_stall_interval = 0.;
+  fault_service_stall_duration = 5.0e5;
+  fault_horizon = 0.;
+  (* IKC robustness: requester-side timeout on the offload round trip,
+     linear backoff per retry, bounded attempts.  Only exercised when a
+     drop fault is installed — the legacy no-fault path never arms them. *)
+  ikc_timeout = 5.0e4;
+  ikc_retry_backoff = 2.5e4;
+  ikc_max_retries = 5;
 }
 
 (* One table per domain: parallel sweeps (harness pool workers) each get
@@ -121,7 +152,18 @@ let assign dst src =
   dst.nohz_full_factor <- src.nohz_full_factor;
   dst.mpi_init_base <- src.mpi_init_base;
   dst.mpi_init_per_round <- src.mpi_init_per_round;
-  dst.pico_init <- src.pico_init
+  dst.pico_init <- src.pico_init;
+  dst.fault_sdma_halt_interval <- src.fault_sdma_halt_interval;
+  dst.fault_sdma_recovery <- src.fault_sdma_recovery;
+  dst.fault_sdma_restart <- src.fault_sdma_restart;
+  dst.fault_ikc_drop <- src.fault_ikc_drop;
+  dst.fault_wire_crc <- src.fault_wire_crc;
+  dst.fault_service_stall_interval <- src.fault_service_stall_interval;
+  dst.fault_service_stall_duration <- src.fault_service_stall_duration;
+  dst.fault_horizon <- src.fault_horizon;
+  dst.ikc_timeout <- src.ikc_timeout;
+  dst.ikc_retry_backoff <- src.ikc_retry_backoff;
+  dst.ikc_max_retries <- src.ikc_max_retries
 
 let restore src = assign (current ()) src
 

@@ -48,6 +48,25 @@ type t = {
   mutable mpi_init_per_round : float;  (** + this per log2(world) PMI round *)
   (* --- PicoDriver --- *)
   mutable pico_init : float;           (** one-time LWK driver mapping init *)
+  (* --- fault injection (all rates zero by default) --- *)
+  mutable fault_sdma_halt_interval : float;
+  (** mean ns between SDMA engine halt faults per node; 0 = never *)
+  mutable fault_sdma_recovery : float;
+  (** halted dwell before the driver may restart the engine, ns *)
+  mutable fault_sdma_restart : float;
+  (** Listing 1 restart walk (sw/hw clean-up to s99_running), ns *)
+  mutable fault_ikc_drop : float;      (** P(one IKC request is dropped) *)
+  mutable fault_wire_crc : float;      (** P(one wire packet is corrupted) *)
+  mutable fault_service_stall_interval : float;
+  (** mean ns between Linux service-CPU stalls per node; 0 = never *)
+  mutable fault_service_stall_duration : float;
+  (** length of one service-CPU stall, ns *)
+  mutable fault_horizon : float;
+  (** simulated-time window faults are drawn in; 0 disables all faults *)
+  (* --- IKC robustness (armed only when a drop fault is installed) --- *)
+  mutable ikc_timeout : float;         (** requester-side round-trip timeout *)
+  mutable ikc_retry_backoff : float;   (** extra wait per retry (linear) *)
+  mutable ikc_max_retries : int;       (** attempts before Offload_timeout *)
 }
 
 (** The live configuration of the calling domain (mutable, read by all

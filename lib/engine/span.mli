@@ -30,7 +30,8 @@ val null : h
 
 (** [begin_ sim ~cat ~name] opens a span at the current simulated time
     (category conventions: ["offload"], ["sdma"], ["pio"], ["lock"],
-    ["syscall"], ["gup"] — see DESIGN.md section 9). *)
+    ["syscall"], ["gup"], ["fault"], ["recovery"] — see DESIGN.md
+    section 9). *)
 val begin_ : Sim.t -> cat:string -> name:string -> h
 
 (** [end_ sim ?args h] closes the span at the current simulated time,

@@ -640,6 +640,194 @@ let ablations () =
            Printf.sprintf "%+.1f%%" ((mck_cache /. linux -. 1.) *. 100.) ] ]);
   Buffer.contents b
 
+(* --- Fault injection, SDMA halt/recovery, fast-path fallback --------------- *)
+
+let fault_pingpong kind ~size ~iters =
+  let cl = Cluster.build kind ~n_nodes:2 () in
+  Fault.install cl;
+  let out = ref [] in
+  ignore
+    (Experiment.run cl ~ranks_per_node:1 (fun comm ->
+         Pico_apps.Imb.pingpong ~iters ~sizes:[ size ] ~out comm));
+  match !out with
+  | [ p ] -> p.Pico_apps.Imb.mbps
+  | _ -> invalid_arg "fault_pingpong: unexpected output"
+
+(* The sweep configurations: each row patches the (domain-local) cost
+   table inside its pool job, so points stay independent worlds. *)
+let fault_configs : (string * string * (Costs.t -> unit)) list =
+  [ ("no faults", "none", fun _ -> ());
+    ("wire CRC 0.05%/pkt", "crc", fun c -> c.Costs.fault_wire_crc <- 5.0e-4);
+    ("IKC drop 2%/msg", "ikc", fun c -> c.Costs.fault_ikc_drop <- 0.02);
+    ("SDMA halts (mean 8ms)", "halt",
+     fun c -> c.Costs.fault_sdma_halt_interval <- 8.0e6);
+    ("service stalls (mean 8ms)", "stall",
+     fun c -> c.Costs.fault_service_stall_interval <- 8.0e6) ]
+
+let faults ?(size = 1024 * 1024) ?(iters = 30) ?jobs () =
+  Engine_obs.measure ~figure:"faults" @@ fun () ->
+  let b = Buffer.create 4096 in
+  buf_add b "Fault injection: SDMA halt/recovery and fast-path fallback\n\n";
+  (* Part A: with every fault rate zero, arming the injector is a
+     complete no-op — the sunny-day world is byte-identical. *)
+  let base = pingpong_once Cluster.Mckernel_hfi ~size in
+  let armed_zero = fault_pingpong Cluster.Mckernel_hfi ~size ~iters:30 in
+  let equal = base = armed_zero (* exact float compare, deliberately *) in
+  Report.record ~figure:"faults" ~metric:"zero_rate_equiv"
+    (if equal then 1. else 0.);
+  buf_add b
+    (Printf.sprintf "zero-rate fault install: %s (%.1f MB/s)\n\n"
+       (if equal then "OK, byte-identical" else "MISMATCH")
+       armed_zero);
+  (* Part B: one deterministic halt window mid-run.  The Linux driver
+     walks Listing 1 out of s99_running; the PicoDriver — which sees the
+     engine state only through DWARF extraction — degrades to the
+     syscall-offload slow path, then resumes the fast path once the
+     driver restores s99_running. *)
+  let probe_out = ref [] in
+  let probe =
+    let cl = Cluster.build Cluster.Mckernel_hfi ~n_nodes:2 () in
+    Experiment.run cl ~ranks_per_node:1 (fun comm ->
+        Pico_apps.Imb.pingpong ~iters ~sizes:[ size ] ~out:probe_out comm)
+  in
+  let probe_mbps =
+    match !probe_out with
+    | [ p ] -> p.Pico_apps.Imb.mbps
+    | _ -> invalid_arg "faults: unexpected probe output"
+  in
+  let w = probe.Experiment.wall_ns and i = probe.Experiment.init_ns in
+  let t_halt = i +. (0.30 *. (w -. i)) in
+  let dwell = 0.25 *. (w -. i) in
+  let cl = Cluster.build Cluster.Mckernel_hfi ~n_nodes:2 () in
+  let env = Cluster.node_env cl 0 in
+  let sim = cl.Cluster.sim in
+  let drv = env.Cluster.driver in
+  let n_eng = Sdma.n_engines (Hfi.sdma env.Cluster.hfi) in
+  let samples = ref [] in
+  let sample label =
+    match env.Cluster.pico with
+    | Some p ->
+      samples :=
+        (label, Hfi1_pico.writev_fast p, Hfi1_pico.writev_fallback p)
+        :: !samples
+    | None -> ()
+  in
+  Sim.spawn sim ~name:"fault-window" (fun () ->
+      Sim.delay_until sim t_halt;
+      sample "pre-halt";
+      for e = 0 to n_eng - 1 do
+        Hfi1_driver.halt_engine drv ~engine_idx:e
+      done;
+      Sim.delay sim dwell;
+      sample "halted";
+      for e = 0 to n_eng - 1 do
+        Hfi1_driver.begin_engine_recovery drv ~engine_idx:e
+      done;
+      Sim.delay sim (Costs.current ()).Costs.fault_sdma_restart;
+      for e = 0 to n_eng - 1 do
+        Hfi1_driver.recover_engine drv ~engine_idx:e
+      done;
+      sample "recovered");
+  let out = ref [] in
+  ignore
+    (Experiment.run cl ~ranks_per_node:1 (fun comm ->
+         Pico_apps.Imb.pingpong ~iters ~sizes:[ size ] ~out comm));
+  sample "end";
+  let faulted_mbps =
+    match !out with
+    | [ p ] -> p.Pico_apps.Imb.mbps
+    | _ -> invalid_arg "faults: unexpected pingpong output"
+  in
+  let find label =
+    match List.find_opt (fun (l, _, _) -> l = label) !samples with
+    | Some (_, fast, fb) -> (fast, fb)
+    | None -> (0, 0)
+  in
+  let fast_pre, fb_pre = find "pre-halt" in
+  let _, fb_halted = find "halted" in
+  let fast_rec, _ = find "recovered" in
+  let fast_end, fb_end = find "end" in
+  let fallback_during = fb_halted - fb_pre in
+  let fast_after = fast_end - fast_rec in
+  Report.record ~figure:"faults" ~metric:"halt/baseline_mbps" probe_mbps;
+  Report.record ~figure:"faults" ~metric:"halt/faulted_mbps" faulted_mbps;
+  Report.record ~figure:"faults" ~metric:"halt/fast_before"
+    (float_of_int fast_pre);
+  Report.record ~figure:"faults" ~metric:"halt/fallback_during"
+    (float_of_int fallback_during);
+  Report.record ~figure:"faults" ~metric:"halt/fast_after"
+    (float_of_int fast_after);
+  Report.record ~figure:"faults" ~metric:"halt/engine_halts"
+    (float_of_int (Hfi1_driver.engine_halts drv));
+  buf_add b
+    (Printf.sprintf
+       "Single halt window (engines 0-%d out of s99_running for %s mid-run)\n"
+       (n_eng - 1) (Tables.ns dwell));
+  buf_add b
+    (Tables.render
+       ~header:[ "phase"; "fast submits"; "fallback submits" ]
+       [ [ "before halt"; string_of_int fast_pre; string_of_int fb_pre ];
+         [ "while halted"; "-"; string_of_int fallback_during ];
+         [ "after recovery"; string_of_int fast_after;
+           string_of_int (fb_end - fb_halted) ] ]);
+  buf_add b
+    (Printf.sprintf
+       "fast path %s during the window, %s after recovery (%.0f -> %.0f MB/s)\n\n"
+       (if fallback_during > 0 then "degraded to syscall offload"
+        else "DID NOT degrade")
+       (if fast_after > 0 then "resumed" else "DID NOT resume")
+       probe_mbps faulted_mbps);
+  (* Part C: seed-deterministic fault-rate sweep across OS configurations.
+     Each point patches its own domain-local cost table; the plan derives
+     from the cluster seed, so the sweep is byte-identical at any -j. *)
+  let horizon = Float.max 4.0e7 (2. *. w) in
+  let points =
+    List.concat_map
+      (fun (label, tag, patch) ->
+        List.map (fun kind -> (label, tag, patch, kind)) os_kinds)
+      fault_configs
+  in
+  let mbps =
+    Pool.with_pool ?jobs (fun pool ->
+        Pool.map pool
+          (fun (_, _, patch, kind) ->
+            Costs.with_patched
+              (fun c ->
+                patch c;
+                c.Costs.fault_horizon <- horizon)
+              (fun () -> fault_pingpong kind ~size ~iters))
+          points)
+  in
+  List.iter2
+    (fun (_, tag, _, kind) v ->
+      Report.record ~figure:"faults"
+        ~metric:(Printf.sprintf "sweep/%s/%s_mbps" tag (os_tag kind))
+        v)
+    points mbps;
+  let rows =
+    List.map
+      (fun (label, tag, _) ->
+        let cell kind =
+          let v =
+            List.fold_left2
+              (fun acc (_, t, _, k) v ->
+                if t = tag && k = kind then Some v else acc)
+              None points mbps
+          in
+          match v with Some v -> Printf.sprintf "%.0f" v | None -> "-"
+        in
+        [ label; cell Cluster.Linux; cell Cluster.Mckernel;
+          cell Cluster.Mckernel_hfi ])
+      fault_configs
+  in
+  buf_add b
+    (Printf.sprintf "Fault-rate sweep (%d kB ping-pong, MB/s)\n" (size / 1024));
+  buf_add b
+    (Tables.render
+       ~header:[ "fault load"; "Linux"; "McKernel"; "McKernel+HFI1" ]
+       rows);
+  Buffer.contents b
+
 (* --- everything ------------------------------------------------------------- *)
 
 let all ?(scale = quick) ?jobs () =

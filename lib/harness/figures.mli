@@ -76,5 +76,15 @@ val ibreg : ?registrations:int -> ?jobs:int -> unit -> string
     3. the PSM TID-registration cache (off in the paper's era). *)
 val ablations : unit -> string
 
+(** Fault injection and recovery: (a) zero-rate arming is byte-identical
+    to the sunny-day world; (b) a deterministic mid-run SDMA halt window
+    — the Linux driver walks Listing 1 out of [s99_running], the
+    PicoDriver fast path (reading the state through DWARF extraction
+    only) degrades to syscall offload and resumes after recovery; (c) a
+    seed-deterministic fault-rate sweep (wire CRC, IKC drops, SDMA
+    halts, service-CPU stalls) across the three OS configurations.  Not
+    part of {!all}. *)
+val faults : ?size:int -> ?iters:int -> ?jobs:int -> unit -> string
+
 (** Run everything at the given scale (the bench harness entry point). *)
 val all : ?scale:scale -> ?jobs:int -> unit -> string

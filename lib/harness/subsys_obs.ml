@@ -30,6 +30,15 @@ type sample = {
   translations : int;
   cross_callbacks : int;
   pt_segments : int;
+  (* fault injection: all zero (and omitted from the JSON) when no fault
+     was armed, so sunny-day figures' reports are byte-identical *)
+  sdma_halts : int;
+  sdma_halted_ns : float;
+  crc_retransmits : int;
+  ikc_drops : int;
+  ikc_retries : int;
+  fallback_submits : int;
+  service_stalls : int;
 }
 
 let mutex = Mutex.create ()
@@ -66,7 +75,10 @@ let sample_of_cluster (cl : Cluster.t) =
         sdma_busy = 0.; per_engine = [||]; pio_packets = 0; pio_bytes = 0;
         offload_calls = 0; queueing_ns = 0.; offload = []; locks = [];
         gup_pinned = 0; slab_kfrees = 0; remote_kfrees = 0; translations = 0;
-        cross_callbacks = 0; pt_segments = 0 }
+        cross_callbacks = 0; pt_segments = 0;
+        sdma_halts = 0; sdma_halted_ns = 0.; crc_retransmits = 0;
+        ikc_drops = 0; ikc_retries = 0; fallback_submits = 0;
+        service_stalls = 0 }
   in
   let add_engines a b =
     let n = max (Array.length a) (Array.length b) in
@@ -155,7 +167,28 @@ let sample_of_cluster (cl : Cluster.t) =
             (a.pt_segments
              + match ne.Cluster.pico with
                | None -> 0
-               | Some p -> Hfi1_pico.pt_segments p) })
+               | Some p -> Hfi1_pico.pt_segments p);
+          sdma_halts = a.sdma_halts + Sdma.halts sdma;
+          sdma_halted_ns = a.sdma_halted_ns +. Sdma.halted_ns sdma;
+          crc_retransmits =
+            a.crc_retransmits + Hfi.crc_retransmits ne.Cluster.hfi;
+          ikc_drops =
+            (a.ikc_drops
+             + match ne.Cluster.mck with
+               | None -> 0
+               | Some m -> Delegator.ikc_drops (Mck.delegator m));
+          ikc_retries =
+            (a.ikc_retries
+             + match ne.Cluster.mck with
+               | None -> 0
+               | Some m -> Delegator.ikc_retries (Mck.delegator m));
+          fallback_submits =
+            (a.fallback_submits
+             + match ne.Cluster.pico with
+               | None -> 0
+               | Some p -> Hfi1_pico.writev_fallback p);
+          service_stalls =
+            a.service_stalls + ne.Cluster.linux.Lkernel.service_stalls })
     cl.Cluster.nodes;
   !acc
 
@@ -188,6 +221,9 @@ let key_of s =
     s.locks;
   Printf.bprintf b "|%d|%d|%d|%d|%d|%d" s.gup_pinned s.slab_kfrees
     s.remote_kfrees s.translations s.cross_callbacks s.pt_segments;
+  Printf.bprintf b "|%d|%h|%d|%d|%d|%d|%d" s.sdma_halts s.sdma_halted_ns
+    s.crc_retransmits s.ikc_drops s.ikc_retries s.fallback_submits
+    s.service_stalls;
   Buffer.contents b
 
 let flush ~figure =
@@ -300,4 +336,19 @@ let flush ~figure =
     opt "mem/remote_kfrees" (isum (fun s -> s.remote_kfrees));
     opt "vspace/translations" (isum (fun s -> s.translations));
     opt "callbacks/cross_invocations" (isum (fun s -> s.cross_callbacks));
-    opt "pico/pt_segments" (isum (fun s -> s.pt_segments))
+    opt "pico/pt_segments" (isum (fun s -> s.pt_segments));
+    (* Fault counters: every key is omitted at zero, so figures that never
+       arm a fault keep a byte-identical report. *)
+    let halts = isum (fun s -> s.sdma_halts) in
+    let drops = isum (fun s -> s.ikc_drops) in
+    let crc = isum (fun s -> s.crc_retransmits) in
+    let stalls = isum (fun s -> s.service_stalls) in
+    opt "fault/sdma_halts" halts;
+    if halts > 0 then
+      rec_ "fault/sdma_halted_ns" (fsum (fun s -> s.sdma_halted_ns));
+    opt "fault/crc_retransmits" crc;
+    opt "fault/ikc_drops" drops;
+    opt "fault/ikc_retries" (isum (fun s -> s.ikc_retries));
+    opt "fault/fallback_submits" (isum (fun s -> s.fallback_submits));
+    opt "fault/service_stalls" stalls;
+    opt "fault/injected" (halts + drops + crc + stalls)

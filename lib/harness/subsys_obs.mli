@@ -18,6 +18,8 @@
     - [gup/pages_pinned], [slab/kfrees], [mem/remote_kfrees],
       [vspace/translations], [callbacks/cross_invocations],
       [pico/pt_segments]
+    - [fault/{injected,sdma_halts,sdma_halted_ns,crc_retransmits,
+      ikc_drops,ikc_retries,fallback_submits,service_stalls}]
 
     Zero-valued groups are omitted (a Linux-only figure has no offload
     section).  See DESIGN.md section 9 for the taxonomy. *)

@@ -9,6 +9,8 @@ type stat = {
   hist : Stats.Histogram.t;
 }
 
+exception Offload_timeout of { syscall : string; attempts : int }
+
 type t = {
   sim : Sim.t;
   lkernel : Lkernel.t;
@@ -16,11 +18,18 @@ type t = {
   mutable calls : int;
   mutable queueing : float;
   stats : (string, stat) Hashtbl.t;
+  (* IKC drop fault hook: consulted once per request message sent.  [None]
+     in the sunny-day model, where the offload path is the legacy
+     straight-line sequence with no timeout machinery at all. *)
+  mutable drop : (unit -> bool) option;
+  mutable drops : int;
+  mutable retries : int;
 }
 
 let create sim ~linux =
   { sim; lkernel = linux; proxies = 0; calls = 0; queueing = 0.;
-    stats = Hashtbl.create 8 }
+    stats = Hashtbl.create 8;
+    drop = None; drops = 0; retries = 0 }
 
 (* With many more proxy processes than Linux service CPUs, every offload
    pays scheduler wake-up and context-switch costs on the oversubscribed
@@ -63,31 +72,68 @@ let offload t ~name f =
   let started = Sim.now t.sim in
   let sp = Span.begin_ t.sim ~cat:"offload" ~name in
   let c = Costs.current () in
-  (* Request message to Linux. *)
-  Sim.delay t.sim c.ikc_message;
-  (* Wait for a Linux CPU; the delegator thread and proxy run there. *)
-  let waited = Resource.acquire t.lkernel.Lkernel.service_cpus in
-  t.queueing <- t.queueing +. waited;
-  let finish () = Resource.release t.lkernel.Lkernel.service_cpus in
-  (match
-     (* Wake the proxy, enter the Linux syscall path, run the call while
-        holding the CPU. *)
-     Sim.delay t.sim (dispatch_cost t +. c.linux_syscall);
-     f ()
-   with
-   | v ->
-     finish ();
-     (* Response message back to the LWK. *)
-     Sim.delay t.sim c.ikc_message;
-     note_round_trip t name (Sim.now t.sim -. started);
-     Span.end_with t.sim sp (fun () ->
-         [ ("queued_ns", Printf.sprintf "%.0f" waited) ]);
-     v
-   | exception e ->
-     finish ();
-     note_round_trip t name (Sim.now t.sim -. started);
-     Span.end_ t.sim sp;
-     raise e)
+  (* Everything after the request message arrives on the Linux side. *)
+  let serve () =
+    (* Wait for a Linux CPU; the delegator thread and proxy run there. *)
+    let waited = Resource.acquire t.lkernel.Lkernel.service_cpus in
+    t.queueing <- t.queueing +. waited;
+    let finish () = Resource.release t.lkernel.Lkernel.service_cpus in
+    match
+      (* Wake the proxy, enter the Linux syscall path, run the call while
+         holding the CPU. *)
+      Sim.delay t.sim (dispatch_cost t +. c.linux_syscall);
+      f ()
+    with
+    | v ->
+      finish ();
+      (* Response message back to the LWK. *)
+      Sim.delay t.sim c.ikc_message;
+      note_round_trip t name (Sim.now t.sim -. started);
+      Span.end_with t.sim sp (fun () ->
+          [ ("queued_ns", Printf.sprintf "%.0f" waited) ]);
+      v
+    | exception e ->
+      finish ();
+      note_round_trip t name (Sim.now t.sim -. started);
+      Span.end_ t.sim sp;
+      raise e
+  in
+  match t.drop with
+  | None ->
+    (* Request message to Linux. *)
+    Sim.delay t.sim c.ikc_message;
+    serve ()
+  | Some dropped ->
+    (* Robust variant: each request message may be lost.  The requester
+       waits out the round-trip timeout, backs off deterministically
+       (linearly in the attempt number) and resends; [f] never ran for a
+       dropped attempt, so resending cannot double-execute the call. *)
+    let rec attempt n =
+      Sim.delay t.sim c.ikc_message;
+      if not (dropped ()) then serve ()
+      else begin
+        t.drops <- t.drops + 1;
+        let dsp = Span.begin_ t.sim ~cat:"fault" ~name:"ikc_drop" in
+        Sim.delay t.sim c.ikc_timeout;
+        Span.end_with t.sim dsp (fun () ->
+            [ ("syscall", name); ("attempt", string_of_int (n + 1)) ]);
+        if n + 1 >= c.ikc_max_retries then begin
+          note_round_trip t name (Sim.now t.sim -. started);
+          Span.end_ t.sim sp;
+          raise (Offload_timeout { syscall = name; attempts = n + 1 })
+        end;
+        t.retries <- t.retries + 1;
+        Sim.delay t.sim (c.ikc_retry_backoff *. float_of_int (n + 1));
+        attempt (n + 1)
+      end
+    in
+    attempt 0
+
+let set_fault_drop t hook = t.drop <- hook
+
+let ikc_drops t = t.drops
+
+let ikc_retries t = t.retries
 
 let offloaded_calls t = t.calls
 

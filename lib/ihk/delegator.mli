@@ -11,6 +11,12 @@ open Ihk_import
 
 type t
 
+(** Raised by {!offload} when every attempt's request message was lost:
+    the caller survives a dead IKC channel with a typed error instead of
+    hanging the rank.  Only possible while a drop fault is installed
+    ({!set_fault_drop}). *)
+exception Offload_timeout of { syscall : string; attempts : int }
+
 val create : Sim.t -> linux:Lkernel.t -> t
 
 val linux : t -> Lkernel.t
@@ -25,6 +31,21 @@ val make_proxy : t -> lwk_pt:Pagetable.t -> Uproc.t
     proxy dispatch, then [f ()] executed while holding the CPU.
     Returns [f]'s result. *)
 val offload : t -> name:string -> (unit -> 'a) -> 'a
+
+(** [set_fault_drop t hook] installs (or with [None] removes) the IKC
+    drop fault: [hook ()] is consulted once per request message, and
+    [true] loses it — the requester waits out [ikc_timeout] simulated ns,
+    backs off [ikc_retry_backoff * attempt] and resends, up to
+    [ikc_max_retries] attempts before {!Offload_timeout}.  With no hook
+    installed the offload path is the legacy straight-line sequence —
+    no timeout machinery, byte-identical timing. *)
+val set_fault_drop : t -> (unit -> bool) option -> unit
+
+(** Request messages lost to the installed drop fault. *)
+val ikc_drops : t -> int
+
+(** Resends after a lost request (excludes the final failing attempt). *)
+val ikc_retries : t -> int
 
 (** Number of calls delegated so far. *)
 val offloaded_calls : t -> int

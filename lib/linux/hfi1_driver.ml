@@ -19,6 +19,11 @@ type t = {
   mutable ioctl_calls : int;
   mutable opens : int;
   mutable irq_completions : int;
+  mutable engine_halts : int;
+  (* Open fault/recovery spans per engine: the "fault" span covers the
+     whole halt window, the "recovery" span just the restart walk. *)
+  halt_spans : (int, Span.h) Hashtbl.t;
+  recovery_spans : (int, Span.h) Hashtbl.t;
 }
 
 let dev_name unit_no = Printf.sprintf "hfi1_%d" unit_no
@@ -299,6 +304,77 @@ let do_release t file _caller =
     file.Vfs.private_data <- 0
   end
 
+(* --- SDMA halt / recovery (Listing 1 in motion) ------------------------
+
+   The real hfi1 driver halts an engine on error (or freeze) and walks
+   the __sdma_process_event state machine back to running.  We model the
+   externally visible part of that walk through the exact sdma_state
+   fields the PicoDriver extracts via DWARF: current_state leaves
+   s99_running, go_s99_running drops to 0, previous_state remembers where
+   the engine came from, and recovery restores all three.  The PicoDriver
+   reads these fields (Struct_access only) before every fast-path submit,
+   so the walk is what makes its degrade-to-offload behaviour real. *)
+
+let sdma_state_enum name =
+  Int32.of_int (List.assoc name Hfi1_structs.sdma_states_enumerators)
+
+let engine_state_va t ~engine_idx =
+  let engine_size = Hfi1_structs.struct_size Hfi1_structs.sdma_engine in
+  let state_off = Hfi1_structs.field_offset Hfi1_structs.sdma_engine "state" in
+  t.per_sdma_va + (engine_idx * engine_size) + state_off
+
+let write_state t ~engine_idx field v =
+  Hfi1_structs.write_field_u32 t.node ~decl:Hfi1_structs.sdma_state
+    ~base_va:(engine_state_va t ~engine_idx) field v
+
+let read_state t ~engine_idx field =
+  Hfi1_structs.read_field_u32 t.node ~decl:Hfi1_structs.sdma_state
+    ~base_va:(engine_state_va t ~engine_idx) field
+
+let step_state t ~engine_idx next =
+  write_state t ~engine_idx "previous_state"
+    (read_state t ~engine_idx "current_state");
+  write_state t ~engine_idx "current_state" next
+
+let halt_engine t ~engine_idx =
+  if not (Sdma.engine_halted (Hfi.sdma t.hfi) ~engine:engine_idx) then begin
+    t.engine_halts <- t.engine_halts + 1;
+    (* A halted engine cannot honour a batched train's closed-form
+       schedule: rewind any in-flight train to the per-packet path first
+       (elide events, never costs — the batching invariant under faults). *)
+    Hfi.abort_train t.hfi;
+    step_state t ~engine_idx (sdma_state_enum "sdma_state_s50_hw_halt_wait");
+    write_state t ~engine_idx "go_s99_running" 0l;
+    Sdma.halt (Hfi.sdma t.hfi) ~engine:engine_idx;
+    Hashtbl.replace t.halt_spans engine_idx
+      (Span.begin_ t.sim ~cat:"fault" ~name:"sdma_halt")
+  end
+
+let begin_engine_recovery t ~engine_idx =
+  if Sdma.engine_halted (Hfi.sdma t.hfi) ~engine:engine_idx then begin
+    step_state t ~engine_idx
+      (sdma_state_enum "sdma_state_s30_sw_clean_up_wait");
+    Hashtbl.replace t.recovery_spans engine_idx
+      (Span.begin_ t.sim ~cat:"recovery" ~name:"sdma_restart")
+  end
+
+let recover_engine t ~engine_idx =
+  if Sdma.engine_halted (Hfi.sdma t.hfi) ~engine:engine_idx then begin
+    step_state t ~engine_idx (sdma_state_enum "sdma_state_s99_running");
+    write_state t ~engine_idx "go_s99_running" 1l;
+    Sdma.recover (Hfi.sdma t.hfi) ~engine:engine_idx;
+    let close spans =
+      match Hashtbl.find_opt spans engine_idx with
+      | None -> ()
+      | Some sp ->
+        Hashtbl.remove spans engine_idx;
+        Span.end_with t.sim sp (fun () ->
+            [ ("engine", string_of_int engine_idx) ])
+    in
+    close t.recovery_spans;
+    close t.halt_spans
+  end
+
 (* --- probe ------------------------------------------------------------ *)
 
 let irq_handler t () =
@@ -323,7 +399,9 @@ let probe sim ~node ~hfi ~slab ~gup ~vfs =
       tid_lock = Spinlock.create sim ~name:"hfi1-tid";
       pin_cache = Hashtbl.create 256;
       tid_pins = Hashtbl.create 64;
-      writev_calls = 0; ioctl_calls = 0; opens = 0; irq_completions = 0 }
+      writev_calls = 0; ioctl_calls = 0; opens = 0; irq_completions = 0;
+      engine_halts = 0;
+      halt_spans = Hashtbl.create 4; recovery_spans = Hashtbl.create 4 }
   in
   (* Populate hfi1_devdata. *)
   Hfi1_structs.write_field_u32 node ~decl:Hfi1_structs.hfi1_devdata
@@ -382,3 +460,5 @@ let ioctl_calls t = t.ioctl_calls
 let opens t = t.opens
 
 let irq_completions t = t.irq_completions
+
+let engine_halts t = t.engine_halts

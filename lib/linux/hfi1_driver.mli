@@ -55,6 +55,30 @@ val note_tid_pins : t -> tid_base:int -> count:int -> Gup.pin list -> unit
 
 val take_tid_pins : t -> tid_base:int -> (int * Gup.pin list) option
 
+(** {2 SDMA halt / recovery (Listing 1 in motion)}
+
+    The halt fault drives the externally visible part of the real
+    driver's [__sdma_process_event] walk through the exact [sdma_state]
+    fields the PicoDriver extracts via DWARF: [halt_engine] writes
+    [current_state] out of [s99_running] (into [s50_hw_halt_wait]),
+    clears [go_s99_running], records [previous_state], aborts any
+    batched packet train and stops the engine; [begin_engine_recovery]
+    steps to [s30_sw_clean_up_wait] for the restart walk; and
+    [recover_engine] restores [s99_running]/[go_s99_running = 1] and
+    restarts the engine.  All three are host-side state transitions —
+    the fault scheduler charges the dwell and restart delays between
+    them.  Each is idempotent with respect to the engine's halted
+    state. *)
+
+val halt_engine : t -> engine_idx:int -> unit
+
+val begin_engine_recovery : t -> engine_idx:int -> unit
+
+val recover_engine : t -> engine_idx:int -> unit
+
+(** Halt faults taken by this driver's engines. *)
+val engine_halts : t -> int
+
 (** Counters. *)
 
 val writev_calls : t -> int

@@ -11,6 +11,7 @@ type t = {
   rng : Rng.t;
   mutable hfi1 : Hfi1_driver.t option;
   mutable next_pid_counter : int;
+  mutable service_stalls : int;
 }
 
 let boot sim ~node ~service_cores ~nohz_full ~rng =
@@ -23,7 +24,18 @@ let boot sim ~node ~service_cores ~nohz_full ~rng =
   Irq.set_service node.Node.irq (Some service_cpus);
   { sim; node; vfs = Vfs.create sim; slab = Slab.create sim ~node;
     gup = Gup.create sim; service_cpus; nohz_full; rng; hfi1 = None;
-    next_pid_counter = 1000 }
+    next_pid_counter = 1000; service_stalls = 0 }
+
+(* A service-CPU stall fault occupies one OS-service CPU for its whole
+   duration (firmware SMI, stuck kworker, ...): offloads and IRQ handling
+   queue behind it through the normal [service_cpus] resource.  Must be
+   called from process context (it blocks). *)
+let service_stall t ~duration =
+  t.service_stalls <- t.service_stalls + 1;
+  let sp = Span.begin_ t.sim ~cat:"fault" ~name:"service_stall" in
+  Resource.use t.service_cpus ~work:duration (fun () -> ());
+  Span.end_with t.sim sp (fun () ->
+      [ ("duration_ns", Printf.sprintf "%.0f" duration) ])
 
 let attach_hfi1 t hfi =
   let drv =

@@ -17,6 +17,7 @@ type t = {
   rng : Rng.t;
   mutable hfi1 : Hfi1_driver.t option;
   mutable next_pid_counter : int;
+  mutable service_stalls : int;  (** injected service-CPU stall faults *)
 }
 
 (** [boot sim ~node ~service_cores ~nohz_full ~rng] brings Linux up and
@@ -36,6 +37,12 @@ val hfi1 : t -> Hfi1_driver.t
 
 (** Fresh noise clock for one Linux application core. *)
 val noise_clock : t -> Noise.t
+
+(** [service_stall t ~duration] injects one service-CPU stall fault: a
+    simulated firmware/kworker event occupies one OS-service CPU for
+    [duration] ns, so offloads and IRQ handling queue behind it.  Blocks
+    (process context) for the stall's duration. *)
+val service_stall : t -> duration:float -> unit
 
 (** [syscall t ~profile ~name f] runs [f] as a native Linux system call on
     the calling process's own core: charges entry/exit cost and records

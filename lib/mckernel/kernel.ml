@@ -1,5 +1,7 @@
 open Mck_import
 
+exception Fastpath_unavailable
+
 type fastpath = {
   fp_writev : (pctx -> Vfs.file -> Vfs.iovec list -> int) option;
   fp_ioctl : (int * (pctx -> Vfs.file -> arg:Addr.t -> int)) list;
@@ -109,7 +111,14 @@ let writev t p ~fd iovs =
   profiled t "writev" (fun () ->
       let file = file_of t p fd in
       match Hashtbl.find_opt t.fastpaths file.Vfs.dev_name with
-      | Some { fp_writev = Some h; _ } -> h p file iovs
+      | Some { fp_writev = Some h; _ } ->
+        (* A fast path may find its hardware unusable (e.g. the SDMA
+           engine out of s99_running) and degrade to the full Linux
+           driver through the usual offload, like any unported op. *)
+        (try h p file iovs with
+         | Fastpath_unavailable ->
+           offload_vfs t p ~name:"writev" (fun vfs c ->
+               Vfs.writev vfs c ~fd iovs))
       | Some { fp_writev = None; _ } | None ->
         offload_vfs t p ~name:"writev" (fun vfs c -> Vfs.writev vfs c ~fd iovs))
 
@@ -122,7 +131,11 @@ let ioctl t p ~fd ~cmd ~arg =
         | None -> None
       in
       match local with
-      | Some h -> h p file ~arg
+      | Some h ->
+        (try h p file ~arg with
+         | Fastpath_unavailable ->
+           offload_vfs t p ~name:"ioctl" (fun vfs c ->
+               Vfs.ioctl vfs c ~fd ~cmd ~arg))
       | None ->
         offload_vfs t p ~name:"ioctl" (fun vfs c ->
             Vfs.ioctl vfs c ~fd ~cmd ~arg))

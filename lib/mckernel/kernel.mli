@@ -13,6 +13,14 @@ open Mck_import
 
 type t
 
+(** Raised by a fast-path handler that finds its hardware unusable (e.g.
+    the flow's SDMA engine halted, out of [s99_running]): {!writev} and
+    {!ioctl} catch it and route the call through the regular Linux
+    offload instead, exactly as if the op had never been ported.  The
+    fast path resumes by itself once the hardware recovers — the check
+    is per submit. *)
+exception Fastpath_unavailable
+
 (** Fast-path handler table contributed by a PicoDriver (see
     {!Pico_driver.Framework}). *)
 type fastpath = {

@@ -50,6 +50,12 @@ type t = {
   mutable pio_packets : int;
   mutable pio_bytes : int;
   mutable train : train option;
+  (* Wire CRC fault hook: consulted once per packet put on the wire (and
+     once per replay).  [None] in the sunny-day model; installing it also
+     disables packet-train batching, since a train's closed form cannot
+     know which of its packets would be corrupted. *)
+  mutable crc_corrupt : (unit -> bool) option;
+  mutable crc_retransmits : int;
 }
 
 let sdma_irq_vector = 42
@@ -176,6 +182,23 @@ let maybe_abort_train t =
     schedule_guard t tr tr.tr_gen (if gap then tr.tr_t1.(i) else tr.tr_t2.(i));
     t.train <- None
 
+let abort_train = maybe_abort_train
+
+(* The link-transfer protocol detects a corrupted packet's CRC and
+   replays it from the send buffer: the replay pays full wire occupancy
+   (and may itself be corrupted again) but no fresh engine/CPU overhead —
+   the descriptor was already processed.  Runs in the sending process's
+   context, after the original [Resource.use] of the packet. *)
+let rec crc_replay t ~work =
+  match t.crc_corrupt with
+  | None -> ()
+  | Some bad ->
+    if bad () then begin
+      t.crc_retransmits <- t.crc_retransmits + 1;
+      Resource.use t.wire ~work (fun () -> ());
+      crc_replay t ~work
+    end
+
 (* Engine-context hook: charge a whole SDMA request train in closed form.
    Mirrors [Sdma.engine_loop]'s per-request path — delay
    [sdma_request_overhead], then occupy the wire for [wire_time len] —
@@ -188,6 +211,7 @@ let sdma_batch t (tx : Sdma.tx) =
     not
       (!batching && train_alone t && Sdma.in_flight t.sdma = 1
        && t.train = None
+       && Option.is_none t.crc_corrupt
        && tx.Sdma.requests <> [])
   then false
   else begin
@@ -267,7 +291,10 @@ let create sim ~node ~fabric ?(carry_payload = false)
   let tref = ref None in
   let transmit (req : Sdma.request) =
     (match !tref with Some t -> maybe_abort_train t | None -> ());
-    Resource.use wire ~work:(wire_time req.len) (fun () -> ())
+    Resource.use wire ~work:(wire_time req.len) (fun () -> ());
+    match !tref with
+    | Some t -> crc_replay t ~work:(wire_time req.len)
+    | None -> ()
   in
   let t =
     { sim; node; fabric; carry_payload; rcv_entries; wire;
@@ -282,7 +309,9 @@ let create sim ~node ~fabric ?(carry_payload = false)
       expected_rx = 0;
       pio_packets = 0;
       pio_bytes = 0;
-      train = None }
+      train = None;
+      crc_corrupt = None;
+      crc_retransmits = 0 }
   in
   tref := Some t;
   Fabric.attach fabric ~node_id:node.Node.id ~rx:(rx_dispatch t);
@@ -386,13 +415,15 @@ let pio_send t ~dst_node ~dst_ctx ~hdr ~len ?payload () =
     && dst_node <> node_id t
     && train_alone t
     && Sdma.in_flight t.sdma = 0
+    && Option.is_none t.crc_corrupt
   then pio_train t ~dst_node ~dst_ctx ~hdr ~len ?payload c
   else begin
   (* Loopback (shared-memory-style) traffic never touches the link. *)
   let use_wire work =
     if dst_node <> node_id t then begin
       maybe_abort_train t;
-      Resource.use t.wire ~work (fun () -> ())
+      Resource.use t.wire ~work (fun () -> ());
+      crc_replay t ~work
     end
   in
   if len = 0 then begin
@@ -468,6 +499,10 @@ let sdma_submit t ~channel ~dst_node ~dst_ctx ~hdr ~reqs ~on_complete () =
       on_complete = finish }
 
 let sdma t = t.sdma
+
+let set_crc_fault t f = t.crc_corrupt <- f
+
+let crc_retransmits t = t.crc_retransmits
 
 let wire t = t.wire
 

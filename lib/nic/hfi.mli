@@ -103,6 +103,25 @@ val sdma_submit :
   unit ->
   unit
 
+(** [abort_train t] converts the not-yet-elapsed tail of a batched SDMA
+    packet train back to per-packet processing, positioned exactly where
+    the per-packet path would be at this instant; a no-op when no train
+    is in flight.  Non-blocking (callable from callbacks).  The Linux
+    driver calls it on an SDMA halt fault so the batching invariant —
+    elide events, never costs — holds under faults too. *)
+val abort_train : t -> unit
+
+(** [set_crc_fault t hook] installs (or with [None] removes) the wire CRC
+    fault: [hook ()] is consulted once per packet put on the wire, and
+    once per replay; [true] means the packet was corrupted and the link
+    protocol replays it, paying full wire occupancy again (no fresh
+    engine/CPU overhead).  While installed, packet-train batching is
+    disabled on this HFI. *)
+val set_crc_fault : t -> (unit -> bool) option -> unit
+
+(** Packets replayed due to injected CRC corruption. *)
+val crc_retransmits : t -> int
+
 (** Remove and return all pending completion callbacks.  Called by the
     driver's SDMA-completion IRQ handler; the handler decides what running
     a callback costs (the crux of Section 3.3: McKernel-allocated metadata

@@ -22,6 +22,16 @@ type engine = {
   mutable e_requests : int;
   mutable e_bytes : int;
   mutable e_busy : float;
+  (* Fault injection: a halted engine stops fetching descriptors.  A tx
+     already in service drains (hardware finishes the active descriptor
+     train); queued txs stay in the ring and the engine process parks
+     between txs until [recover].  Submitters are only affected through
+     the usual slot back-pressure. *)
+  mutable halted : bool;
+  mutable halt_waiter : (unit -> unit) option;
+  mutable halted_at : float;
+  mutable e_halts : int;
+  mutable e_halted_ns : float;
 }
 
 type t = {
@@ -46,6 +56,9 @@ let engine_loop t e () =
      which leaves the engine blocked in Mailbox.get — harmless. *)
   let rec loop () =
     let tx = Mailbox.get e.ring in
+    while e.halted do
+      Sim.suspend t.sim (fun resume -> e.halt_waiter <- Some resume)
+    done;
     let started = Sim.now t.sim in
     let sp = Span.begin_ t.sim ~cat:"sdma" ~name:"tx" in
     if not (t.batch tx) then
@@ -79,7 +92,9 @@ let create sim ~n_engines ~ring_slots ~transmit =
         Array.init n_engines (fun idx ->
             { idx; ring = Mailbox.create sim;
               slots = Semaphore.create sim ring_slots;
-              e_requests = 0; e_bytes = 0; e_busy = 0. });
+              e_requests = 0; e_bytes = 0; e_busy = 0.;
+              halted = false; halt_waiter = None; halted_at = 0.;
+              e_halts = 0; e_halted_ns = 0. });
       transmit;
       batch = (fun _ -> false);
       requests_submitted = 0;
@@ -121,6 +136,35 @@ let submit t tx =
   Mailbox.put e.ring tx
 
 let set_batch t f = t.batch <- f
+
+let halt t ~engine =
+  let e = t.engines.(engine) in
+  if not e.halted then begin
+    e.halted <- true;
+    e.halted_at <- Sim.now t.sim;
+    e.e_halts <- e.e_halts + 1
+  end
+
+let recover t ~engine =
+  let e = t.engines.(engine) in
+  if e.halted then begin
+    e.halted <- false;
+    e.e_halted_ns <- e.e_halted_ns +. (Sim.now t.sim -. e.halted_at);
+    match e.halt_waiter with
+    | None -> ()
+    | Some resume -> e.halt_waiter <- None; resume ()
+  end
+
+let engine_halted t ~engine = t.engines.(engine).halted
+
+let halts t =
+  Array.fold_left (fun acc e -> acc + e.e_halts) 0 t.engines
+
+let halted_ns t =
+  (* Content-stable left fold over the fixed engine order; closed halt
+     windows only (an engine still halted at the end of a run reports the
+     time accumulated by its recoveries so far). *)
+  Array.fold_left (fun acc e -> acc +. e.e_halted_ns) 0. t.engines
 
 let in_flight t = t.in_flight
 

@@ -54,6 +54,26 @@ val submit : t -> tx -> unit
     default hook always returns false. *)
 val set_batch : t -> (tx -> bool) -> unit
 
+(** [halt t ~engine] stops engine [engine] from fetching descriptors: a
+    tx already in service drains (hardware finishes its active descriptor
+    train), queued txs stay in the ring until recovery, and submitters
+    only feel the usual slot back-pressure.  Idempotent.  Host-side: no
+    simulated time passes; the driver layer charges the recovery delays. *)
+val halt : t -> engine:int -> unit
+
+(** [recover t ~engine] restarts a halted engine at the current simulated
+    time; the engine resumes draining its ring immediately.  Idempotent. *)
+val recover : t -> engine:int -> unit
+
+(** Whether the given engine is currently halted. *)
+val engine_halted : t -> engine:int -> bool
+
+(** Halt faults injected so far, summed over engines. *)
+val halts : t -> int
+
+(** Simulated ns spent halted, summed over engines (closed windows only). *)
+val halted_ns : t -> float
+
 (** Transfers submitted but not yet completed, across all engines —
     batching hooks use [in_flight t = 1] to prove the current train is
     alone on this HFI. *)

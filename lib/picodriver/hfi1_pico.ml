@@ -14,8 +14,12 @@ type t = {
   (* The numeric value of sdma_states::sdma_state_s99_running, recovered
      from the module binary's DW_TAG_enumerator entries. *)
   s99_running : int32;
+  (* devdata.num_sdma, read through DWARF extraction at attach time: the
+     engine-selector modulus, like the Linux driver's own. *)
+  num_sdma : int;
   mutable install : Framework.installed option;
   sdma_state_header : string;
+  mutable writev_fallback : int;
   mutable writev_fast : int;
   mutable ioctl_fast : int;
   mutable big_requests : int;
@@ -30,6 +34,8 @@ let installed t =
 let sdma_state_header t = t.sdma_state_header
 
 let writev_fast t = t.writev_fast
+
+let writev_fallback t = t.writev_fallback
 
 let ioctl_fast t = t.ioctl_fast
 
@@ -123,8 +129,17 @@ let fast_writev t (p : Mck.pctx) (file : Vfs.file) (iovs : Vfs.iovec list) =
       | None ->
         invalid_arg "hfi1-pico: writev on file without open context"
     in
-    if not (engine_running t ~engine_idx:0) then
-      invalid_arg "hfi1-pico: SDMA engine not in running state";
+    (* This flow's engine (same per-flow selector as submission).  If the
+       Linux driver has walked it out of s99_running — observed purely
+       through the DWARF-extracted sdma_state fields — degrade to the
+       syscall-offload slow path; the check is per submit, so the fast
+       path resumes by itself once recovery restores the state. *)
+    if not (engine_running t ~engine_idx:(src_ctx mod t.num_sdma)) then begin
+      (* Not served locally after all: keep writev_fast = calls served. *)
+      t.writev_fast <- t.writev_fast - 1;
+      t.writev_fallback <- t.writev_fallback + 1;
+      raise Mck.Fastpath_unavailable
+    end;
     let all_reqs, total =
       List.fold_left
         (fun (acc, total) (iov : Vfs.iovec) ->
@@ -282,9 +297,17 @@ let attach mck ~linux_driver ~module_sections =
          module's debug info"
     else begin
       let s99_running = Int32.of_int (Option.get s99_running) in
+      let num_sdma =
+        Int32.to_int
+          (Struct_access.read_u32 acc.devdata ~node ~vs
+             ~base_va:(Hfi1_driver.devdata_va linux_driver) "num_sdma")
+      in
+      if num_sdma <= 0 then
+        invalid_arg "hfi1-pico: devdata.num_sdma must be positive";
       let t =
-        { mck; linux_driver; acc; s99_running; install = None;
+        { mck; linux_driver; acc; s99_running; num_sdma; install = None;
           sdma_state_header = Struct_access.c_header acc.sdma_state;
+          writev_fallback = 0;
           writev_fast = 0; ioctl_fast = 0; big_requests = 0;
           pt_segments = 0 }
       in

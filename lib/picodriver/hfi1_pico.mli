@@ -47,6 +47,12 @@ val writev_fast : t -> int
 
 val ioctl_fast : t -> int
 
+(** Fast-path writev attempts that found the flow's SDMA engine out of
+    [s99_running] (read only through {!Struct_access}) and degraded to
+    the Linux syscall-offload path by raising
+    {!Mck.Fastpath_unavailable}. *)
+val writev_fallback : t -> int
+
 (** Requests larger than PAGE_SIZE emitted so far (the optimisation
     evidence: stays 0 for the Linux driver). *)
 val big_requests : t -> int

@@ -52,6 +52,39 @@ if ! diff -u "$seq_json.masked" "$par_json.masked"; then
 fi
 rm -f "$seq_json.masked" "$par_json.masked"
 
+echo "== determinism: picobench faults, jobs=1 vs jobs=$jobs =="
+fseq_out="$(mktemp)"
+fpar_out="$(mktemp)"
+fseq_json="$(mktemp)"
+fpar_json="$(mktemp)"
+trap 'rm -f "$seq_out" "$par_out" "$seq_json" "$par_json" \
+  "$fseq_out" "$fpar_out" "$fseq_json" "$fpar_json"' EXIT
+
+PICO_JOBS=1 dune exec --no-build bin/picobench.exe -- faults \
+  --json "$fseq_json" > "$fseq_out"
+PICO_JOBS="$jobs" dune exec --no-build bin/picobench.exe -- faults \
+  --json "$fpar_json" > "$fpar_out"
+
+if ! diff -u "$fseq_out" "$fpar_out"; then
+  echo "FAIL: faults output differs between jobs=1 and jobs=$jobs" >&2
+  exit 1
+fi
+mask_json "$fseq_json"
+mask_json "$fpar_json"
+if ! diff -u "$fseq_json.masked" "$fpar_json.masked"; then
+  rm -f "$fseq_json.masked" "$fpar_json.masked"
+  echo "FAIL: faults JSON differs between jobs=1 and jobs=$jobs" >&2
+  exit 1
+fi
+rm -f "$fseq_json.masked" "$fpar_json.masked"
+
+# With every fault rate at its zero default, arming the injector must be
+# a complete no-op; the figure asserts it and prints a greppable line.
+if ! grep -q '^zero-rate fault install: OK' "$fseq_out"; then
+  echo "FAIL: zero-rate fault install is not byte-identical" >&2
+  exit 1
+fi
+
 # Engine throughput (wall-clock, host-specific): informative, never gates
 # the build — machines differ and CI boxes are noisy.
 echo "== engine throughput (non-fatal) =="

@@ -102,6 +102,50 @@ let test_sdma_oversize_rejected () =
          with Invalid_argument _ -> true));
   ignore (Sim.run sim)
 
+let test_sdma_empty_rejected () =
+  let sim = Sim.create () in
+  let s, _ = mk_sdma sim in
+  let submit len =
+    Sdma.submit s
+      { Sdma.tx_id = 0; channel = 0;
+        requests = [ { Sdma.pa = 0; len } ];
+        total_bytes = len; on_complete = (fun () -> ()) }
+  in
+  Sim.spawn sim (fun () ->
+      Alcotest.(check bool) "zero-length raises" true
+        (try submit 0; false with Invalid_argument _ -> true);
+      Alcotest.(check bool) "negative length raises" true
+        (try submit (-1); false with Invalid_argument _ -> true));
+  ignore (Sim.run sim)
+
+let test_sdma_halt_parks_engine () =
+  let sim = Sim.create () in
+  let s, _ = mk_sdma sim in
+  let o = (Costs.current ()).Costs.sdma_request_overhead in
+  let done1 = ref 0. and done2 = ref 0. in
+  let mk i don =
+    { Sdma.tx_id = i; channel = 0;
+      requests = [ { Sdma.pa = i * 4096; len = 4096 } ];
+      total_bytes = 4096; on_complete = (fun () -> don := Sim.now sim) }
+  in
+  Sim.spawn sim (fun () -> Sdma.submit s (mk 1 done1));
+  (* Halt mid-tx: the active descriptor train drains (hardware finishes
+     it); the queued tx parks until recovery. *)
+  Sim.at sim 50. (fun () ->
+      Sdma.halt s ~engine:0;
+      Sdma.halt s ~engine:0 (* idempotent: still one halt window *);
+      Alcotest.(check bool) "halted" true (Sdma.engine_halted s ~engine:0));
+  Sim.spawn sim (fun () ->
+      Sim.delay sim 120.;
+      Sdma.submit s (mk 2 done2));
+  Sim.at sim 1000. (fun () -> Sdma.recover s ~engine:0);
+  ignore (Sim.run sim);
+  check_float "tx in service drained" (o +. 100.) !done1;
+  check_float "queued tx waited for recovery" (1000. +. o +. 100.) !done2;
+  Alcotest.(check bool) "running again" false (Sdma.engine_halted s ~engine:0);
+  Alcotest.(check int) "one halt window" 1 (Sdma.halts s);
+  check_float "halted_ns covers the window" 950. (Sdma.halted_ns s)
+
 let test_sdma_same_channel_serializes () =
   let sim = Sim.create () in
   let s, _ = mk_sdma sim in
@@ -494,6 +538,28 @@ let midtrain_scenario ~d ~pio_len ~via_sdma lens sim h0 n0 dst_ctx complete
           ~len:pio_len ();
       pio_done := Sim.now sim)
 
+(* An SDMA train with an engine halt landing [d] ns in: the driver-side
+   fault path first aborts any batched train (Hfi.abort_train), then
+   stops the engine.  A second tx on the same channel, submitted while
+   halted, must wait for recovery.  Batched and per-packet runs must
+   agree bit-exactly: the abort converts the elided tail back into the
+   identical per-packet float sequence. *)
+let halt_scenario ~d ~dwell lens sim h0 n0 dst_ctx complete pio_done =
+  sdma_scenario lens sim h0 n0 dst_ctx complete (ref 0.);
+  Sim.spawn sim (fun () ->
+      Sim.delay sim d;
+      Hfi.abort_train h0;
+      Sdma.halt (Hfi.sdma h0) ~engine:0;
+      let spa = Option.get (Node.alloc_frames n0 1) in
+      Hfi.sdma_submit h0 ~channel:0 ~dst_node:1 ~dst_ctx
+        ~hdr:(eager_hdr 4096)
+        ~reqs:[ { Sdma.pa = spa; len = 4096 } ]
+        ~on_complete:(fun () -> pio_done := Sim.now sim)
+        ());
+  Sim.spawn sim (fun () ->
+      Sim.delay sim (d +. dwell);
+      Sdma.recover (Hfi.sdma h0) ~engine:0)
+
 let train_span lens =
   let c = Costs.current () in
   List.fold_left
@@ -525,6 +591,38 @@ let test_batching_midtrain_sweep () =
          (Printf.sprintf "midtrain pio0 d=%d/20" i)
          (midtrain_scenario ~d ~pio_len:0 ~via_sdma:false lens))
   done
+
+let test_batching_midtrain_halt () =
+  let lens = [ 8192; 8192; 4096; 8192 ] in
+  let span = train_span lens in
+  for i = 0 to 23 do
+    let d = float_of_int i *. span /. 20. in
+    let b =
+      check_equiv
+        (Printf.sprintf "midtrain halt d=%d/20" i)
+        (halt_scenario ~d ~dwell:(2. *. span) lens)
+    in
+    ignore b
+  done
+
+let prop_batching_midtrain_halt =
+  QCheck2.Test.make
+    ~name:"mid-train engine halt: batched = per-packet (bit-exact)"
+    ~count:60
+    QCheck2.Gen.(
+      pair (float_bound_inclusive 1.2) (float_bound_inclusive 3.))
+    (fun (frac, dwell_frac) ->
+      let lens = [ 8192; 4096; 8192; 1000; 8192 ] in
+      let span = train_span lens in
+      let d = frac *. span in
+      let dwell = (0.1 +. dwell_frac) *. span in
+      let scenario = halt_scenario ~d ~dwell lens in
+      let a = run_scenario ~batching:false scenario in
+      let b = run_scenario ~batching:true scenario in
+      a.o_end = b.o_end && a.o_complete = b.o_complete
+      && a.o_pio_done = b.o_pio_done
+      && a.o_packets = b.o_packets && a.o_bytes = b.o_bytes
+      && a.o_busy = b.o_busy && a.o_served = b.o_served)
 
 let prop_batching_midtrain =
   QCheck2.Test.make
@@ -559,6 +657,9 @@ let () =
            test_fabric_in_order_delivery ]);
       ("sdma",
        [ Alcotest.test_case "oversize rejected" `Quick test_sdma_oversize_rejected;
+         Alcotest.test_case "empty rejected" `Quick test_sdma_empty_rejected;
+         Alcotest.test_case "halt parks engine" `Quick
+           test_sdma_halt_parks_engine;
          Alcotest.test_case "same channel serializes" `Quick
            test_sdma_same_channel_serializes;
          Alcotest.test_case "channels overlap" `Quick
@@ -587,4 +688,7 @@ let () =
        [ Alcotest.test_case "pio equivalence" `Quick test_batching_pio_equiv;
          Alcotest.test_case "sdma equivalence" `Quick test_batching_sdma_equiv;
          Alcotest.test_case "mid-train sweep" `Quick test_batching_midtrain_sweep;
-         qc prop_batching_midtrain ]) ]
+         Alcotest.test_case "mid-train halt sweep" `Quick
+           test_batching_midtrain_halt;
+         qc prop_batching_midtrain;
+         qc prop_batching_midtrain_halt ]) ]
