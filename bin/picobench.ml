@@ -189,6 +189,16 @@ let faults_cmd =
           emit ?json ?trace ?jobs (fun () -> F.faults ?jobs ()))
       $ jobs_arg $ json_arg $ trace_arg)
 
+let fabric_cmd =
+  cmd "fabric"
+    ~doc:
+      "Topology-aware interconnect: flat-default equivalence and a radix-4 \
+       fat-tree congestion sweep over oversubscription x node count"
+    Term.(
+      const (fun jobs json trace ->
+          emit ?json ?trace ?jobs (fun () -> F.fabric ?jobs ()))
+      $ jobs_arg $ json_arg $ trace_arg)
+
 let all_cmd =
   cmd "all" ~doc:"Run every experiment at the chosen scale"
     Term.(
@@ -205,7 +215,7 @@ let main =
     (Cmd.info "picobench" ~version:"1.0" ~doc)
     [ fig4_cmd; fig5a_cmd; fig5b_cmd; fig6a_cmd; fig6b_cmd; fig7_cmd;
       table1_cmd; fig8_cmd; fig9_cmd; listing1_cmd; imb_cmd; ibreg_cmd;
-      ablations_cmd; faults_cmd; sloc_cmd; all_cmd ]
+      ablations_cmd; faults_cmd; fabric_cmd; sloc_cmd; all_cmd ]
 
 let () =
   (* Surface a malformed PICO_JOBS as a CLI error, not a backtrace. *)

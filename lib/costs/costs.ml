@@ -1,6 +1,8 @@
 type t = {
   mutable link_bandwidth : float;
   mutable link_latency : float;
+  mutable loopback_latency : float;
+  mutable switch_latency : float;
   mutable sdma_request_overhead : float;
   mutable packet_overhead_bytes : int;
   mutable sdma_max_request : int;
@@ -46,6 +48,12 @@ let defaults () = {
   (* OmniPath: 100 Gb/s = 12.5 GB/s, ~1 us end-to-end latency. *)
   link_bandwidth = 12.5;
   link_latency = 1_000.;
+  (* Same-node delivery never touches the wire. *)
+  loopback_latency = 200.;
+  (* Per-hop switch traversal when a fat-tree topology is configured; the
+     default flat fabric charges link_latency only, so this value is
+     never read there. *)
+  switch_latency = 150.;
   (* SDMA engine: per-descriptor fetch/fill/doorbell cost.  With 4 kB
      descriptors this caps a single stream around 9.3 GB/s; with 10 kB
      descriptors around 10.9 GB/s — the Fig. 4 gap. *)
@@ -125,6 +133,8 @@ let snapshot () = copy (current ())
 let assign dst src =
   dst.link_bandwidth <- src.link_bandwidth;
   dst.link_latency <- src.link_latency;
+  dst.loopback_latency <- src.loopback_latency;
+  dst.switch_latency <- src.switch_latency;
   dst.sdma_request_overhead <- src.sdma_request_overhead;
   dst.packet_overhead_bytes <- src.packet_overhead_bytes;
   dst.sdma_max_request <- src.sdma_max_request;

@@ -9,6 +9,10 @@ type t = {
   (* --- fabric / HFI --- *)
   mutable link_bandwidth : float;      (** bytes per ns; 12.5 = 100 Gb/s *)
   mutable link_latency : float;        (** wire + switch latency, ns *)
+  mutable loopback_latency : float;    (** same-node delivery, ns *)
+  mutable switch_latency : float;
+  (** per-hop switch traversal under a fat-tree topology, ns (the default
+      flat fabric never reads it) *)
   mutable sdma_request_overhead : float; (** engine per-descriptor cost, ns *)
   mutable packet_overhead_bytes : int;
   (** per-packet wire/protocol overhead (headers, LTP, credits): every

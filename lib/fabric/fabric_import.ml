@@ -1,0 +1,3 @@
+(* Local aliases for engine modules used across this library. *)
+module Sim = Pico_engine.Sim
+module Resource = Pico_engine.Resource

@@ -1,0 +1,42 @@
+type tier = Up | Down | Host
+
+type hop = {
+  tier : tier;
+  a : int;
+  b : int;
+}
+
+(* FNV-1a-style mix: deterministic in the inputs alone (the paper's
+   fabric uses static routes configured by the subnet manager, not
+   adaptive per-packet decisions), and masked positive so [mod] picks a
+   valid spine. *)
+let mix h k = (h lxor k) * 0x100000001b3 land max_int
+
+let flow_hash ~src ~dst ~dst_ctx =
+  mix (mix (mix 0x50696346 src) dst) dst_ctx
+
+let route topo ~src ~dst ~dst_ctx =
+  match topo with
+  | Topology.Flat -> []
+  | Topology.Fat_tree _ ->
+    if src = dst then []
+    else begin
+      let src_leaf = Topology.leaf_of_node topo src in
+      let dst_leaf = Topology.leaf_of_node topo dst in
+      let host = { tier = Host; a = dst_leaf; b = dst } in
+      if src_leaf = dst_leaf then [ host ]
+      else begin
+        let spine = flow_hash ~src ~dst ~dst_ctx mod Topology.n_spines topo in
+        [ { tier = Up; a = src_leaf; b = spine };
+          { tier = Down; a = spine; b = dst_leaf };
+          host ]
+      end
+    end
+
+let tier_name = function Up -> "up" | Down -> "down" | Host -> "host"
+
+let describe_hop { tier; a; b } =
+  match tier with
+  | Up -> Printf.sprintf "up:l%d-s%d" a b
+  | Down -> Printf.sprintf "down:s%d-l%d" a b
+  | Host -> Printf.sprintf "host:l%d-n%d" a b

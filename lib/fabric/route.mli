@@ -1,0 +1,31 @@
+(** Deterministic routing over a {!Topology}.
+
+    Routing is a pure function of [(src, dst, dst_ctx)] — no RNG, no
+    adaptive state — so a flow's path is stable across re-runs and
+    worker-domain schedules, and packets of one flow stay in order
+    (every link is FIFO).  Cross-leaf flows pick their spine by a
+    flow hash, the static ECMP-style spreading OmniPath/InfiniBand
+    subnet managers configure. *)
+
+type tier = Up | Down | Host
+
+(** One directed link of a route.  [a]/[b] are tier-relative endpoint
+    ids: [Up] leaf->spine, [Down] spine->leaf, [Host] leaf->node. *)
+type hop = {
+  tier : tier;
+  a : int;
+  b : int;
+}
+
+(** Avalanche over the flow triple; deterministic, non-negative. *)
+val flow_hash : src:int -> dst:int -> dst_ctx:int -> int
+
+(** The ordered hop list from [src]'s egress to [dst]'s ingress.
+    [Flat] and loopback routes are empty; same-leaf routes are the
+    destination [Host] hop only; cross-leaf routes are
+    [Up; Down; Host] through the flow-hashed spine. *)
+val route : Topology.t -> src:int -> dst:int -> dst_ctx:int -> hop list
+
+val tier_name : tier -> string
+
+val describe_hop : hop -> string

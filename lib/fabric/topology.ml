@@ -1,0 +1,30 @@
+type t =
+  | Flat
+  | Fat_tree of {
+      radix : int;
+      oversub : int;
+    }
+
+let validate = function
+  | Flat -> ()
+  | Fat_tree { radix; oversub } ->
+    if radix < 1 then
+      invalid_arg (Printf.sprintf "Topology: radix %d must be >= 1" radix);
+    if oversub < 1 then
+      invalid_arg (Printf.sprintf "Topology: oversub %d must be >= 1" oversub)
+
+let is_flat = function Flat -> true | Fat_tree _ -> false
+
+let n_spines = function
+  | Flat -> 0
+  | Fat_tree { radix; oversub } -> max 1 (radix / oversub)
+
+let leaf_of_node t node =
+  match t with Flat -> 0 | Fat_tree { radix; _ } -> node / radix
+
+let describe = function
+  | Flat -> "flat full-bisection"
+  | Fat_tree { radix; oversub } ->
+    Printf.sprintf "fat-tree (radix %d, %d:1 oversubscription, %d spines)"
+      radix oversub
+      (n_spines (Fat_tree { radix; oversub }))

@@ -1,0 +1,31 @@
+(** Interconnect shapes.
+
+    [Flat] is the calibrated full-bisection model every paper figure is
+    measured on: one end-to-end latency per packet, contention only at
+    the host HFI egress.  [Fat_tree] is a two-level leaf/spine tree:
+    [radix] hosts hang off each leaf switch, and each leaf has
+    [radix / oversub] uplinks (at least one), one per spine — so
+    [oversub = 1] is full bisection and larger values starve the core
+    tier.  Node ids map to leaves in order: node [n] sits under leaf
+    [n / radix]. *)
+
+type t =
+  | Flat
+  | Fat_tree of {
+      radix : int;  (** hosts per leaf switch, >= 1 *)
+      oversub : int;  (** oversubscription factor, >= 1 *)
+    }
+
+(** @raise Invalid_argument on a non-positive radix or oversub. *)
+val validate : t -> unit
+
+val is_flat : t -> bool
+
+(** Spine switches = uplinks per leaf = [max 1 (radix / oversub)];
+    0 for [Flat]. *)
+val n_spines : t -> int
+
+(** Leaf switch of a node (0 for [Flat]). *)
+val leaf_of_node : t -> int -> int
+
+val describe : t -> string

@@ -33,12 +33,12 @@ let kind_to_string = function
    worker-domain schedule). *)
 let next_uid = Atomic.make 0
 
-let build kind ~n_nodes ?(carry_payload = false) ?(service_cores = 4)
-    ?(lwk_cores = 64) ?(seed = 0x5EEDL) ?rcv_entries () =
+let build kind ~n_nodes ?topology ?(carry_payload = false)
+    ?(service_cores = 4) ?(lwk_cores = 64) ?(seed = 0x5EEDL) ?rcv_entries () =
   if n_nodes <= 0 then invalid_arg "Cluster.build: n_nodes must be > 0";
   let sim = Sim.create () in
   Sim.set_label sim (Printf.sprintf "%s/%dn" (kind_to_string kind) n_nodes);
-  let fabric = Fabric.create sim in
+  let fabric = Fabric.create ?topology sim in
   let rng = Rng.create ~seed in
   let make_node id =
     let node = Node.create_knl sim ~id () in

@@ -36,13 +36,16 @@ type t = {
           so it must never feed a simulated or reported value *)
 }
 
-(** [build kind ~n_nodes] assembles the cluster.  [carry_payload] turns
-    on end-to-end data fidelity (tests/examples; off for large sweeps).
-    [service_cores] is the per-node CPU count reserved for OS activity
-    (default 4, as on Oakforest-PACS). *)
+(** [build kind ~n_nodes] assembles the cluster.  [topology] shapes the
+    interconnect (default {!Topology.Flat}, the calibrated model every
+    paper figure uses).  [carry_payload] turns on end-to-end data
+    fidelity (tests/examples; off for large sweeps).  [service_cores] is
+    the per-node CPU count reserved for OS activity (default 4, as on
+    Oakforest-PACS). *)
 val build :
   os_kind ->
   n_nodes:int ->
+  ?topology:Topology.t ->
   ?carry_payload:bool ->
   ?service_cores:int ->
   ?lwk_cores:int ->

@@ -559,8 +559,8 @@ let ibreg ?(registrations = 64) ?jobs () =
 
 (* --- Ablations --------------------------------------------------------------- *)
 
-let pingpong_once kind ~size =
-  let cl = Cluster.build kind ~n_nodes:2 () in
+let pingpong_once ?topology kind ~size =
+  let cl = Cluster.build kind ~n_nodes:2 ?topology () in
   let out = ref [] in
   ignore
     (Experiment.run cl ~ranks_per_node:1 (fun comm ->
@@ -826,6 +826,137 @@ let faults ?(size = 1024 * 1024) ?(iters = 30) ?jobs () =
     (Tables.render
        ~header:[ "fault load"; "Linux"; "McKernel"; "McKernel+HFI1" ]
        rows);
+  Buffer.contents b
+
+(* --- Fabric topology: fat-tree congestion ---------------------------------- *)
+
+(* One sweep point: an allreduce- and alltoall-heavy IMB mix whose
+   cross-leaf traffic concentrates on the fat-tree uplinks, so shrinking
+   the spine tier (oversubscription) shows up directly in the time. *)
+let fabric_point ?topology kind ~n_nodes ~rpn =
+  let cl = Cluster.build kind ~n_nodes ?topology () in
+  let ar = ref [] and aa = ref [] in
+  ignore
+    (Experiment.run cl ~ranks_per_node:rpn (fun comm ->
+         let t1 =
+           Pico_apps.Imb.allreduce ~iters:6 ~sizes:[ 256 * 1024 ] ~out:ar comm
+         in
+         let t2 =
+           Pico_apps.Imb.alltoall ~iters:3 ~sizes:[ 64 * 1024 ] ~out:aa comm
+         in
+         t1 +. t2));
+  match (!ar, !aa) with
+  | [ a ], [ b ] -> a.Pico_apps.Imb.time_ns +. b.Pico_apps.Imb.time_ns
+  | _ -> invalid_arg "fabric_point: unexpected output"
+
+(* Radix-4 two-level fat-tree at three oversubscription ratios, against
+   the calibrated flat model.  [None] exercises the default build path,
+   which Part A separately pins to [Topology.Flat]. *)
+let fabric_topos =
+  [ ("flat", None);
+    ("ft 1:1", Some (Topology.Fat_tree { radix = 4; oversub = 1 }));
+    ("ft 2:1", Some (Topology.Fat_tree { radix = 4; oversub = 2 }));
+    ("ft 4:1", Some (Topology.Fat_tree { radix = 4; oversub = 4 })) ]
+
+let fabric_topo_tag = function
+  | "flat" -> "flat"
+  | "ft 1:1" -> "o1"
+  | "ft 2:1" -> "o2"
+  | "ft 4:1" -> "o4"
+  | s -> invalid_arg ("fabric_topo_tag: " ^ s)
+
+let fabric ?jobs () =
+  Engine_obs.measure ~figure:"fabric" @@ fun () ->
+  let b = Buffer.create 4096 in
+  buf_add b "Fabric topology: fat-tree congestion under oversubscription\n\n";
+  (* Part A: the default topology IS the flat calibrated model — a world
+     built with no [?topology] argument must be byte-identical to one
+     built with an explicit [Topology.Flat]. *)
+  let size = 1024 * 1024 in
+  let default_mbps = pingpong_once Cluster.Mckernel_hfi ~size in
+  let flat_mbps =
+    pingpong_once ~topology:Topology.Flat Cluster.Mckernel_hfi ~size
+  in
+  let equal = default_mbps = flat_mbps (* exact float compare *) in
+  Report.record ~figure:"fabric" ~metric:"flat_default_equiv"
+    (if equal then 1. else 0.);
+  buf_add b
+    (Printf.sprintf "flat-topology default: %s (%.1f MB/s)\n\n"
+       (if equal then "OK, byte-identical" else "MISMATCH")
+       flat_mbps);
+  (* Part B: oversubscription x node count x OS sweep.  Each point is an
+     independent world; the route of every packet is a pure function of
+     (src, dst, dst_ctx), so the sweep is byte-identical at any -j. *)
+  let node_counts = [ 8; 16 ] in
+  let rpn = 4 in
+  let points =
+    List.concat_map
+      (fun (label, topology) ->
+        List.concat_map
+          (fun n_nodes ->
+            List.map (fun kind -> (label, topology, n_nodes, kind)) os_kinds)
+          node_counts)
+      fabric_topos
+  in
+  let times =
+    Pool.with_pool ?jobs (fun pool ->
+        Pool.map pool
+          (fun (_, topology, n_nodes, kind) ->
+            fabric_point ?topology kind ~n_nodes ~rpn)
+          points)
+  in
+  List.iter2
+    (fun (label, _, n_nodes, kind) t ->
+      Report.record ~figure:"fabric"
+        ~metric:
+          (Printf.sprintf "%s/n%d/%s_ns" (fabric_topo_tag label) n_nodes
+             (os_tag kind))
+        t)
+    points times;
+  let cell label n_nodes kind =
+    List.fold_left2
+      (fun acc (l, _, n, k) t ->
+        if l = label && n = n_nodes && k = kind then Some t else acc)
+      None points times
+  in
+  List.iter
+    (fun n_nodes ->
+      let flat_hfi = cell "flat" n_nodes Cluster.Mckernel_hfi in
+      let rows =
+        List.map
+          (fun (label, _) ->
+            let col kind =
+              match cell label n_nodes kind with
+              | Some t -> Tables.ns t
+              | None -> "-"
+            in
+            let slowdown =
+              match (cell label n_nodes Cluster.Mckernel_hfi, flat_hfi) with
+              | Some t, Some f when f > 0. ->
+                let r = t /. f in
+                Report.record ~figure:"fabric"
+                  ~metric:
+                    (Printf.sprintf "%s/n%d/hfi_vs_flat"
+                       (fabric_topo_tag label) n_nodes)
+                  r;
+                Printf.sprintf "%.2fx" r
+              | _ -> "-"
+            in
+            [ label; col Cluster.Linux; col Cluster.Mckernel;
+              col Cluster.Mckernel_hfi; slowdown ])
+          fabric_topos
+      in
+      buf_add b
+        (Printf.sprintf
+           "%d nodes x %d ranks (allreduce 256 kB + alltoall 64 kB)\n" n_nodes
+           rpn);
+      buf_add b
+        (Tables.render
+           ~header:
+             [ "topology"; "Linux"; "McKernel"; "McKernel+HFI1"; "vs flat" ]
+           rows);
+      buf_add b "\n")
+    node_counts;
   Buffer.contents b
 
 (* --- everything ------------------------------------------------------------- *)

@@ -86,5 +86,14 @@ val ablations : unit -> string
     part of {!all}. *)
 val faults : ?size:int -> ?iters:int -> ?jobs:int -> unit -> string
 
+(** Topology-aware interconnect: (a) the default (flat) topology is
+    byte-identical to an explicit {!Topology.Flat} build — the calibrated
+    model every paper figure uses is untouched; (b) a radix-4 two-level
+    fat-tree congestion sweep (oversubscription 1:1/2:1/4:1 x node count
+    x OS configuration) over an allreduce/alltoall-heavy IMB mix, with
+    per-tier link utilisation under the [fabric/*] report keys.  Not
+    part of {!all}. *)
+val fabric : ?jobs:int -> unit -> string
+
 (** Run everything at the given scale (the bench harness entry point). *)
 val all : ?scale:scale -> ?jobs:int -> unit -> string

@@ -39,6 +39,10 @@ type sample = {
   ikc_retries : int;
   fallback_submits : int;
   service_stalls : int;
+  (* Fabric congestion, per tier ("up"/"down"/"host"): links, packets,
+     bytes, busy_ns, peak queue, contended arrivals.  Empty under the
+     flat topology, so calibrated figures' reports are byte-identical. *)
+  fabric : (string * (int * int * int * float * int * int)) list;
 }
 
 let mutex = Mutex.create ()
@@ -78,7 +82,17 @@ let sample_of_cluster (cl : Cluster.t) =
         cross_callbacks = 0; pt_segments = 0;
         sdma_halts = 0; sdma_halted_ns = 0.; crc_retransmits = 0;
         ikc_drops = 0; ikc_retries = 0; fallback_submits = 0;
-        service_stalls = 0 }
+        service_stalls = 0;
+        fabric =
+          (* Cluster-level (one fabric per simulated world), already
+             tier-aggregated in deterministic link-name order. *)
+          List.map
+            (fun (ts : Fabric.tier_stats) ->
+              ( ts.Fabric.ts_tier,
+                ( ts.Fabric.ts_links, ts.Fabric.ts_packets,
+                  ts.Fabric.ts_bytes, ts.Fabric.ts_busy_ns,
+                  ts.Fabric.ts_peak_queue, ts.Fabric.ts_contended ) ))
+            (Fabric.tier_stats cl.Cluster.fabric) }
   in
   let add_engines a b =
     let n = max (Array.length a) (Array.length b) in
@@ -224,6 +238,10 @@ let key_of s =
   Printf.bprintf b "|%d|%h|%d|%d|%d|%d|%d" s.sdma_halts s.sdma_halted_ns
     s.crc_retransmits s.ikc_drops s.ikc_retries s.fallback_submits
     s.service_stalls;
+  List.iter
+    (fun (n, (l, p, y, t, q, c)) ->
+      Printf.bprintf b "|t%s,%d,%d,%d,%h,%d,%d" n l p y t q c)
+    s.fabric;
   Buffer.contents b
 
 let flush ~figure =
@@ -351,4 +369,30 @@ let flush ~figure =
     opt "fault/ikc_retries" (isum (fun s -> s.ikc_retries));
     opt "fault/fallback_submits" (isum (fun s -> s.fallback_submits));
     opt "fault/service_stalls" stalls;
-    opt "fault/injected" (halts + drops + crc + stalls)
+    opt "fault/injected" (halts + drops + crc + stalls);
+    (* Fabric congestion: only fat-tree worlds ever instantiate links,
+       so flat figures emit no fabric/* keys at all. *)
+    let fabric =
+      List.fold_left
+        (fun l s ->
+          List.fold_left
+            (fun l (n, v) ->
+              assoc_add
+                (fun (l1, p1, b1, t1, q1, c1) (l2, p2, b2, t2, q2, c2) ->
+                  (l1 + l2, p1 + p2, b1 + b2, t1 +. t2, max q1 q2, c1 + c2))
+                n v l)
+            l s.fabric)
+        [] sorted
+    in
+    List.iter
+      (fun (tier, (links, pkts, bytes, busy, peak, cont)) ->
+        if pkts > 0 then begin
+          let p = Printf.sprintf "fabric/%s/" tier in
+          rec_ (p ^ "links") (fi links);
+          rec_ (p ^ "packets") (fi pkts);
+          rec_ (p ^ "bytes") (fi bytes);
+          rec_ (p ^ "busy_ns") busy;
+          rec_ (p ^ "peak_queue") (fi peak);
+          rec_ (p ^ "contended") (fi cont)
+        end)
+      fabric

@@ -20,9 +20,13 @@
       [pico/pt_segments]
     - [fault/{injected,sdma_halts,sdma_halted_ns,crc_retransmits,
       ikc_drops,ikc_retries,fallback_submits,service_stalls}]
+    - per fabric tier (fat-tree topologies only)
+      [fabric/<up|down|host>/{links,packets,bytes,busy_ns,peak_queue,
+      contended}]
 
     Zero-valued groups are omitted (a Linux-only figure has no offload
-    section).  See DESIGN.md section 9 for the taxonomy. *)
+    section, and a flat-topology world has no fabric section).  See
+    DESIGN.md section 9 for the taxonomy. *)
 
 (** Snapshot a cluster's counters into the current window (thread-safe;
     call after [Sim.run] has finished). *)

@@ -1,22 +1,93 @@
 open Nic_import
+module Topology = Pico_fabric.Topology
+
+type tier_stats = {
+  ts_tier : string;
+  ts_links : int;
+  ts_packets : int;
+  ts_bytes : int;
+  ts_busy_ns : float;
+  ts_peak_queue : int;
+  ts_contended : int;
+}
 
 type t = {
   sim : Sim.t;
+  topo : Topology.t;
   sinks : (int, Wire.packet -> unit) Hashtbl.t;
+  links : (Route.hop, Link.t) Hashtbl.t;
+  (* Train-abort hooks, kept sorted by node id: Hashtbl iteration order
+     is insertion-dependent, and abort order must not be. *)
+  mutable aborts : (int * (unit -> unit)) list;
   mutable packets : int;
   mutable bytes : int;
 }
 
-let create sim = { sim; sinks = Hashtbl.create 64; packets = 0; bytes = 0 }
+let create ?(topology = Topology.Flat) sim =
+  Topology.validate topology;
+  { sim; topo = topology; sinks = Hashtbl.create 64;
+    links = Hashtbl.create 64; aborts = []; packets = 0; bytes = 0 }
+
+let topology t = t.topo
 
 let attach t ~node_id ~rx =
   if Hashtbl.mem t.sinks node_id then
     invalid_arg (Printf.sprintf "Fabric.attach: node %d already attached" node_id);
   Hashtbl.add t.sinks node_id rx
 
-let detach t ~node_id = Hashtbl.remove t.sinks node_id
+let detach t ~node_id =
+  Hashtbl.remove t.sinks node_id;
+  t.aborts <- List.remove_assoc node_id t.aborts
 
-let loopback_latency = 200.
+let set_train_abort t ~node_id ~abort =
+  let l = (node_id, abort) :: List.remove_assoc node_id t.aborts in
+  t.aborts <- List.sort (fun (a, _) (b, _) -> compare a b) l
+
+let fire_aborts t = List.iter (fun (_, abort) -> abort ()) t.aborts
+
+let link_of t hop =
+  match Hashtbl.find_opt t.links hop with
+  | Some l -> l
+  | None ->
+    let l =
+      Link.create t.sim ~name:(Route.describe_hop hop)
+        ~tier:(Route.tier_name hop.Route.tier)
+    in
+    Hashtbl.add t.links hop l;
+    l
+
+let wire_time len =
+  float_of_int (len + (Costs.current ()).packet_overhead_bytes)
+  /. (Costs.current ()).link_bandwidth
+
+let deliver t rx (p : Wire.packet) =
+  t.packets <- t.packets + 1;
+  t.bytes <- t.bytes + p.wire_len;
+  rx p
+
+(* Store-and-forward walk of the packet's route: one end-to-end cable
+   propagation, then per hop a switch traversal and FIFO serialization
+   on the hop's link.  A busy link at arrival is exactly the contention
+   a batched train's closed form cannot see coming, so every registered
+   train-abort hook fires before this packet queues (aborting is always
+   semantics-preserving; firing on behalf of every node is conservative
+   but deterministic). *)
+let hop_walk t rx (p : Wire.packet) hops =
+  Sim.spawn t.sim ~name:"fabric" (fun () ->
+      let c = Costs.current () in
+      Sim.delay t.sim c.Costs.link_latency;
+      List.iter
+        (fun hop ->
+          let link = link_of t hop in
+          Sim.delay t.sim c.Costs.switch_latency;
+          if not (Link.idle link) then fire_aborts t;
+          let sp = Span.begin_ t.sim ~cat:"fabric" ~name:(Link.tier link) in
+          Link.transit link ~bytes:p.wire_len ~work:(wire_time p.wire_len);
+          Span.end_with t.sim sp (fun () ->
+              [ ("link", Link.name link);
+                ("bytes", string_of_int p.wire_len) ]))
+        hops;
+      deliver t rx p)
 
 let send_at t ~time (p : Wire.packet) =
   match Hashtbl.find_opt t.sinks p.dst_node with
@@ -25,16 +96,36 @@ let send_at t ~time (p : Wire.packet) =
       (Printf.sprintf "Fabric.send: destination node %d not attached"
          p.dst_node)
   | Some rx ->
-    let latency =
-      if p.src_node = p.dst_node then loopback_latency
-      else (Costs.current ()).link_latency
-    in
-    Sim.at t.sim (time +. latency) (fun () ->
-        t.packets <- t.packets + 1;
-        t.bytes <- t.bytes + p.wire_len;
-        rx p)
+    (* Loopback and the flat topology keep the original one-event path
+       (byte-identical to the pre-topology fabric). *)
+    if Topology.is_flat t.topo || p.src_node = p.dst_node then begin
+      let latency =
+        if p.src_node = p.dst_node then (Costs.current ()).loopback_latency
+        else (Costs.current ()).link_latency
+      in
+      Sim.at t.sim (time +. latency) (fun () -> deliver t rx p)
+    end
+    else begin
+      let hops =
+        Route.route t.topo ~src:p.src_node ~dst:p.dst_node ~dst_ctx:p.dst_ctx
+      in
+      Sim.at t.sim time (fun () -> hop_walk t rx p hops)
+    end
 
 let send t p = send_at t ~time:(Sim.now t.sim) p
+
+let quiet t =
+  Topology.is_flat t.topo
+  || Hashtbl.fold (fun _ l acc -> acc && Link.idle l) t.links true
+
+let route_quiet t ~src ~dst ~dst_ctx =
+  Topology.is_flat t.topo || src = dst
+  || List.for_all
+       (fun hop ->
+         match Hashtbl.find_opt t.links hop with
+         | None -> true (* never instantiated: nothing ever crossed it *)
+         | Some l -> Link.idle l)
+       (Route.route t.topo ~src ~dst ~dst_ctx)
 
 let packets_delivered t = t.packets
 
@@ -42,3 +133,34 @@ let bytes_delivered t = t.bytes
 
 let attached t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.sinks [] |> List.sort compare
+
+let tier_stats t =
+  (* Fold each tier's links in name order so the busy_ns float sums are
+     independent of Hashtbl layout and worker-domain schedules. *)
+  let links =
+    Hashtbl.fold (fun _ l acc -> l :: acc) t.links []
+    |> List.sort (fun a b -> compare (Link.name a) (Link.name b))
+  in
+  List.fold_left
+    (fun acc l ->
+      let tier = Link.tier l in
+      let cur =
+        match List.assoc_opt tier acc with
+        | Some s -> s
+        | None ->
+          { ts_tier = tier; ts_links = 0; ts_packets = 0; ts_bytes = 0;
+            ts_busy_ns = 0.; ts_peak_queue = 0; ts_contended = 0 }
+      in
+      let s =
+        { cur with
+          ts_links = cur.ts_links + 1;
+          ts_packets = cur.ts_packets + Link.packets l;
+          ts_bytes = cur.ts_bytes + Link.bytes l;
+          ts_busy_ns = cur.ts_busy_ns +. Link.busy_ns l;
+          ts_peak_queue = max cur.ts_peak_queue (Link.peak_queue l);
+          ts_contended = cur.ts_contended + Link.contended l }
+      in
+      (tier, s) :: List.remove_assoc tier acc)
+    [] links
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.map snd

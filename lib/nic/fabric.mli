@@ -1,16 +1,32 @@
-(** The interconnect: full-bisection fabric with per-hop latency.
+(** The interconnect: a {!Pico_fabric.Topology}-shaped graph of switches
+    and links between the nodes' HFIs.
 
-    Egress bandwidth is serialised at each node's HFI (see {!Hfi}); the
-    fabric itself adds wire/switch latency and delivers to the destination
-    node's receive demultiplexer.  This matches OmniPath practice where a
-    single host link is the bottleneck for the traffic patterns studied in
-    the paper. *)
+    The default [Flat] topology is the calibrated full-bisection model
+    every paper figure is measured on: the fabric adds one wire/switch
+    latency per packet and delivers to the destination node's receive
+    demultiplexer — egress bandwidth is serialised at each node's HFI
+    (see {!Hfi}), matching OmniPath practice where the single host link
+    is the bottleneck for the traffic patterns studied in the paper.
+
+    Under a [Fat_tree] topology each packet additionally walks its
+    deterministic {!Pico_fabric.Route} (store-and-forward: per-hop
+    switch latency, then FIFO serialization on the hop's capacity-1
+    {!Pico_fabric.Link}), so inter-switch congestion queues packets
+    and is observable per tier.  Routing is RNG-free — a function of
+    [(src_node, dst_node, dst_ctx)] only — so links stay FIFO per flow
+    and delivery order is deterministic. *)
 
 open Nic_import
 
+module Topology = Pico_fabric.Topology
+
 type t
 
-val create : Sim.t -> t
+(** [create ?topology sim] — default {!Topology.Flat}.
+    @raise Invalid_argument on an invalid topology *)
+val create : ?topology:Topology.t -> Sim.t -> t
+
+val topology : t -> Topology.t
 
 (** [attach t ~node_id ~rx] registers the packet sink of a node.
     @raise Invalid_argument if the node is already attached *)
@@ -25,13 +41,54 @@ val detach : t -> node_id:int -> unit
 val send : t -> Wire.packet -> unit
 
 (** [send_at t ~time packet] is {!send} as if issued at absolute [time]
-    (delivery at [time +. latency]).  Batched packet trains use it to give
-    each packet of the train the exact egress instant the per-packet path
-    would have produced. *)
+    (entering the fabric at [time]).  Batched packet trains use it to
+    give each packet of the train the exact egress instant the
+    per-packet path would have produced. *)
 val send_at : t -> time:float -> Wire.packet -> unit
+
+(** {2 Congestion coupling to the HFIs}
+
+    Batched packet trains (see {!Hfi}) must fall back to per-packet
+    processing whenever fabric links are contended: HFIs gate train
+    formation on {!quiet}/{!route_quiet}, and the fabric calls every
+    registered train-abort hook — in node-id order, so worker-domain
+    schedules cannot reorder them — whenever a packet arrives at a busy
+    link.  Under [Flat] there are no links: both predicates are
+    constant [true] and no hook ever fires, keeping the calibrated
+    figures byte-identical. *)
+
+(** No link of the whole fabric is busy or queued. *)
+val quiet : t -> bool
+
+(** No link on the route of flow [(src, dst, dst_ctx)] is busy or
+    queued. *)
+val route_quiet : t -> src:int -> dst:int -> dst_ctx:int -> bool
+
+(** [set_train_abort t ~node_id ~abort] registers (replacing any
+    previous hook of that node) a non-blocking callback invoked on
+    mid-flight link contention. *)
+val set_train_abort : t -> node_id:int -> abort:(unit -> unit) -> unit
+
+(** {2 Introspection} *)
 
 val packets_delivered : t -> int
 
 val bytes_delivered : t -> int
 
 val attached : t -> int list
+
+(** Per-tier congestion counters, aggregated over the tier's links in a
+    deterministic (name-sorted) order; empty under [Flat] (and for
+    tiers no packet ever crossed). *)
+type tier_stats = {
+  ts_tier : string;  (** "up" | "down" | "host" *)
+  ts_links : int;  (** distinct links the tier instantiated *)
+  ts_packets : int;
+  ts_bytes : int;
+  ts_busy_ns : float;
+  ts_peak_queue : int;  (** deepest arrival queue on any one link *)
+  ts_contended : int;  (** packets that arrived at a busy link *)
+}
+
+(** Sorted by tier name. *)
+val tier_stats : t -> tier_stats list

@@ -56,6 +56,7 @@ type t = {
      know which of its packets would be corrupted. *)
   mutable crc_corrupt : (unit -> bool) option;
   mutable crc_retransmits : int;
+  mutable train_aborts : int;
 }
 
 let sdma_irq_vector = 42
@@ -163,6 +164,7 @@ let maybe_abort_train t =
   match t.train with
   | None -> ()
   | Some tr ->
+    t.train_aborts <- t.train_aborts + 1;
     let now = Sim.now t.sim in
     let n = Array.length tr.tr_reqs in
     let rec find i =
@@ -212,6 +214,7 @@ let sdma_batch t (tx : Sdma.tx) =
       (!batching && train_alone t && Sdma.in_flight t.sdma = 1
        && t.train = None
        && Option.is_none t.crc_corrupt
+       && Fabric.quiet t.fabric
        && tx.Sdma.requests <> [])
   then false
   else begin
@@ -311,10 +314,16 @@ let create sim ~node ~fabric ?(carry_payload = false)
       pio_bytes = 0;
       train = None;
       crc_corrupt = None;
-      crc_retransmits = 0 }
+      crc_retransmits = 0;
+      train_aborts = 0 }
   in
   tref := Some t;
   Fabric.attach fabric ~node_id:node.Node.id ~rx:(rx_dispatch t);
+  (* Mid-flight link contention (fat-tree topologies only) must rewind
+     any batched train to per-packet processing, per the batching
+     invariant; the hook never fires under the flat topology. *)
+  Fabric.set_train_abort fabric ~node_id:node.Node.id
+    ~abort:(fun () -> maybe_abort_train t);
   Sdma.set_batch t.sdma (sdma_batch t);
   t
 
@@ -416,6 +425,7 @@ let pio_send t ~dst_node ~dst_ctx ~hdr ~len ?payload () =
     && train_alone t
     && Sdma.in_flight t.sdma = 0
     && Option.is_none t.crc_corrupt
+    && Fabric.route_quiet t.fabric ~src:(node_id t) ~dst:dst_node ~dst_ctx
   then pio_train t ~dst_node ~dst_ctx ~hdr ~len ?payload c
   else begin
   (* Loopback (shared-memory-style) traffic never touches the link. *)
@@ -503,6 +513,8 @@ let sdma t = t.sdma
 let set_crc_fault t f = t.crc_corrupt <- f
 
 let crc_retransmits t = t.crc_retransmits
+
+let train_aborts t = t.train_aborts
 
 let wire t = t.wire
 

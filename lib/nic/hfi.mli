@@ -122,6 +122,12 @@ val set_crc_fault : t -> (unit -> bool) option -> unit
 (** Packets replayed due to injected CRC corruption. *)
 val crc_retransmits : t -> int
 
+(** Batched SDMA trains converted back to per-packet processing
+    mid-flight — by a competing wire user, a driver fault path, or
+    fabric link contention ({!Fabric.set_train_abort}).  Always zero
+    under the flat topology with an idle wire. *)
+val train_aborts : t -> int
+
 (** Remove and return all pending completion callbacks.  Called by the
     driver's SDMA-completion IRQ handler; the handler decides what running
     a callback costs (the crux of Section 3.3: McKernel-allocated metadata

@@ -10,3 +10,6 @@ module Addr = Pico_hw.Addr
 module Node = Pico_hw.Node
 module Irq = Pico_hw.Irq
 module Costs = Pico_costs.Costs
+module Topology = Pico_fabric.Topology
+module Route = Pico_fabric.Route
+module Link = Pico_fabric.Link

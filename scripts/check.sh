@@ -85,6 +85,41 @@ if ! grep -q '^zero-rate fault install: OK' "$fseq_out"; then
   exit 1
 fi
 
+echo "== determinism: picobench fabric, jobs=1 vs jobs=$jobs =="
+tseq_out="$(mktemp)"
+tpar_out="$(mktemp)"
+tseq_json="$(mktemp)"
+tpar_json="$(mktemp)"
+trap 'rm -f "$seq_out" "$par_out" "$seq_json" "$par_json" \
+  "$fseq_out" "$fpar_out" "$fseq_json" "$fpar_json" \
+  "$tseq_out" "$tpar_out" "$tseq_json" "$tpar_json"' EXIT
+
+PICO_JOBS=1 dune exec --no-build bin/picobench.exe -- fabric \
+  --json "$tseq_json" > "$tseq_out"
+PICO_JOBS="$jobs" dune exec --no-build bin/picobench.exe -- fabric \
+  --json "$tpar_json" > "$tpar_out"
+
+if ! diff -u "$tseq_out" "$tpar_out"; then
+  echo "FAIL: fabric output differs between jobs=1 and jobs=$jobs" >&2
+  exit 1
+fi
+mask_json "$tseq_json"
+mask_json "$tpar_json"
+if ! diff -u "$tseq_json.masked" "$tpar_json.masked"; then
+  rm -f "$tseq_json.masked" "$tpar_json.masked"
+  echo "FAIL: fabric JSON differs between jobs=1 and jobs=$jobs" >&2
+  exit 1
+fi
+rm -f "$tseq_json.masked" "$tpar_json.masked"
+
+# A cluster built with no topology argument must be byte-identical to an
+# explicit Topology.Flat build: the calibrated flat model stays the
+# default, and every paper figure stays on it.
+if ! grep -q '^flat-topology default: OK' "$tseq_out"; then
+  echo "FAIL: default topology is not byte-identical to explicit Flat" >&2
+  exit 1
+fi
+
 # Engine throughput (wall-clock, host-specific): informative, never gates
 # the build — machines differ and CI boxes are noisy.
 echo "== engine throughput (non-fatal) =="

@@ -644,6 +644,113 @@ let prop_batching_midtrain =
       && a.o_packets = b.o_packets && a.o_bytes = b.o_bytes
       && a.o_busy = b.o_busy && a.o_served = b.o_served)
 
+(* --- Batching under a fat-tree topology ------------------------------------- *)
+
+(* Four nodes on a radix-2 fat-tree (leaves {0,1} and {2,3}).  Node 0
+   runs a batched SDMA train to node 1 while nodes 1 and 2 converge on
+   the one l1->n3 host link; the link contention must abort node 0's
+   train (Fabric fires every HFI's abort hook), and the batched run must
+   stay bit-identical to the per-packet run at every stagger. *)
+let run_ft_scenario ~batching f =
+  Hfi.batching := batching;
+  Fun.protect
+    ~finally:(fun () -> Hfi.batching := true)
+    (fun () ->
+      let sim = Sim.create () in
+      let topo = Pico_fabric.Topology.Fat_tree { radix = 2; oversub = 1 } in
+      let fab = Fabric.create ~topology:topo sim in
+      let nodes =
+        Array.init 4 (fun id -> Node.create_knl sim ~id ~mem_scale:0.001 ())
+      in
+      let hfis =
+        Array.map
+          (fun node -> Hfi.create sim ~node ~fabric:fab ~carry_payload:false ())
+          nodes
+      in
+      let ctxs = Array.map (fun h -> Hfi.ctx_id (Hfi.open_context h)) hfis in
+      let complete = ref 0. in
+      let pio_done = ref 0. in
+      f sim hfis nodes ctxs complete pio_done;
+      ignore (Sim.run sim);
+      Array.iter (fun h -> ignore (Hfi.drain_completions h)) hfis;
+      let host_contended =
+        List.fold_left
+          (fun acc s ->
+            if s.Fabric.ts_tier = "host" then acc + s.Fabric.ts_contended
+            else acc)
+          0 (Fabric.tier_stats fab)
+      in
+      ( { o_end = Sim.now sim;
+          o_complete = !complete;
+          o_pio_done = !pio_done;
+          o_packets = Fabric.packets_delivered fab;
+          o_bytes = Fabric.bytes_delivered fab;
+          o_busy = Pico_engine.Resource.total_busy_ns (Hfi.wire hfis.(0));
+          o_served = Pico_engine.Resource.total_served (Hfi.wire hfis.(0));
+          o_elided = Sim.events_elided sim },
+        Hfi.train_aborts hfis.(0),
+        host_contended ))
+
+let check_ft_equiv name scenario =
+  let per_packet, _, _ = run_ft_scenario ~batching:false scenario in
+  let batched, aborts, contended = run_ft_scenario ~batching:true scenario in
+  let exact = Alcotest.(check (float 0.)) in
+  exact (name ^ ": end time") per_packet.o_end batched.o_end;
+  exact (name ^ ": completion") per_packet.o_complete batched.o_complete;
+  exact (name ^ ": pio done") per_packet.o_pio_done batched.o_pio_done;
+  exact (name ^ ": wire busy") per_packet.o_busy batched.o_busy;
+  Alcotest.(check int)
+    (name ^ ": packets") per_packet.o_packets batched.o_packets;
+  Alcotest.(check int) (name ^ ": bytes") per_packet.o_bytes batched.o_bytes;
+  Alcotest.(check int) (name ^ ": served") per_packet.o_served batched.o_served;
+  (aborts, contended)
+
+let ft_train_scenario lens sim hfis nodes ctxs complete _pio_done =
+  let spa = Option.get (Node.alloc_frames nodes.(0) 4) in
+  let reqs = List.map (fun len -> { Sdma.pa = spa; len }) lens in
+  let total = List.fold_left ( + ) 0 lens in
+  Sim.spawn sim (fun () ->
+      Hfi.sdma_submit hfis.(0) ~channel:0 ~dst_node:1 ~dst_ctx:ctxs.(1)
+        ~hdr:(eager_hdr total) ~reqs
+        ~on_complete:(fun () -> complete := Sim.now sim)
+        ())
+
+let ft_contention_scenario ~d lens sim hfis nodes ctxs complete pio_done =
+  ft_train_scenario lens sim hfis nodes ctxs complete (ref 0.);
+  Sim.spawn sim (fun () ->
+      Hfi.pio_send hfis.(1) ~dst_node:3 ~dst_ctx:ctxs.(3)
+        ~hdr:(eager_hdr 4096) ~len:4096 ());
+  Sim.spawn sim (fun () ->
+      Sim.delay sim d;
+      Hfi.pio_send hfis.(2) ~dst_node:3 ~dst_ctx:ctxs.(3)
+        ~hdr:(eager_hdr 4096) ~len:4096 ();
+      pio_done := Sim.now sim)
+
+let test_batching_fat_tree_equiv () =
+  let lens = [ 8192; 8192; 4096; 8192 ] in
+  let aborts, _ =
+    check_ft_equiv "ft quiet train" (ft_train_scenario lens)
+  in
+  Alcotest.(check int) "quiet fat-tree aborts nothing" 0 aborts
+
+let test_batching_fat_tree_contention_abort () =
+  let lens = [ 8192; 8192; 4096; 8192; 8192; 8192 ] in
+  let max_aborts = ref 0 and max_contended = ref 0 in
+  for i = 0 to 20 do
+    let d = float_of_int i *. 250. in
+    let aborts, contended =
+      check_ft_equiv
+        (Printf.sprintf "ft contention d=%.0fns" d)
+        (ft_contention_scenario ~d lens)
+    in
+    max_aborts := max !max_aborts aborts;
+    max_contended := max !max_contended contended
+  done;
+  Alcotest.(check bool) "some stagger contends the host link" true
+    (!max_contended > 0);
+  Alcotest.(check bool) "link contention aborted the batched train" true
+    (!max_aborts > 0)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "nic"
@@ -691,4 +798,8 @@ let () =
          Alcotest.test_case "mid-train halt sweep" `Quick
            test_batching_midtrain_halt;
          qc prop_batching_midtrain;
-         qc prop_batching_midtrain_halt ]) ]
+         qc prop_batching_midtrain_halt;
+         Alcotest.test_case "fat-tree equivalence" `Quick
+           test_batching_fat_tree_equiv;
+         Alcotest.test_case "fat-tree contention aborts train" `Quick
+           test_batching_fat_tree_contention_abort ]) ]
