@@ -199,6 +199,16 @@ let fabric_cmd =
           emit ?json ?trace ?jobs (fun () -> F.fabric ?jobs ()))
       $ jobs_arg $ json_arg $ trace_arg)
 
+let scale_cmd =
+  cmd "scale"
+    ~doc:
+      "At-scale sweeps (64-256+ nodes) on the sharded + fast-forwarded \
+       engine, with byte-identity self-checks for both switches"
+    Term.(
+      const (fun scale jobs json trace ->
+          emit ?json ?trace ?jobs (fun () -> F.at_scale ~scale ?jobs ()))
+      $ scale_arg $ jobs_arg $ json_arg $ trace_arg)
+
 let all_cmd =
   cmd "all" ~doc:"Run every experiment at the chosen scale"
     Term.(
@@ -215,7 +225,7 @@ let main =
     (Cmd.info "picobench" ~version:"1.0" ~doc)
     [ fig4_cmd; fig5a_cmd; fig5b_cmd; fig6a_cmd; fig6b_cmd; fig7_cmd;
       table1_cmd; fig8_cmd; fig9_cmd; listing1_cmd; imb_cmd; ibreg_cmd;
-      ablations_cmd; faults_cmd; fabric_cmd; sloc_cmd; all_cmd ]
+      ablations_cmd; faults_cmd; fabric_cmd; scale_cmd; sloc_cmd; all_cmd ]
 
 let () =
   (* Surface a malformed PICO_JOBS as a CLI error, not a backtrace. *)

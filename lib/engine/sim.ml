@@ -25,6 +25,38 @@ type span = {
   mutable sp_args : (string * string) list;
 }
 
+(* Conservative event sharding (off by default, see [shard_init]): the
+   event population is partitioned into per-shard heaps with per-shard
+   sequence counters, clocks and resume-cell pools.  Shards run in
+   epoch-barrier rounds of [lookahead] simulated nanoseconds; an event
+   scheduled into another shard is buffered on the source shard and
+   merged at the next barrier in content order — sorted by
+   [(key, src_shard, src_order)], which no shard execution schedule can
+   perturb — so a sharded run is deterministic by construction and
+   byte-identical to the same run with sharding off. *)
+type shard = {
+  sh_id : int;
+  sh_queue : event Heap.t;
+  mutable sh_seq : int;
+  mutable sh_now : float;
+  mutable sh_processed : int;
+  mutable sh_peak : int;
+  mutable sh_pool : cell array;
+  mutable sh_pool_n : int;
+  mutable sh_reused : int;
+  (* outgoing cross-shard events of the current epoch, reverse order *)
+  mutable sh_out : pending list;
+  mutable sh_order : int;
+}
+
+and pending = {
+  p_key : float;
+  p_src : int;
+  p_ord : int;
+  p_dst : int;
+  p_ev : event;
+}
+
 type t = {
   mutable now : float;
   queue : event Heap.t;
@@ -42,6 +74,17 @@ type t = {
   (* span tracing (empty unless Span.set_on true) *)
   mutable spans : span list; (* reverse begin order *)
   mutable label : string;
+  (* sharding ([shards] empty = off, the default) *)
+  mutable shards : shard array;
+  mutable exec : shard option; (* shard whose event is executing *)
+  mutable ambient : shard option; (* build-time binding, see [with_shard] *)
+  mutable engaged : bool; (* epoch-barrier mode active *)
+  mutable engage_req : bool;
+  mutable lookahead : float;
+  mutable epoch_end : float;
+  mutable barrier_rounds : int;
+  mutable epochs_elided : int;
+  mutable xshard : int;
 }
 
 type _ Effect.t +=
@@ -49,46 +92,161 @@ type _ Effect.t +=
   | Until : t * float -> unit Effect.t
   | Suspend : t * ((unit -> unit) -> unit) -> unit Effect.t
 
+(* Steady-state fast-forward (test-visible switch, like [Hfi.batching]):
+   when true, model layers that own an elide-events-never-costs closed
+   form (noise clocks, SDMA packet trains) may engage it beyond their
+   conservative default gates.  Semantics must stay byte-identical —
+   test/test_scale.ml checks on-vs-off equivalence.  Never mutated
+   inside a sweep. *)
+let fast_forward = ref false
+
 let create () =
   { now = 0.; queue = Heap.create (); seq = 0; processed = 0;
     current = None; running = false; pool = [||]; pool_n = 0;
-    peak_heap = 0; elided = 0; reused = 0; spans = []; label = "" }
+    peak_heap = 0; elided = 0; reused = 0; spans = []; label = "";
+    shards = [||]; exec = None; ambient = None; engaged = false;
+    engage_req = false; lookahead = 0.; epoch_end = 0.;
+    barrier_rounds = 0; epochs_elided = 0; xshard = 0 }
 
 let now t = t.now
+
+let sharded t = Array.length t.shards > 0
+
+let shard_init t ~shards ~lookahead =
+  if sharded t then invalid_arg "Sim.shard_init: already sharded";
+  if t.seq > 0 || not (Heap.is_empty t.queue) then
+    invalid_arg "Sim.shard_init: events already scheduled";
+  if shards <= 0 then invalid_arg "Sim.shard_init: shards must be > 0";
+  if not (Float.is_finite lookahead) || lookahead <= 0. then
+    invalid_arg "Sim.shard_init: lookahead must be positive";
+  t.lookahead <- lookahead;
+  t.shards <-
+    Array.init shards (fun sh_id ->
+        { sh_id; sh_queue = Heap.create (); sh_seq = 0; sh_now = 0.;
+          sh_processed = 0; sh_peak = 0; sh_pool = [||]; sh_pool_n = 0;
+          sh_reused = 0; sh_out = []; sh_order = 0 })
+
+let shard_engage t = if sharded t then t.engage_req <- true
+
+let with_shard t i f =
+  if not (sharded t) then f ()
+  else begin
+    let saved = t.ambient in
+    t.ambient <- Some t.shards.(i);
+    Fun.protect ~finally:(fun () -> t.ambient <- saved) f
+  end
 
 let make_cell () =
   let rec c = { cont = None; cname = None; boxed = Resume c } in
   c
 
 let acquire_cell t =
-  if t.pool_n = 0 then make_cell ()
-  else begin
-    t.pool_n <- t.pool_n - 1;
-    t.reused <- t.reused + 1;
-    t.pool.(t.pool_n)
-  end
+  match t.exec with
+  | None ->
+    if t.pool_n = 0 then make_cell ()
+    else begin
+      t.pool_n <- t.pool_n - 1;
+      t.reused <- t.reused + 1;
+      t.pool.(t.pool_n)
+    end
+  | Some sh ->
+    if sh.sh_pool_n = 0 then make_cell ()
+    else begin
+      sh.sh_pool_n <- sh.sh_pool_n - 1;
+      sh.sh_reused <- sh.sh_reused + 1;
+      sh.sh_pool.(sh.sh_pool_n)
+    end
 
 let release_cell t c =
-  let cap = Array.length t.pool in
-  if t.pool_n = cap then begin
-    let ncap = if cap = 0 then 32 else cap * 2 in
-    let np = Array.make ncap c in
-    Array.blit t.pool 0 np 0 cap;
-    t.pool <- np
-  end;
-  t.pool.(t.pool_n) <- c;
-  t.pool_n <- t.pool_n + 1
+  match t.exec with
+  | None ->
+    let cap = Array.length t.pool in
+    if t.pool_n = cap then begin
+      let ncap = if cap = 0 then 32 else cap * 2 in
+      let np = Array.make ncap c in
+      Array.blit t.pool 0 np 0 cap;
+      t.pool <- np
+    end;
+    t.pool.(t.pool_n) <- c;
+    t.pool_n <- t.pool_n + 1
+  | Some sh ->
+    let cap = Array.length sh.sh_pool in
+    if sh.sh_pool_n = cap then begin
+      let ncap = if cap = 0 then 32 else cap * 2 in
+      let np = Array.make ncap c in
+      Array.blit sh.sh_pool 0 np 0 cap;
+      sh.sh_pool <- np
+    end;
+    sh.sh_pool.(sh.sh_pool_n) <- c;
+    sh.sh_pool_n <- sh.sh_pool_n + 1
 
-let schedule_event t time ev =
+(* Tail-of-instant band: an event scheduled with [~tail:true] sorts
+   after every normally-scheduled event at the same instant in the same
+   heap, no matter when it was pushed — even after events pushed later,
+   which take fresh (sub-band) sequence numbers.  Sequence counters
+   never come near the band (2^40 events per heap), and tail events
+   keep push order among themselves.  Both engines thus agree that a
+   tail event runs once its instant is otherwise exhausted, which is
+   what makes the fabric's same-instant arrival batches (Fabric,
+   [~ordered:true]) independent of the heap-insertion schedule. *)
+let tail_band = 1 lsl 40
+
+(* Push into one shard's heap, clamping to the executing clock exactly
+   like the unsharded path. *)
+let push_shard ?(tail = false) t sh time ev =
   let time = if time < t.now then t.now else time in
-  Heap.push t.queue ~key:time ~seq:t.seq ev;
-  t.seq <- t.seq + 1;
-  let d = Heap.length t.queue in
-  if d > t.peak_heap then t.peak_heap <- d
+  let seq = if tail then sh.sh_seq lor tail_band else sh.sh_seq in
+  Heap.push sh.sh_queue ~key:time ~seq ev;
+  sh.sh_seq <- sh.sh_seq + 1;
+  let d = Heap.length sh.sh_queue in
+  if d > sh.sh_peak then sh.sh_peak <- d
+
+(* Deliver [ev] to shard [sh].  In epoch mode a cross-shard event is
+   buffered on the source shard for the barrier merge; the lookahead
+   contract (every cross-shard latency >= [lookahead]) guarantees it
+   cannot be due before the next barrier. *)
+let schedule_to ?(tail = false) t sh time ev =
+  match t.exec with
+  | Some src when t.engaged && src != sh ->
+    if tail then
+      invalid_arg "Sim: tail event must target the executing shard";
+    if time < t.epoch_end then
+      invalid_arg
+        (Printf.sprintf
+           "Sim: cross-shard event at %.1f below the lookahead horizon %.1f"
+           time t.epoch_end);
+    src.sh_out <-
+      { p_key = time; p_src = src.sh_id; p_ord = src.sh_order;
+        p_dst = sh.sh_id; p_ev = ev }
+      :: src.sh_out;
+    src.sh_order <- src.sh_order + 1
+  | _ -> push_shard ~tail t sh time ev
+
+(* Default target for an event with no explicit shard: the executing
+   shard, else the build-time ambient binding, else shard 0. *)
+let default_shard t =
+  match t.exec with
+  | Some sh -> sh
+  | None -> (match t.ambient with Some sh -> sh | None -> t.shards.(0))
+
+let schedule_event ?(tail = false) t time ev =
+  if Array.length t.shards = 0 then begin
+    let time = if time < t.now then t.now else time in
+    let seq = if tail then t.seq lor tail_band else t.seq in
+    Heap.push t.queue ~key:time ~seq ev;
+    t.seq <- t.seq + 1;
+    let d = Heap.length t.queue in
+    if d > t.peak_heap then t.peak_heap <- d
+  end
+  else schedule_to ~tail t (default_shard t) time ev
 
 let schedule t time f = schedule_event t time (Call f)
 
-let at = schedule
+let at t ?shard ?(tail = false) time f =
+  match shard with
+  | Some i when Array.length t.shards > 0 ->
+    schedule_to ~tail t t.shards.(i) time (Call f)
+  | _ -> schedule_event ~tail t time (Call f)
 
 let after t dt f = schedule t (t.now +. dt) f
 
@@ -134,15 +292,23 @@ let handle_process t name f =
           | Suspend (t', register) when t' == t ->
             Some
               (fun (k : (a, _) continuation) ->
+                (* A process's continuation belongs to its home shard:
+                   resume from wherever lands the wake-up event where the
+                   process suspended, never where the resumer runs. *)
+                let home = t.exec in
                 let resumed = ref false in
                 let resume () =
                   if !resumed then
                     invalid_arg "Sim.suspend: resume called twice";
                   resumed := true;
-                  schedule t t.now (fun () ->
-                      t.running <- true;
-                      t.current <- some_name;
-                      continue k ())
+                  let wake () =
+                    t.running <- true;
+                    t.current <- some_name;
+                    continue k ()
+                  in
+                  match home with
+                  | None -> schedule t t.now wake
+                  | Some sh -> schedule_to t sh t.now (Call wake)
                 in
                 register resume;
                 t.running <- false;
@@ -150,7 +316,14 @@ let handle_process t name f =
           | _ -> None);
     }
 
-let spawn t ?(name = "proc") f = schedule t t.now (fun () -> handle_process t name f)
+let spawn t ?(name = "proc") ?shard f =
+  let ev = Call (fun () -> handle_process t name f) in
+  if Array.length t.shards = 0 then schedule_event t t.now ev
+  else
+    let sh =
+      match shard with Some i -> t.shards.(i) | None -> default_shard t
+    in
+    schedule_to t sh t.now ev
 
 let delay t dt =
   if not t.running then raise Not_in_process;
@@ -170,7 +343,20 @@ let suspend t register =
 
 let yield t = delay t 0.
 
-let run ?until t =
+let exec_event t ev =
+  match ev with
+  | Call f -> f ()
+  | Resume c ->
+    let k = match c.cont with Some k -> k | None -> assert false in
+    let nm = c.cname in
+    c.cont <- None;
+    c.cname <- None;
+    release_cell t c;
+    t.running <- true;
+    t.current <- nm;
+    Effect.Deep.continue k ()
+
+let run_unsharded ?until t =
   let count = ref 0 in
   let continue_ = ref true in
   while !continue_ do
@@ -185,20 +371,153 @@ let run ?until t =
         t.now <- key;
         t.processed <- t.processed + 1;
         incr count;
-        (match Heap.pop t.queue with
-         | Call f -> f ()
-         | Resume c ->
-           let k = match c.cont with Some k -> k | None -> assert false in
-           let nm = c.cname in
-           c.cont <- None;
-           c.cname <- None;
-           release_cell t c;
-           t.running <- true;
-           t.current <- nm;
-           Effect.Deep.continue k ())
+        exec_event t (Heap.pop t.queue)
     end
   done;
   !count
+
+(* Lowest-keyed shard, ties to the lowest shard id: the merged order the
+   prologue executes in.  Returns [(-1, infinity)] when all drained. *)
+let min_shard t =
+  let best = ref (-1) and bk = ref infinity in
+  Array.iter
+    (fun sh ->
+      if not (Heap.is_empty sh.sh_queue) then begin
+        let k = Heap.top_key sh.sh_queue in
+        if k < !bk then begin
+          bk := k;
+          best := sh.sh_id
+        end
+      end)
+    t.shards;
+  (!best, !bk)
+
+(* Barrier: merge every shard's buffered cross-shard events in content
+   order — (key, source shard, per-source order) is a total order no
+   execution schedule can perturb — assigning destination sequence
+   numbers in that merged order. *)
+let merge_pending t =
+  let pend =
+    Array.fold_left
+      (fun acc sh ->
+        let out = sh.sh_out in
+        sh.sh_out <- [];
+        List.rev_append out acc)
+      [] t.shards
+  in
+  match pend with
+  | [] -> ()
+  | _ ->
+    let sorted =
+      List.sort
+        (fun a b ->
+          let c = Float.compare a.p_key b.p_key in
+          if c <> 0 then c
+          else begin
+            let c = compare a.p_src b.p_src in
+            if c <> 0 then c else compare a.p_ord b.p_ord
+          end)
+        pend
+    in
+    List.iter
+      (fun p ->
+        let dst = t.shards.(p.p_dst) in
+        Heap.push dst.sh_queue ~key:p.p_key ~seq:dst.sh_seq p.p_ev;
+        dst.sh_seq <- dst.sh_seq + 1;
+        let d = Heap.length dst.sh_queue in
+        if d > dst.sh_peak then dst.sh_peak <- d;
+        t.xshard <- t.xshard + 1)
+      sorted
+
+let run_sharded ?until t =
+  let count = ref 0 in
+  let continue_ = ref true in
+  (* Merged prologue: one global time-ordered loop over all shard heaps.
+     Zero-latency cross-shard couplings (the init syncpoint) are legal
+     here; [shard_engage] switches to epoch rounds once initialisation
+     has completed and only lookahead-bounded couplings remain. *)
+  while !continue_ && not (t.engaged || t.engage_req) do
+    let i, key = min_shard t in
+    if i < 0 then continue_ := false
+    else begin
+      match until with
+      | Some limit when key > limit ->
+        t.now <- limit;
+        continue_ := false
+      | _ ->
+        let sh = t.shards.(i) in
+        t.now <- key;
+        sh.sh_now <- key;
+        t.processed <- t.processed + 1;
+        sh.sh_processed <- sh.sh_processed + 1;
+        incr count;
+        t.exec <- Some sh;
+        exec_event t (Heap.pop sh.sh_queue);
+        t.exec <- None
+    end
+  done;
+  if !continue_ && t.engage_req then begin
+    if not t.engaged then begin
+      t.engaged <- true;
+      Array.iter (fun sh -> sh.sh_now <- t.now) t.shards
+    end;
+    let epoch_base = ref t.now in
+    while !continue_ do
+      let eend = !epoch_base +. t.lookahead in
+      t.epoch_end <- eend;
+      Array.iter
+        (fun sh ->
+          t.exec <- Some sh;
+          t.now <- sh.sh_now;
+          let go = ref true in
+          while !go do
+            if Heap.is_empty sh.sh_queue then go := false
+            else begin
+              let k = Heap.top_key sh.sh_queue in
+              if
+                k >= eend
+                || (match until with Some u -> k > u | None -> false)
+              then go := false
+              else begin
+                t.now <- k;
+                sh.sh_now <- k;
+                t.processed <- t.processed + 1;
+                sh.sh_processed <- sh.sh_processed + 1;
+                incr count;
+                exec_event t (Heap.pop sh.sh_queue)
+              end
+            end
+          done)
+        t.shards;
+      t.exec <- None;
+      t.barrier_rounds <- t.barrier_rounds + 1;
+      merge_pending t;
+      let _, mk = min_shard t in
+      match until with
+      | Some limit when mk > limit ->
+        t.now <- limit;
+        continue_ := false
+      | _ ->
+        if mk = infinity then begin
+          continue_ := false;
+          t.now <-
+            Array.fold_left (fun a sh -> Float.max a sh.sh_now) t.now t.shards
+        end
+        else begin
+          (* Skip empty epochs: jump the next round to the first due
+             event.  Partition choice only — event times are untouched. *)
+          if mk > eend then
+            t.epochs_elided <-
+              t.epochs_elided + int_of_float ((mk -. eend) /. t.lookahead);
+          epoch_base := Float.max eend mk
+        end
+    done
+  end;
+  !count
+
+let run ?until t =
+  if Array.length t.shards = 0 then run_unsharded ?until t
+  else run_sharded ?until t
 
 let events_processed t = t.processed
 
@@ -206,9 +525,21 @@ let note_elided t n = if n > 0 then t.elided <- t.elided + n
 
 let events_elided t = t.elided
 
-let peak_heap_depth t = t.peak_heap
+let peak_heap_depth t =
+  Array.fold_left (fun a sh -> max a sh.sh_peak) t.peak_heap t.shards
 
-let cells_reused t = t.reused
+let cells_reused t =
+  Array.fold_left (fun a sh -> a + sh.sh_reused) t.reused t.shards
+
+let shard_count t = Array.length t.shards
+
+let shard_events t = Array.map (fun sh -> sh.sh_processed) t.shards
+
+let barrier_rounds t = t.barrier_rounds
+
+let epochs_elided t = t.epochs_elided
+
+let xshard_events t = t.xshard
 
 let set_label t l = t.label <- l
 

@@ -23,12 +23,28 @@ val create : unit -> t
 val now : t -> float
 
 (** [spawn t ~name f] registers process [f] to start at the current time.
-    Exceptions escaping [f] abort the simulation run. *)
-val spawn : t -> ?name:string -> (unit -> unit) -> unit
+    Exceptions escaping [f] abort the simulation run.  [?shard] pins the
+    process to an event shard (ignored when sharding is off, see
+    {!shard_init}); without it the process lands on the shard of the
+    spawning event, the ambient {!with_shard} binding, or shard 0. *)
+val spawn : t -> ?name:string -> ?shard:int -> (unit -> unit) -> unit
 
 (** [at t time f] schedules callback [f] (not a process: it must not block)
-    at absolute [time]. *)
-val at : t -> float -> (unit -> unit) -> unit
+    at absolute [time].  [?shard] targets an event shard as for
+    {!spawn}; cross-shard schedules in epoch mode must respect the
+    lookahead contract (arrival at least one lookahead after now).
+
+    [~tail:true] places the event in the tail-of-instant band: it runs
+    after {e every} normally-scheduled event at [time] in the same
+    shard (or queue), including ones pushed after it, while tail events
+    keep push order among themselves.  That position is independent of
+    heap-insertion schedule, hence identical between the sharded and
+    unsharded engines — the fabric's ordered same-instant arrival
+    batches flush from it.  In epoch mode a tail event must stay on the
+    executing shard (it fires at the current instant, below the
+    lookahead horizon); targeting another shard raises
+    [Invalid_argument]. *)
+val at : t -> ?shard:int -> ?tail:bool -> float -> (unit -> unit) -> unit
 
 (** [after t dt f] schedules callback [f] at [now t +. dt]. *)
 val after : t -> float -> (unit -> unit) -> unit
@@ -80,6 +96,74 @@ val peak_heap_depth : t -> int
 (** Number of process resumptions served from the free list of resume
     cells (i.e. closure allocations avoided on the [delay] hot path). *)
 val cells_reused : t -> int
+
+(** {2 Conservative event sharding}
+
+    Off by default: a fresh simulator runs the classic single-heap loop
+    and is byte-identical to every release before sharding existed.
+    [shard_init] partitions the event population into per-node shards,
+    each with its own heap, sequence counter, clock and resume-cell
+    pool.  Until {!shard_engage} the shards execute in one merged
+    time-ordered {e prologue} (zero-latency cross-shard couplings such
+    as an init barrier are legal there).  After engagement the shards
+    run in epoch-barrier rounds of [lookahead] simulated nanoseconds:
+    within a round each shard consumes its events with key strictly
+    below the epoch horizon; events scheduled into {e another} shard are
+    buffered and merged at the barrier in content order
+    [(key, source shard, per-source order)] — a total order independent
+    of execution schedule, the same discipline as [Subsys_obs.flush] —
+    so sharded and unsharded runs stay byte-identical.
+
+    The lookahead contract: in epoch mode, every cross-shard event must
+    be scheduled at least one [lookahead] after the sending shard's
+    current time (fabric hops satisfy this with
+    [lookahead = link_latency]).  Violations raise [Invalid_argument]
+    rather than silently reordering. *)
+
+(** [shard_init t ~shards ~lookahead] must run before any event is
+    scheduled.
+    @raise Invalid_argument if already sharded, events exist, [shards]
+    is not positive, or [lookahead] is not positive and finite *)
+val shard_init : t -> shards:int -> lookahead:float -> unit
+
+(** Ask the run loop to switch from the merged prologue to
+    epoch-barrier rounds at the current instant.  Callable from inside a
+    process (typically right after the init syncpoint releases); no-op
+    when sharding is off, idempotent otherwise. *)
+val shard_engage : t -> unit
+
+(** [with_shard t i f] runs [f] with shard [i] as the ambient target for
+    [spawn]/[at]/callbacks issued outside any event (build time).
+    Identity when sharding is off. *)
+val with_shard : t -> int -> (unit -> 'a) -> 'a
+
+(** True once {!shard_init} has run. *)
+val sharded : t -> bool
+
+(** Number of shards (0 when sharding is off). *)
+val shard_count : t -> int
+
+(** Events processed per shard, prologue included ([[||]] unsharded). *)
+val shard_events : t -> int array
+
+(** Epoch-barrier rounds completed. *)
+val barrier_rounds : t -> int
+
+(** Empty epochs skipped by jumping the next round straight to the first
+    due event (partition bookkeeping only; event times are untouched). *)
+val epochs_elided : t -> int
+
+(** Cross-shard events merged at barriers. *)
+val xshard_events : t -> int
+
+(** {2 Steady-state fast-forward}
+
+    Test-visible switch (like [Hfi.batching], default [false]): when on,
+    model layers that own an elide-events-never-costs closed form (noise
+    clocks, SDMA packet trains) may engage it beyond their conservative
+    default gates.  Results must stay byte-identical — set before a
+    sweep, never inside one. *)
+val fast_forward : bool ref
 
 (** {2 Span tracing storage}
 

@@ -35,6 +35,33 @@ let route topo ~src ~dst ~dst_ctx =
 
 let tier_name = function Up -> "up" | Down -> "down" | Host -> "host"
 
+module Memo = struct
+  (* Routing is pure in (src, dst, dst_ctx) by invariant, so the FNV mix
+     and hop-list construction can leave the per-packet hot path.  The
+     table is per-instance (one per fabric): module-level memo state
+     would couple sweep points and break parallel byte-identity. *)
+  type route_memo = {
+    topo : Topology.t;
+    tbl : (int * int * int, hop list) Hashtbl.t;
+  }
+
+  type t = route_memo
+
+  let create topo = { topo; tbl = Hashtbl.create 256 }
+
+  let route m ~src ~dst ~dst_ctx =
+    match m.topo with
+    | Topology.Flat -> []
+    | Topology.Fat_tree _ ->
+      let key = (src, dst, dst_ctx) in
+      (match Hashtbl.find_opt m.tbl key with
+       | Some hops -> hops
+       | None ->
+         let hops = route m.topo ~src ~dst ~dst_ctx in
+         Hashtbl.add m.tbl key hops;
+         hops)
+end
+
 let describe_hop { tier; a; b } =
   match tier with
   | Up -> Printf.sprintf "up:l%d-s%d" a b

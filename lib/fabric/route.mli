@@ -29,3 +29,16 @@ val route : Topology.t -> src:int -> dst:int -> dst_ctx:int -> hop list
 val tier_name : tier -> string
 
 val describe_hop : hop -> string
+
+(** Per-instance route cache.  {!route} is pure in [(src, dst, dst_ctx)]
+    by invariant, so memoizing it is semantics-free; the table is
+    per-instance (never module-level) so sweep points share no mutable
+    state.  [Memo.route m] is always equal to [route m.topo] on the same
+    triple — qcheck-enforced in [test/test_scale.ml]. *)
+module Memo : sig
+  type t
+
+  val create : Topology.t -> t
+
+  val route : t -> src:int -> dst:int -> dst_ctx:int -> hop list
+end

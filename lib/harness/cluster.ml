@@ -33,14 +33,42 @@ let kind_to_string = function
    worker-domain schedule). *)
 let next_uid = Atomic.make 0
 
-let build kind ~n_nodes ?topology ?(carry_payload = false)
-    ?(service_cores = 4) ?(lwk_cores = 64) ?(seed = 0x5EEDL) ?rcv_entries () =
+(* Test-visible switch (like [Hfi.batching]): partition each experiment's
+   event population into per-node shards (Sim.shard_init).  Only takes
+   effect on flat topologies with more than one node — fat-tree links
+   are shared across nodes, so their contention state cannot be
+   partitioned.  Byte-identity with the unsharded engine is enforced by
+   test/test_scale.ml and `picobench scale`.  Set before a sweep, never
+   inside one. *)
+let sharding = ref false
+
+(* Companion switch: deliver same-instant fabric arrivals in content
+   order (see [Fabric.create ?ordered]).  Sharded clusters force it on —
+   barrier-merge order differs from unsharded insertion order, and the
+   content order is the one both engines can agree on — so this ref only
+   matters for the *unsharded* comparator runs of identity checks, which
+   must opt into the same tie-break to be byte-comparable.  Default off:
+   the calibrated figures keep their historical arrival order. *)
+let ordered_arrivals = ref false
+
+let build kind ~n_nodes ?topology ?sharding:(shard_req = !sharding)
+    ?(carry_payload = false) ?(service_cores = 4) ?(lwk_cores = 64)
+    ?(seed = 0x5EEDL) ?rcv_entries () =
   if n_nodes <= 0 then invalid_arg "Cluster.build: n_nodes must be > 0";
   let sim = Sim.create () in
   Sim.set_label sim (Printf.sprintf "%s/%dn" (kind_to_string kind) n_nodes);
-  let fabric = Fabric.create ?topology sim in
+  let flat =
+    match topology with None -> true | Some to_ -> Topology.is_flat to_
+  in
+  let sharded = shard_req && flat && n_nodes > 1 in
+  if sharded then
+    Sim.shard_init sim ~shards:n_nodes
+      ~lookahead:(Costs.current ()).link_latency;
+  let fabric =
+    Fabric.create ?topology ~ordered:(sharded || !ordered_arrivals) sim
+  in
   let rng = Rng.create ~seed in
-  let make_node id =
+  let make_node id = Sim.with_shard sim id @@ fun () ->
     let node = Node.create_knl sim ~id () in
     let hfi = Hfi.create sim ~node ~fabric ~carry_payload ?rcv_entries () in
     let linux =

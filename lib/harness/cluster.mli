@@ -36,16 +36,35 @@ type t = {
           so it must never feed a simulated or reported value *)
 }
 
+(** Test-visible switch (default [false]): shard each experiment's event
+    population per node ({!Sim.shard_init} with
+    lookahead = [link_latency]).  Only effective on flat topologies with
+    more than one node; byte-identity with the unsharded engine is a
+    hard invariant.  Set before a sweep, never inside one. *)
+val sharding : bool ref
+
+(** Test-visible switch (default [false]): build fabrics with
+    [Fabric.create ~ordered:true], delivering same-instant arrivals in
+    content order.  Sharded clusters force this regardless (the sharded
+    engine's barrier merge already is that order); the switch exists so
+    {e unsharded} comparator runs can opt into the same tie-break —
+    shard-on/off byte-identity only holds between runs that share it.
+    Default off: calibrated figures keep their historical arrival
+    order.  Set before a sweep, never inside one. *)
+val ordered_arrivals : bool ref
+
 (** [build kind ~n_nodes] assembles the cluster.  [topology] shapes the
     interconnect (default {!Topology.Flat}, the calibrated model every
-    paper figure uses).  [carry_payload] turns on end-to-end data
-    fidelity (tests/examples; off for large sweeps).  [service_cores] is
-    the per-node CPU count reserved for OS activity (default 4, as on
+    paper figure uses).  [sharding] overrides the {!sharding} switch for
+    this cluster.  [carry_payload] turns on end-to-end data fidelity
+    (tests/examples; off for large sweeps).  [service_cores] is the
+    per-node CPU count reserved for OS activity (default 4, as on
     Oakforest-PACS). *)
 val build :
   os_kind ->
   n_nodes:int ->
   ?topology:Topology.t ->
+  ?sharding:bool ->
   ?carry_payload:bool ->
   ?service_cores:int ->
   ?lwk_cores:int ->

@@ -10,24 +10,54 @@ type window = {
   mutable reused : int;
   mutable peak : int;
   mutable sims : int;
+  (* Sharded-engine counters; all stay zero when sharding is off, and
+     every field is an order-independent int aggregate (sum/min/max), so
+     worker-domain completion order cannot perturb them. *)
+  mutable sharded_sims : int;
+  mutable shards : int;
+  mutable barriers : int;
+  mutable epochs_elided : int;
+  mutable xshard : int;
+  mutable shard_ev_min : int;
+  mutable shard_ev_max : int;
 }
 
 let mutex = Mutex.create ()
 
-let win = { events = 0; elided = 0; reused = 0; peak = 0; sims = 0 }
+let win =
+  { events = 0; elided = 0; reused = 0; peak = 0; sims = 0;
+    sharded_sims = 0; shards = 0; barriers = 0; epochs_elided = 0;
+    xshard = 0; shard_ev_min = max_int; shard_ev_max = 0 }
 
 let note_sim sim =
   Tracefile.note_sim sim;
   let events = Sim.events_processed sim in
   let elided = Sim.events_elided sim in
+  (* Aggregated across shards by the accessors themselves: [cells_reused]
+     sums the per-shard pools, [peak_heap_depth] maxes the per-shard
+     heaps — a per-shard high-water mark is meaningful, a sum of
+     high-water marks is not. *)
   let reused = Sim.cells_reused sim in
   let peak = Sim.peak_heap_depth sim in
+  let shard_ev = Sim.shard_events sim in
   Mutex.lock mutex;
   win.events <- win.events + events;
   win.elided <- win.elided + elided;
   win.reused <- win.reused + reused;
   if peak > win.peak then win.peak <- peak;
   win.sims <- win.sims + 1;
+  if Sim.sharded sim then begin
+    win.sharded_sims <- win.sharded_sims + 1;
+    win.shards <- win.shards + Sim.shard_count sim;
+    win.barriers <- win.barriers + Sim.barrier_rounds sim;
+    win.epochs_elided <- win.epochs_elided + Sim.epochs_elided sim;
+    win.xshard <- win.xshard + Sim.xshard_events sim;
+    Array.iter
+      (fun n ->
+        if n < win.shard_ev_min then win.shard_ev_min <- n;
+        if n > win.shard_ev_max then win.shard_ev_max <- n)
+      shard_ev
+  end;
   Mutex.unlock mutex
 
 let reset () =
@@ -37,13 +67,14 @@ let reset () =
   win.reused <- 0;
   win.peak <- 0;
   win.sims <- 0;
+  win.sharded_sims <- 0;
+  win.shards <- 0;
+  win.barriers <- 0;
+  win.epochs_elided <- 0;
+  win.xshard <- 0;
+  win.shard_ev_min <- max_int;
+  win.shard_ev_max <- 0;
   Mutex.unlock mutex
-
-let snapshot () =
-  Mutex.lock mutex;
-  let s = (win.events, win.elided, win.reused, win.peak, win.sims) in
-  Mutex.unlock mutex;
-  s
 
 let measure ~figure f =
   reset ();
@@ -52,7 +83,14 @@ let measure ~figure f =
   let result = f () in
   let host = Unix.gettimeofday () -. t0 in
   Subsys_obs.flush ~figure;
-  let events, elided, reused, peak, sims = snapshot () in
+  Mutex.lock mutex;
+  let events = win.events and elided = win.elided in
+  let reused = win.reused and peak = win.peak and sims = win.sims in
+  let sharded_sims = win.sharded_sims and shards = win.shards in
+  let barriers = win.barriers and epochs_elided = win.epochs_elided in
+  let xshard = win.xshard in
+  let ev_min = win.shard_ev_min and ev_max = win.shard_ev_max in
+  Mutex.unlock mutex;
   let fi = float_of_int in
   let rate n = if host > 0. then fi n /. host else 0. in
   Report.record ~figure ~metric:"engine/events" (fi events);
@@ -64,4 +102,17 @@ let measure ~figure f =
   Report.record ~figure ~metric:"engine/events_per_sec" (rate events);
   Report.record ~figure ~metric:"engine/equiv_events_per_sec"
     (rate (events + elided));
+  (* Zero-omitted, like the fabric/* keys: a figure that never sharded an
+     experiment reports no engine/shards/* at all. *)
+  if sharded_sims > 0 then begin
+    Report.record ~figure ~metric:"engine/shards/sims" (fi sharded_sims);
+    Report.record ~figure ~metric:"engine/shards/count" (fi shards);
+    Report.record ~figure ~metric:"engine/shards/barrier_rounds"
+      (fi barriers);
+    Report.record ~figure ~metric:"engine/shards/epochs_elided"
+      (fi epochs_elided);
+    Report.record ~figure ~metric:"engine/shards/xshard_events" (fi xshard);
+    Report.record ~figure ~metric:"engine/shards/events_min" (fi ev_min);
+    Report.record ~figure ~metric:"engine/shards/events_max" (fi ev_max)
+  end;
   result

@@ -19,6 +19,15 @@
       — the throughput in {e per-packet-equivalent} events, comparable
       across batching changes; [scripts/perf.sh] gates on this
 
+    Figures that ran sharded experiments additionally report
+    [engine/shards/*] — sharded sims, total shard count, barrier rounds,
+    epochs elided by skip-ahead, cross-shard events merged at barriers,
+    and the min/max per-shard event count (load balance).  These keys
+    are zero-omitted: absent whenever sharding is off, so the default
+    JSON stays byte-identical.  [engine/cells_reused] and
+    [engine/peak_heap] aggregate across shards inside {!Sim} (sum of
+    per-shard pools, max of per-shard high-water marks).
+
     Host wall-clock is used {e only} here, and only ends up in the JSON
     report (never on stdout), so `picobench` output stays byte-identical
     across hosts and runs. *)

@@ -24,7 +24,8 @@ let run (cl : Cluster.t) ~ranks_per_node app =
   let started = Sim.now sim in
   for rank = 0 to world - 1 do
     let node_idx = rank / ranks_per_node in
-    Sim.spawn sim ~name:(Printf.sprintf "rank%d" rank) (fun () ->
+    Sim.spawn sim ~name:(Printf.sprintf "rank%d" rank) ~shard:node_idx
+      (fun () ->
         try
           (* Device bring-up, accounted as MPI_Init. *)
           let t0 = Sim.now sim in
@@ -46,6 +47,11 @@ let run (cl : Cluster.t) ~ranks_per_node app =
           eps.(rank) <- Some ep;
           comms.(rank) <- Some comm;
           Syncpoint.arrive ready;
+          (* Bring-up is over: every zero-latency cross-node coupling
+             (the syncpoint above) is behind us, so the engine may leave
+             the merged prologue for epoch-barrier rounds.  No-op when
+             sharding is off; idempotent across ranks. *)
+          Sim.shard_engage sim;
           Endpoint.connect ep ~peers;
           let fom = app comm in
           foms.(rank) <- fom

@@ -112,6 +112,9 @@ let install (cl : Cluster.t) =
     let frng = Rng.split cl.Cluster.rng in
     Array.iter
       (fun (env : Cluster.node_env) ->
+        (* Fault processes act on one node's engines/kernel: they belong
+           to that node's event shard (identity when sharding is off). *)
+        Sim.with_shard cl.Cluster.sim env.Cluster.node.Node.id @@ fun () ->
         let nrng = Rng.split frng in
         let halts, stalls, drop_rng, crc_rng =
           node_schedule nrng

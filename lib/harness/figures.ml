@@ -959,6 +959,140 @@ let fabric ?jobs () =
     node_counts;
   Buffer.contents b
 
+(* --- At-scale sweeps: sharded engine + steady-state fast-forward ------------ *)
+
+(* The Figures 5-7-shaped sweep pushed to the node counts the paper's
+   cluster actually had, made tractable by the two test-visible engine
+   switches: per-node event sharding ([Cluster.sharding], with the
+   content-ordered barrier merge) and steady-state fast-forward
+   ([Sim.fast_forward], the closed forms that elide events but never
+   costs).  Part A proves on small worlds that neither switch changes
+   simulation results; Part B runs the big sweep with both on. *)
+
+let at_scale_nodes s =
+  if s = full then [ 256; 512; 1024 ]
+  else if s = medium then [ 64; 128; 256; 512 ]
+  else [ 64; 128; 256 ]
+
+(* Everything simulated a run produced, as exact bit patterns: any float
+   divergence upstream lands in at least one of these. *)
+let at_scale_fingerprint (cl : Cluster.t) (res : Experiment.result) =
+  Printf.sprintf "%Lx;%Lx;%Lx;%d;%d"
+    (Int64.bits_of_float res.Experiment.fom_ns)
+    (Int64.bits_of_float res.Experiment.wall_ns)
+    (Int64.bits_of_float res.Experiment.init_ns)
+    (Fabric.packets_delivered cl.Cluster.fabric)
+    (Fabric.bytes_delivered cl.Cluster.fabric)
+
+(* Sequential on purpose: each probe mutates the process-wide switches,
+   which must never happen inside a pool (workers read them). *)
+let at_scale_probe ~shard ~ff kind =
+  Sim.fast_forward := ff;
+  (* Identity across shard-on/off only holds between runs sharing the
+     same same-instant arrival tie-break (see [Cluster.ordered_arrivals]):
+     sharded builds force the content order, so the unsharded comparator
+     opts into it too. *)
+  Cluster.ordered_arrivals := true;
+  Fun.protect ~finally:(fun () ->
+      Sim.fast_forward := false;
+      Cluster.ordered_arrivals := false)
+  @@ fun () ->
+  let cl = Cluster.build kind ~n_nodes:4 ~sharding:shard () in
+  let res =
+    Experiment.run cl ~ranks_per_node:2 (fun c -> Pico_apps.Umt.run c)
+  in
+  at_scale_fingerprint cl res
+
+let at_scale ?(scale = quick) ?jobs () =
+  Engine_obs.measure ~figure:"scale" @@ fun () ->
+  let b = Buffer.create 4096 in
+  buf_add b "At-scale collapse on the sharded + fast-forwarded engine\n\n";
+  (* Part A: per OS configuration, the (shard, fast-forward) switch
+     combinations must reproduce the baseline run bit for bit. *)
+  let oks =
+    List.map
+      (fun kind ->
+        let base = at_scale_probe ~shard:false ~ff:false kind in
+        ( at_scale_probe ~shard:true ~ff:false kind = base,
+          at_scale_probe ~shard:false ~ff:true kind = base,
+          at_scale_probe ~shard:true ~ff:true kind = base ))
+      os_kinds
+  in
+  let shard_ok = List.for_all (fun (s, _, c) -> s && c) oks in
+  let ff_ok = List.for_all (fun (_, f, c) -> f && c) oks in
+  Report.record ~figure:"scale" ~metric:"shard_equiv"
+    (if shard_ok then 1. else 0.);
+  Report.record ~figure:"scale" ~metric:"ff_equiv" (if ff_ok then 1. else 0.);
+  buf_add b
+    (Printf.sprintf "sharding on/off: %s (3 OS configs)\n"
+       (if shard_ok then "OK, byte-identical" else "MISMATCH"));
+  buf_add b
+    (Printf.sprintf "fast-forward on/off: %s (3 OS configs)\n\n"
+       (if ff_ok then "OK, byte-identical" else "MISMATCH"));
+  (* Part B: the big sweep.  Switches go on before the pool spins up and
+     come off after it drains — workers only ever read them. *)
+  let rpn = 8 in
+  let nodes = at_scale_nodes scale in
+  (* Half the steps and sweep phases of the calibrated Figure 6a runs:
+     the FOM ratios are steady-state per-step quantities, so the
+     collapse shape is unchanged while the 256-node points stay in
+     check.sh territory.  Part A (and test_scale) keep the full default
+     parameters — denser traffic is the stronger identity check. *)
+  let umt_params =
+    { Pico_apps.Umt.default with steps = 2; sweep_phases = 2 }
+  in
+  Sim.fast_forward := true;
+  Cluster.sharding := true;
+  Fun.protect ~finally:(fun () ->
+      Sim.fast_forward := false;
+      Cluster.sharding := false)
+  @@ fun () ->
+  let points =
+    List.concat_map (fun n -> List.map (fun k -> (n, k)) os_kinds) nodes
+  in
+  let foms =
+    Pool.with_pool ?jobs (fun pool ->
+        Pool.map pool
+          (fun (n, kind) ->
+            let cl = Cluster.build kind ~n_nodes:n () in
+            let res =
+              Experiment.run cl ~ranks_per_node:rpn (fun c ->
+                  Pico_apps.Umt.run ~params:umt_params c)
+            in
+            res.Experiment.fom_ns)
+          points)
+  in
+  let rec to_rows nodes foms acc =
+    match (nodes, foms) with
+    | [], [] -> List.rev acc
+    | n :: nrest, linux :: mck :: hfi :: frest ->
+      Report.record ~figure:"scale"
+        ~metric:(Printf.sprintf "linux_fom_ns/n%d" n)
+        linux;
+      Report.record ~figure:"scale" ~metric:(Printf.sprintf "mck_rel/n%d" n)
+        (linux /. mck);
+      Report.record ~figure:"scale" ~metric:(Printf.sprintf "hfi_rel/n%d" n)
+        (linux /. hfi);
+      let row =
+        [ string_of_int n;
+          "100.0%";
+          Tables.pct (linux /. mck);
+          Tables.pct (linux /. hfi);
+          Tables.ns linux ]
+      in
+      to_rows nrest frest (row :: acc)
+    | _ -> invalid_arg "at_scale: result shape mismatch"
+  in
+  let rows = to_rows nodes foms [] in
+  buf_add b
+    (Printf.sprintf
+       "UMT2013 at scale (relative performance to Linux, %d ranks/node)\n" rpn);
+  buf_add b
+    (Tables.render
+       ~header:[ "nodes"; "Linux"; "McKernel"; "McKernel+HFI1"; "Linux FOM" ]
+       rows);
+  Buffer.contents b
+
 (* --- everything ------------------------------------------------------------- *)
 
 let all ?(scale = quick) ?jobs () =

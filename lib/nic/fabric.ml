@@ -11,9 +11,16 @@ type tier_stats = {
   ts_contended : int;
 }
 
+(* Packets bound for one node at one instant, buffered until the
+   tail-of-instant flush delivers them in content order — see the note
+   at [send_at].  Items are (src_node, send order, packet, sink), in
+   reverse buffering order. *)
+type batch = (int * int * Wire.packet * (Wire.packet -> unit)) list ref
+
 type t = {
   sim : Sim.t;
   topo : Topology.t;
+  routes : Route.Memo.t;
   sinks : (int, Wire.packet -> unit) Hashtbl.t;
   links : (Route.hop, Link.t) Hashtbl.t;
   (* Train-abort hooks, kept sorted by node id: Hashtbl iteration order
@@ -21,12 +28,17 @@ type t = {
   mutable aborts : (int * (unit -> unit)) list;
   mutable packets : int;
   mutable bytes : int;
+  ordered : bool;
+  arrivals : (int * float, batch) Hashtbl.t; (* key: (dst, instant) *)
+  mutable send_ord : int;
 }
 
-let create ?(topology = Topology.Flat) sim =
+let create ?(topology = Topology.Flat) ?(ordered = false) sim =
   Topology.validate topology;
-  { sim; topo = topology; sinks = Hashtbl.create 64;
-    links = Hashtbl.create 64; aborts = []; packets = 0; bytes = 0 }
+  { sim; topo = topology; routes = Route.Memo.create topology;
+    sinks = Hashtbl.create 64; links = Hashtbl.create 64; aborts = [];
+    packets = 0; bytes = 0; ordered; arrivals = Hashtbl.create 64;
+    send_ord = 0 }
 
 let topology t = t.topo
 
@@ -103,11 +115,56 @@ let send_at t ~time (p : Wire.packet) =
         if p.src_node = p.dst_node then (Costs.current ()).loopback_latency
         else (Costs.current ()).link_latency
       in
-      Sim.at t.sim (time +. latency) (fun () -> deliver t rx p)
+      let arrive = time +. latency in
+      (* Delivery belongs to the destination node's event shard (no-op
+         when sharding is off).  Cross-node arrivals are one full
+         [link_latency] out, which is exactly the sharded engine's
+         lookahead; loopbacks stay within the sending shard. *)
+      if not t.ordered then
+        Sim.at t.sim ~shard:p.dst_node arrive (fun () -> deliver t rx p)
+      else begin
+        (* Ordered same-instant arrival discipline.  Packets reaching
+           one node at the exact same instant have no physical order,
+           but the event queue imposes one — insertion order when
+           unsharded, barrier merge order when sharded — and it leaks
+           further: arrival events interleave differently with the
+           node's own same-instant events (compute-phase resumptions,
+           wake-ups) in the two engines, because a merged event's
+           sequence number is assigned at the barrier while an inserted
+           one keeps its send-time number.  Protocol actions at the
+           destination (e.g. a send-side writev vs a receive-side TID
+           ioctl) do not commute under wire contention, so the engines
+           would drift apart.  The one position both agree on is the
+           {e end} of the instant: each arrival only buffers its
+           packet, the first one schedules a [~tail:true] flush, and
+           the flush — which by the tail-band contract runs after every
+           other event at that (node, instant) in either engine —
+           delivers the batch sorted by (src_node, send order), a
+           content order no execution schedule can perturb.  Same-src
+           orders are assigned in the source node's execution order,
+           which is engine-invariant. *)
+        let key = (p.dst_node, arrive) in
+        let ord = t.send_ord in
+        t.send_ord <- ord + 1;
+        Sim.at t.sim ~shard:p.dst_node arrive (fun () ->
+            match Hashtbl.find_opt t.arrivals key with
+            | Some b -> b := (p.src_node, ord, p, rx) :: !b
+            | None ->
+              let b : batch = ref [ (p.src_node, ord, p, rx) ] in
+              Hashtbl.add t.arrivals key b;
+              Sim.at t.sim ~shard:p.dst_node ~tail:true arrive (fun () ->
+                  Hashtbl.remove t.arrivals key;
+                  List.sort
+                    (fun (sa, oa, _, _) (sb, ob, _, _) ->
+                      compare (sa, oa) (sb, ob))
+                    !b
+                  |> List.iter (fun (_, _, p, rx) -> deliver t rx p)))
+      end
     end
     else begin
       let hops =
-        Route.route t.topo ~src:p.src_node ~dst:p.dst_node ~dst_ctx:p.dst_ctx
+        Route.Memo.route t.routes ~src:p.src_node ~dst:p.dst_node
+          ~dst_ctx:p.dst_ctx
       in
       Sim.at t.sim time (fun () -> hop_walk t rx p hops)
     end
@@ -125,7 +182,7 @@ let route_quiet t ~src ~dst ~dst_ctx =
          match Hashtbl.find_opt t.links hop with
          | None -> true (* never instantiated: nothing ever crossed it *)
          | Some l -> Link.idle l)
-       (Route.route t.topo ~src ~dst ~dst_ctx)
+       (Route.Memo.route t.routes ~src ~dst ~dst_ctx)
 
 let packets_delivered t = t.packets
 

@@ -22,9 +22,23 @@ module Topology = Pico_fabric.Topology
 
 type t
 
-(** [create ?topology sim] — default {!Topology.Flat}.
+(** [create ?topology ?ordered sim] — default {!Topology.Flat}.
+
+    [ordered] (default [false]) selects the same-instant arrival
+    discipline on the flat/loopback path: packets reaching one node at
+    the exact same instant are delivered as one batch, sorted by
+    [(src_node, send order)] — a content order that is identical whether
+    the engine is sharded or not, which is what makes shard-on/off runs
+    byte-identical (the event queue's own tie-break is insertion order
+    unsharded but barrier-merge order sharded, and destination protocol
+    actions do not commute under wire contention).  Arrivals with no
+    same-instant companion — the overwhelmingly common case — deliver
+    exactly like the unordered path.  The calibrated default stays
+    [false] so every published figure keeps its historical tie-break;
+    {!Pico_harness.Cluster} (not this module) forces it on for sharded
+    clusters.
     @raise Invalid_argument on an invalid topology *)
-val create : ?topology:Topology.t -> Sim.t -> t
+val create : ?topology:Topology.t -> ?ordered:bool -> Sim.t -> t
 
 val topology : t -> Topology.t
 

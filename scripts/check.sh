@@ -120,10 +120,51 @@ if ! grep -q '^flat-topology default: OK' "$tseq_out"; then
   exit 1
 fi
 
+echo "== determinism: picobench scale, jobs=1 vs jobs=$jobs =="
+sseq_out="$(mktemp)"
+spar_out="$(mktemp)"
+sseq_json="$(mktemp)"
+spar_json="$(mktemp)"
+trap 'rm -f "$seq_out" "$par_out" "$seq_json" "$par_json" \
+  "$fseq_out" "$fpar_out" "$fseq_json" "$fpar_json" \
+  "$tseq_out" "$tpar_out" "$tseq_json" "$tpar_json" \
+  "$sseq_out" "$spar_out" "$sseq_json" "$spar_json"' EXIT
+
+PICO_JOBS=1 dune exec --no-build bin/picobench.exe -- scale \
+  --json "$sseq_json" > "$sseq_out"
+PICO_JOBS="$jobs" dune exec --no-build bin/picobench.exe -- scale \
+  --json "$spar_json" > "$spar_out"
+
+if ! diff -u "$sseq_out" "$spar_out"; then
+  echo "FAIL: scale output differs between jobs=1 and jobs=$jobs" >&2
+  exit 1
+fi
+mask_json "$sseq_json"
+mask_json "$spar_json"
+if ! diff -u "$sseq_json.masked" "$spar_json.masked"; then
+  rm -f "$sseq_json.masked" "$spar_json.masked"
+  echo "FAIL: scale JSON differs between jobs=1 and jobs=$jobs" >&2
+  exit 1
+fi
+rm -f "$sseq_json.masked" "$spar_json.masked"
+
+# Sharding and steady-state fast-forward must not change simulation
+# results: the figure re-runs small worlds under every switch
+# combination and prints one greppable line per switch.
+if ! grep -q '^sharding on/off: OK' "$sseq_out"; then
+  echo "FAIL: sharded engine is not byte-identical to unsharded" >&2
+  exit 1
+fi
+if ! grep -q '^fast-forward on/off: OK' "$sseq_out"; then
+  echo "FAIL: fast-forward is not byte-identical to per-event" >&2
+  exit 1
+fi
+
 # Engine throughput (wall-clock, host-specific): informative, never gates
-# the build — machines differ and CI boxes are noisy.
+# the build — machines differ and CI boxes are noisy.  The scale sweep
+# was byte-checked twice just above, so perf.sh skips re-running it.
 echo "== engine throughput (non-fatal) =="
-if ! scripts/perf.sh; then
+if ! PICO_PERF_SCALE=0 scripts/perf.sh; then
   echo "WARN: perf.sh reported a throughput regression (non-fatal)" >&2
 fi
 

@@ -11,6 +11,14 @@
 # the per-packet and batched paths; a change that merely skipped
 # simulation work would show up as a byte-diff in check.sh instead.
 #
+# A second, informative wall-clock FOM comes from `picobench scale`: the
+# 64-256-node sweep on the sharded + fast-forwarded engine, whose whole
+# point is finishing in minutes.  Its host seconds are recorded next to
+# the throughput numbers (and refreshed into the baseline) but only warn,
+# never fail — the hard gate stays fig4's equiv_events_per_sec.  Skip it
+# with PICO_PERF_SCALE=0 (check.sh does: it just byte-checked the same
+# figure twice).
+#
 # The baseline is host-specific (wall-clock!); refresh it on your machine
 # with:  scripts/perf.sh --update   (or PICO_PERF_UPDATE=1 scripts/perf.sh)
 #
@@ -54,6 +62,21 @@ if [ -z "$eeps" ]; then
   exit 1
 fi
 
+scale_host=null
+if [ "${PICO_PERF_SCALE:-1}" = "1" ]; then
+  stmp="$(mktemp)"
+  trap 'rm -f "$tmp" "$stmp"' EXIT
+  dune exec --no-build bin/picobench.exe -- scale --json "$stmp" > /dev/null
+  scale_host="$(awk -F': ' '/"scale\/engine\/host_seconds"/ \
+    { gsub(/[ ,]/, "", $2); print $2 }' "$stmp")"
+  if [ -z "$scale_host" ]; then
+    echo "perf.sh: no scale/engine/host_seconds in picobench scale JSON" >&2
+    exit 1
+  fi
+  printf 'perf.sh: scale: 64-256-node sweep in %ss host wall-clock\n' \
+    "$scale_host"
+fi
+
 cat > "$out" <<EOF
 {
   "schema": "picodriver-perf-v1",
@@ -62,7 +85,8 @@ cat > "$out" <<EOF
   "events_elided": $elided,
   "host_seconds": $host,
   "events_per_sec": $eps,
-  "equiv_events_per_sec": $eeps
+  "equiv_events_per_sec": $eeps,
+  "scale_host_seconds": $scale_host
 }
 EOF
 
@@ -97,5 +121,18 @@ awk -v now="$eeps" -v base="$base_eeps" 'BEGIN {
     exit 1;
   }
 }'
+
+# The at-scale sweep's wall clock warns only: it mixes engine throughput
+# with pool scheduling and machine load, so it is a trend indicator.
+base_scale="$(awk -F': ' '/"scale_host_seconds"/ { gsub(/[ ,]/,"",$2); print $2 }' "$baseline")"
+if [ "$scale_host" != null ] && [ -n "$base_scale" ] && [ "$base_scale" != null ]; then
+  awk -v now="$scale_host" -v base="$base_scale" 'BEGIN {
+    ratio = now / base;
+    printf "perf.sh: scale sweep %.2fx of baseline wall clock (%.3gs vs %.3gs)\n",
+      ratio, now, base;
+    if (ratio > 1.5)
+      print "perf.sh: WARN: at-scale sweep >1.5x slower than baseline" > "/dev/stderr";
+  }'
+fi
 
 echo "perf.sh: OK"

@@ -1,0 +1,335 @@
+(* Tests for the sharded engine and steady-state fast-forward: byte
+   identity of simulation results across shard-on/off and
+   fast-forward-on/off (including with fault injection armed), the
+   mid-run halt case proving fast-forward falls back to per-event
+   processing, Route memoization, and the shard counter plumbing. *)
+
+module Sim = Pico_engine.Sim
+module Rng = Pico_engine.Rng
+module Topology = Pico_fabric.Topology
+module Route = Pico_fabric.Route
+module Fabric = Pico_nic.Fabric
+module Hfi = Pico_nic.Hfi
+module Sdma = Pico_nic.Sdma
+module Noise = Pico_linux.Noise
+module Costs = Pico_costs.Costs
+module Cluster = Pico_harness.Cluster
+module Experiment = Pico_harness.Experiment
+module Fault = Pico_harness.Fault
+module Comm = Pico_mpi.Comm
+module Collectives = Pico_mpi.Collectives
+module Mpi = Pico_mpi.Mpi
+module Workload = Pico_apps.Workload
+
+let () = Costs.reset ()
+
+(* --- the probe workload ----------------------------------------------------
+
+   One steady-state iteration mixes everything the two switches touch:
+   rendezvous-sized ring traffic (SDMA request trains), eager collective
+   traffic, and noise-metered compute (Linux ranks).  Deliberately the
+   same shape as the integration fuzz app, plus compute. *)
+
+let app comm =
+  let os = Pico_psm.Endpoint.os comm.Comm.ep in
+  let buf = os.Pico_psm.Endpoint.mmap_anon (256 * 1024) in
+  let n = comm.Comm.size in
+  Collectives.barrier comm;
+  for _ = 1 to 3 do
+    Mpi.sendrecv comm
+      ~dst:((comm.Comm.rank + 1) mod n)
+      ~src:(Some ((comm.Comm.rank - 1 + n) mod n))
+      ~stag:1 ~rtag:1 ~sva:buf ~slen:(200 * 1024) ~rva:buf
+      ~rlen:(200 * 1024);
+    Workload.compute comm 3.3e5;
+    Collectives.allreduce comm ~len:64
+  done;
+  os.Pico_psm.Endpoint.munmap buf;
+  Collectives.barrier comm;
+  1.
+
+(* Pairwise cross-node exchange: with [rpn] ranks per node all sending
+   rendezvous-sized messages to the opposite node at once, one rank's
+   SDMA train is in flight while its node-mates contend for the same
+   wire — the contention that forces {!Hfi.maybe_abort_train}. *)
+let xchg_app comm =
+  let os = Pico_psm.Endpoint.os comm.Comm.ep in
+  let buf = os.Pico_psm.Endpoint.mmap_anon (512 * 1024) in
+  let n = comm.Comm.size in
+  let rank = comm.Comm.rank in
+  let partner = (rank + (n / 2)) mod n in
+  (* Node-local rank index (node-major layout): staggering the senders a
+     few microseconds apart lets the first form a train that is still on
+     the wire when its node-mate's transfer arrives. *)
+  let local = rank mod (n / 2) in
+  Collectives.barrier comm;
+  for step = 1 to 4 do
+    let r = Mpi.irecv comm ~src:(Some partner) ~tag:step ~va:buf
+        ~len:(200 * 1024) in
+    Workload.compute comm (float_of_int local *. 6.0e3);
+    let s = Mpi.isend comm ~dst:partner ~tag:step ~va:buf ~len:(200 * 1024) in
+    Mpi.waitall comm [ r; s ];
+    Workload.compute comm 1.0e5
+  done;
+  os.Pico_psm.Endpoint.munmap buf;
+  Collectives.barrier comm;
+  1.
+
+(* Everything simulated the run produced, as exact bit patterns: any
+   float divergence anywhere upstream lands in at least one of these. *)
+let fingerprint (cl : Cluster.t) (res : Experiment.result) =
+  let b = Buffer.create 256 in
+  let f x = Buffer.add_string b (Printf.sprintf "%Lx;" (Int64.bits_of_float x)) in
+  let i n = Buffer.add_string b (string_of_int n ^ ";") in
+  f res.Experiment.fom_ns;
+  f res.Experiment.wall_ns;
+  f res.Experiment.init_ns;
+  f (Experiment.total_runtime_ns res);
+  i (Fabric.packets_delivered cl.Cluster.fabric);
+  i (Fabric.bytes_delivered cl.Cluster.fabric);
+  Array.iter
+    (fun (env : Cluster.node_env) ->
+      let hfi = env.Cluster.hfi in
+      i (Hfi.pio_packets hfi);
+      i (Hfi.pio_bytes hfi);
+      i (Hfi.eager_packets_rx hfi);
+      i (Hfi.expected_msgs_rx hfi);
+      let sdma = Hfi.sdma hfi in
+      i (Sdma.requests_submitted sdma);
+      i (Sdma.bytes_submitted sdma);
+      i (Sdma.txs_completed sdma);
+      i (Sdma.halts sdma);
+      f (Sdma.busy_ns sdma);
+      f (Sdma.halted_ns sdma))
+    cl.Cluster.nodes;
+  Buffer.contents b
+
+let with_faults armed f =
+  if not armed then f ()
+  else
+    Costs.with_patched
+      (fun c ->
+        c.Costs.fault_horizon <- 1.0e8;
+        c.Costs.fault_sdma_halt_interval <- 3.0e6;
+        c.Costs.fault_service_stall_interval <- 5.0e6)
+      f
+
+type probe = {
+  fp : string;
+  events : int;
+  elided : int;
+  aborts : int;
+  halts : int;
+}
+
+let run_probe ?(app = app) ~kind ~n_nodes ~rpn ~seed ~faults ~shard ~ff () =
+  with_faults faults @@ fun () ->
+  Sim.fast_forward := ff;
+  (* Identity across shard-on/off only holds between runs sharing the
+     same same-instant arrival tie-break, so the unsharded comparator
+     opts into the content order that sharded builds force on. *)
+  Cluster.ordered_arrivals := true;
+  Fun.protect ~finally:(fun () ->
+      Sim.fast_forward := false;
+      Cluster.ordered_arrivals := false)
+  @@ fun () ->
+  let cl = Cluster.build kind ~n_nodes ~sharding:shard ~seed () in
+  Fault.install cl;
+  let res = Experiment.run cl ~ranks_per_node:rpn app in
+  let sum g =
+    Array.fold_left (fun acc env -> acc + g env) 0 cl.Cluster.nodes
+  in
+  { fp = fingerprint cl res;
+    events = Sim.events_processed cl.Cluster.sim;
+    elided = Sim.events_elided cl.Cluster.sim;
+    aborts = sum (fun env -> Hfi.train_aborts env.Cluster.hfi);
+    halts = sum (fun env -> Sdma.halts (Hfi.sdma env.Cluster.hfi)) }
+
+let kinds = [| Cluster.Linux; Cluster.Mckernel; Cluster.Mckernel_hfi |]
+
+(* --- shard-on/off and fast-forward-on/off identity ------------------------- *)
+
+let prop_switch_identity =
+  QCheck2.Test.make
+    ~name:"shard/fast-forward on/off: identical simulation results"
+    ~count:12
+    ~print:(fun (k, n, r, s, f) ->
+      Printf.sprintf "kind=%d n_nodes=%d rpn=%d seed=%d faults=%b" k n r s f)
+    QCheck2.Gen.(
+      tup5 (int_range 0 2) (int_range 2 4) (int_range 1 3) (int_range 0 10_000)
+        bool)
+    (fun (kind_i, n_nodes, rpn, seed, faults) ->
+      let kind = kinds.(kind_i) in
+      let seed = Int64.of_int seed in
+      let base =
+        run_probe ~kind ~n_nodes ~rpn ~seed ~faults ~shard:false ~ff:false ()
+      in
+      List.for_all
+        (fun (shard, ff) ->
+          let p = run_probe ~kind ~n_nodes ~rpn ~seed ~faults ~shard ~ff () in
+          p.fp = base.fp
+          (* Elision decisions depend only on simulated state, so they
+             are switch-for-switch identical unless fast-forward widens
+             the gates.  Raw event counts may drift by a handful under
+             sharding (a same-instant cross-shard put/get pair commutes
+             semantically but changes whether a wake event is needed),
+             which is why identity is defined over simulation results,
+             never engine-internal counters. *)
+          && (ff || p.elided = base.elided))
+        [ (true, false); (false, true); (true, true) ])
+
+(* The `picobench scale` part A probe: UMT's persistent-channel wavefront
+   sweeps (6-neighbour rendezvous halos) are the densest same-instant
+   traffic any figure generates. *)
+let test_umt_identity () =
+  Array.iter
+    (fun kind ->
+      let run ~shard ~ff =
+        run_probe
+          ~app:(fun c -> Pico_apps.Umt.run c)
+          ~kind ~n_nodes:4 ~rpn:2 ~seed:0x5EEDL ~faults:false ~shard ~ff ()
+      in
+      let base = run ~shard:false ~ff:false in
+      List.iter
+        (fun (shard, ff) ->
+          let p = run ~shard ~ff in
+          Alcotest.(check string)
+            (Printf.sprintf "umt identity shard=%b ff=%b" shard ff)
+            base.fp p.fp)
+        [ (true, false); (false, true); (true, true) ])
+    kinds
+
+(* --- mid-run halts under fast-forward -------------------------------------- *)
+
+(* With halts armed and several ranks per node, fast-forward still forms
+   SDMA trains (the relaxed gate), engines halt mid-run, and contending
+   wire users rewind trains to the per-event path; results must stay
+   byte-identical to the fully per-event run. *)
+let test_ff_halt_fallback () =
+  let kind = Cluster.Mckernel_hfi and n_nodes = 2 and rpn = 2
+  and seed = 42L in
+  let run ~shard ~ff =
+    run_probe ~app:xchg_app ~kind ~n_nodes ~rpn ~seed ~faults:true ~shard ~ff
+      ()
+  in
+  let off = run ~shard:false ~ff:false in
+  let on = run ~shard:true ~ff:true in
+  Alcotest.(check bool) "halts actually occurred" true (off.halts > 0);
+  Alcotest.(check bool) "fast-forward engaged (more elided events)" true
+    (on.elided > off.elided);
+  Alcotest.(check bool) "trains aborted into the per-event path" true
+    (on.aborts > 0);
+  Alcotest.(check string) "identical results" off.fp on.fp;
+  Alcotest.(check int) "identical halt schedule" off.halts on.halts
+
+(* --- noise clock closed form ------------------------------------------------ *)
+
+let prop_noise_ff =
+  QCheck2.Test.make
+    ~name:"noise fast-forward: same instants, draws and injected time"
+    ~count:60
+    QCheck2.Gen.(
+      tup2 (map Int64.of_int int)
+        (list_size (int_range 1 12) (oneofl [ 0.; 1.0e4; 3.3e5; 2.5e6 ])))
+    (fun (seed, durations) ->
+      let trace ff =
+        Sim.fast_forward := ff;
+        Fun.protect ~finally:(fun () -> Sim.fast_forward := false)
+        @@ fun () ->
+        let sim = Sim.create () in
+        let noise =
+          Noise.create sim ~rng:(Rng.create ~seed) ~nohz_full:true
+        in
+        let out = ref [] in
+        Sim.spawn sim (fun () ->
+            List.iter
+              (fun d ->
+                Noise.compute noise d;
+                out := Int64.bits_of_float (Sim.now sim) :: !out)
+              durations);
+        ignore (Sim.run sim);
+        (!out, Int64.bits_of_float (Noise.injected_ns noise))
+      in
+      trace false = trace true)
+
+(* --- route memoization ------------------------------------------------------ *)
+
+let prop_route_memo =
+  QCheck2.Test.make ~name:"memoized route = recomputed route" ~count:200
+    QCheck2.Gen.(
+      tup5 (int_range 1 8) (int_range 1 4) (int_range 0 63) (int_range 0 63)
+        (int_range 0 7))
+    (fun (radix, oversub, src, dst, dst_ctx) ->
+      let topo = Topology.Fat_tree { radix; oversub } in
+      let memo = Route.Memo.create topo in
+      let direct = Route.route topo ~src ~dst ~dst_ctx in
+      Route.Memo.route memo ~src ~dst ~dst_ctx = direct
+      (* second lookup serves the cached list *)
+      && Route.Memo.route memo ~src ~dst ~dst_ctx = direct)
+
+let test_route_memo_flat () =
+  let memo = Route.Memo.create Topology.Flat in
+  Alcotest.(check bool) "flat routes are empty" true
+    (Route.Memo.route memo ~src:0 ~dst:5 ~dst_ctx:1 = [])
+
+(* --- shard counters --------------------------------------------------------- *)
+
+let test_shard_counters () =
+  let kind = Cluster.Mckernel_hfi and n_nodes = 3 and rpn = 2
+  and seed = 7L in
+  with_faults false @@ fun () ->
+  let cl = Cluster.build kind ~n_nodes ~sharding:true ~seed () in
+  let sim = cl.Cluster.sim in
+  Alcotest.(check bool) "sharded" true (Sim.sharded sim);
+  Alcotest.(check int) "one shard per node" n_nodes (Sim.shard_count sim);
+  ignore (Experiment.run cl ~ranks_per_node:rpn app);
+  let per_shard = Sim.shard_events sim in
+  Alcotest.(check int) "per-shard events sum to the total"
+    (Sim.events_processed sim)
+    (Array.fold_left ( + ) 0 per_shard);
+  Alcotest.(check bool) "every shard did work" true
+    (Array.for_all (fun n -> n > 0) per_shard);
+  Alcotest.(check bool) "epoch rounds ran" true (Sim.barrier_rounds sim > 0);
+  Alcotest.(check bool) "cross-shard events merged" true
+    (Sim.xshard_events sim > 0);
+  Alcotest.(check bool) "idle epochs skipped" true (Sim.epochs_elided sim >= 0)
+
+let test_unsharded_counters () =
+  let cl = Cluster.build Cluster.Linux ~n_nodes:2 ~sharding:false ~seed:7L () in
+  let sim = cl.Cluster.sim in
+  ignore (Experiment.run cl ~ranks_per_node:1 app);
+  Alcotest.(check bool) "not sharded" false (Sim.sharded sim);
+  Alcotest.(check int) "no shards" 0 (Sim.shard_count sim);
+  Alcotest.(check int) "no barriers" 0 (Sim.barrier_rounds sim);
+  Alcotest.(check int) "no cross-shard events" 0 (Sim.xshard_events sim)
+
+(* Fat-tree topologies must refuse to shard (shared links) and still run. *)
+let test_fat_tree_never_shards () =
+  let topology = Topology.Fat_tree { radix = 2; oversub = 1 } in
+  let cl =
+    Cluster.build Cluster.Mckernel ~n_nodes:4 ~topology ~sharding:true
+      ~seed:3L ()
+  in
+  Alcotest.(check bool) "fat-tree cluster is unsharded" false
+    (Sim.sharded cl.Cluster.sim);
+  let res = Experiment.run cl ~ranks_per_node:1 app in
+  Alcotest.(check bool) "runs to completion" true
+    (res.Experiment.fom_ns > 0.)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "scale"
+    [ ("identity",
+       [ q prop_switch_identity;
+         Alcotest.test_case "umt wavefront identity" `Slow test_umt_identity;
+         Alcotest.test_case "ff halt fallback" `Slow test_ff_halt_fallback ]);
+      ("noise", [ q prop_noise_ff ]);
+      ("route",
+       [ q prop_route_memo;
+         Alcotest.test_case "flat memo" `Quick test_route_memo_flat ]);
+      ("counters",
+       [ Alcotest.test_case "sharded counters" `Slow test_shard_counters;
+         Alcotest.test_case "unsharded counters" `Quick
+           test_unsharded_counters;
+         Alcotest.test_case "fat-tree never shards" `Slow
+           test_fat_tree_never_shards ]) ]
