@@ -39,8 +39,9 @@ let release r =
     resume ()
   | None -> r.in_use <- r.in_use - 1
 
-let use r ~work f =
+let use ?on_grant r ~work f =
   let _waited = acquire r in
+  (match on_grant with None -> () | Some g -> g ());
   let started = Sim.now r.sim in
   Sim.delay r.sim work;
   let finish () =

@@ -40,25 +40,33 @@ module Memo = struct
      and hop-list construction can leave the per-packet hot path.  The
      table is per-instance (one per fabric): module-level memo state
      would couple sweep points and break parallel byte-identity. *)
+  (* Sharded simulations look routes up from whichever shard is
+     executing, so the cache is an array of tables indexed by the
+     caller's shard: each shard only ever touches its own slot, keeping
+     lookup order (hence nothing — the tables are write-once caches of a
+     pure function) per-shard deterministic. *)
   type route_memo = {
     topo : Topology.t;
-    tbl : (int * int * int, hop list) Hashtbl.t;
+    tbls : (int * int * int, hop list) Hashtbl.t array;
   }
 
   type t = route_memo
 
-  let create topo = { topo; tbl = Hashtbl.create 256 }
+  let create ?(shards = 1) topo =
+    if shards <= 0 then invalid_arg "Route.Memo.create: shards must be > 0";
+    { topo; tbls = Array.init shards (fun _ -> Hashtbl.create 256) }
 
-  let route m ~src ~dst ~dst_ctx =
+  let route ?(shard = 0) m ~src ~dst ~dst_ctx =
     match m.topo with
     | Topology.Flat -> []
     | Topology.Fat_tree _ ->
+      let tbl = m.tbls.(shard) in
       let key = (src, dst, dst_ctx) in
-      (match Hashtbl.find_opt m.tbl key with
+      (match Hashtbl.find_opt tbl key with
        | Some hops -> hops
        | None ->
          let hops = route m.topo ~src ~dst ~dst_ctx in
-         Hashtbl.add m.tbl key hops;
+         Hashtbl.add tbl key hops;
          hops)
 end
 

@@ -38,7 +38,12 @@ val describe_hop : hop -> string
 module Memo : sig
   type t
 
-  val create : Topology.t -> t
+  (** [create ?shards topo] sizes the cache for [shards] independent
+      slots (default 1): sharded fabrics give every shard its own table
+      so concurrent-epoch lookups never interleave in one hashtable. *)
+  val create : ?shards:int -> Topology.t -> t
 
-  val route : t -> src:int -> dst:int -> dst_ctx:int -> hop list
+  (** [route ?shard m] looks up in slot [shard] (default 0).  All slots
+      return identical hop lists — they cache the same pure function. *)
+  val route : ?shard:int -> t -> src:int -> dst:int -> dst_ctx:int -> hop list
 end

@@ -1,0 +1,57 @@
+type t = {
+  topo : Topology.t;
+  shards : int;
+  (* switch_owner.(s) = shard s owns at least one Up or Down link, so
+     its outgoing cross-shard events may be as tight as the hop floor *)
+  switch_owner : bool array;
+}
+
+let n_leaves topo ~shards =
+  match topo with
+  | Topology.Flat -> 0
+  | Topology.Fat_tree { radix; _ } -> ((shards - 1) / radix) + 1
+
+let create topo ~shards =
+  if shards <= 0 then invalid_arg "Shardmap.create: shards must be > 0";
+  Topology.validate topo;
+  let switch_owner = Array.make shards false in
+  (match topo with
+   | Topology.Flat -> ()
+   | Topology.Fat_tree { radix; _ } ->
+     let leaves = n_leaves topo ~shards in
+     let spines = Topology.n_spines topo in
+     (* Up/Down links exist only when some route crosses leaves. *)
+     if leaves >= 2 then
+       for l = 0 to leaves - 1 do
+         switch_owner.(l * radix) <- true;
+         for s = 0 to spines - 1 do
+           switch_owner.(((l * spines) + s) mod shards) <- true
+         done
+       done);
+  { topo; shards; switch_owner }
+
+let owner t (hop : Route.hop) =
+  match hop.tier with
+  | Route.Host ->
+    (* co-locate the host ingress link with its node *)
+    hop.b
+  | Route.Up ->
+    (* leaf uplinks live with the leaf's first node *)
+    (match t.topo with
+     | Topology.Fat_tree { radix; _ } -> hop.a * radix
+     | Topology.Flat -> invalid_arg "Shardmap.owner: no hops on Flat")
+  | Route.Down ->
+    (* spine->leaf links round-robin over shards, spread by both ends *)
+    ((hop.b * Topology.n_spines t.topo) + hop.a) mod t.shards
+
+let is_switch_owner t s = t.switch_owner.(s)
+
+let has_switch_owners t = Array.exists Fun.id t.switch_owner
+
+let lookahead t ~link_latency ~hop_floor =
+  if has_switch_owners t then Float.min hop_floor link_latency
+  else link_latency
+
+let pair_bound t ~link_latency ~hop_floor =
+  let floor = Float.min hop_floor link_latency in
+  fun src (_dst : int) -> if t.switch_owner.(src) then floor else link_latency

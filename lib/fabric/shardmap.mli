@@ -1,0 +1,56 @@
+(** Shard ownership of fabric links, and the lookahead bounds it buys.
+
+    Sharded fat-tree simulation decomposes the store-and-forward hop
+    walk into per-shard events: every link gets exactly one owning
+    shard, and only that shard's events arbitrate (and mutate) the
+    link.  The map is a pure function of the topology — no RNG, no
+    adaptive state — so sharded runs stay deterministic:
+
+    - [Host] links are co-located with their node's shard;
+    - [Up] (leaf->spine) links live with the leaf's first node
+      ([leaf * radix]);
+    - [Down] (spine->leaf) links round-robin over shards as
+      [(dst_leaf * n_spines + spine) mod shards].
+
+    Placement carries no simulation semantics (shards execute
+    sequentially in deterministic order); it only balances event load.
+
+    The bounds: consecutive cross-shard hops of one packet are
+    separated by at least [switch_latency] plus the hop's wire
+    serialization — the {e hop floor} — which is much tighter than the
+    [link_latency] a flat cluster promises.  Only shards owning
+    Up/Down links ever schedule that tightly, so [pair_bound] keeps
+    every pure-host shard pair at the full [link_latency] horizon.
+    Latency constants are passed in by the caller ([lib/fabric] does
+    not depend on [Costs]). *)
+
+type t
+
+(** [create topo ~shards] builds the ownership map for a cluster of
+    [shards] node shards (shard [i] = node [i]).
+    @raise Invalid_argument if [shards] is not positive or [topo] is
+    invalid *)
+val create : Topology.t -> shards:int -> t
+
+(** Owning shard of a link; pure in the hop.
+    @raise Invalid_argument for hops on [Flat] (routes there are empty,
+    so no hop can legally reach this) *)
+val owner : t -> Route.hop -> int
+
+(** [is_switch_owner t s] = shard [s] owns at least one Up/Down link. *)
+val is_switch_owner : t -> int -> bool
+
+(** True when any shard owns an Up/Down link, i.e. the topology has at
+    least two populated leaves so cross-leaf routes exist. *)
+val has_switch_owners : t -> bool
+
+(** Scalar epoch lookahead for {!Sim.shard_init}: the hop floor
+    ([switch_latency +. serialization floor], as [hop_floor]) when
+    cross-leaf traffic exists, else the full [link_latency]. *)
+val lookahead : t -> link_latency:float -> hop_floor:float -> float
+
+(** Per-pair bound for {!Sim.shard_init}: [hop_floor] from switch-owner
+    shards, [link_latency] from pure-host shards (the destination does
+    not matter).  Always [>= lookahead t]. *)
+val pair_bound : t -> link_latency:float -> hop_floor:float ->
+  int -> int -> float

@@ -37,11 +37,22 @@ type t = {
 }
 
 (** Test-visible switch (default [false]): shard each experiment's event
-    population per node ({!Sim.shard_init} with
-    lookahead = [link_latency]).  Only effective on flat topologies with
-    more than one node; byte-identity with the unsharded engine is a
+    population per node ({!Sim.shard_init}).  Flat topologies use
+    lookahead = [link_latency]; fat-tree topologies shard through the
+    {!Shardmap} link-ownership map with the tighter hop-floor lookahead
+    ([switch_latency] + the wire serialization floor), declared per
+    shard pair so host-to-host couplings keep the full [link_latency]
+    horizon.  Requests are refused only on genuinely unshardable
+    configs (single-node cluster, degenerate cost table) — see
+    {!shard_refusals}.  Byte-identity with the unsharded engine is a
     hard invariant.  Set before a sweep, never inside one. *)
 val sharding : bool ref
+
+(** Process-wide count of sharding requests refused on unshardable
+    configs.  {!Engine_obs.measure} reports the per-figure delta as the
+    zero-omitted [engine/shards/refused] key; figures note a nonzero
+    delta in their header. *)
+val shard_refusals : unit -> int
 
 (** Test-visible switch (default [false]): build fabrics with
     [Fabric.create ~ordered:true], delivering same-instant arrivals in

@@ -76,9 +76,22 @@ let reset () =
   win.shard_ev_max <- 0;
   Mutex.unlock mutex
 
+(* Sub-phase host timer for figures that want one sweep's wall clock as
+   its own (JSON-only) metric — e.g. the scale figure's fat-tree tail,
+   which perf.sh tracks as a warn-only FOM.  Wall-clock stays confined
+   to this module; check.sh masks every engine/*host_seconds key. *)
+let host_timed ~figure ~metric f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  Report.record ~figure ~metric (Unix.gettimeofday () -. t0);
+  result
+
 let measure ~figure f =
   reset ();
   Subsys_obs.reset ();
+  (* Refusals live in [Cluster] (a counter here would be a module cycle:
+     Engine_obs -> Subsys_obs -> Cluster); the window is the delta. *)
+  let refused0 = Cluster.shard_refusals () in
   let t0 = Unix.gettimeofday () in
   let result = f () in
   let host = Unix.gettimeofday () -. t0 in
@@ -91,6 +104,7 @@ let measure ~figure f =
   let xshard = win.xshard in
   let ev_min = win.shard_ev_min and ev_max = win.shard_ev_max in
   Mutex.unlock mutex;
+  let refused = Cluster.shard_refusals () - refused0 in
   let fi = float_of_int in
   let rate n = if host > 0. then fi n /. host else 0. in
   Report.record ~figure ~metric:"engine/events" (fi events);
@@ -115,4 +129,8 @@ let measure ~figure f =
     Report.record ~figure ~metric:"engine/shards/events_min" (fi ev_min);
     Report.record ~figure ~metric:"engine/shards/events_max" (fi ev_max)
   end;
+  (* Zero-omitted as well: only figures that actually hit an unshardable
+     config report it, so every existing JSON stays byte-identical. *)
+  if refused > 0 then
+    Report.record ~figure ~metric:"engine/shards/refused" (fi refused);
   result

@@ -36,6 +36,18 @@
     current window. *)
 val note_sim : Pico_engine.Sim.t -> unit
 
+(** Sharding requests refused on genuinely unshardable configs are
+    counted by {!Cluster.shard_refusals}; {!measure} reports the
+    per-figure delta as the zero-omitted [engine/shards/refused] key. *)
+
 (** [measure ~figure f] runs [f] in a fresh window and records the
     [engine/*] metrics for [figure] into {!Report}. *)
 val measure : figure:string -> (unit -> 'a) -> 'a
+
+(** [host_timed ~figure ~metric f] runs [f] (inside a {!measure} window)
+    and records its host wall-clock seconds as [figure/metric] — for a
+    sub-sweep whose wall clock is a figure of merit of its own, like the
+    scale figure's fat-tree tail ([engine/ft_host_seconds], a warn-only
+    FOM in [scripts/perf.sh]).  Like [engine/host_seconds] the value is
+    JSON-only and masked by check.sh's byte-diff. *)
+val host_timed : figure:string -> metric:string -> (unit -> 'a) -> 'a

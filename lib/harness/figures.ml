@@ -975,18 +975,28 @@ let at_scale_nodes s =
   else [ 64; 128; 256 ]
 
 (* Everything simulated a run produced, as exact bit patterns: any float
-   divergence upstream lands in at least one of these. *)
+   divergence upstream lands in at least one of these.  The per-tier
+   link counters are empty under Flat (the string is unchanged) and
+   cover the part a decomposed fat-tree hop walk could plausibly skew:
+   FCFS grant order, queue depths, per-link busy-time float sums. *)
 let at_scale_fingerprint (cl : Cluster.t) (res : Experiment.result) =
-  Printf.sprintf "%Lx;%Lx;%Lx;%d;%d"
+  Printf.sprintf "%Lx;%Lx;%Lx;%d;%d%s"
     (Int64.bits_of_float res.Experiment.fom_ns)
     (Int64.bits_of_float res.Experiment.wall_ns)
     (Int64.bits_of_float res.Experiment.init_ns)
     (Fabric.packets_delivered cl.Cluster.fabric)
     (Fabric.bytes_delivered cl.Cluster.fabric)
+    (Fabric.tier_stats cl.Cluster.fabric
+    |> List.map (fun (ts : Fabric.tier_stats) ->
+           Printf.sprintf ";%s:%d:%d:%d:%Lx:%d:%d" ts.Fabric.ts_tier
+             ts.Fabric.ts_links ts.Fabric.ts_packets ts.Fabric.ts_bytes
+             (Int64.bits_of_float ts.Fabric.ts_busy_ns)
+             ts.Fabric.ts_peak_queue ts.Fabric.ts_contended)
+    |> String.concat "")
 
 (* Sequential on purpose: each probe mutates the process-wide switches,
    which must never happen inside a pool (workers read them). *)
-let at_scale_probe ~shard ~ff kind =
+let at_scale_probe ?topology ~shard ~ff kind =
   Sim.fast_forward := ff;
   (* Identity across shard-on/off only holds between runs sharing the
      same same-instant arrival tie-break (see [Cluster.ordered_arrivals]):
@@ -997,14 +1007,26 @@ let at_scale_probe ~shard ~ff kind =
       Sim.fast_forward := false;
       Cluster.ordered_arrivals := false)
   @@ fun () ->
-  let cl = Cluster.build kind ~n_nodes:4 ~sharding:shard () in
+  let cl = Cluster.build kind ~n_nodes:4 ?topology ~sharding:shard () in
   let res =
     Experiment.run cl ~ranks_per_node:2 (fun c -> Pico_apps.Umt.run c)
   in
   at_scale_fingerprint cl res
 
+(* The oversubscribed fat-tree tail: fewer, larger node counts than the
+   flat sweep — the sharded fabric is what makes these tractable at all
+   — with a starved core (radix 4, oversub 2: two spines for four hosts
+   per leaf). *)
+let oversub_nodes s =
+  if s = full then [ 64; 128; 256 ]
+  else if s = medium then [ 32; 64 ]
+  else [ 16; 32 ]
+
+let oversub_topo = Topology.Fat_tree { radix = 4; oversub = 2 }
+
 let at_scale ?(scale = quick) ?jobs () =
   Engine_obs.measure ~figure:"scale" @@ fun () ->
+  let refused0 = Cluster.shard_refusals () in
   let b = Buffer.create 4096 in
   buf_add b "At-scale collapse on the sharded + fast-forwarded engine\n\n";
   (* Part A: per OS configuration, the (shard, fast-forward) switch
@@ -1027,8 +1049,25 @@ let at_scale ?(scale = quick) ?jobs () =
     (Printf.sprintf "sharding on/off: %s (3 OS configs)\n"
        (if shard_ok then "OK, byte-identical" else "MISMATCH"));
   buf_add b
-    (Printf.sprintf "fast-forward on/off: %s (3 OS configs)\n\n"
+    (Printf.sprintf "fast-forward on/off: %s (3 OS configs)\n"
        (if ff_ok then "OK, byte-identical" else "MISMATCH"));
+  (* Same law on a fat-tree: links have Shardmap owner shards, the hop
+     walk is decomposed into per-shard events, and the fingerprint
+     additionally covers the per-tier link counters. *)
+  let ft_probe = at_scale_probe ~topology:(Topology.Fat_tree { radix = 2; oversub = 1 }) in
+  let ft_ok =
+    List.for_all
+      (fun kind ->
+        let base = ft_probe ~shard:false ~ff:false kind in
+        ft_probe ~shard:true ~ff:false kind = base
+        && ft_probe ~shard:true ~ff:true kind = base)
+      os_kinds
+  in
+  Report.record ~figure:"scale" ~metric:"ft_shard_equiv"
+    (if ft_ok then 1. else 0.);
+  buf_add b
+    (Printf.sprintf "fat-tree sharding on/off: %s (3 OS configs, radix 2)\n\n"
+       (if ft_ok then "OK, byte-identical" else "MISMATCH"));
   (* Part B: the big sweep.  Switches go on before the pool spins up and
      come off after it drains — workers only ever read them. *)
   let rpn = 8 in
@@ -1091,6 +1130,85 @@ let at_scale ?(scale = quick) ?jobs () =
     (Tables.render
        ~header:[ "nodes"; "Linux"; "McKernel"; "McKernel+HFI1"; "Linux FOM" ]
        rows);
+  (* Part C: the oversubscribed fat-tree tail, 16 ranks/node on a
+     starved core — the congested-topology runs the sharded fabric
+     exists for.  Flat comparators run at the same node counts so the
+     collapse knee — the per-OS-kind fat-tree slowdown as the spine
+     saturates — is a within-figure ratio.  This sweep's wall clock is
+     its own warn-only FOM in perf.sh (engine/ft_host_seconds). *)
+  let ft_rpn = 16 in
+  let ft_nodes = oversub_nodes scale in
+  let ft_points =
+    List.concat_map
+      (fun n ->
+        List.concat_map
+          (fun topology -> List.map (fun k -> (n, topology, k)) os_kinds)
+          [ Topology.Flat; oversub_topo ])
+      ft_nodes
+  in
+  let ft_foms =
+    Engine_obs.host_timed ~figure:"scale" ~metric:"engine/ft_host_seconds"
+    @@ fun () ->
+    Pool.with_pool ?jobs (fun pool ->
+        Pool.map pool
+          (fun (n, topology, kind) ->
+            let cl = Cluster.build kind ~n_nodes:n ~topology () in
+            let res =
+              Experiment.run cl ~ranks_per_node:ft_rpn (fun c ->
+                  Pico_apps.Umt.run ~params:umt_params c)
+            in
+            res.Experiment.fom_ns)
+          ft_points)
+  in
+  let rec ft_to_rows nodes foms acc =
+    match (nodes, foms) with
+    | [], [] -> List.rev acc
+    | ( n :: nrest,
+        fl_linux :: fl_mck :: fl_hfi :: ft_linux :: ft_mck :: ft_hfi :: frest
+      ) ->
+      Report.record ~figure:"scale"
+        ~metric:(Printf.sprintf "ft_linux_fom_ns/n%d" n)
+        ft_linux;
+      let knee tag flat ft =
+        let r = ft /. flat in
+        Report.record ~figure:"scale"
+          ~metric:(Printf.sprintf "ft_vs_flat/%s/n%d" tag n)
+          r;
+        Printf.sprintf "%.2fx" r
+      in
+      let row =
+        [ string_of_int n;
+          Tables.ns fl_linux;
+          Tables.ns ft_linux;
+          knee "linux" fl_linux ft_linux;
+          knee "mck" fl_mck ft_mck;
+          knee "hfi" fl_hfi ft_hfi ]
+      in
+      ft_to_rows nrest frest (row :: acc)
+    | _ -> invalid_arg "at_scale: oversubscription result shape mismatch"
+  in
+  let ft_rows = ft_to_rows ft_nodes ft_foms [] in
+  buf_add b "\n";
+  buf_add b
+    (Printf.sprintf
+       "UMT2013 oversubscribed tail (%s, %d ranks/node; slowdown vs flat)\n"
+       (Topology.describe oversub_topo) ft_rpn);
+  buf_add b
+    (Tables.render
+       ~header:
+         [ "nodes"; "flat FOM"; "fat-tree FOM"; "Linux"; "McKernel";
+           "McKernel+HFI1" ]
+       ft_rows);
+  (* Sharding requests refused mid-figure (genuinely unshardable
+     configs) are zero-omitted from the JSON; surface a nonzero delta in
+     the header too so a silent drop cannot hide in a sweep. *)
+  let refused = Cluster.shard_refusals () - refused0 in
+  if refused > 0 then
+    buf_add b
+      (Printf.sprintf
+         "\nnote: %d sharding request(s) refused (unshardable configs ran \
+          unsharded)\n"
+         refused);
   Buffer.contents b
 
 (* --- everything ------------------------------------------------------------- *)

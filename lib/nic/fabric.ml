@@ -17,6 +17,14 @@ type tier_stats = {
    reverse buffering order. *)
 type batch = (int * int * Wire.packet * (Wire.packet -> unit)) list ref
 
+(* Packets that reached one hop's arbitration point at one instant,
+   buffered until the tail-of-instant flush queues them on the link in
+   content order — the hop-level analogue of [batch].  Items are
+   (src_node, send order, packet, sink, remaining hops), in reverse
+   buffering order. *)
+type hop_batch =
+  (int * int * Wire.packet * (Wire.packet -> unit) * Route.hop list) list ref
+
 type t = {
   sim : Sim.t;
   topo : Topology.t;
@@ -31,14 +39,30 @@ type t = {
   ordered : bool;
   arrivals : (int * float, batch) Hashtbl.t; (* key: (dst, instant) *)
   mutable send_ord : int;
+  (* Decomposed (per-shard-steppable) hop walk, active when [ordered]
+     on a non-flat topology — see [hop_step]. *)
+  shardmap : Shardmap.t option;
+  hop_batches : (Route.hop * float, hop_batch) Hashtbl.t;
+  (* Nodes whose HFI currently holds a packet train (armed by Hfi); the
+     decomposed walk schedules contention aborts to these only. *)
+  armed : (int, unit) Hashtbl.t;
+  (* last instant an abort was scheduled to a node, for dedup *)
+  abort_marks : (int, float) Hashtbl.t;
 }
 
 let create ?(topology = Topology.Flat) ?(ordered = false) sim =
   Topology.validate topology;
-  { sim; topo = topology; routes = Route.Memo.create topology;
+  let decomposed = ordered && not (Topology.is_flat topology) in
+  let shards = max 1 (Sim.shard_count sim) in
+  { sim; topo = topology;
+    routes = Route.Memo.create ~shards topology;
     sinks = Hashtbl.create 64; links = Hashtbl.create 64; aborts = [];
     packets = 0; bytes = 0; ordered; arrivals = Hashtbl.create 64;
-    send_ord = 0 }
+    send_ord = 0;
+    shardmap =
+      (if decomposed then Some (Shardmap.create topology ~shards) else None);
+    hop_batches = Hashtbl.create 64; armed = Hashtbl.create 16;
+    abort_marks = Hashtbl.create 16 }
 
 let topology t = t.topo
 
@@ -49,6 +73,7 @@ let attach t ~node_id ~rx =
 
 let detach t ~node_id =
   Hashtbl.remove t.sinks node_id;
+  Hashtbl.remove t.armed node_id;
   t.aborts <- List.remove_assoc node_id t.aborts
 
 let set_train_abort t ~node_id ~abort =
@@ -56,6 +81,46 @@ let set_train_abort t ~node_id ~abort =
   t.aborts <- List.sort (fun (a, _) (b, _) -> compare a b) l
 
 let fire_aborts t = List.iter (fun (_, abort) -> abort ()) t.aborts
+
+let decomposed t = Option.is_some t.shardmap
+
+(* Armed-train registry, maintained by the HFIs ([Hfi] arms on train
+   formation and disarms whenever its train clears).  Only meaningful to
+   the decomposed walk — the legacy walk fires every hook synchronously
+   — so the flat/unordered paths pay nothing. *)
+let arm_train t ~node_id =
+  if decomposed t then Hashtbl.replace t.armed node_id ()
+
+let disarm_train t ~node_id =
+  if decomposed t then Hashtbl.remove t.armed node_id
+
+(* Decomposed contention abort: a synchronous cross-node hook call would
+   mutate another shard's HFI from the link owner's shard (and its guard
+   wake-ups would land cross-shard at the current instant, below any
+   lookahead), so the owner instead {e schedules} the abort to each
+   armed node's own shard one [link_latency] out — a legal cross-shard
+   distance from every shard.  Aborting a train is always
+   semantics-preserving (batched and per-packet paths are bit-exact, the
+   PR 2 invariant), so the skew relative to the legacy synchronous call
+   only moves which of two identical-result paths runs; only the
+   train_aborts/events_elided counters can drift, and those are
+   excluded from every identity gate.  One abort per (node, instant) is
+   enough — the hook is idempotent — hence the mark dedup. *)
+let schedule_aborts t =
+  let sigma = Sim.now t.sim in
+  let when_ = sigma +. (Costs.current ()).Costs.link_latency in
+  List.iter
+    (fun (node, abort) ->
+      if
+        Hashtbl.mem t.armed node
+        && (match Hashtbl.find_opt t.abort_marks node with
+            | Some m -> m <> sigma
+            | None -> true)
+      then begin
+        Hashtbl.replace t.abort_marks node sigma;
+        Sim.at t.sim ~shard:node when_ abort
+      end)
+    t.aborts
 
 let link_of t hop =
   match Hashtbl.find_opt t.links hop with
@@ -101,6 +166,88 @@ let hop_walk t rx (p : Wire.packet) hops =
         hops;
       deliver t rx p)
 
+(* Buffer one ordered arrival into the destination's same-instant batch;
+   must run at the arrival instant on the destination's shard.  The
+   first packet of the (dst, instant) batch schedules the tail-of-
+   instant flush, which delivers the batch sorted by (src_node, send
+   order) — see the discipline note in [send_at]. *)
+let buffer_arrival t rx (p : Wire.packet) ord =
+  let arrive = Sim.now t.sim in
+  let key = (p.dst_node, arrive) in
+  match Hashtbl.find_opt t.arrivals key with
+  | Some b -> b := (p.src_node, ord, p, rx) :: !b
+  | None ->
+    let b : batch = ref [ (p.src_node, ord, p, rx) ] in
+    Hashtbl.add t.arrivals key b;
+    Sim.at t.sim ~tail:true arrive (fun () ->
+        Hashtbl.remove t.arrivals key;
+        List.sort
+          (fun (sa, oa, _, _) (sb, ob, _, _) -> compare (sa, oa) (sb, ob))
+          !b
+        |> List.iter (fun (_, _, p, rx) -> deliver t rx p))
+
+(* Decomposed store-and-forward walk, the [ordered] fat-tree path: the
+   same hop sequence and float arithmetic as [hop_walk], cut into
+   per-shard events so a sharded engine can run congested topologies.
+
+   Each hop becomes a {e step} event at the hop's arbitration instant
+   [arrival +. switch_latency] on the link owner's shard
+   ({!Shardmap.owner}).  Same-instant steps at one hop buffer into a
+   batch flushed at the tail of the instant sorted by (src_node, send
+   order) — the event queue's own tie-break is insertion order
+   unsharded but barrier-merge order sharded, and FIFO link grants (who
+   waits, and the order the busy-time floats accumulate in) must not
+   depend on it.  The flush queues an arbitration process per packet,
+   in batch order; FIFO then grants in that order.  At the instant the
+   link is {e granted} (not when service completes) the packet's next
+   step is scheduled at [(grant +. wire) +. switch_latency] — exactly
+   the instant the legacy walk reaches the next hop's arbitration — so
+   consecutive cross-shard hops stay at least one wire serialization
+   plus switch traversal apart, the hop floor that [Shardmap] promises
+   {!Sim.shard_init} as the pair bound.  The final (Host) hop's owner
+   is the destination node, so its completion feeds the ordinary
+   ordered-arrival batch above on the right shard. *)
+let rec hop_step t (p : Wire.packet) rx ord hops =
+  match hops with
+  | [] -> assert false
+  | (hop : Route.hop) :: rest ->
+    let s = Sim.now t.sim in
+    let key = (hop, s) in
+    (match Hashtbl.find_opt t.hop_batches key with
+     | Some b -> b := (p.src_node, ord, p, rx, rest) :: !b
+     | None ->
+       let b : hop_batch = ref [ (p.src_node, ord, p, rx, rest) ] in
+       Hashtbl.add t.hop_batches key b;
+       Sim.at t.sim ~tail:true s (fun () ->
+           Hashtbl.remove t.hop_batches key;
+           List.sort
+             (fun (sa, oa, _, _, _) (sb, ob, _, _, _) ->
+               compare (sa, oa) (sb, ob))
+             !b
+           |> List.iter (fun (_, ord, p, rx, rest) ->
+                  arbitrate t hop p rx ord rest)))
+
+and arbitrate t hop (p : Wire.packet) rx ord rest =
+  Sim.spawn t.sim ~name:"fabric" (fun () ->
+      let link = link_of t hop in
+      if not (Link.idle link) then schedule_aborts t;
+      let sp = Span.begin_ t.sim ~cat:"fabric" ~name:(Link.tier link) in
+      let wire = wire_time p.wire_len in
+      (match rest with
+       | [] ->
+         Link.transit link ~bytes:p.wire_len ~work:wire;
+         buffer_arrival t rx p ord
+       | next :: _ ->
+         let sm = Option.get t.shardmap in
+         let sw = (Costs.current ()).Costs.switch_latency in
+         Link.transit link ~bytes:p.wire_len ~work:wire
+           ~on_grant:(fun () ->
+             let step = (Sim.now t.sim +. wire) +. sw in
+             Sim.at t.sim ~shard:(Shardmap.owner sm next) step (fun () ->
+                 hop_step t p rx ord rest)));
+      Span.end_with t.sim sp (fun () ->
+          [ ("link", Link.name link); ("bytes", string_of_int p.wire_len) ]))
+
 let send_at t ~time (p : Wire.packet) =
   match Hashtbl.find_opt t.sinks p.dst_node with
   | None ->
@@ -143,30 +290,33 @@ let send_at t ~time (p : Wire.packet) =
            content order no execution schedule can perturb.  Same-src
            orders are assigned in the source node's execution order,
            which is engine-invariant. *)
-        let key = (p.dst_node, arrive) in
         let ord = t.send_ord in
         t.send_ord <- ord + 1;
         Sim.at t.sim ~shard:p.dst_node arrive (fun () ->
-            match Hashtbl.find_opt t.arrivals key with
-            | Some b -> b := (p.src_node, ord, p, rx) :: !b
-            | None ->
-              let b : batch = ref [ (p.src_node, ord, p, rx) ] in
-              Hashtbl.add t.arrivals key b;
-              Sim.at t.sim ~shard:p.dst_node ~tail:true arrive (fun () ->
-                  Hashtbl.remove t.arrivals key;
-                  List.sort
-                    (fun (sa, oa, _, _) (sb, ob, _, _) ->
-                      compare (sa, oa) (sb, ob))
-                    !b
-                  |> List.iter (fun (_, _, p, rx) -> deliver t rx p)))
+            buffer_arrival t rx p ord)
       end
     end
     else begin
       let hops =
-        Route.Memo.route t.routes ~src:p.src_node ~dst:p.dst_node
-          ~dst_ctx:p.dst_ctx
+        Route.Memo.route ~shard:(Sim.exec_shard t.sim) t.routes
+          ~src:p.src_node ~dst:p.dst_node ~dst_ctx:p.dst_ctx
       in
-      Sim.at t.sim time (fun () -> hop_walk t rx p hops)
+      if not t.ordered then Sim.at t.sim time (fun () -> hop_walk t rx p hops)
+      else begin
+        (* Decomposed walk: schedule the first hop's arbitration step
+           at [(egress +. link_latency) +. switch_latency] — the exact
+           instant [hop_walk] would reach it — on the link owner's
+           shard.  The gap is at least a full link latency, so this is
+           a legal cross-shard distance from any (host) shard. *)
+        let sm = Option.get t.shardmap in
+        let first = List.hd hops in
+        let ord = t.send_ord in
+        t.send_ord <- ord + 1;
+        let c = Costs.current () in
+        let step = (time +. c.Costs.link_latency) +. c.Costs.switch_latency in
+        Sim.at t.sim ~shard:(Shardmap.owner sm first) step (fun () ->
+            hop_step t p rx ord hops)
+      end
     end
 
 let send t p = send_at t ~time:(Sim.now t.sim) p
@@ -182,7 +332,8 @@ let route_quiet t ~src ~dst ~dst_ctx =
          match Hashtbl.find_opt t.links hop with
          | None -> true (* never instantiated: nothing ever crossed it *)
          | Some l -> Link.idle l)
-       (Route.Memo.route t.routes ~src ~dst ~dst_ctx)
+       (Route.Memo.route ~shard:(Sim.exec_shard t.sim) t.routes ~src ~dst
+          ~dst_ctx)
 
 let packets_delivered t = t.packets
 

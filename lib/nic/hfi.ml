@@ -182,7 +182,8 @@ let maybe_abort_train t =
     if gap then Resource.release t.wire;
     tr.tr_gen <- tr.tr_gen + 1;
     schedule_guard t tr tr.tr_gen (if gap then tr.tr_t1.(i) else tr.tr_t2.(i));
-    t.train <- None
+    t.train <- None;
+    Fabric.disarm_train t.fabric ~node_id:t.node.Node.id
 
 let abort_train = maybe_abort_train
 
@@ -248,6 +249,9 @@ let sdma_batch t (tx : Sdma.tx) =
         tr_resume = None; tr_abort_i = -1; tr_abort_gap = false }
     in
     t.train <- Some tr;
+    (* Tell the fabric a train is live: the decomposed (sharded) walk
+       only schedules contention aborts to armed nodes. *)
+    Fabric.arm_train t.fabric ~node_id:t.node.Node.id;
     Sim.suspend t.sim (fun resume ->
         tr.tr_resume <- Some resume;
         schedule_guard t tr 0 t2.(n - 1));
@@ -259,6 +263,7 @@ let sdma_batch t (tx : Sdma.tx) =
          Resource.account t.wire ~waited:0. ~busy:(t2.(i) -. t1.(i))
        done;
        t.train <- None;
+       Fabric.disarm_train t.fabric ~node_id:t.node.Node.id;
        Resource.release t.wire;
        Sim.note_elided t.sim ((2 * n) - 2)
      | i ->

@@ -13,3 +13,4 @@ module Costs = Pico_costs.Costs
 module Topology = Pico_fabric.Topology
 module Route = Pico_fabric.Route
 module Link = Pico_fabric.Link
+module Shardmap = Pico_fabric.Shardmap

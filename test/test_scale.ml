@@ -1,6 +1,7 @@
 (* Tests for the sharded engine and steady-state fast-forward: byte
    identity of simulation results across shard-on/off and
-   fast-forward-on/off (including with fault injection armed), the
+   fast-forward-on/off (including with fault injection armed, and on
+   fat-tree topologies where links have Shardmap owner shards), the
    mid-run halt case proving fast-forward falls back to per-event
    processing, Route memoization, and the shard counter plumbing. *)
 
@@ -87,6 +88,19 @@ let fingerprint (cl : Cluster.t) (res : Experiment.result) =
   f (Experiment.total_runtime_ns res);
   i (Fabric.packets_delivered cl.Cluster.fabric);
   i (Fabric.bytes_delivered cl.Cluster.fabric);
+  (* Per-tier link counters: empty under Flat, and under Fat_tree the
+     part of the simulation the decomposed sharded hop walk could
+     plausibly skew (per-link FCFS grants, queue depths, contention). *)
+  List.iter
+    (fun (ts : Fabric.tier_stats) ->
+      Buffer.add_string b (ts.Fabric.ts_tier ^ ";");
+      i ts.Fabric.ts_links;
+      i ts.Fabric.ts_packets;
+      i ts.Fabric.ts_bytes;
+      f ts.Fabric.ts_busy_ns;
+      i ts.Fabric.ts_peak_queue;
+      i ts.Fabric.ts_contended)
+    (Fabric.tier_stats cl.Cluster.fabric);
   Array.iter
     (fun (env : Cluster.node_env) ->
       let hfi = env.Cluster.hfi in
@@ -122,18 +136,22 @@ type probe = {
   halts : int;
 }
 
-let run_probe ?(app = app) ~kind ~n_nodes ~rpn ~seed ~faults ~shard ~ff () =
+let run_probe ?(app = app) ?(topology = Topology.Flat) ~kind ~n_nodes ~rpn
+    ~seed ~faults ~shard ~ff () =
   with_faults faults @@ fun () ->
   Sim.fast_forward := ff;
   (* Identity across shard-on/off only holds between runs sharing the
      same same-instant arrival tie-break, so the unsharded comparator
-     opts into the content order that sharded builds force on. *)
+     opts into the content order that sharded builds force on.  On a
+     fat-tree that also selects the decomposed hop walk for both runs
+     (same code path sharded or not — only the event partitioning
+     differs). *)
   Cluster.ordered_arrivals := true;
   Fun.protect ~finally:(fun () ->
       Sim.fast_forward := false;
       Cluster.ordered_arrivals := false)
   @@ fun () ->
-  let cl = Cluster.build kind ~n_nodes ~sharding:shard ~seed () in
+  let cl = Cluster.build kind ~n_nodes ~topology ~sharding:shard ~seed () in
   Fault.install cl;
   let res = Experiment.run cl ~ranks_per_node:rpn app in
   let sum g =
@@ -177,6 +195,37 @@ let prop_switch_identity =
              never engine-internal counters. *)
           && (ff || p.elided = base.elided))
         [ (true, false); (false, true); (true, true) ])
+
+(* The same law over congested fat-tree fabrics: links have Shardmap
+   owner shards, the hop walk is decomposed into per-shard events, and
+   cross-shard contention aborts are scheduled rather than called — all
+   of which must leave every simulation result (FOMs, packet/byte
+   counts, per-node HFI/SDMA counters, per-tier link counters) bit
+   identical to the unsharded run. *)
+let prop_ft_identity =
+  QCheck2.Test.make
+    ~name:"fat-tree shard on/off: identical simulation results" ~count:8
+    ~print:(fun (k, n, r, s, (f, radix, oversub)) ->
+      Printf.sprintf "kind=%d n_nodes=%d rpn=%d seed=%d faults=%b radix=%d oversub=%d"
+        k n r s f radix oversub)
+    QCheck2.Gen.(
+      tup5 (int_range 0 2) (int_range 2 5) (int_range 1 2) (int_range 0 10_000)
+        (tup3 bool (int_range 2 4) (int_range 1 2)))
+    (fun (kind_i, n_nodes, rpn, seed, (faults, radix, oversub)) ->
+      let kind = kinds.(kind_i) in
+      let seed = Int64.of_int seed in
+      let topology = Topology.Fat_tree { radix; oversub } in
+      let base =
+        run_probe ~topology ~kind ~n_nodes ~rpn ~seed ~faults ~shard:false
+          ~ff:false ()
+      in
+      List.for_all
+        (fun (shard, ff) ->
+          let p =
+            run_probe ~topology ~kind ~n_nodes ~rpn ~seed ~faults ~shard ~ff ()
+          in
+          p.fp = base.fp)
+        [ (true, false); (true, true) ])
 
 (* The `picobench scale` part A probe: UMT's persistent-channel wavefront
    sweeps (6-neighbour rendezvous halos) are the densest same-instant
@@ -303,16 +352,37 @@ let test_unsharded_counters () =
   Alcotest.(check int) "no barriers" 0 (Sim.barrier_rounds sim);
   Alcotest.(check int) "no cross-shard events" 0 (Sim.xshard_events sim)
 
-(* Fat-tree topologies must refuse to shard (shared links) and still run. *)
-let test_fat_tree_never_shards () =
+(* Fat-tree topologies shard (one shard per node; links get Shardmap
+   owner shards), and the pairwise-exchange workload that forces
+   mid-train link contention stays bit-identical to the unsharded
+   ordered run. *)
+let test_fat_tree_shards () =
   let topology = Topology.Fat_tree { radix = 2; oversub = 1 } in
   let cl =
     Cluster.build Cluster.Mckernel ~n_nodes:4 ~topology ~sharding:true
       ~seed:3L ()
   in
-  Alcotest.(check bool) "fat-tree cluster is unsharded" false
+  Alcotest.(check bool) "fat-tree cluster is sharded" true
     (Sim.sharded cl.Cluster.sim);
-  let res = Experiment.run cl ~ranks_per_node:1 app in
+  Alcotest.(check int) "one shard per node" 4 (Sim.shard_count cl.Cluster.sim);
+  let run ~shard =
+    run_probe ~topology ~app:xchg_app ~kind:Cluster.Mckernel_hfi ~n_nodes:4
+      ~rpn:2 ~seed:3L ~faults:false ~shard ~ff:false ()
+  in
+  let off = run ~shard:false in
+  let on = run ~shard:true in
+  Alcotest.(check string) "identical results" off.fp on.fp
+
+(* A sharding request on a genuinely unshardable config (single node) is
+   refused, counted, and the cluster still runs unsharded. *)
+let test_shard_refused () =
+  let before = Cluster.shard_refusals () in
+  let cl = Cluster.build Cluster.Linux ~n_nodes:1 ~sharding:true ~seed:1L () in
+  Alcotest.(check bool) "single-node cluster is unsharded" false
+    (Sim.sharded cl.Cluster.sim);
+  Alcotest.(check int) "refusal counted" (before + 1)
+    (Cluster.shard_refusals ());
+  let res = Experiment.run cl ~ranks_per_node:2 app in
   Alcotest.(check bool) "runs to completion" true
     (res.Experiment.fom_ns > 0.)
 
@@ -321,6 +391,7 @@ let () =
   Alcotest.run "scale"
     [ ("identity",
        [ q prop_switch_identity;
+         q prop_ft_identity;
          Alcotest.test_case "umt wavefront identity" `Slow test_umt_identity;
          Alcotest.test_case "ff halt fallback" `Slow test_ff_halt_fallback ]);
       ("noise", [ q prop_noise_ff ]);
@@ -331,5 +402,5 @@ let () =
        [ Alcotest.test_case "sharded counters" `Slow test_shard_counters;
          Alcotest.test_case "unsharded counters" `Quick
            test_unsharded_counters;
-         Alcotest.test_case "fat-tree never shards" `Slow
-           test_fat_tree_never_shards ]) ]
+         Alcotest.test_case "fat-tree shards" `Slow test_fat_tree_shards;
+         Alcotest.test_case "shard refusal" `Quick test_shard_refused ]) ]
