@@ -13,7 +13,9 @@ module F = Pico_harness.Figures
 module Pool = Pico_harness.Pool
 module Report = Pico_harness.Report
 module Span = Pico_engine.Span
+module Ledger = Pico_engine.Ledger
 module Tracefile = Pico_harness.Tracefile
+module Breakdown = Pico_harness.Breakdown
 
 let scale_conv =
   let parse = function
@@ -72,11 +74,29 @@ let trace_arg =
   let env = Cmd.Env.info "PICO_TRACE_JSON" ~doc:"Same as $(b,--trace)." in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"PATH" ~doc ~env)
 
+let breakdown_arg =
+  let doc =
+    "Record per-request latency ledgers (phase-by-phase attribution of \
+     every offloaded syscall, SDMA/PIO send, PSM message and MPI call) \
+     and write the per-figure breakdown — phase latency quantiles, \
+     critical-path shares, time-bucketed timelines — to $(docv) as JSON \
+     (schema picodriver-breakdown-v1).  Deterministic: byte-identical \
+     at any $(b,--jobs) setting and across re-runs."
+  in
+  let env =
+    Cmd.Env.info "PICO_BREAKDOWN_JSON" ~doc:"Same as $(b,--breakdown)."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "breakdown" ] ~docv:"PATH" ~doc ~env)
+
 (* Every run goes through here: enable span recording if --trace was
    given (it must be on before the figure runs), print the rendered
    text, then dump the recorded figures of merit / collected trace. *)
-let emit ?json ?trace ?jobs run =
+let emit ?json ?trace ?breakdown ?jobs run =
   Span.set_on (trace <> None);
+  Ledger.set_on (breakdown <> None);
   let s = run () in
   print_string s;
   let write what path f =
@@ -93,25 +113,28 @@ let emit ?json ?trace ?jobs run =
      in
      write "JSON" path
        (Report.write ~extra:[ ("jobs", string_of_int jobs) ]));
-  match trace with
+  (match trace with
+   | None -> ()
+   | Some path -> write "trace" path Tracefile.write);
+  match breakdown with
   | None -> ()
-  | Some path -> write "trace" path Tracefile.write
+  | Some path -> write "breakdown" path Breakdown.write
 
 let cmd name ~doc term = Cmd.v (Cmd.info name ~doc) term
 
 let fig4_cmd =
   cmd "fig4" ~doc:"Figure 4: IMB PingPong bandwidth (3 OS configs)"
     Term.(
-      const (fun jobs json trace ->
-          emit ?json ?trace ?jobs (fun () -> F.fig4 ?jobs ()))
-      $ jobs_arg $ json_arg $ trace_arg)
+      const (fun jobs json trace breakdown ->
+          emit ?json ?trace ?breakdown ?jobs (fun () -> F.fig4 ?jobs ()))
+      $ jobs_arg $ json_arg $ trace_arg $ breakdown_arg)
 
 let app_cmd name ~doc (f : ?scale:F.scale -> ?jobs:int -> unit -> string) =
   cmd name ~doc
     Term.(
-      const (fun scale jobs json trace ->
-          emit ?json ?trace ?jobs (fun () -> f ~scale ?jobs ()))
-      $ scale_arg $ jobs_arg $ json_arg $ trace_arg)
+      const (fun scale jobs json trace breakdown ->
+          emit ?json ?trace ?breakdown ?jobs (fun () -> f ~scale ?jobs ()))
+      $ scale_arg $ jobs_arg $ json_arg $ trace_arg $ breakdown_arg)
 
 let fig5a_cmd = app_cmd "fig5a" ~doc:"Figure 5a: LAMMPS scaling" F.fig5a_lammps
 
@@ -126,26 +149,26 @@ let fig7_cmd = app_cmd "fig7" ~doc:"Figure 7: QBOX scaling" F.fig7_qbox
 let table1_cmd =
   cmd "table1" ~doc:"Table 1: communication profile (UMT, HACC, QBOX)"
     Term.(
-      const (fun nodes rpn jobs json trace ->
-          emit ?json ?trace ?jobs (fun () ->
+      const (fun nodes rpn jobs json trace breakdown ->
+          emit ?json ?trace ?breakdown ?jobs (fun () ->
               F.table1 ~nodes ~ranks_per_node:rpn ?jobs ()))
-      $ nodes_arg 8 $ rpn_arg 8 $ jobs_arg $ json_arg $ trace_arg)
+      $ nodes_arg 8 $ rpn_arg 8 $ jobs_arg $ json_arg $ trace_arg $ breakdown_arg)
 
 let fig8_cmd =
   cmd "fig8" ~doc:"Figure 8: system call breakdown for UMT2013"
     Term.(
-      const (fun nodes rpn jobs json trace ->
-          emit ?json ?trace ?jobs (fun () ->
+      const (fun nodes rpn jobs json trace breakdown ->
+          emit ?json ?trace ?breakdown ?jobs (fun () ->
               F.fig8_umt ~nodes ~ranks_per_node:rpn ?jobs ()))
-      $ nodes_arg 8 $ rpn_arg 8 $ jobs_arg $ json_arg $ trace_arg)
+      $ nodes_arg 8 $ rpn_arg 8 $ jobs_arg $ json_arg $ trace_arg $ breakdown_arg)
 
 let fig9_cmd =
   cmd "fig9" ~doc:"Figure 9: system call breakdown for QBOX"
     Term.(
-      const (fun nodes rpn jobs json trace ->
-          emit ?json ?trace ?jobs (fun () ->
+      const (fun nodes rpn jobs json trace breakdown ->
+          emit ?json ?trace ?breakdown ?jobs (fun () ->
               F.fig9_qbox ~nodes ~ranks_per_node:rpn ?jobs ()))
-      $ nodes_arg 8 $ rpn_arg 8 $ jobs_arg $ json_arg $ trace_arg)
+      $ nodes_arg 8 $ rpn_arg 8 $ jobs_arg $ json_arg $ trace_arg $ breakdown_arg)
 
 let listing1_cmd =
   cmd "listing1" ~doc:"Listing 1: dwarf-extract-struct output for sdma_state"
@@ -158,26 +181,26 @@ let sloc_cmd =
 let imb_cmd =
   cmd "imb" ~doc:"The wider IMB-MPI1 suite (PingPing, SendRecv, Exchange, ...)"
     Term.(
-      const (fun nodes rpn jobs json trace ->
-          emit ?json ?trace ?jobs (fun () ->
+      const (fun nodes rpn jobs json trace breakdown ->
+          emit ?json ?trace ?breakdown ?jobs (fun () ->
               F.imb_suite ~nodes ~ranks_per_node:rpn ?jobs ()))
-      $ nodes_arg 2 $ rpn_arg 1 $ jobs_arg $ json_arg $ trace_arg)
+      $ nodes_arg 2 $ rpn_arg 1 $ jobs_arg $ json_arg $ trace_arg $ breakdown_arg)
 
 let ibreg_cmd =
   cmd "ibreg"
     ~doc:"Extension: InfiniBand memory-registration latency (future work)"
     Term.(
-      const (fun jobs json trace ->
-          emit ?json ?trace ?jobs (fun () -> F.ibreg ?jobs ()))
-      $ jobs_arg $ json_arg $ trace_arg)
+      const (fun jobs json trace breakdown ->
+          emit ?json ?trace ?breakdown ?jobs (fun () -> F.ibreg ?jobs ()))
+      $ jobs_arg $ json_arg $ trace_arg $ breakdown_arg)
 
 let ablations_cmd =
   cmd "ablations"
     ~doc:"Design-choice ablations: SDMA request size, OS noise, TID cache"
     Term.(
-      const (fun json trace ->
-          emit ?json ?trace ~jobs:1 (fun () -> F.ablations ()))
-      $ json_arg $ trace_arg)
+      const (fun json trace breakdown ->
+          emit ?json ?trace ?breakdown ~jobs:1 (fun () -> F.ablations ()))
+      $ json_arg $ trace_arg $ breakdown_arg)
 
 let faults_cmd =
   cmd "faults"
@@ -185,9 +208,9 @@ let faults_cmd =
       "Fault injection: SDMA halt/recovery, fast-path fallback, and a \
        seed-deterministic fault-rate sweep"
     Term.(
-      const (fun jobs json trace ->
-          emit ?json ?trace ?jobs (fun () -> F.faults ?jobs ()))
-      $ jobs_arg $ json_arg $ trace_arg)
+      const (fun jobs json trace breakdown ->
+          emit ?json ?trace ?breakdown ?jobs (fun () -> F.faults ?jobs ()))
+      $ jobs_arg $ json_arg $ trace_arg $ breakdown_arg)
 
 let fabric_cmd =
   cmd "fabric"
@@ -195,9 +218,9 @@ let fabric_cmd =
       "Topology-aware interconnect: flat-default equivalence and a radix-4 \
        fat-tree congestion sweep over oversubscription x node count"
     Term.(
-      const (fun jobs json trace ->
-          emit ?json ?trace ?jobs (fun () -> F.fabric ?jobs ()))
-      $ jobs_arg $ json_arg $ trace_arg)
+      const (fun jobs json trace breakdown ->
+          emit ?json ?trace ?breakdown ?jobs (fun () -> F.fabric ?jobs ()))
+      $ jobs_arg $ json_arg $ trace_arg $ breakdown_arg)
 
 let scale_cmd =
   cmd "scale"
@@ -205,16 +228,16 @@ let scale_cmd =
       "At-scale sweeps (64-256+ nodes) on the sharded + fast-forwarded \
        engine, with byte-identity self-checks for both switches"
     Term.(
-      const (fun scale jobs json trace ->
-          emit ?json ?trace ?jobs (fun () -> F.at_scale ~scale ?jobs ()))
-      $ scale_arg $ jobs_arg $ json_arg $ trace_arg)
+      const (fun scale jobs json trace breakdown ->
+          emit ?json ?trace ?breakdown ?jobs (fun () -> F.at_scale ~scale ?jobs ()))
+      $ scale_arg $ jobs_arg $ json_arg $ trace_arg $ breakdown_arg)
 
 let all_cmd =
   cmd "all" ~doc:"Run every experiment at the chosen scale"
     Term.(
-      const (fun scale jobs json trace ->
-          emit ?json ?trace ?jobs (fun () -> F.all ~scale ?jobs ()))
-      $ scale_arg $ jobs_arg $ json_arg $ trace_arg)
+      const (fun scale jobs json trace breakdown ->
+          emit ?json ?trace ?breakdown ?jobs (fun () -> F.all ~scale ?jobs ()))
+      $ scale_arg $ jobs_arg $ json_arg $ trace_arg $ breakdown_arg)
 
 let main =
   let doc =

@@ -25,6 +25,23 @@ type span = {
   mutable sp_args : (string * string) list;
 }
 
+(* One phase-attributed latency ledger (see Ledger for the user API).
+   Phases are contiguous [(name, seg_start, seg_end)] segments sharing
+   boundary timestamps, so they partition [ld_begin, ld_end] with no
+   gaps or overlaps by construction; [ld_total] is the running float sum
+   of segment durations folded in record order, so re-summing the stored
+   segments reproduces it bit-exactly.  The simulator only stores
+   ledgers; it never reads them. *)
+type ledger = {
+  ld_op : string;
+  ld_track : string;
+  ld_begin : float;
+  mutable ld_cursor : float;
+  mutable ld_end : float; (* nan until closed *)
+  mutable ld_phases : (string * float * float) list; (* reverse order *)
+  mutable ld_total : float;
+}
+
 (* Conservative event sharding (off by default, see [shard_init]): the
    event population is partitioned into per-shard heaps with per-shard
    sequence counters, clocks and resume-cell pools.  Shards run in
@@ -73,6 +90,10 @@ type t = {
   mutable reused : int;
   (* span tracing (empty unless Span.set_on true) *)
   mutable spans : span list; (* reverse begin order *)
+  mutable dropped_spans : int; (* still-open spans discarded by take_spans *)
+  (* latency ledgers and timeline steps (empty unless Ledger.set_on true) *)
+  mutable ledgers : ledger list; (* closed ledgers, reverse close order *)
+  mutable steps : (string * float * int) list; (* series, time, +/-delta *)
   mutable label : string;
   (* sharding ([shards] empty = off, the default) *)
   mutable shards : shard array;
@@ -106,7 +127,8 @@ let fast_forward = ref false
 let create () =
   { now = 0.; queue = Heap.create (); seq = 0; processed = 0;
     current = None; running = false; pool = [||]; pool_n = 0;
-    peak_heap = 0; elided = 0; reused = 0; spans = []; label = "";
+    peak_heap = 0; elided = 0; reused = 0; spans = []; dropped_spans = 0;
+    ledgers = []; steps = []; label = "";
     shards = [||]; exec = None; ambient = None; engaged = false;
     engage_req = false; lookahead = 0.; pair_bound = None; epoch_end = 0.;
     barrier_rounds = 0; epochs_elided = 0; xshard = 0 }
@@ -597,9 +619,55 @@ let span_end t ?(args = []) sp =
   end
 
 let take_spans t =
-  let ended = List.filter (fun sp -> not (Float.is_nan sp.sp_end)) t.spans in
+  let still_open, ended =
+    List.partition (fun sp -> Float.is_nan sp.sp_end) t.spans
+  in
+  t.dropped_spans <- t.dropped_spans + List.length still_open;
   t.spans <- [];
   List.rev ended
+
+let take_dropped_spans t =
+  let n = t.dropped_spans in
+  t.dropped_spans <- 0;
+  n
+
+let ledger_begin t ~op =
+  { ld_op = op;
+    ld_track = (match t.current with Some n -> n | None -> "<callback>");
+    ld_begin = t.now; ld_cursor = t.now; ld_end = Float.nan;
+    ld_phases = []; ld_total = 0. }
+
+(* Attribute the segment [cursor, now] to [phase] and advance the cursor.
+   Zero-length segments are skipped, so an unconditional mark on a path
+   that may not have consumed time (e.g. an SDMA halt wait) records
+   nothing unless it did.  Time within one process is monotone, so after
+   a non-skipped mark the cursor always equals the current time. *)
+let ledger_mark t ld ~phase =
+  if Float.is_nan ld.ld_end && t.now > ld.ld_cursor then begin
+    ld.ld_phases <- (phase, ld.ld_cursor, t.now) :: ld.ld_phases;
+    ld.ld_total <- ld.ld_total +. (t.now -. ld.ld_cursor);
+    ld.ld_cursor <- t.now
+  end
+
+let ledger_close t ld ~phase =
+  if Float.is_nan ld.ld_end then begin
+    ledger_mark t ld ~phase;
+    ld.ld_end <- t.now;
+    t.ledgers <- ld :: t.ledgers
+  end
+
+let take_ledgers t =
+  let closed = t.ledgers in
+  t.ledgers <- [];
+  List.rev closed
+
+let step_note t ~series delta =
+  t.steps <- (series, t.now, delta) :: t.steps
+
+let take_steps t =
+  let steps = t.steps in
+  t.steps <- [];
+  List.rev steps
 
 let ns x = x
 

@@ -207,8 +207,62 @@ val span_end : t -> ?args:(string * string) list -> span -> unit
 
 (** All {e closed} spans in begin order; clears the buffer.  Spans still
     open (e.g. a server process parked forever in a mailbox) are
-    dropped. *)
+    dropped — and counted: {!take_dropped_spans} reports how many. *)
 val take_spans : t -> span list
+
+(** Number of still-open spans discarded by {!take_spans} since the last
+    call; reading resets the counter.  Surfaced by the harness as the
+    zero-omitted [trace/dropped_open] report key. *)
+val take_dropped_spans : t -> int
+
+(** {2 Latency-ledger storage}
+
+    The simulator stores phase-attributed latency ledgers; all recording
+    policy (the global on/off flag, null handles, rendering) lives in
+    {!Ledger}.  A ledger covers one end-to-end operation as contiguous
+    [(phase, seg_start, seg_end)] segments sharing boundary timestamps —
+    they partition [[ld_begin, ld_end]] with no gaps or overlaps by
+    construction — and [ld_total] is the running sum of segment
+    durations folded in record order, so re-summing the stored segments
+    reproduces it bit-exactly (test-enforced). *)
+
+type ledger = {
+  ld_op : string;                        (** operation, e.g. ["offload/writev"] *)
+  ld_track : string;                     (** beginning process's name *)
+  ld_begin : float;                      (** begin, simulated ns *)
+  mutable ld_cursor : float;             (** attribution cursor *)
+  mutable ld_end : float;                (** end, simulated ns; nan = open *)
+  mutable ld_phases : (string * float * float) list;
+      (** reverse record order: phase name, segment start, segment end *)
+  mutable ld_total : float;              (** running sum of segment durations *)
+}
+
+(** [ledger_begin t ~op] opens a ledger at the current time with the
+    cursor on the begin timestamp.  Unconditional — callers go through
+    {!Ledger.begin_}, which performs the enabled check. *)
+val ledger_begin : t -> op:string -> ledger
+
+(** [ledger_mark t ld ~phase] attributes the segment from the cursor to
+    the current time to [phase] and advances the cursor.  Zero-length
+    segments are skipped; marking a closed ledger is a no-op. *)
+val ledger_mark : t -> ledger -> phase:string -> unit
+
+(** [ledger_close t ld ~phase] attributes the residual segment to
+    [phase], stamps the end time and appends the ledger to the
+    simulator's buffer.  The first close wins. *)
+val ledger_close : t -> ledger -> phase:string -> unit
+
+(** All closed ledgers in close order; clears the buffer. *)
+val take_ledgers : t -> ledger list
+
+(** [step_note t ~series delta] records a timeline step event
+    [(series, now, delta)] — a host-side observation of a simulated
+    state change (e.g. an SDMA engine going busy).  Unconditional —
+    callers go through {!Ledger.step}. *)
+val step_note : t -> series:string -> int -> unit
+
+(** All step events in record order; clears the buffer. *)
+val take_steps : t -> (string * float * int) list
 
 (** Deterministic label for this simulated world (e.g. ["McKernel/2n"]),
     used as the Perfetto process-track name.  Empty by default. *)

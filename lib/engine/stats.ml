@@ -97,10 +97,15 @@ module Histogram = struct
     done;
     !acc
 
-  let percentile t p =
+  (* Nearest-rank quantile over the log-scale buckets, [q] in [0, 1]:
+     the lower bound of the bucket holding the ceil(q*n)-th smallest
+     sample (clamped to rank 1).  A pure function of the bucket counts,
+     so it commutes with [merge] — the qcheck law checks p50/p99/p999
+     through a merge against a from-scratch histogram. *)
+  let quantile t q =
     if t.total = 0 then 0.
     else begin
-      let target = Float.max 1. (Float.round (p /. 100. *. float_of_int t.total)) in
+      let target = Float.max 1. (Float.round (q *. float_of_int t.total)) in
       let rec scan i seen =
         if i >= nbuckets then lower_bound (nbuckets - 1)
         else begin
@@ -110,6 +115,10 @@ module Histogram = struct
       in
       scan 0 0
     end
+
+  let percentile t p = quantile t (p /. 100.)
+
+  let p999 t = quantile t 0.999
 end
 
 module Registry = struct

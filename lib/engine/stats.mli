@@ -48,7 +48,18 @@ module Histogram : sig
       buckets, sorted by bound. *)
   val buckets : t -> (float * int) list
 
+  (** [quantile h q] with [q] in [[0, 1]]: nearest-rank quantile — the
+      lower bound of the bucket holding the [ceil (q * n)]-th smallest
+      sample (clamped to rank 1); [0.] on an empty histogram.  A pure
+      function of the bucket counts, so it commutes with {!merge}. *)
+  val quantile : t -> float -> float
+
+  (** [percentile h p] is [quantile h (p /. 100.)]. *)
   val percentile : t -> float -> float
+
+  (** [p999 h] is [quantile h 0.999] — the tail statistic the latency
+      ledgers report next to p50/p99. *)
+  val p999 : t -> float
 end
 
 (** Named accumulator registry: maps a string key to cumulative time and

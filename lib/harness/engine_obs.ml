@@ -20,6 +20,8 @@ type window = {
   mutable xshard : int;
   mutable shard_ev_min : int;
   mutable shard_ev_max : int;
+  (* spans begun but never ended, discarded at drain (zero-omitted) *)
+  mutable dropped_spans : int;
 }
 
 let mutex = Mutex.create ()
@@ -27,10 +29,14 @@ let mutex = Mutex.create ()
 let win =
   { events = 0; elided = 0; reused = 0; peak = 0; sims = 0;
     sharded_sims = 0; shards = 0; barriers = 0; epochs_elided = 0;
-    xshard = 0; shard_ev_min = max_int; shard_ev_max = 0 }
+    xshard = 0; shard_ev_min = max_int; shard_ev_max = 0;
+    dropped_spans = 0 }
 
 let note_sim sim =
   Tracefile.note_sim sim;
+  Breakdown.note_sim sim;
+  (* after Tracefile's drain, which is what counts still-open spans *)
+  let dropped = Sim.take_dropped_spans sim in
   let events = Sim.events_processed sim in
   let elided = Sim.events_elided sim in
   (* Aggregated across shards by the accessors themselves: [cells_reused]
@@ -46,6 +52,7 @@ let note_sim sim =
   win.reused <- win.reused + reused;
   if peak > win.peak then win.peak <- peak;
   win.sims <- win.sims + 1;
+  win.dropped_spans <- win.dropped_spans + dropped;
   if Sim.sharded sim then begin
     win.sharded_sims <- win.sharded_sims + 1;
     win.shards <- win.shards + Sim.shard_count sim;
@@ -74,6 +81,7 @@ let reset () =
   win.xshard <- 0;
   win.shard_ev_min <- max_int;
   win.shard_ev_max <- 0;
+  win.dropped_spans <- 0;
   Mutex.unlock mutex
 
 (* Sub-phase host timer for figures that want one sweep's wall clock as
@@ -96,6 +104,7 @@ let measure ~figure f =
   let result = f () in
   let host = Unix.gettimeofday () -. t0 in
   Subsys_obs.flush ~figure;
+  Breakdown.flush ~figure;
   Mutex.lock mutex;
   let events = win.events and elided = win.elided in
   let reused = win.reused and peak = win.peak and sims = win.sims in
@@ -103,6 +112,7 @@ let measure ~figure f =
   let barriers = win.barriers and epochs_elided = win.epochs_elided in
   let xshard = win.xshard in
   let ev_min = win.shard_ev_min and ev_max = win.shard_ev_max in
+  let dropped = win.dropped_spans in
   Mutex.unlock mutex;
   let refused = Cluster.shard_refusals () - refused0 in
   let fi = float_of_int in
@@ -133,4 +143,8 @@ let measure ~figure f =
      config report it, so every existing JSON stays byte-identical. *)
   if refused > 0 then
     Report.record ~figure ~metric:"engine/shards/refused" (fi refused);
+  (* Zero-omitted: only figures whose trace left spans open (a process
+     parked mid-span at the end of the run) report it. *)
+  if dropped > 0 then
+    Report.record ~figure ~metric:"trace/dropped_open" (fi dropped);
   result

@@ -28,6 +28,11 @@
     [engine/peak_heap] aggregate across shards inside {!Sim} (sum of
     per-shard pools, max of per-shard high-water marks).
 
+    {!note_sim} also drains spans into {!Tracefile} and latency ledgers
+    into {!Breakdown}, and counts spans begun but never ended (discarded
+    at drain) — reported as the zero-omitted [trace/dropped_open] key so
+    a figure whose trace silently lost spans is visible in the JSON.
+
     Host wall-clock is used {e only} here, and only ends up in the JSON
     report (never on stdout), so `picobench` output stays byte-identical
     across hosts and runs. *)

@@ -1066,8 +1066,54 @@ let at_scale ?(scale = quick) ?jobs () =
   Report.record ~figure:"scale" ~metric:"ft_shard_equiv"
     (if ft_ok then 1. else 0.);
   buf_add b
-    (Printf.sprintf "fat-tree sharding on/off: %s (3 OS configs, radix 2)\n\n"
+    (Printf.sprintf "fat-tree sharding on/off: %s (3 OS configs, radix 2)\n"
        (if ft_ok then "OK, byte-identical" else "MISMATCH"));
+  (* Ledger probes: arming latency ledgers is host-side recording only,
+     so (1) simulation results must stay bit-identical to the unarmed
+     baseline, and (2) the recorded ledger content must itself be
+     identical between shard-on and shard-off runs (the breakdown file
+     is a content-sorted fold of it). *)
+  let with_ledgers v f =
+    let prev = Ledger.on () in
+    Ledger.set_on v;
+    Fun.protect ~finally:(fun () -> Ledger.set_on prev) f
+  in
+  (* Discard anything earlier probes buffered (possible when the whole
+     run is invoked with --breakdown) so each fingerprint below covers
+     exactly one probe run. *)
+  ignore (Breakdown.take_fingerprint ());
+  let lg_results_ok, lg_content_ok =
+    List.fold_left
+      (fun (r_ok, c_ok) kind ->
+        let plain =
+          with_ledgers false (fun () ->
+              at_scale_probe ~shard:false ~ff:false kind)
+        in
+        ignore (Breakdown.take_fingerprint ());
+        let armed =
+          with_ledgers true (fun () ->
+              at_scale_probe ~shard:false ~ff:false kind)
+        in
+        let lg_unsharded = Breakdown.take_fingerprint () in
+        let sharded =
+          with_ledgers true (fun () ->
+              at_scale_probe ~shard:true ~ff:false kind)
+        in
+        let lg_sharded = Breakdown.take_fingerprint () in
+        ( r_ok && plain = armed && sharded = plain,
+          c_ok && lg_unsharded = lg_sharded ))
+      (true, true) os_kinds
+  in
+  Report.record ~figure:"scale" ~metric:"ledger_off_equiv"
+    (if lg_results_ok then 1. else 0.);
+  Report.record ~figure:"scale" ~metric:"ledger_shard_equiv"
+    (if lg_content_ok then 1. else 0.);
+  buf_add b
+    (Printf.sprintf "ledgers off: %s (3 OS configs)\n"
+       (if lg_results_ok then "OK, results byte-identical" else "MISMATCH"));
+  buf_add b
+    (Printf.sprintf "ledger shard on/off: %s (3 OS configs)\n\n"
+       (if lg_content_ok then "OK, breakdown byte-identical" else "MISMATCH"));
   (* Part B: the big sweep.  Switches go on before the pool spins up and
      come off after it drains — workers only ever read them. *)
   let rpn = 8 in

@@ -244,6 +244,12 @@ let key_of s =
     s.fabric;
   Buffer.contents b
 
+(* Ratio keys must stay finite on degenerate windows (zero-duration
+   worlds, zero-byte traffic): emit 0, never NaN/inf. *)
+let ratio num den =
+  let v = if den > 0. then num /. den else 0. in
+  if Float.is_finite v then v else 0.
+
 let flush ~figure =
   Mutex.lock mutex;
   let ss = Hashtbl.fold (fun _ s acc -> s :: acc) samples [] in
@@ -279,7 +285,7 @@ let flush ~figure =
         let p = Printf.sprintf "offload/%s/" name in
         rec_ (p ^ "calls") (fi calls);
         rec_ (p ^ "total_ns") total;
-        rec_ (p ^ "mean_ns") (if calls = 0 then 0. else total /. fi calls);
+        rec_ (p ^ "mean_ns") (ratio total (fi calls));
         rec_ (p ^ "p99_ns") (Stats.Histogram.percentile hist 99.))
       offload;
     let sdma_requests = isum (fun s -> s.sdma_requests) in
@@ -293,8 +299,7 @@ let flush ~figure =
       let avail =
         fsum (fun s -> s.wall_ns *. fi s.sdma_engines)
       in
-      rec_ "sdma/occupancy"
-        (if avail > 0. then fsum (fun s -> s.sdma_busy) /. avail else 0.);
+      rec_ "sdma/occupancy" (ratio (fsum (fun s -> s.sdma_busy)) avail);
       let per_engine =
         List.fold_left
           (fun acc s ->
@@ -326,7 +331,7 @@ let flush ~figure =
     rec_ "hfi/pio_bytes" (fi pio_bytes);
     if pio_bytes + sdma_bytes > 0 then
       rec_ "hfi/pio_byte_share"
-        (fi pio_bytes /. fi (pio_bytes + sdma_bytes));
+        (ratio (fi pio_bytes) (fi (pio_bytes + sdma_bytes)));
     let locks =
       List.fold_left
         (fun l s ->

@@ -71,37 +71,46 @@ let offload t ~name f =
     t.proxies;
   let started = Sim.now t.sim in
   let sp = Span.begin_ t.sim ~cat:"offload" ~name in
+  let lg = Ledger.begin_ t.sim ~op:("offload/" ^ name) in
   let c = Costs.current () in
   (* Everything after the request message arrives on the Linux side. *)
   let serve () =
     (* Wait for a Linux CPU; the delegator thread and proxy run there. *)
+    Ledger.step t.sim ~series:"offload/queue_depth" 1;
     let waited = Resource.acquire t.lkernel.Lkernel.service_cpus in
+    Ledger.step t.sim ~series:"offload/queue_depth" (-1);
+    Ledger.mark t.sim lg ~phase:"linux_queue";
     t.queueing <- t.queueing +. waited;
     let finish () = Resource.release t.lkernel.Lkernel.service_cpus in
     match
       (* Wake the proxy, enter the Linux syscall path, run the call while
          holding the CPU. *)
       Sim.delay t.sim (dispatch_cost t +. c.linux_syscall);
+      Ledger.mark t.sim lg ~phase:"linux_dispatch";
       f ()
     with
     | v ->
       finish ();
+      Ledger.mark t.sim lg ~phase:"linux_service";
       (* Response message back to the LWK. *)
       Sim.delay t.sim c.ikc_message;
       note_round_trip t name (Sim.now t.sim -. started);
       Span.end_with t.sim sp (fun () ->
           [ ("queued_ns", Printf.sprintf "%.0f" waited) ]);
+      Ledger.close t.sim lg ~phase:"ikc_response";
       v
     | exception e ->
       finish ();
       note_round_trip t name (Sim.now t.sim -. started);
       Span.end_ t.sim sp;
+      Ledger.close t.sim lg ~phase:"linux_service";
       raise e
   in
   match t.drop with
   | None ->
     (* Request message to Linux. *)
     Sim.delay t.sim c.ikc_message;
+    Ledger.mark t.sim lg ~phase:"ikc_request";
     serve ()
   | Some dropped ->
     (* Robust variant: each request message may be lost.  The requester
@@ -110,20 +119,27 @@ let offload t ~name f =
        dropped attempt, so resending cannot double-execute the call. *)
     let rec attempt n =
       Sim.delay t.sim c.ikc_message;
-      if not (dropped ()) then serve ()
+      if not (dropped ()) then begin
+        Ledger.mark t.sim lg ~phase:"ikc_request";
+        serve ()
+      end
       else begin
         t.drops <- t.drops + 1;
+        Ledger.mark t.sim lg ~phase:"ikc_request";
         let dsp = Span.begin_ t.sim ~cat:"fault" ~name:"ikc_drop" in
         Sim.delay t.sim c.ikc_timeout;
         Span.end_with t.sim dsp (fun () ->
             [ ("syscall", name); ("attempt", string_of_int (n + 1)) ]);
+        Ledger.mark t.sim lg ~phase:"fault_drop_timeout";
         if n + 1 >= c.ikc_max_retries then begin
           note_round_trip t name (Sim.now t.sim -. started);
           Span.end_ t.sim sp;
+          Ledger.close t.sim lg ~phase:"fault_drop_timeout";
           raise (Offload_timeout { syscall = name; attempts = n + 1 })
         end;
         t.retries <- t.retries + 1;
         Sim.delay t.sim (c.ikc_retry_backoff *. float_of_int (n + 1));
+        Ledger.mark t.sim lg ~phase:"fault_retry_backoff";
         attempt (n + 1)
       end
     in

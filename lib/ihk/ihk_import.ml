@@ -1,6 +1,7 @@
 (* Local aliases for modules used across the IHK library. *)
 module Sim = Pico_engine.Sim
 module Span = Pico_engine.Span
+module Ledger = Pico_engine.Ledger
 module Mailbox = Pico_engine.Mailbox
 module Resource = Pico_engine.Resource
 module Stats = Pico_engine.Stats

@@ -20,6 +20,10 @@ let get_user_pages t ~pt ~va ~len =
   let first = Addr.align_down va Addr.page_size in
   let n = Addr.pages_spanned ~addr:va ~len in
   let sp = Span.begin_ t.sim ~cat:"gup" ~name:"get_user_pages" in
+  (* Own op rather than a phase of the enclosing syscall ledger: GUP
+     runs nested inside writev/ioctl service, and ledgers attribute each
+     op's own [begin, end] interval. *)
+  let lg = Ledger.begin_ t.sim ~op:"gup/get_user_pages" in
   charge t (float_of_int n *. (Costs.current ()).gup_per_page);
   let pins = ref [] in
   for i = n - 1 downto 0 do
@@ -30,6 +34,7 @@ let get_user_pages t ~pt ~va ~len =
   t.pinned <- t.pinned + n;
   t.total <- t.total + n;
   Span.end_with t.sim sp (fun () -> [ ("pages", string_of_int n) ]);
+  Ledger.close t.sim lg ~phase:"pin";
   !pins
 
 let put_pages t pins =

@@ -56,12 +56,15 @@ let noise_clock t =
 let syscall t ?profile ~name f =
   let started = Sim.now t.sim in
   let sp = Span.begin_ t.sim ~cat:"syscall" ~name in
+  let lg = Ledger.begin_ t.sim ~op:("syscall/" ^ name) in
   Sim.delay t.sim (Costs.current ()).linux_syscall;
+  Ledger.mark t.sim lg ~phase:"linux_crossing";
   let finish () =
     (match profile with
      | Some reg -> Stats.Registry.add reg name (Sim.now t.sim -. started)
      | None -> ());
-    Span.end_ t.sim sp
+    Span.end_ t.sim sp;
+    Ledger.close t.sim lg ~phase:"service"
   in
   match f () with
   | v -> finish (); v

@@ -2,6 +2,7 @@
    libraries. *)
 module Sim = Pico_engine.Sim
 module Span = Pico_engine.Span
+module Ledger = Pico_engine.Ledger
 module Mailbox = Pico_engine.Mailbox
 module Semaphore = Pico_engine.Semaphore
 module Resource = Pico_engine.Resource

@@ -28,7 +28,14 @@ let derive t = { t with profile = Stats.Registry.create () }
 
 let profiled t name f =
   let started = Sim.now t.sim in
-  let finish () = Stats.Registry.add t.profile name (Sim.now t.sim -. started) in
+  (* One end-to-end ledger per MPI call (collective step or pt2pt): the
+     finer-grained attribution lives in the PSM/syscall/SDMA ledgers the
+     call fans out into. *)
+  let lg = Ledger.begin_ t.sim ~op:("mpi/" ^ name) in
+  let finish () =
+    Stats.Registry.add t.profile name (Sim.now t.sim -. started);
+    Ledger.close t.sim lg ~phase:"call"
+  in
   match f () with
   | v -> finish (); v
   | exception e -> finish (); raise e

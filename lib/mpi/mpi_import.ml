@@ -1,5 +1,6 @@
 (* Local aliases for modules used across the MPI library. *)
 module Sim = Pico_engine.Sim
+module Ledger = Pico_engine.Ledger
 module Stats = Pico_engine.Stats
 module Addr = Pico_hw.Addr
 module Endpoint = Pico_psm.Endpoint

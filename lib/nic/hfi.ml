@@ -435,6 +435,10 @@ let pio_train t ~dst_node ~dst_ctx ~hdr ~len ?payload c =
 let pio_send t ~dst_node ~dst_ctx ~hdr ~len ?payload () =
   let c = Costs.current () in
   let sp = Span.begin_ t.sim ~cat:"pio" ~name:"pio_send" in
+  (* Single-phase ledger: the batched train path has no interior
+     suspension points shared with the per-packet path, so only the
+     end-to-end boundaries are result-determined across engine modes. *)
+  let lg = Ledger.begin_ t.sim ~op:"pio/send" in
   (if
     !batching
     && dst_node <> node_id t
@@ -488,7 +492,8 @@ let pio_send t ~dst_node ~dst_ctx ~hdr ~len ?payload () =
   end
   end);
   Span.end_with t.sim sp (fun () ->
-      [ ("dst", string_of_int dst_node); ("len", string_of_int len) ])
+      [ ("dst", string_of_int dst_node); ("len", string_of_int len) ]);
+  Ledger.close t.sim lg ~phase:"send"
 
 let read_requests t reqs =
   let total = List.fold_left (fun acc (r : Sdma.request) -> acc + r.len) 0 reqs in
@@ -511,6 +516,7 @@ let sdma_submit t ~channel ~dst_node ~dst_ctx ~hdr ~reqs ~on_complete () =
   let tx_id = t.next_tx in
   t.next_tx <- tx_id + 1;
   let payload = if t.carry_payload then Some (read_requests t reqs) else None in
+  let lg = Ledger.begin_ t.sim ~op:"sdma/tx" in
   let finish () =
     (* DMA done: packet leaves for the destination, and the completion
        IRQ fires on this node. *)
@@ -518,11 +524,12 @@ let sdma_submit t ~channel ~dst_node ~dst_ctx ~hdr ~reqs ~on_complete () =
       { src_node = node_id t; dst_node; dst_ctx;
         wire_len = total + Wire.header_bytes; header = hdr; payload };
     Queue.add on_complete t.completions;
-    Irq.raise_irq t.node.Node.irq ~vector:sdma_irq_vector
+    Irq.raise_irq t.node.Node.irq ~vector:sdma_irq_vector;
+    Ledger.close t.sim lg ~phase:"completion"
   in
   Sdma.submit t.sdma
     { tx_id; channel; requests = reqs; total_bytes = total;
-      on_complete = finish }
+      on_complete = finish; lg }
 
 let sdma t = t.sdma
 

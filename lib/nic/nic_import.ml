@@ -1,6 +1,7 @@
 (* Local aliases for engine and hardware modules used across this library. *)
 module Sim = Pico_engine.Sim
 module Span = Pico_engine.Span
+module Ledger = Pico_engine.Ledger
 module Mailbox = Pico_engine.Mailbox
 module Semaphore = Pico_engine.Semaphore
 module Resource = Pico_engine.Resource

@@ -11,6 +11,10 @@ type tx = {
   requests : request list;
   total_bytes : int;
   on_complete : unit -> unit;
+  (* Latency ledger of the submitting operation ([Ledger.null] unless
+     breakdown recording is on): the engine process marks queue wait,
+     halt dwell and service on the submitter's behalf. *)
+  lg : Ledger.h;
 }
 
 type engine = {
@@ -56,11 +60,20 @@ let engine_loop t e () =
      which leaves the engine blocked in Mailbox.get — harmless. *)
   let rec loop () =
     let tx = Mailbox.get e.ring in
+    (* Ledger boundaries sit on result-determined instants only: ring
+       pickup, halt resume and completion are bit-identical between the
+       batched and per-packet service paths and between the sharded and
+       unsharded engines (the busy counters derived from them are part
+       of the identity gate), so breakdown output stays byte-identical
+       across engine modes. *)
+    Ledger.mark t.sim tx.lg ~phase:"ring_wait";
     while e.halted do
       Sim.suspend t.sim (fun resume -> e.halt_waiter <- Some resume)
     done;
+    Ledger.mark t.sim tx.lg ~phase:"fault_halt_wait";
     let started = Sim.now t.sim in
     let sp = Span.begin_ t.sim ~cat:"sdma" ~name:"tx" in
+    Ledger.step t.sim ~series:"sdma/busy_engines" 1;
     if not (t.batch tx) then
       List.iter
         (fun req ->
@@ -68,9 +81,12 @@ let engine_loop t e () =
           t.transmit req)
         tx.requests;
     let took = Sim.now t.sim -. started in
+    Ledger.step t.sim ~series:"sdma/busy_engines" (-1);
+    Ledger.mark t.sim tx.lg ~phase:"engine_service";
     t.busy <- t.busy +. took;
     e.e_busy <- e.e_busy +. took;
     t.txs_completed <- t.txs_completed + 1;
+    Ledger.step t.sim ~series:"sdma/inflight" (-1);
     t.in_flight <- t.in_flight - 1;
     Span.end_with t.sim sp (fun () ->
         [ ("tx", string_of_int tx.tx_id);
@@ -124,6 +140,8 @@ let submit t tx =
      one flow's descriptors are processed serially by one engine. *)
   let e = t.engines.(tx.channel mod Array.length t.engines) in
   Semaphore.acquire e.slots;
+  Ledger.mark t.sim tx.lg ~phase:"slot_wait";
+  Ledger.step t.sim ~series:"sdma/inflight" 1;
   t.in_flight <- t.in_flight + 1;
   List.iter
     (fun (r : request) ->

@@ -27,6 +27,10 @@ type tx = {
   requests : request list;
   total_bytes : int;
   on_complete : unit -> unit;
+  lg : Ledger.h;
+      (** latency ledger of the submitting operation ({!Ledger.null}
+          unless breakdown recording is on): the engine marks queue
+          wait, halt dwell and service on the submitter's behalf *)
 }
 
 type t

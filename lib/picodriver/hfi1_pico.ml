@@ -140,6 +140,9 @@ let fast_writev t (p : Mck.pctx) (file : Vfs.file) (iovs : Vfs.iovec list) =
       t.writev_fallback <- t.writev_fallback + 1;
       raise Mck.Fastpath_unavailable
     end;
+    (* Fast-path analogue of the Linux-side gup/get_user_pages ledger:
+       the PicoDriver translates through the page table itself. *)
+    let lg = Ledger.begin_ sim ~op:"translate/pt_walk" in
     let all_reqs, total =
       List.fold_left
         (fun (acc, total) (iov : Vfs.iovec) ->
@@ -152,6 +155,7 @@ let fast_writev t (p : Mck.pctx) (file : Vfs.file) (iovs : Vfs.iovec list) =
           (acc @ requests_of_segments t segs, total + iov.Vfs.iov_len))
         ([], 0) data_iovs
     in
+    Ledger.close sim lg ~phase:"walk";
     if all_reqs = [] then 0
     else begin
       (* Metadata from McKernel's per-core allocator; the duplicated
@@ -216,7 +220,9 @@ let fast_tid_update t (p : Mck.pctx) (file : Vfs.file) ~arg =
       ~len:tu.User_api.tu_len
   in
   t.pt_segments <- t.pt_segments + List.length segs;
+  let lg = Ledger.begin_ sim ~op:"translate/pt_walk" in
   Sim.delay sim (walk_cost segs);
+  Ledger.close sim lg ~phase:"walk";
   let entries = entries_of_segments segs in
   Spinlock.with_lock (Hfi1_driver.tid_lock t.linux_driver) (fun () ->
       match Rcvarray.program (Hfi.rcvarray ctx) entries with

@@ -55,6 +55,10 @@ type kind = Send of send_st | Recv of recv_st
 type req = {
   kind : kind;
   mutable complete : bool;
+  (* Latency ledger of this message ([Ledger.null] unless breakdown
+     recording is on).  All marks happen in the owning rank's process at
+     event-arrival instants, so attribution is deterministic. *)
+  lg : Ledger.h;
 }
 
 (* Unexpected message accumulator (eager data or an RTS parked until a
@@ -189,20 +193,25 @@ let isend t ~dst ~tag ~va ~len =
     { s_dst = dst; s_tag = tag; s_va = va; s_len = len;
       s_msg_id = fresh_msg_id t; s_submitted = 0 }
   in
-  let req = { kind = Send st; complete = false } in
+  let req =
+    { kind = Send st; complete = false;
+      lg = Ledger.begin_ t.os.sim ~op:"psm/send" }
+  in
   (* Intra-node traffic goes through PSM's shared-memory transport: plain
      copies, no NIC and no driver — which is why single-node runs are
      immune to the offloading penalty (paper Fig. 6). *)
   if len <= !Config.eager_threshold || same_node t dst then begin
     eager_send t st;
-    req.complete <- true
+    req.complete <- true;
+    Ledger.close t.os.sim req.lg ~phase:"eager_send"
   end
   else begin
     t.n_rndv <- t.n_rndv + 1;
     Hashtbl.replace t.sends st.s_msg_id req;
     send_ctrl t ~dst
       (Proto.Rts
-         { tag; msg_id = st.s_msg_id; msg_len = len; src_rank = t.os.rank })
+         { tag; msg_id = st.s_msg_id; msg_len = len; src_rank = t.os.rank });
+    Ledger.mark t.os.sim req.lg ~phase:"rts_send"
   end;
   req
 
@@ -257,7 +266,8 @@ let start_rendezvous t req (r : recv_st) ~src =
       go (n - 1)
     end
   in
-  go depth
+  go depth;
+  Ledger.mark t.os.sim req.lg ~phase:"window_grant"
 
 (* Copy one eager fragment into the user buffer. *)
 let place_fragment t (r : recv_st) ~offset ~frag_len ~payload =
@@ -269,8 +279,11 @@ let place_fragment t (r : recv_st) ~offset ~frag_len ~payload =
   memcpy_charge t frag_len;
   r.r_done <- r.r_done + frag_len
 
-let maybe_complete req (r : recv_st) =
-  if r.r_msg_len >= 0 && r.r_done >= r.r_msg_len then req.complete <- true
+let maybe_complete t req (r : recv_st) =
+  if r.r_msg_len >= 0 && r.r_done >= r.r_msg_len then begin
+    req.complete <- true;
+    Ledger.close t.os.sim req.lg ~phase:"recv_complete"
+  end
 
 (* An eager fragment (or rendezvous eager-fallback data) for an already
    matched receive.  For a rendezvous that fell back to eager windows
@@ -279,9 +292,14 @@ let maybe_complete req (r : recv_st) =
 let continue_active t req ~src ~offset ~frag_len ~payload =
   match req.kind with
   | Recv r ->
+    Ledger.mark t.os.sim req.lg ~phase:"data_wait";
     place_fragment t r ~offset ~frag_len ~payload;
-    if r.r_rndv && r.r_next_off < r.r_msg_len then grant_window t r ~src;
-    maybe_complete req r
+    Ledger.mark t.os.sim req.lg ~phase:"copy";
+    if r.r_rndv && r.r_next_off < r.r_msg_len then begin
+      grant_window t r ~src;
+      Ledger.mark t.os.sim req.lg ~phase:"window_grant"
+    end;
+    maybe_complete t req r
   | Send _ -> assert false
 
 let adopt_unexpected t req (r : recv_st) ~src (u : unexp) =
@@ -297,7 +315,8 @@ let adopt_unexpected t req (r : recv_st) ~src (u : unexp) =
       (fun (offset, frag_len, payload) ->
         place_fragment t r ~offset ~frag_len ~payload)
       (List.rev u.u_frags);
-    maybe_complete req r;
+    Ledger.mark t.os.sim req.lg ~phase:"copy";
+    maybe_complete t req r;
     if req.complete then Hashtbl.remove t.accum (src, u.u_msg_id)
     else
       (* More fragments still in flight: register for continuation. *)
@@ -310,7 +329,10 @@ let irecv t ~src ~tag ?(mask = -1L) ~va ~len () =
       r_msg_id = -1; r_msg_len = -1; r_done = 0; r_next_off = 0;
       r_windows = []; r_rndv = false }
   in
-  let req = { kind = Recv r; complete = false } in
+  let req =
+    { kind = Recv r; complete = false;
+      lg = Ledger.begin_ t.os.sim ~op:"psm/recv" }
+  in
   (match Mq.match_unexpected t.mq ~src ~tag ~mask with
    | Some (u_src, u_tag, u) ->
      ignore u_tag;
@@ -349,8 +371,10 @@ let handle_eager t (e : Wire.header) (payload : bytes option) =
              r.r_src <- Some src_rank;
              r.r_msg_id <- msg_id;
              r.r_msg_len <- msg_len;
+             Ledger.mark t.os.sim req.lg ~phase:"data_wait";
              place_fragment t r ~offset ~frag_len ~payload;
-             maybe_complete req r;
+             Ledger.mark t.os.sim req.lg ~phase:"copy";
+             maybe_complete t req r;
              if not req.complete then
                Hashtbl.replace t.active (src_rank, msg_id) req
            | Send _ -> assert false)
@@ -383,10 +407,13 @@ let handle_cts t (msg_id, offset, win_len, tid_base) =
   | Some req ->
     (match req.kind with
      | Send st ->
+       Ledger.mark t.os.sim req.lg ~phase:"cts_wait";
        sdma_window t st ~offset ~win_len ~tid_base;
+       Ledger.mark t.os.sim req.lg ~phase:"window_submit";
        if st.s_submitted >= st.s_len then begin
          req.complete <- true;
-         Hashtbl.remove t.sends msg_id
+         Hashtbl.remove t.sends msg_id;
+         Ledger.close t.os.sim req.lg ~phase:"window_submit"
        end
      | Recv _ -> assert false)
 
@@ -407,6 +434,7 @@ let handle_expected t ~src_rank ~msg_id ~offset ~frag_len =
     (match req.kind with
      | Recv r ->
        r.r_done <- r.r_done + frag_len;
+       Ledger.mark t.os.sim req.lg ~phase:"data_wait";
        (match List.find_opt (fun w -> w.w_off = offset) r.r_windows with
         | Some w ->
           r.r_windows <- List.filter (fun x -> x.w_off <> offset) r.r_windows;
@@ -414,7 +442,8 @@ let handle_expected t ~src_rank ~msg_id ~offset ~frag_len =
         | None -> ());
        (* Keep the pipeline full. *)
        if r.r_next_off < r.r_msg_len then grant_window t r ~src:src_rank;
-       maybe_complete req r;
+       Ledger.mark t.os.sim req.lg ~phase:"window_grant";
+       maybe_complete t req r;
        if req.complete then Hashtbl.remove t.active (src_rank, msg_id)
      | Send _ -> assert false)
 

@@ -53,18 +53,21 @@ if ! diff -u "$seq_json.masked" "$par_json.masked"; then
 fi
 rm -f "$seq_json.masked" "$par_json.masked"
 
-echo "== determinism: picobench faults, jobs=1 vs jobs=$jobs =="
+echo "== determinism: picobench faults (+breakdown), jobs=1 vs jobs=$jobs =="
 fseq_out="$(mktemp)"
 fpar_out="$(mktemp)"
 fseq_json="$(mktemp)"
 fpar_json="$(mktemp)"
+fseq_bd="$(mktemp)"
+fpar_bd="$(mktemp)"
 trap 'rm -f "$seq_out" "$par_out" "$seq_json" "$par_json" \
-  "$fseq_out" "$fpar_out" "$fseq_json" "$fpar_json"' EXIT
+  "$fseq_out" "$fpar_out" "$fseq_json" "$fpar_json" \
+  "$fseq_bd" "$fpar_bd"' EXIT
 
 PICO_JOBS=1 dune exec --no-build bin/picobench.exe -- faults \
-  --json "$fseq_json" > "$fseq_out"
+  --json "$fseq_json" --breakdown "$fseq_bd" > "$fseq_out"
 PICO_JOBS="$jobs" dune exec --no-build bin/picobench.exe -- faults \
-  --json "$fpar_json" > "$fpar_out"
+  --json "$fpar_json" --breakdown "$fpar_bd" > "$fpar_out"
 
 if ! diff -u "$fseq_out" "$fpar_out"; then
   echo "FAIL: faults output differs between jobs=1 and jobs=$jobs" >&2
@@ -78,6 +81,19 @@ if ! diff -u "$fseq_json.masked" "$fpar_json.masked"; then
   exit 1
 fi
 rm -f "$fseq_json.masked" "$fpar_json.masked"
+
+# The latency-ledger breakdown file is a pure function of the simulated
+# results — no wall-clock, host or jobs keys — so it is byte-diffed
+# UNMASKED.  Faults is the hardest figure for it: recovery phases and
+# fallback submits land in the ledgers too.
+if ! diff -u "$fseq_bd" "$fpar_bd"; then
+  echo "FAIL: breakdown JSON differs between jobs=1 and jobs=$jobs" >&2
+  exit 1
+fi
+if ! grep -q '"schema": "picodriver-breakdown-v1"' "$fseq_bd"; then
+  echo "FAIL: breakdown JSON missing schema marker" >&2
+  exit 1
+fi
 
 # With every fault rate at its zero default, arming the injector must be
 # a complete no-op; the figure asserts it and prints a greppable line.
@@ -165,6 +181,16 @@ fi
 # diff above; this grep pins the shard-on/off identity law itself.
 if ! grep -q '^fat-tree sharding on/off: OK' "$sseq_out"; then
   echo "FAIL: fat-tree sharded engine is not byte-identical to unsharded" >&2
+  exit 1
+fi
+# Latency ledgers: arming them must not change any simulation result,
+# and the breakdown a sharded run produces must equal the unsharded one.
+if ! grep -q '^ledgers off: OK' "$sseq_out"; then
+  echo "FAIL: arming latency ledgers changed simulation results" >&2
+  exit 1
+fi
+if ! grep -q '^ledger shard on/off: OK' "$sseq_out"; then
+  echo "FAIL: sharded breakdown differs from unsharded" >&2
   exit 1
 fi
 

@@ -11,6 +11,10 @@
 # the per-packet and batched paths; a change that merely skipped
 # simulation work would show up as a byte-diff in check.sh instead.
 #
+# A warn-only ledger-overhead FOM re-runs the figure with latency
+# ledgers armed (--breakdown) and prints the per-event cost ratio; skip
+# with PICO_PERF_LEDGER=0.
+#
 # A second, informative wall-clock FOM comes from `picobench scale`: the
 # 64-256-node sweep on the sharded + fast-forwarded engine, whose whole
 # point is finishing in minutes.  Its host seconds are recorded next to
@@ -62,6 +66,34 @@ if [ -z "$eeps" ]; then
   exit 1
 fi
 
+# Ledger overhead (warn-only): re-run the same figure with latency
+# ledgers armed (--breakdown) and compare per-event throughput.  Arming
+# ledgers cannot change results (check.sh gates that); this FOM watches
+# what the bookkeeping costs in host time.  Skip with PICO_PERF_LEDGER=0.
+ledger_eeps=null
+if [ "${PICO_PERF_LEDGER:-1}" = "1" ]; then
+  ltmp="$(mktemp)"
+  lbd="$(mktemp)"
+  trap 'rm -f "$tmp" "$ltmp" "$lbd"' EXIT
+  PICO_JOBS="${PICO_JOBS:-1}" dune exec --no-build bin/picobench.exe -- \
+    "$fig" --json "$ltmp" --breakdown "$lbd" > /dev/null
+  ledger_eeps="$(awk -F': ' -v key="\"$fig/engine/equiv_events_per_sec\"" \
+    '$0 ~ key { gsub(/[ ,]/, "", $2); print $2 }' "$ltmp")"
+  if [ -z "$ledger_eeps" ]; then
+    echo "perf.sh: no engine metrics in ledger-armed run" >&2
+    exit 1
+  fi
+  awk -v on="$ledger_eeps" -v off="$eeps" 'BEGIN {
+    ratio = off / on;
+    printf "perf.sh: ledgers armed: %.4g equiv events/sec (%.2fx cost vs off)\n",
+      on, ratio;
+    # ~1.8x is the expected steady-state bookkeeping cost on the tiny
+    # quick-scale fig4; warn only when it grows well past that.
+    if (ratio > 2.5)
+      print "perf.sh: WARN: ledger bookkeeping >2.5x per-event cost" > "/dev/stderr";
+  }'
+fi
+
 scale_host=null
 ft_host=null
 if [ "${PICO_PERF_SCALE:-1}" = "1" ]; then
@@ -97,6 +129,7 @@ cat > "$out" <<EOF
   "host_seconds": $host,
   "events_per_sec": $eps,
   "equiv_events_per_sec": $eeps,
+  "ledger_equiv_events_per_sec": $ledger_eeps,
   "scale_host_seconds": $scale_host,
   "ft_scale_host_seconds": $ft_host
 }

@@ -3,6 +3,7 @@
 
 open Pico_nic
 module Sim = Pico_engine.Sim
+module Ledger = Pico_engine.Ledger
 module Mailbox = Pico_engine.Mailbox
 module Stats = Pico_engine.Stats
 module Node = Pico_hw.Node
@@ -97,7 +98,7 @@ let test_sdma_oversize_rejected () =
            Sdma.submit s
              { Sdma.tx_id = 0; channel = 0;
                requests = [ { Sdma.pa = 0; len = 20_000 } ];
-               total_bytes = 20_000; on_complete = (fun () -> ()) };
+               total_bytes = 20_000; on_complete = (fun () -> ()); lg = Ledger.null };
            false
          with Invalid_argument _ -> true));
   ignore (Sim.run sim)
@@ -109,7 +110,7 @@ let test_sdma_empty_rejected () =
     Sdma.submit s
       { Sdma.tx_id = 0; channel = 0;
         requests = [ { Sdma.pa = 0; len } ];
-        total_bytes = len; on_complete = (fun () -> ()) }
+        total_bytes = len; on_complete = (fun () -> ()); lg = Ledger.null }
   in
   Sim.spawn sim (fun () ->
       Alcotest.(check bool) "zero-length raises" true
@@ -126,7 +127,7 @@ let test_sdma_halt_parks_engine () =
   let mk i don =
     { Sdma.tx_id = i; channel = 0;
       requests = [ { Sdma.pa = i * 4096; len = 4096 } ];
-      total_bytes = 4096; on_complete = (fun () -> don := Sim.now sim) }
+      total_bytes = 4096; on_complete = (fun () -> don := Sim.now sim); lg = Ledger.null }
   in
   Sim.spawn sim (fun () -> Sdma.submit s (mk 1 done1));
   (* Halt mid-tx: the active descriptor train drains (hardware finishes
@@ -156,7 +157,7 @@ let test_sdma_same_channel_serializes () =
           { Sdma.tx_id = i; channel = 7;
             requests = [ { Sdma.pa = i * 4096; len = 4096 } ];
             total_bytes = 4096;
-            on_complete = (fun () -> completions := Sim.now sim :: !completions) }
+            on_complete = (fun () -> completions := Sim.now sim :: !completions); lg = Ledger.null }
       done);
   ignore (Sim.run sim);
   (match List.rev !completions with
@@ -174,7 +175,7 @@ let test_sdma_different_channels_overlap () =
           { Sdma.tx_id = i; channel = i;
             requests = [ { Sdma.pa = i * 4096; len = 4096 } ];
             total_bytes = 4096;
-            on_complete = (fun () -> completions := Sim.now sim :: !completions) }
+            on_complete = (fun () -> completions := Sim.now sim :: !completions); lg = Ledger.null }
       done);
   ignore (Sim.run sim);
   (match List.sort_uniq compare !completions with
@@ -189,7 +190,7 @@ let test_sdma_stats () =
         { Sdma.tx_id = 0; channel = 0;
           requests =
             [ { Sdma.pa = 0; len = 4096 }; { Sdma.pa = 8192; len = 2048 } ];
-          total_bytes = 6144; on_complete = (fun () -> ()) });
+          total_bytes = 6144; on_complete = (fun () -> ()); lg = Ledger.null });
   ignore (Sim.run sim);
   Alcotest.(check int) "requests" 2 (Sdma.requests_submitted s);
   Alcotest.(check int) "bytes" 6144 (Sdma.bytes_submitted s);
@@ -206,7 +207,7 @@ let test_sdma_ring_backpressure () =
         Sdma.submit s
           { Sdma.tx_id = i; channel = 0;
             requests = [ { Sdma.pa = 0; len = 4096 } ];
-            total_bytes = 4096; on_complete = (fun () -> ()) };
+            total_bytes = 4096; on_complete = (fun () -> ()); lg = Ledger.null };
         submit_times := Sim.now sim :: !submit_times
       done);
   ignore (Sim.run sim);

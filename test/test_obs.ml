@@ -138,6 +138,84 @@ let test_span_json_escapes () =
   Alcotest.(check bool) "escaped newline" true (contains "key\\n");
   Alcotest.(check bool) "escaped tab" true (contains "tab\\t")
 
+let contains_in haystack needle =
+  let n = String.length needle and m = String.length haystack in
+  let rec go i =
+    i + n <= m && (String.sub haystack i n = needle || go (i + 1))
+  in
+  go 0
+
+let test_span_json_control_chars () =
+  (* Control characters below 0x20 (other than \n and \t) must come out
+     as \u escapes — in span names, categories, arg keys AND values. *)
+  with_spans true @@ fun () ->
+  let sim = Sim.create () in
+  Sim.spawn sim (fun () ->
+      let h = Span.begin_ sim ~cat:"c\x01at" ~name:"bell\x07name" in
+      Sim.delay sim 1.;
+      Span.end_ sim ~args:[ ("k\x02ey", "va\x1flue\\\"q") ] h);
+  ignore (Sim.run sim);
+  let json = Span.to_json (Span.drain sim) in
+  List.iter
+    (fun (what, needle) ->
+      Alcotest.(check bool) what true (contains_in json needle))
+    [ ("name control", "bell\\u0007name"); ("cat control", "c\\u0001at");
+      ("arg key control", "k\\u0002ey");
+      ("arg value control + escapes", "va\\u001flue\\\\\\\"q") ];
+  (* nothing un-escaped slipped through *)
+  String.iter
+    (fun c -> Alcotest.(check bool) "no raw control chars" false
+        (Char.code c < 0x20 && c <> '\n'))
+    json
+
+let test_tracefile_escapes () =
+  (* Same nasty strings through the multi-simulation collector: the
+     process label comes from the sim label, the track from the process
+     name — both rendered into metadata events. *)
+  with_spans true @@ fun () ->
+  Tracefile.clear ();
+  let sim = Sim.create () in
+  Sim.set_label sim "lab\"el\\one";
+  Sim.spawn sim ~name:"proc\x03\"q" (fun () ->
+      let h = Span.begin_ sim ~cat:"c" ~name:"n\x1bame" in
+      Sim.delay sim 2.;
+      Span.end_ sim ~args:[ ("a", "v\x00al") ] h);
+  ignore (Sim.run sim);
+  Tracefile.note_sim sim;
+  let json = Tracefile.to_json () in
+  Tracefile.clear ();
+  List.iter
+    (fun (what, needle) ->
+      Alcotest.(check bool) what true (contains_in json needle))
+    [ ("label escaped", "lab\\\"el\\\\one");
+      ("track escaped", "proc\\u0003\\\"q");
+      ("name escaped", "n\\u001bame"); ("arg value escaped", "v\\u0000al") ];
+  String.iter
+    (fun c -> Alcotest.(check bool) "no raw control chars" false
+        (Char.code c < 0x20 && c <> '\n'))
+    json
+
+let test_dropped_open_spans () =
+  (* Span.drain discards still-open spans; the count must surface
+     through Sim.take_dropped_spans instead of vanishing. *)
+  with_spans true @@ fun () ->
+  let sim = Sim.create () in
+  Sim.spawn sim (fun () ->
+      let h = Span.begin_ sim ~cat:"c" ~name:"closed" in
+      Sim.delay sim 1.;
+      Span.end_ sim h;
+      ignore (Span.begin_ sim ~cat:"c" ~name:"left open");
+      ignore (Span.begin_ sim ~cat:"c" ~name:"also open"));
+  ignore (Sim.run sim);
+  Alcotest.(check int) "nothing dropped before drain" 0
+    (Sim.take_dropped_spans sim);
+  Alcotest.(check int) "only the closed span survives" 1
+    (List.length (Span.drain sim));
+  Alcotest.(check int) "both open spans counted" 2
+    (Sim.take_dropped_spans sim);
+  Alcotest.(check int) "take clears the count" 0
+    (Sim.take_dropped_spans sim)
+
 (* --- Stats laws --------------------------------------------------------- *)
 
 let prop_histogram_merge =
@@ -162,10 +240,21 @@ let prop_histogram_merge =
           l1 l2
         |> List.sort compare
       in
+      let all = mk (xs @ ys) in
       Stats.Histogram.buckets m
       = sum_assoc (Stats.Histogram.buckets a) (Stats.Histogram.buckets b)
       && Stats.Histogram.count m
-         = Stats.Histogram.count a + Stats.Histogram.count b)
+         = Stats.Histogram.count a + Stats.Histogram.count b
+      (* quantiles are pure functions of the bucket counts, so they
+         commute with merge: p50/p99/p999 of the merged histogram equal
+         those of a from-scratch histogram over the concatenation *)
+      && List.for_all
+           (fun q ->
+             Stats.Histogram.quantile m q = Stats.Histogram.quantile all q)
+           [ 0.5; 0.99; 0.999; 1.0 ]
+      && Stats.Histogram.p999 m = Stats.Histogram.percentile m 99.9
+      && Stats.Histogram.quantile m 0.5 <= Stats.Histogram.quantile m 0.99
+      && Stats.Histogram.quantile m 0.99 <= Stats.Histogram.p999 m)
 
 let test_registry_tie_break () =
   let r = Stats.Registry.create () in
@@ -237,6 +326,31 @@ let test_subsys_metrics_deterministic () =
     (List.mem_assoc "sdma/occupancy" a);
   Alcotest.(check bool) "identical across runs" true (a = b)
 
+let test_subsys_ratios_finite () =
+  let finite_dump figure =
+    Subsys_obs.flush ~figure;
+    let prefix = figure ^ "/" in
+    let n = String.length prefix in
+    List.iter
+      (fun (k, v) ->
+        if String.length k > n && String.sub k 0 n = prefix then
+          Alcotest.(check bool) (k ^ " finite") true (Float.is_finite v))
+      (Report.dump ())
+  in
+  (* Degenerate window: a built-but-never-run cluster has wall_ns = 0 and
+     zero traffic, so every ratio denominator (available engine time,
+     total bytes, call counts) is zero.  Flushing it must emit only
+     finite values — 0, never NaN/inf — and must not raise. *)
+  Subsys_obs.reset ();
+  Subsys_obs.note_cluster (Cluster.build Cluster.Mckernel_hfi ~n_nodes:2 ());
+  finite_dump "obs_degenerate";
+  (* Mixed window: the degenerate cluster's zero-duration sample merges
+     with a real run without poisoning any ratio. *)
+  Subsys_obs.reset ();
+  Subsys_obs.note_cluster (Cluster.build Cluster.Mckernel_hfi ~n_nodes:2 ());
+  ignore (run_world ());
+  finite_dump "obs_mixed"
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "obs"
@@ -248,12 +362,19 @@ let () =
          Alcotest.test_case "nested" `Quick test_span_nested;
          Alcotest.test_case "end edge cases" `Quick test_span_end_edge_cases;
          Alcotest.test_case "to_json off" `Quick test_span_to_json_off;
-         Alcotest.test_case "json escapes" `Quick test_span_json_escapes ]);
+         Alcotest.test_case "json escapes" `Quick test_span_json_escapes;
+         Alcotest.test_case "json control chars" `Quick
+           test_span_json_control_chars;
+         Alcotest.test_case "dropped open spans" `Quick
+           test_dropped_open_spans ]);
       ("stats",
        [ qc prop_histogram_merge;
          Alcotest.test_case "registry tie-break" `Quick test_registry_tie_break ]);
       ("collectors",
        [ Alcotest.test_case "tracefile deterministic" `Quick
            test_tracefile_deterministic;
+         Alcotest.test_case "tracefile escapes" `Quick test_tracefile_escapes;
          Alcotest.test_case "subsys metrics deterministic" `Quick
-           test_subsys_metrics_deterministic ]) ]
+           test_subsys_metrics_deterministic;
+         Alcotest.test_case "subsys ratios finite" `Quick
+           test_subsys_ratios_finite ]) ]
