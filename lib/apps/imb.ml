@@ -80,6 +80,33 @@ let pingpong ?iters ?sizes:size_list ~out comm =
   if rank = 0 then out := List.rev !out;
   Sim.now sim -. t0
 
+(* Per-iteration ping-pong between rank 0 and [peer], one one-way time
+   sample per iteration.  The fault-degradation sweep folds both goodput
+   (bytes over the loop time) and tail latency (p99 of the samples) from
+   a single run; a distant [peer] puts the flow across the fat-tree
+   spine, where link faults live. *)
+let pingpong_samples ?(iters = 100) ?(peer = 1) ~size ~out comm =
+  let sim = comm.Comm.sim in
+  let rank = comm.Comm.rank in
+  let sbuf = Workload.alloc comm size in
+  let rbuf = Workload.alloc comm size in
+  Collectives.barrier comm;
+  let t0 = Sim.now sim in
+  for _ = 1 to iters do
+    let start = Sim.now sim in
+    if rank = 0 then begin
+      Mpi.send comm ~dst:peer ~tag:1 ~va:sbuf ~len:size;
+      Mpi.recv comm ~src:(Some peer) ~tag:2 ~va:rbuf ~len:size
+    end
+    else if rank = peer then begin
+      Mpi.recv comm ~src:(Some 0) ~tag:1 ~va:rbuf ~len:size;
+      Mpi.send comm ~dst:0 ~tag:2 ~va:sbuf ~len:size
+    end;
+    if rank = 0 then out := ((Sim.now sim -. start) /. 2.) :: !out
+  done;
+  Collectives.barrier comm;
+  if rank = 0 then out := List.rev !out;
+  Sim.now sim -. t0
 
 let pingping ?iters ?sizes ~out comm =
   let rank = comm.Comm.rank in

@@ -21,6 +21,13 @@ val sizes : ?max_size:int -> unit -> int list
 val pingpong :
   ?iters:int -> ?sizes:int list -> out:point list ref -> Comm.t -> float
 
+(** Ping-pong between rank 0 and [peer] (default 1) recording one
+    one-way time sample per iteration into [out] (rank 0, loop order) —
+    the fault-degradation sweep derives goodput retention and p99
+    inflation from one run.  Returns the loop time. *)
+val pingpong_samples :
+  ?iters:int -> ?peer:int -> size:int -> out:float list ref -> Comm.t -> float
+
 (** {2 The rest of the IMB-MPI1 suite}
 
     Each benchmark fills [out] (on rank 0) with one [point] per size;

@@ -39,9 +39,17 @@ type t = {
   mutable fault_service_stall_interval : float;
   mutable fault_service_stall_duration : float;
   mutable fault_horizon : float;
+  mutable fault_link_down_interval : float;
+  mutable fault_link_down_duration : float;
+  mutable fault_link_derate_interval : float;
+  mutable fault_link_derate_duration : float;
+  mutable fault_link_derate_factor : float;
+  mutable fault_link_corrupt : float;
   mutable ikc_timeout : float;
   mutable ikc_retry_backoff : float;
   mutable ikc_max_retries : int;
+  mutable fabric_retry_backoff : float;
+  mutable fabric_max_retries : int;
 }
 
 let defaults () = {
@@ -108,12 +116,30 @@ let defaults () = {
   fault_service_stall_interval = 0.;
   fault_service_stall_duration = 5.0e5;
   fault_horizon = 0.;
+  (* Fabric fault domain: link down/up windows, bandwidth-derate windows
+     and per-link corrupt-and-replay, all drawn from the experiment seed
+     up to fault_horizon (DESIGN.md section 15).  Rates off by default —
+     the immortal fabric is byte-identical to the pre-fault tree. *)
+  fault_link_down_interval = 0.;
+  fault_link_down_duration = 1.0e6;
+  fault_link_derate_interval = 0.;
+  fault_link_derate_duration = 4.0e6;
+  (* Remaining bandwidth fraction inside a derate window; must stay in
+     (0, 1] so a derate only ever slows a link (sharding pair bounds are
+     derived from the undegraded wire time and must never be tightened). *)
+  fault_link_derate_factor = 0.5;
+  fault_link_corrupt = 0.;
   (* IKC robustness: requester-side timeout on the offload round trip,
      linear backoff per retry, bounded attempts.  Only exercised when a
      drop fault is installed — the legacy no-fault path never arms them. *)
   ikc_timeout = 5.0e4;
   ikc_retry_backoff = 2.5e4;
   ikc_max_retries = 5;
+  (* Transport-level recovery from a partitioned fabric: PSM sends poll
+     the route with linear backoff, then count the flow degraded (the
+     packet parks at egress until a link returns) rather than hang. *)
+  fabric_retry_backoff = 5.0e4;
+  fabric_max_retries = 5;
 }
 
 (* One table per domain: parallel sweeps (harness pool workers) each get
@@ -171,9 +197,17 @@ let assign dst src =
   dst.fault_service_stall_interval <- src.fault_service_stall_interval;
   dst.fault_service_stall_duration <- src.fault_service_stall_duration;
   dst.fault_horizon <- src.fault_horizon;
+  dst.fault_link_down_interval <- src.fault_link_down_interval;
+  dst.fault_link_down_duration <- src.fault_link_down_duration;
+  dst.fault_link_derate_interval <- src.fault_link_derate_interval;
+  dst.fault_link_derate_duration <- src.fault_link_derate_duration;
+  dst.fault_link_derate_factor <- src.fault_link_derate_factor;
+  dst.fault_link_corrupt <- src.fault_link_corrupt;
   dst.ikc_timeout <- src.ikc_timeout;
   dst.ikc_retry_backoff <- src.ikc_retry_backoff;
-  dst.ikc_max_retries <- src.ikc_max_retries
+  dst.ikc_max_retries <- src.ikc_max_retries;
+  dst.fabric_retry_backoff <- src.fabric_retry_backoff;
+  dst.fabric_max_retries <- src.fabric_max_retries
 
 let restore src = assign (current ()) src
 

@@ -67,10 +67,29 @@ type t = {
   (** length of one service-CPU stall, ns *)
   mutable fault_horizon : float;
   (** simulated-time window faults are drawn in; 0 disables all faults *)
+  (* --- fabric fault domain (all rates zero by default) --- *)
+  mutable fault_link_down_interval : float;
+  (** mean ns between down windows per fabric link; 0 = never *)
+  mutable fault_link_down_duration : float;
+  (** length of one link down window, ns *)
+  mutable fault_link_derate_interval : float;
+  (** mean ns between bandwidth-derate windows per link; 0 = never *)
+  mutable fault_link_derate_duration : float;
+  (** length of one derate window, ns *)
+  mutable fault_link_derate_factor : float;
+  (** remaining bandwidth fraction inside a derate window, in (0, 1] —
+      a derate may only slow a link, never tighten a sharding bound *)
+  mutable fault_link_corrupt : float;
+  (** P(one link transit is corrupted and replayed) *)
   (* --- IKC robustness (armed only when a drop fault is installed) --- *)
   mutable ikc_timeout : float;         (** requester-side round-trip timeout *)
   mutable ikc_retry_backoff : float;   (** extra wait per retry (linear) *)
   mutable ikc_max_retries : int;       (** attempts before Offload_timeout *)
+  (* --- fabric robustness (armed only when a link fault is installed) --- *)
+  mutable fabric_retry_backoff : float;
+  (** extra PSM send wait per unreachable-route retry (linear) *)
+  mutable fabric_max_retries : int;
+  (** route retries before the flow counts as degraded *)
 }
 
 (** The live configuration of the calling domain (mutable, read by all

@@ -1,3 +1,5 @@
 (* Local aliases for engine modules used across this library. *)
 module Sim = Pico_engine.Sim
 module Resource = Pico_engine.Resource
+module Rng = Pico_engine.Rng
+module Costs = Pico_costs.Costs

@@ -37,3 +37,17 @@ val peak_queue : t -> int
 
 (** Packets that found the link busy on arrival. *)
 val contended : t -> int
+
+(** [note_park l ~wait] books one packet held for [wait] ns of a fault
+    down window on this link (the fault domain parks packets, it never
+    drops them). *)
+val note_park : t -> wait:float -> unit
+
+(** Books one corrupt-and-replay transit on this link. *)
+val note_replay : t -> unit
+
+val parks : t -> int
+
+val park_ns : t -> float
+
+val replays : t -> int

@@ -35,6 +35,44 @@ let route topo ~src ~dst ~dst_ctx =
 
 let tier_name = function Up -> "up" | Down -> "down" | Host -> "host"
 
+exception Fabric_unreachable of { src : int; dst : int; dst_ctx : int }
+
+(* Failover routing: same pure shape as [route], but ECMP re-hashes
+   around dead links — spine candidates are probed in the deterministic
+   order (flow_hash + k) mod n_spines, k = 0, 1, ..., so with no link
+   down the k = 0 route is bit-identical to [route].  The [down]
+   predicate must itself be pure over the caller's failure epoch.
+   Returns the hop list and whether the flow was re-routed (k > 0); a
+   fully partitioned pair raises {!Fabric_unreachable}. *)
+let route_avoiding topo ~down ~src ~dst ~dst_ctx =
+  match topo with
+  | Topology.Flat -> ([], false)
+  | Topology.Fat_tree _ ->
+    if src = dst then ([], false)
+    else begin
+      let src_leaf = Topology.leaf_of_node topo src in
+      let dst_leaf = Topology.leaf_of_node topo dst in
+      let host = { tier = Host; a = dst_leaf; b = dst } in
+      if down host then raise (Fabric_unreachable { src; dst; dst_ctx });
+      if src_leaf = dst_leaf then ([ host ], false)
+      else begin
+        let spines = Topology.n_spines topo in
+        let h = flow_hash ~src ~dst ~dst_ctx in
+        let rec probe k =
+          if k >= spines then
+            raise (Fabric_unreachable { src; dst; dst_ctx })
+          else begin
+            let spine = (h + k) mod spines in
+            let up = { tier = Up; a = src_leaf; b = spine } in
+            let dn = { tier = Down; a = spine; b = dst_leaf } in
+            if down up || down dn then probe (k + 1)
+            else ([ up; dn; host ], k > 0)
+          end
+        in
+        probe 0
+      end
+    end
+
 module Memo = struct
   (* Routing is pure in (src, dst, dst_ctx) by invariant, so the FNV mix
      and hop-list construction can leave the per-packet hot path.  The
@@ -45,9 +83,13 @@ module Memo = struct
      caller's shard: each shard only ever touches its own slot, keeping
      lookup order (hence nothing — the tables are write-once caches of a
      pure function) per-shard deterministic. *)
+  (* Keys carry the failure epoch: epoch 0 is the immortal fabric (no
+     link ever down there — the first epoch boundary is the first down
+     window's start), so the legacy [route] entry point reads the same
+     slot layout fault-armed runs do. *)
   type route_memo = {
     topo : Topology.t;
-    tbls : (int * int * int, hop list) Hashtbl.t array;
+    tbls : (int * int * int * int, hop list * bool) Hashtbl.t array;
   }
 
   type t = route_memo
@@ -56,18 +98,25 @@ module Memo = struct
     if shards <= 0 then invalid_arg "Route.Memo.create: shards must be > 0";
     { topo; tbls = Array.init shards (fun _ -> Hashtbl.create 256) }
 
-  let route ?(shard = 0) m ~src ~dst ~dst_ctx =
+  let route_epoch ?(shard = 0) m ~epoch ~down ~src ~dst ~dst_ctx =
     match m.topo with
-    | Topology.Flat -> []
+    | Topology.Flat -> ([], false)
     | Topology.Fat_tree _ ->
       let tbl = m.tbls.(shard) in
-      let key = (src, dst, dst_ctx) in
+      let key = (src, dst, dst_ctx, epoch) in
       (match Hashtbl.find_opt tbl key with
-       | Some hops -> hops
+       | Some r -> r
        | None ->
-         let hops = route m.topo ~src ~dst ~dst_ctx in
-         Hashtbl.add tbl key hops;
-         hops)
+         (* never memoize Fabric_unreachable: let it propagate so the
+            caller's parking logic sees it fresh each probe *)
+         let r = route_avoiding m.topo ~down ~src ~dst ~dst_ctx in
+         Hashtbl.add tbl key r;
+         r)
+
+  let no_down _ = false
+
+  let route ?shard m ~src ~dst ~dst_ctx =
+    fst (route_epoch ?shard m ~epoch:0 ~down:no_down ~src ~dst ~dst_ctx)
 end
 
 let describe_hop { tier; a; b } =

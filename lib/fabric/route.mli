@@ -30,6 +30,24 @@ val tier_name : tier -> string
 
 val describe_hop : hop -> string
 
+(** Raised by {!route_avoiding} when every candidate path between the
+    pair crosses a down link: the destination host link is dead, or all
+    spines are cut.  Transport layers turn this into bounded
+    backoff/retry (see [lib/psm]); it never escapes the NIC facade into
+    the engine. *)
+exception Fabric_unreachable of { src : int; dst : int; dst_ctx : int }
+
+(** [route_avoiding topo ~down ~src ~dst ~dst_ctx] is failover routing:
+    spine candidates are probed in the deterministic ECMP order
+    [(flow_hash + k) mod n_spines], k = 0, 1, ... — so when [down] holds
+    nowhere the result is bit-identical to {!route} — and the first
+    all-up path wins.  [down] must be pure over the caller's failure
+    epoch.  Returns the hops and whether the flow re-routed (k > 0);
+    raises {!Fabric_unreachable} when the pair is partitioned. *)
+val route_avoiding :
+  Topology.t -> down:(hop -> bool) ->
+  src:int -> dst:int -> dst_ctx:int -> hop list * bool
+
 (** Per-instance route cache.  {!route} is pure in [(src, dst, dst_ctx)]
     by invariant, so memoizing it is semantics-free; the table is
     per-instance (never module-level) so sweep points share no mutable
@@ -44,6 +62,16 @@ module Memo : sig
   val create : ?shards:int -> Topology.t -> t
 
   (** [route ?shard m] looks up in slot [shard] (default 0).  All slots
-      return identical hop lists — they cache the same pure function. *)
+      return identical hop lists — they cache the same pure function.
+      Equivalent to {!route_epoch} at epoch 0 (the immortal fabric). *)
   val route : ?shard:int -> t -> src:int -> dst:int -> dst_ctx:int -> hop list
+
+  (** Epoch-keyed failover lookup: memoizes {!Route.route_avoiding} per
+      [(src, dst, dst_ctx, epoch)].  [down] must be the pure down
+      predicate of exactly that epoch (callers derive it from
+      [Linkfault.down_in_epoch]); {!Route.Fabric_unreachable} is never
+      memoized and propagates fresh on every probe. *)
+  val route_epoch :
+    ?shard:int -> t -> epoch:int -> down:(hop -> bool) ->
+    src:int -> dst:int -> dst_ctx:int -> hop list * bool
 end

@@ -59,13 +59,22 @@ let plan ~rng ~n_nodes ~n_engines =
   done;
   { halts = !acc_halts; stalls = !acc_stalls }
 
-let armed () =
+let node_armed () =
   let c = Costs.current () in
   c.Costs.fault_horizon > 0.
   && (c.Costs.fault_sdma_halt_interval > 0.
       || c.Costs.fault_ikc_drop > 0.
       || c.Costs.fault_wire_crc > 0.
       || c.Costs.fault_service_stall_interval > 0.)
+
+let fabric_armed () =
+  let c = Costs.current () in
+  c.Costs.fault_horizon > 0.
+  && (c.Costs.fault_link_down_interval > 0.
+      || c.Costs.fault_link_derate_interval > 0.
+      || c.Costs.fault_link_corrupt > 0.)
+
+let armed () = node_armed () || fabric_armed ()
 
 (* One process per halt event: walk the Linux driver through Listing 1
    (halt -> dwell -> restart walk -> running).  Overlapping events on an
@@ -105,7 +114,7 @@ let schedule_stalls sim (env : Cluster.node_env) stalls =
     stalls
 
 let install (cl : Cluster.t) =
-  if armed () then begin
+  if node_armed () then begin
     let c = Costs.current () in
     (* Split AFTER Cluster.build consumed its per-node noise streams, so
        arming faults never perturbs the sunny-day draws. *)
@@ -137,4 +146,17 @@ let install (cl : Cluster.t) =
                (fun () ->
                  Rng.float crc_rng < (Costs.current ()).Costs.fault_wire_crc)))
       cl.Cluster.nodes
+  end;
+  (* Fabric fault domain (DESIGN.md section 15): one split, taken after
+     the node-fault streams so arming it never shifts their draws — and
+     taken at all only when some fabric rate is nonzero, so at all-zero
+     fabric rates the cluster RNG is untouched (the zero-rate no-op
+     guarantee extends to the new streams; picobench faults asserts
+     it). *)
+  if fabric_armed () then begin
+    let lrng = Rng.split cl.Cluster.rng in
+    Fabric.set_link_faults cl.Cluster.fabric
+      (Some
+         (Linkfault.draw ~rng:lrng ~n_nodes:(Array.length cl.Cluster.nodes)
+            (Fabric.topology cl.Cluster.fabric)))
   end

@@ -19,6 +19,13 @@
       again.
     - {b Linux service-CPU stalls}: a stall occupies one OS-service CPU
       for [fault_service_stall_duration] ns; offloads queue behind it.
+    - {b fabric link faults} (DESIGN.md section 15): per-link down/up
+      windows, bandwidth-derate windows and corrupt-and-replay streams
+      ({!Linkfault}), installed on the cluster's fabric.  Routing stays
+      a pure function of [(src, dst, dst_ctx, failure epoch)]; packets
+      on a down link are parked, never dropped or re-owned, and the
+      PSM transport turns a partitioned pair into bounded
+      backoff/retry.
 
     Every rate/duration is a {!Costs} knob, zero by default; with all
     rates zero (or [fault_horizon] = 0) {!install} is a complete no-op —
@@ -55,9 +62,18 @@ val plan : rng:Rng.t -> n_nodes:int -> n_engines:int -> plan
 (** Whether the current {!Costs} knobs enable any fault. *)
 val armed : unit -> bool
 
+(** The node-fault classes (halt/stall/drop/CRC) specifically. *)
+val node_armed : unit -> bool
+
+(** The fabric link-fault classes (down/derate/corrupt) specifically. *)
+val fabric_armed : unit -> bool
+
 (** [install cl] arms the plan on a freshly built cluster, before the
-    experiment runs: spawns one bounded process per halt/stall event and
-    installs the drop/CRC Bernoulli hooks.  Must be called {e after}
-    {!Cluster.build} (it splits [cl.rng] once, leaving the build's noise
-    streams untouched).  No-op unless {!armed}. *)
+    experiment runs: spawns one bounded process per halt/stall event,
+    installs the drop/CRC Bernoulli hooks, and — when {!fabric_armed} —
+    draws and installs the {!Linkfault} schedule on the cluster fabric.
+    Must be called {e after} {!Cluster.build}.  Splits [cl.rng] once per
+    armed fault family (node, then fabric), leaving the build's noise
+    streams untouched; with a family's rates all zero its split is not
+    taken, so an all-zero install is a complete no-op. *)
 val install : Cluster.t -> unit

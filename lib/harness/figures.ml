@@ -664,6 +664,197 @@ let fault_configs : (string * string * (Costs.t -> unit)) list =
     ("service stalls (mean 8ms)", "stall",
      fun c -> c.Costs.fault_service_stall_interval <- 8.0e6) ]
 
+(* --- Fabric fault domain: link failures, failover, degradation ------------- *)
+
+(* One degradation-sweep point: an 8-node world, ping-pong between the
+   two most distant nodes (cross-leaf on a fat-tree, so the flow rides
+   the up/down links where the injector lives), per-iteration latency
+   samples.  Returns goodput (IMB MB/s over the loop), the p99 one-way
+   time, and the world's fabric fault counters. *)
+let degrade_point ?topology ?(install = true) kind ~n_nodes ~size ~iters =
+  let cl = Cluster.build kind ~n_nodes ?topology () in
+  if install then Fault.install cl;
+  let out = ref [] in
+  let elapsed = ref 0. in
+  ignore
+    (Experiment.run cl ~ranks_per_node:1 (fun comm ->
+         elapsed :=
+           Pico_apps.Imb.pingpong_samples ~iters ~peer:(n_nodes - 1) ~size
+             ~out comm;
+         !elapsed));
+  let samples = List.sort compare !out in
+  let n = List.length samples in
+  let p99 = if n = 0 then 0. else List.nth samples (min (n - 1) (n * 99 / 100)) in
+  let goodput =
+    (* bytes/ns * 1000 = IMB MB/s; NaN-safe on a degenerate loop. *)
+    Subsys_obs.ratio (float_of_int (2 * size * iters)) !elapsed *. 1000.
+  in
+  (goodput, p99, Fabric.fault_stats cl.Cluster.fabric)
+
+(* The degradation axes: link MTBF (down windows), bandwidth derate
+   windows, and the combined storm with corrupt-and-replay on top.
+   Aggressive-but-bounded rates, sized so several windows land inside
+   the ping-pong loop; every knob is a domain-local cost patch. *)
+let fabric_fault_configs : (string * string * (Costs.t -> unit)) list =
+  let arm c = c.Costs.fault_horizon <- 4.0e7 in
+  [ ("no faults", "none", fun _ -> ());
+    ("link down (MTBF 400us)", "down",
+     fun c ->
+       arm c;
+       c.Costs.fault_link_down_interval <- 4.0e5;
+       c.Costs.fault_link_down_duration <- 1.0e5);
+    ("derate 50% (MTBF 300us)", "derate",
+     fun c ->
+       arm c;
+       c.Costs.fault_link_derate_interval <- 3.0e5;
+       c.Costs.fault_link_derate_duration <- 2.0e5);
+    ("down + derate + corrupt 0.1%", "storm",
+     fun c ->
+       arm c;
+       c.Costs.fault_link_down_interval <- 4.0e5;
+       c.Costs.fault_link_down_duration <- 1.0e5;
+       c.Costs.fault_link_derate_interval <- 3.0e5;
+       c.Costs.fault_link_derate_duration <- 2.0e5;
+       c.Costs.fault_link_corrupt <- 1.0e-3) ]
+
+let fabric_fault_topos =
+  [ ("flat", None);
+    ("ft 2:1", Some (Topology.Fat_tree { radix = 4; oversub = 2 })) ]
+
+let fabric_faults ?jobs () =
+  let b = Buffer.create 4096 in
+  let n_nodes = 8 and size = 64 * 1024 and iters = 120 in
+  (* Part D: with every fabric fault rate zero, arming the injector is a
+     complete no-op (it may not even split the cluster RNG); and an
+     injector whose schedule drew no windows at all must leave the hot
+     path bit-identical to no injector — the armed fast paths add only
+     an option check.  Both laws, on both topologies. *)
+  let zero_ok =
+    List.for_all
+      (fun (_, topology) ->
+        let base =
+          degrade_point ?topology ~install:false Cluster.Mckernel_hfi
+            ~n_nodes ~size ~iters
+        and armed_defaults =
+          degrade_point ?topology Cluster.Mckernel_hfi ~n_nodes ~size ~iters
+        and armed_empty =
+          (* horizon 1 ns, MTBF 1 ms: the schedule draw comes up empty,
+             but the injector (and its Some-path plumbing) is installed. *)
+          Costs.with_patched
+            (fun c ->
+              c.Costs.fault_horizon <- 1.0;
+              c.Costs.fault_link_down_interval <- 1.0e6)
+            (fun () ->
+              degrade_point ?topology Cluster.Mckernel_hfi ~n_nodes ~size
+                ~iters)
+        in
+        (* exact float compare, deliberately *)
+        base = armed_defaults && base = armed_empty)
+      fabric_fault_topos
+  in
+  Report.record ~figure:"faults" ~metric:"fabric/zero_rate_equiv"
+    (if zero_ok then 1. else 0.);
+  buf_add b
+    (Printf.sprintf "fabric faults zero-rate: %s (flat + fat-tree)\n\n"
+       (if zero_ok then "OK, byte-identical" else "MISMATCH"));
+  (* Part E: the degradation sweep.  MTBF x derate x topology x OS kind;
+     each point patches its own domain-local cost table, the schedule
+     derives from the cluster seed, so the sweep is byte-identical at
+     any -j. *)
+  let points =
+    List.concat_map
+      (fun (cfg_label, tag, patch) ->
+        List.concat_map
+          (fun (topo_label, topology) ->
+            List.map
+              (fun kind -> (cfg_label, tag, patch, topo_label, topology, kind))
+              os_kinds)
+          fabric_fault_topos)
+      fabric_fault_configs
+  in
+  let results =
+    Pool.with_pool ?jobs (fun pool ->
+        Pool.map pool
+          (fun (_, _, patch, _, topology, kind) ->
+            Costs.with_patched patch (fun () ->
+                degrade_point ?topology kind ~n_nodes ~size ~iters))
+          points)
+  in
+  let topo_tag = function "flat" -> "flat" | _ -> "o2" in
+  let cell tag topo kind =
+    List.fold_left2
+      (fun acc (_, t, _, tl, _, k) r ->
+        if t = tag && tl = topo && k = kind then Some r else acc)
+      None points results
+  in
+  List.iter2
+    (fun (_, tag, _, topo_label, _, kind) (mbps, p99, _) ->
+      let prefix =
+        Printf.sprintf "degrade/%s/%s/%s" tag (topo_tag topo_label)
+          (os_tag kind)
+      in
+      Report.record ~figure:"faults" ~metric:(prefix ^ "_mbps") mbps;
+      Report.record ~figure:"faults" ~metric:(prefix ^ "_p99_ns") p99;
+      if tag <> "none" then begin
+        match cell "none" topo_label kind with
+        | Some (base_mbps, base_p99, _) ->
+          (* NaN-safe ratios: an all-down sweep reports 0, never inf. *)
+          Report.record ~figure:"faults" ~metric:(prefix ^ "_retention")
+            (Subsys_obs.ratio mbps base_mbps);
+          Report.record ~figure:"faults" ~metric:(prefix ^ "_p99_inflation")
+            (Subsys_obs.ratio p99 base_p99)
+        | None -> ()
+      end)
+    points results;
+  List.iter
+    (fun (topo_label, _) ->
+      let rows =
+        List.map
+          (fun (cfg_label, tag, _) ->
+            let col kind =
+              match (cell tag topo_label kind, cell "none" topo_label kind) with
+              | Some (mbps, _, _), Some (base, _, _) ->
+                Printf.sprintf "%.0f (%.0f%%)" mbps
+                  (Subsys_obs.ratio mbps base *. 100.)
+              | _ -> "-"
+            in
+            let p99_infl =
+              match
+                (cell tag topo_label Cluster.Mckernel_hfi,
+                 cell "none" topo_label Cluster.Mckernel_hfi)
+              with
+              | Some (_, p, _), Some (_, base, _) ->
+                Printf.sprintf "%.2fx" (Subsys_obs.ratio p base)
+              | _ -> "-"
+            in
+            [ cfg_label; col Cluster.Linux; col Cluster.Mckernel;
+              col Cluster.Mckernel_hfi; p99_infl ])
+          fabric_fault_configs
+      in
+      buf_add b
+        (Printf.sprintf
+           "Fabric degradation, %s (%d nodes, %d kB cross-fabric ping-pong; \
+            MB/s and goodput retention)\n"
+           topo_label n_nodes (size / 1024));
+      buf_add b
+        (Tables.render
+           ~header:
+             [ "fault load"; "Linux"; "McKernel"; "McKernel+HFI1"; "hfi p99" ]
+           rows);
+      (match cell "storm" topo_label Cluster.Mckernel_hfi with
+       | Some (_, _, fs) ->
+         buf_add b
+           (Printf.sprintf
+              "storm (hfi): %d parks, %d replays, %d reroutes, %d egress \
+               parks, %d retries, %d degraded flows\n"
+              fs.Fabric.fs_parks fs.Fabric.fs_replays fs.Fabric.fs_reroutes
+              fs.Fabric.fs_egress_parks fs.Fabric.fs_retries
+              fs.Fabric.fs_degraded)
+       | None -> ());
+      buf_add b "\n")
+    fabric_fault_topos;
+  Buffer.contents b
+
 let faults ?(size = 1024 * 1024) ?(iters = 30) ?jobs () =
   Engine_obs.measure ~figure:"faults" @@ fun () ->
   let b = Buffer.create 4096 in
@@ -826,6 +1017,8 @@ let faults ?(size = 1024 * 1024) ?(iters = 30) ?jobs () =
     (Tables.render
        ~header:[ "fault load"; "Linux"; "McKernel"; "McKernel+HFI1" ]
        rows);
+  buf_add b "\n";
+  buf_add b (fabric_faults ?jobs ());
   Buffer.contents b
 
 (* --- Fabric topology: fat-tree congestion ---------------------------------- *)
@@ -980,7 +1173,11 @@ let at_scale_nodes s =
    cover the part a decomposed fat-tree hop walk could plausibly skew:
    FCFS grant order, queue depths, per-link busy-time float sums. *)
 let at_scale_fingerprint (cl : Cluster.t) (res : Experiment.result) =
-  Printf.sprintf "%Lx;%Lx;%Lx;%d;%d%s"
+  (* Fabric fault counters are results too (parks, replays, reroutes,
+     retries all happen at result-determined instants), unlike engine
+     elision counts — so shard-on/off must reproduce them exactly. *)
+  let fs = Fabric.fault_stats cl.Cluster.fabric in
+  Printf.sprintf "%Lx;%Lx;%Lx;%d;%d%s;%d:%Lx:%d:%d:%d:%d:%d"
     (Int64.bits_of_float res.Experiment.fom_ns)
     (Int64.bits_of_float res.Experiment.wall_ns)
     (Int64.bits_of_float res.Experiment.init_ns)
@@ -993,10 +1190,14 @@ let at_scale_fingerprint (cl : Cluster.t) (res : Experiment.result) =
              (Int64.bits_of_float ts.Fabric.ts_busy_ns)
              ts.Fabric.ts_peak_queue ts.Fabric.ts_contended)
     |> String.concat "")
+    fs.Fabric.fs_parks
+    (Int64.bits_of_float fs.Fabric.fs_park_ns)
+    fs.Fabric.fs_replays fs.Fabric.fs_reroutes fs.Fabric.fs_egress_parks
+    fs.Fabric.fs_retries fs.Fabric.fs_degraded
 
 (* Sequential on purpose: each probe mutates the process-wide switches,
    which must never happen inside a pool (workers read them). *)
-let at_scale_probe ?topology ~shard ~ff kind =
+let at_scale_probe ?topology ?fault ~shard ~ff kind =
   Sim.fast_forward := ff;
   (* Identity across shard-on/off only holds between runs sharing the
      same same-instant arrival tie-break (see [Cluster.ordered_arrivals]):
@@ -1007,11 +1208,17 @@ let at_scale_probe ?topology ~shard ~ff kind =
       Sim.fast_forward := false;
       Cluster.ordered_arrivals := false)
   @@ fun () ->
-  let cl = Cluster.build kind ~n_nodes:4 ?topology ~sharding:shard () in
-  let res =
-    Experiment.run cl ~ranks_per_node:2 (fun c -> Pico_apps.Umt.run c)
+  let body () =
+    let cl = Cluster.build kind ~n_nodes:4 ?topology ~sharding:shard () in
+    if fault <> None then Fault.install cl;
+    let res =
+      Experiment.run cl ~ranks_per_node:2 (fun c -> Pico_apps.Umt.run c)
+    in
+    at_scale_fingerprint cl res
   in
-  at_scale_fingerprint cl res
+  match fault with
+  | None -> body ()
+  | Some patch -> Costs.with_patched patch body
 
 (* The oversubscribed fat-tree tail: fewer, larger node counts than the
    flat sweep — the sharded fabric is what makes these tractable at all
@@ -1068,6 +1275,38 @@ let at_scale ?(scale = quick) ?jobs () =
   buf_add b
     (Printf.sprintf "fat-tree sharding on/off: %s (3 OS configs, radix 2)\n"
        (if ft_ok then "OK, byte-identical" else "MISMATCH"));
+  (* And once more with a live link-fault schedule (DESIGN.md section
+     15): parked links stay owned by their Shardmap shard, down-window
+     transitions land on result-determined instants, and the
+     fingerprint's new fault counters must survive shard-on/off and
+     fast-forward bit for bit. *)
+  let ft_fault c =
+    c.Costs.fault_horizon <- 4.0e7;
+    c.Costs.fault_link_down_interval <- 3.0e5;
+    c.Costs.fault_link_down_duration <- 1.0e5;
+    c.Costs.fault_link_derate_interval <- 4.0e5;
+    c.Costs.fault_link_derate_duration <- 1.5e5;
+    c.Costs.fault_link_corrupt <- 5.0e-4
+  in
+  let ftf_probe =
+    at_scale_probe
+      ~topology:(Topology.Fat_tree { radix = 2; oversub = 1 })
+      ~fault:ft_fault
+  in
+  let ftf_ok =
+    List.for_all
+      (fun kind ->
+        let base = ftf_probe ~shard:false ~ff:false kind in
+        ftf_probe ~shard:true ~ff:false kind = base
+        && ftf_probe ~shard:true ~ff:true kind = base)
+      os_kinds
+  in
+  Report.record ~figure:"scale" ~metric:"ft_fault_shard_equiv"
+    (if ftf_ok then 1. else 0.);
+  buf_add b
+    (Printf.sprintf
+       "faulted fat-tree sharding on/off: %s (3 OS configs, radix 2)\n"
+       (if ftf_ok then "OK, byte-identical" else "MISMATCH"));
   (* Ledger probes: arming latency ledgers is host-side recording only,
      so (1) simulation results must stay bit-identical to the unarmed
      baseline, and (2) the recorded ledger content must itself be

@@ -43,6 +43,17 @@ type sample = {
      bytes, busy_ns, peak queue, contended arrivals.  Empty under the
      flat topology, so calibrated figures' reports are byte-identical. *)
   fabric : (string * (int * int * int * float * int * int)) list;
+  (* Fabric fault domain (DESIGN.md section 15): all zero / empty when no
+     link-fault injector is installed, so sunny-day reports stay
+     byte-identical. *)
+  fab_parks : int;
+  fab_park_ns : float;
+  fab_replays : int;
+  fab_reroutes : int;
+  fab_egress_parks : int;
+  fab_retries : int;
+  fab_degraded : int;
+  fab_downtime : (string * float) list;
 }
 
 let mutex = Mutex.create ()
@@ -72,6 +83,7 @@ let sample_of_cluster (cl : Cluster.t) =
       (Cluster.kind_to_string cl.Cluster.kind)
       (Array.length cl.Cluster.nodes)
   in
+  let fs = Fabric.fault_stats cl.Cluster.fabric in
   let acc =
     ref
       { uid = cl.Cluster.uid; label; wall_ns = Sim.now cl.Cluster.sim;
@@ -92,7 +104,20 @@ let sample_of_cluster (cl : Cluster.t) =
                 ( ts.Fabric.ts_links, ts.Fabric.ts_packets,
                   ts.Fabric.ts_bytes, ts.Fabric.ts_busy_ns,
                   ts.Fabric.ts_peak_queue, ts.Fabric.ts_contended ) ))
-            (Fabric.tier_stats cl.Cluster.fabric) }
+            (Fabric.tier_stats cl.Cluster.fabric);
+        (* Cluster-level too: park/replay/reroute counters live on the
+           fabric (links + per-source accumulators), retry/degraded on
+           the HFIs but folded there in name-sorted order already. *)
+        fab_parks = fs.Fabric.fs_parks;
+        fab_park_ns = fs.Fabric.fs_park_ns;
+        fab_replays = fs.Fabric.fs_replays;
+        fab_reroutes = fs.Fabric.fs_reroutes;
+        fab_egress_parks = fs.Fabric.fs_egress_parks;
+        fab_retries = fs.Fabric.fs_retries;
+        fab_degraded = fs.Fabric.fs_degraded;
+        fab_downtime =
+          Fabric.downtime_by_tier cl.Cluster.fabric
+            ~until:(Sim.now cl.Cluster.sim) }
   in
   let add_engines a b =
     let n = max (Array.length a) (Array.length b) in
@@ -242,6 +267,10 @@ let key_of s =
     (fun (n, (l, p, y, t, q, c)) ->
       Printf.bprintf b "|t%s,%d,%d,%d,%h,%d,%d" n l p y t q c)
     s.fabric;
+  Printf.bprintf b "|%d|%h|%d|%d|%d|%d|%d" s.fab_parks s.fab_park_ns
+    s.fab_replays s.fab_reroutes s.fab_egress_parks s.fab_retries
+    s.fab_degraded;
+  List.iter (fun (n, d) -> Printf.bprintf b "|f%s,%h" n d) s.fab_downtime;
   Buffer.contents b
 
 (* Ratio keys must stay finite on degenerate windows (zero-duration
@@ -400,4 +429,27 @@ let flush ~figure =
           rec_ (p ^ "peak_queue") (fi peak);
           rec_ (p ^ "contended") (fi cont)
         end)
-      fabric
+      fabric;
+    (* Fabric fault domain: every key zero-omitted, so figures without a
+       link-fault injector keep a byte-identical report. *)
+    let fab_parks = isum (fun s -> s.fab_parks) in
+    opt "fault/fabric/parks" fab_parks;
+    if fab_parks > 0 then
+      rec_ "fault/fabric/park_wait_ns" (fsum (fun s -> s.fab_park_ns));
+    opt "fault/fabric/replays" (isum (fun s -> s.fab_replays));
+    opt "fault/fabric/reroutes" (isum (fun s -> s.fab_reroutes));
+    opt "fault/fabric/egress_parks" (isum (fun s -> s.fab_egress_parks));
+    opt "fault/fabric/retries" (isum (fun s -> s.fab_retries));
+    opt "fault/fabric/degraded_flows" (isum (fun s -> s.fab_degraded));
+    let downtime =
+      List.fold_left
+        (fun l s ->
+          List.fold_left (fun l (n, v) -> assoc_add ( +. ) n v l) l
+            s.fab_downtime)
+        [] sorted
+    in
+    List.iter
+      (fun (tier, ns) ->
+        if ns > 0. then
+          rec_ (Printf.sprintf "fabric/%s/downtime_ns" tier) ns)
+      downtime

@@ -23,6 +23,10 @@
     - per fabric tier (fat-tree topologies only)
       [fabric/<up|down|host>/{links,packets,bytes,busy_ns,peak_queue,
       contended}]
+    - fabric fault domain (link-fault injector armed only, DESIGN.md
+      section 15): [fault/fabric/{parks,park_wait_ns,replays,reroutes,
+      egress_parks,retries,degraded_flows}] and per tier
+      [fabric/<tier>/downtime_ns]
 
     Zero-valued groups are omitted (a Linux-only figure has no offload
     section, and a flat-topology world has no fabric section).  See
@@ -38,3 +42,9 @@ val reset : unit -> unit
 (** Merge the window's snapshots and record them for [figure]; clears
     the window. *)
 val flush : figure:string -> unit
+
+(** [ratio num den] is [num /. den] guarded for report keys: degenerate
+    windows (zero-duration worlds, zero-byte traffic, all-down sweeps)
+    yield [0.], never NaN/inf.  Use it for every ratio-style figure of
+    merit (occupancy, byte shares, goodput retention, p99 inflation). *)
+val ratio : float -> float -> float

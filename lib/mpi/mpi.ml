@@ -116,3 +116,10 @@ let request_free_p comm p =
 let compute comm d =
   let os = Endpoint.os comm.Comm.ep in
   os.Endpoint.compute d
+
+(* Flows on this rank's node that exhausted the transport retry budget
+   against a partitioned fabric (degraded, not lost — see the retry
+   ladder in lib/psm/endpoint.ml). *)
+let fabric_sends_degraded comm =
+  let os = Endpoint.os comm.Comm.ep in
+  (Hfi.fabric_fault_stats os.Endpoint.hfi).Fabric.fs_degraded

@@ -74,3 +74,8 @@ val irecv_raw :
 val wait_raw : Comm.t -> request -> unit
 
 val request_free : Comm.t -> request -> unit
+
+(** Sends on this rank's node that exhausted the transport retry budget
+    against a partitioned fabric (degraded, not lost); 0 unless a
+    fabric fault injector is armed. *)
+val fabric_sends_degraded : Comm.t -> int

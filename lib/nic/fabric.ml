@@ -48,6 +48,23 @@ type t = {
   armed : (int, unit) Hashtbl.t;
   (* last instant an abort was scheduled to a node, for dedup *)
   abort_marks : (int, float) Hashtbl.t;
+  (* Fabric fault domain (DESIGN.md section 15): absent on the immortal
+     fabric — every hot-path check below is a single option match then.
+     Int counters are order-insensitive; the float park waits accumulate
+     per source node (sender-timeline order, identical shard-on/off) and
+     fold in sorted key order at stats time. *)
+  mutable faults : Linkfault.t option;
+  mutable fs_reroutes : int;
+  mutable fs_egress_parks : int;
+  mutable fs_retries : int;
+  mutable fs_degraded : int;
+  mutable flat_parks : int;
+  mutable flat_replays : int;
+  park_wait : (int, float ref) Hashtbl.t; (* by src: flat + egress holds *)
+  (* Per-flow last computed flat arrival: fault inflations are variable,
+     so without this clamp a replayed packet could overtake its flow's
+     successor — flat arrivals must stay monotone per (src, dst). *)
+  flat_last : (int * int, float) Hashtbl.t;
 }
 
 let create ?(topology = Topology.Flat) ?(ordered = false) sim =
@@ -62,7 +79,10 @@ let create ?(topology = Topology.Flat) ?(ordered = false) sim =
     shardmap =
       (if decomposed then Some (Shardmap.create topology ~shards) else None);
     hop_batches = Hashtbl.create 64; armed = Hashtbl.create 16;
-    abort_marks = Hashtbl.create 16 }
+    abort_marks = Hashtbl.create 16;
+    faults = None; fs_reroutes = 0; fs_egress_parks = 0; fs_retries = 0;
+    fs_degraded = 0; flat_parks = 0; flat_replays = 0;
+    park_wait = Hashtbl.create 16; flat_last = Hashtbl.create 64 }
 
 let topology t = t.topo
 
@@ -137,6 +157,65 @@ let wire_time len =
   float_of_int (len + (Costs.current ()).packet_overhead_bytes)
   /. (Costs.current ()).link_bandwidth
 
+(* --- fabric fault domain (DESIGN.md section 15) --- *)
+
+let set_link_faults t lf = t.faults <- lf
+
+let faults_armed t = Option.is_some t.faults
+
+let note_retry t = t.fs_retries <- t.fs_retries + 1
+
+let note_degraded t = t.fs_degraded <- t.fs_degraded + 1
+
+let bump_park_wait t ~src wait =
+  match Hashtbl.find_opt t.park_wait src with
+  | Some r -> r := !r +. wait
+  | None -> Hashtbl.add t.park_wait src (ref wait)
+
+(* Corrupt-and-replay repeats for one transit: draws the stream until a
+   clean transmission.  The draw point must be result-determined —
+   fat-tree links draw at the arbitration instant (batch flushes are
+   content-sorted, so sharded and unsharded engines consume each link's
+   stream in the same order), flat pseudo-links at egress in
+   sender-timeline order. *)
+let replay_count draw =
+  let r = ref 0 in
+  while draw () do incr r done;
+  !r
+
+(* Serialization work for one fat-tree transit arbitrated at [time]: the
+   per-transit wire time — inflated by an active derate window (factor
+   in (0, 1], so work only grows and no sharding pair bound tightens) —
+   paid once per replay plus the original, replays holding the link so a
+   flow can never overtake itself, with the same per-copy float-addition
+   sequence on every walk. *)
+let faulted_work lf hop ~time ~wire ~replays =
+  let w =
+    match Linkfault.derate_at lf hop ~time with
+    | Some _ -> wire /. Linkfault.factor lf
+    | None -> wire
+  in
+  if replays = 0 then w
+  else begin
+    let acc = ref w in
+    for _ = 1 to replays do acc := !acc +. w done;
+    !acc
+  end
+
+(* Transit work on [link] for [hop], including any corrupt/derate fault
+   charge; identity to [wire_time] when no injector is installed. *)
+let transit_work t link hop ~wire =
+  match t.faults with
+  | None -> wire
+  | Some lf ->
+    let replays =
+      if Linkfault.corrupt_armed lf then
+        replay_count (fun () -> Linkfault.corrupt lf hop)
+      else 0
+    in
+    for _ = 1 to replays do Link.note_replay link done;
+    faulted_work lf hop ~time:(Sim.now t.sim) ~wire ~replays
+
 let deliver t rx (p : Wire.packet) =
   t.packets <- t.packets + 1;
   t.bytes <- t.bytes + p.wire_len;
@@ -157,9 +236,27 @@ let hop_walk t rx (p : Wire.packet) hops =
         (fun hop ->
           let link = link_of t hop in
           Sim.delay t.sim c.Costs.switch_latency;
+          (* Fault down window: park the packet on the link (never drop
+             it) until the window ends.  A dying link is contention a
+             batched train cannot see coming, so the hooks fire here
+             too. *)
+          (match t.faults with
+           | None -> ()
+           | Some lf ->
+             (match Linkfault.down_at lf hop ~time:(Sim.now t.sim) with
+              | None -> ()
+              | Some u ->
+                let s = Sim.now t.sim in
+                Link.note_park link ~wait:(u -. s);
+                fire_aborts t;
+                let sp = Span.begin_ t.sim ~cat:"fabric" ~name:"link_down" in
+                Sim.delay_until t.sim u;
+                Span.end_with t.sim sp (fun () ->
+                    [ ("link", Link.name link) ])));
           if not (Link.idle link) then fire_aborts t;
           let sp = Span.begin_ t.sim ~cat:"fabric" ~name:(Link.tier link) in
-          Link.transit link ~bytes:p.wire_len ~work:(wire_time p.wire_len);
+          let work = transit_work t link hop ~wire:(wire_time p.wire_len) in
+          Link.transit link ~bytes:p.wire_len ~work;
           Span.end_with t.sim sp (fun () ->
               [ ("link", Link.name link);
                 ("bytes", string_of_int p.wire_len) ]))
@@ -228,25 +325,85 @@ let rec hop_step t (p : Wire.packet) rx ord hops =
                   arbitrate t hop p rx ord rest)))
 
 and arbitrate t hop (p : Wire.packet) rx ord rest =
-  Sim.spawn t.sim ~name:"fabric" (fun () ->
-      let link = link_of t hop in
-      if not (Link.idle link) then schedule_aborts t;
-      let sp = Span.begin_ t.sim ~cat:"fabric" ~name:(Link.tier link) in
-      let wire = wire_time p.wire_len in
-      (match rest with
-       | [] ->
-         Link.transit link ~bytes:p.wire_len ~work:wire;
-         buffer_arrival t rx p ord
-       | next :: _ ->
-         let sm = Option.get t.shardmap in
-         let sw = (Costs.current ()).Costs.switch_latency in
-         Link.transit link ~bytes:p.wire_len ~work:wire
-           ~on_grant:(fun () ->
-             let step = (Sim.now t.sim +. wire) +. sw in
-             Sim.at t.sim ~shard:(Shardmap.owner sm next) step (fun () ->
-                 hop_step t p rx ord rest)));
-      Span.end_with t.sim sp (fun () ->
-          [ ("link", Link.name link); ("bytes", string_of_int p.wire_len) ]))
+  let parked =
+    match t.faults with
+    | None -> None
+    | Some lf -> Linkfault.down_at lf hop ~time:(Sim.now t.sim)
+  in
+  match parked with
+  | Some u ->
+    (* Fault down window: the owner shard parks the packet (never drops
+       it) and re-steps it at the window's end — same shard, so always a
+       legal schedule; parked packets re-batch at (hop, end) and flush
+       in content order, so per-flow FIFO survives.  A dying link is
+       contention an armed train cannot see: schedule the aborts. *)
+    let s = Sim.now t.sim in
+    let link = link_of t hop in
+    Link.note_park link ~wait:(u -. s);
+    schedule_aborts t;
+    let sp = Span.begin_ t.sim ~cat:"fabric" ~name:"link_down" in
+    Sim.at t.sim u (fun () ->
+        Span.end_with t.sim sp (fun () -> [ ("link", Link.name link) ]);
+        hop_step t p rx ord (hop :: rest))
+  | None ->
+    Sim.spawn t.sim ~name:"fabric" (fun () ->
+        let link = link_of t hop in
+        if not (Link.idle link) then schedule_aborts t;
+        let sp = Span.begin_ t.sim ~cat:"fabric" ~name:(Link.tier link) in
+        let wire = transit_work t link hop ~wire:(wire_time p.wire_len) in
+        (match rest with
+         | [] ->
+           Link.transit link ~bytes:p.wire_len ~work:wire;
+           buffer_arrival t rx p ord
+         | next :: _ ->
+           let sm = Option.get t.shardmap in
+           let sw = (Costs.current ()).Costs.switch_latency in
+           Link.transit link ~bytes:p.wire_len ~work:wire
+             ~on_grant:(fun () ->
+               let step = (Sim.now t.sim +. wire) +. sw in
+               Sim.at t.sim ~shard:(Shardmap.owner sm next) step (fun () ->
+                   hop_step t p rx ord rest)));
+        Span.end_with t.sim sp (fun () ->
+            [ ("link", Link.name link); ("bytes", string_of_int p.wire_len) ]))
+
+(* Flat worlds instantiate no links (invariant), so their faults live on
+   per-node ingress pseudo-links: corrupt-and-replay adds one wire time
+   per replay (per-source Bernoulli stream, drawn in sender-timeline
+   order), an active derate window adds the extra serialization a
+   derated ingress takes, and a down window holds the packet to the
+   window's end.  Every adjustment pushes the arrival later only, so the
+   sharded flat lookahead (one link_latency) stays legal; the per-flow
+   clamp keeps arrivals monotone so variable inflation can never reorder
+   a flow. *)
+let flat_faulted_arrival t lf ~time (p : Wire.packet) =
+  let c = Costs.current () in
+  let wire = wire_time p.wire_len in
+  let arrive = ref (time +. c.Costs.link_latency) in
+  if Linkfault.corrupt_armed lf then begin
+    let r = replay_count (fun () -> Linkfault.flat_corrupt lf ~src:p.src_node) in
+    for _ = 1 to r do arrive := !arrive +. wire done;
+    t.flat_replays <- t.flat_replays + r
+  end;
+  (match Linkfault.flat_derate_at lf ~dst:p.dst_node ~time:!arrive with
+   | Some _ -> arrive := !arrive +. ((wire /. Linkfault.factor lf) -. wire)
+   | None -> ());
+  (match Linkfault.flat_down_at lf ~dst:p.dst_node ~time:!arrive with
+   | Some u ->
+     t.flat_parks <- t.flat_parks + 1;
+     bump_park_wait t ~src:p.src_node (u -. !arrive);
+     let sp = Span.begin_ t.sim ~cat:"fabric" ~name:"link_down" in
+     Span.end_with t.sim sp (fun () ->
+         [ ("dst", string_of_int p.dst_node) ]);
+     arrive := u
+   | None -> ());
+  let key = (p.src_node, p.dst_node) in
+  let a =
+    match Hashtbl.find_opt t.flat_last key with
+    | Some prev when prev > !arrive -> prev
+    | _ -> !arrive
+  in
+  Hashtbl.replace t.flat_last key a;
+  a
 
 let send_at t ~time (p : Wire.packet) =
   match Hashtbl.find_opt t.sinks p.dst_node with
@@ -258,11 +415,14 @@ let send_at t ~time (p : Wire.packet) =
     (* Loopback and the flat topology keep the original one-event path
        (byte-identical to the pre-topology fabric). *)
     if Topology.is_flat t.topo || p.src_node = p.dst_node then begin
-      let latency =
-        if p.src_node = p.dst_node then (Costs.current ()).loopback_latency
-        else (Costs.current ()).link_latency
+      let arrive =
+        if p.src_node = p.dst_node then
+          time +. (Costs.current ()).loopback_latency
+        else
+          match t.faults with
+          | None -> time +. (Costs.current ()).link_latency
+          | Some lf -> flat_faulted_arrival t lf ~time p
       in
-      let arrive = time +. latency in
       (* Delivery belongs to the destination node's event shard (no-op
          when sharding is off).  Cross-node arrivals are one full
          [link_latency] out, which is exactly the sharded engine's
@@ -297,11 +457,50 @@ let send_at t ~time (p : Wire.packet) =
       end
     end
     else begin
-      let hops =
-        Route.Memo.route ~shard:(Sim.exec_shard t.sim) t.routes
-          ~src:p.src_node ~dst:p.dst_node ~dst_ctx:p.dst_ctx
+      (* Epoch-pure failover routing: the route is a function of
+         (src, dst, dst_ctx, failure epoch at egress).  ECMP re-hashes
+         around dead links; a fully partitioned pair parks the packet at
+         egress until the first epoch whose links carry it — the
+         post-horizon epoch has every link up, so the walk below always
+         terminates and Fabric_unreachable never escapes this module
+         (transport-level retry in lib/psm handles the user-visible
+         waiting). *)
+      let egress, hops =
+        match t.faults with
+        | None ->
+          ( time,
+            Route.Memo.route ~shard:(Sim.exec_shard t.sim) t.routes
+              ~src:p.src_node ~dst:p.dst_node ~dst_ctx:p.dst_ctx )
+        | Some lf ->
+          let shard = Sim.exec_shard t.sim in
+          let rec resolve e egress =
+            let down hop = Linkfault.down_in_epoch lf ~epoch:e hop in
+            match
+              Route.Memo.route_epoch ~shard t.routes ~epoch:e ~down
+                ~src:p.src_node ~dst:p.dst_node ~dst_ctx:p.dst_ctx
+            with
+            | hops, rerouted -> (egress, hops, rerouted)
+            | exception Route.Fabric_unreachable _ ->
+              resolve (e + 1) (Linkfault.epoch_start lf (e + 1))
+          in
+          let egress, hops, rerouted =
+            resolve (Linkfault.epoch_at lf ~time) time
+          in
+          if egress > time then begin
+            t.fs_egress_parks <- t.fs_egress_parks + 1;
+            bump_park_wait t ~src:p.src_node (egress -. time)
+          end;
+          if rerouted then begin
+            t.fs_reroutes <- t.fs_reroutes + 1;
+            let sp = Span.begin_ t.sim ~cat:"fabric" ~name:"reroute" in
+            Span.end_with t.sim sp (fun () ->
+                [ ("src", string_of_int p.src_node);
+                  ("dst", string_of_int p.dst_node) ])
+          end;
+          (egress, hops)
       in
-      if not t.ordered then Sim.at t.sim time (fun () -> hop_walk t rx p hops)
+      if not t.ordered then
+        Sim.at t.sim egress (fun () -> hop_walk t rx p hops)
       else begin
         (* Decomposed walk: schedule the first hop's arbitration step
            at [(egress +. link_latency) +. switch_latency] — the exact
@@ -313,7 +512,7 @@ let send_at t ~time (p : Wire.packet) =
         let ord = t.send_ord in
         t.send_ord <- ord + 1;
         let c = Costs.current () in
-        let step = (time +. c.Costs.link_latency) +. c.Costs.switch_latency in
+        let step = (egress +. c.Costs.link_latency) +. c.Costs.switch_latency in
         Sim.at t.sim ~shard:(Shardmap.owner sm first) step (fun () ->
             hop_step t p rx ord hops)
       end
@@ -338,6 +537,64 @@ let route_quiet t ~src ~dst ~dst_ctx =
 let packets_delivered t = t.packets
 
 let bytes_delivered t = t.bytes
+
+(* Transport-level reachability probe for the PSM retry ladder: pure in
+   (flow, failure epoch at now), so polling it never perturbs results. *)
+let path_reachable t ~src ~dst ~dst_ctx =
+  match t.faults with
+  | None -> true
+  | Some lf ->
+    Topology.is_flat t.topo || src = dst
+    ||
+    (let e = Linkfault.epoch_at lf ~time:(Sim.now t.sim) in
+     let down hop = Linkfault.down_in_epoch lf ~epoch:e hop in
+     match
+       Route.Memo.route_epoch ~shard:(Sim.exec_shard t.sim) t.routes ~epoch:e
+         ~down ~src ~dst ~dst_ctx
+     with
+     | _ -> true
+     | exception Route.Fabric_unreachable _ -> false)
+
+type fault_stats = {
+  fs_parks : int;
+  fs_park_ns : float;
+  fs_replays : int;
+  fs_reroutes : int;
+  fs_egress_parks : int;
+  fs_retries : int;
+  fs_degraded : int;
+}
+
+let fault_stats t =
+  (* Fold link floats in name order and per-src waits in key order so
+     the sums are independent of Hashtbl layout and engine schedules;
+     the int counters are order-insensitive. *)
+  let links =
+    Hashtbl.fold (fun _ l acc -> l :: acc) t.links []
+    |> List.sort (fun a b -> compare (Link.name a) (Link.name b))
+  in
+  let parks, link_ns, replays =
+    List.fold_left
+      (fun (p, ns, r) l ->
+        (p + Link.parks l, ns +. Link.park_ns l, r + Link.replays l))
+      (t.flat_parks, 0., t.flat_replays)
+      links
+  in
+  let park_ns =
+    Hashtbl.fold (fun src r acc -> (src, !r) :: acc) t.park_wait []
+    |> List.sort compare
+    |> List.fold_left (fun acc (_, w) -> acc +. w) link_ns
+  in
+  { fs_parks = parks; fs_park_ns = park_ns; fs_replays = replays;
+    fs_reroutes = t.fs_reroutes; fs_egress_parks = t.fs_egress_parks;
+    fs_retries = t.fs_retries; fs_degraded = t.fs_degraded }
+
+(* Scheduled per-tier downtime of the installed fault schedule, clipped
+   to [0, until]; empty on the immortal fabric. *)
+let downtime_by_tier t ~until =
+  match t.faults with
+  | None -> []
+  | Some lf -> Linkfault.downtime_by_tier lf ~until
 
 let attached t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.sinks [] |> List.sort compare

@@ -110,6 +110,52 @@ val arm_train : t -> node_id:int -> unit
 
 val disarm_train : t -> node_id:int -> unit
 
+(** {2 Fabric fault domain}
+
+    Installed by {!Pico_harness.Fault} when any fabric fault rate is
+    nonzero; [None] (the default) is the immortal fabric and every hot
+    path above pays a single option match for it.  Down windows park
+    packets — at the owning link under a fat-tree, at the per-node
+    ingress pseudo-link under [Flat], at egress when the whole pair is
+    partitioned — and never drop or re-own them ({!Pico_fabric.Shardmap}
+    ownership is never adaptive); corrupt-and-replay and derate windows
+    only ever add serialization time, so no sharding pair bound
+    tightens.  See DESIGN.md section 15. *)
+
+val set_link_faults : t -> Linkfault.t option -> unit
+
+val faults_armed : t -> bool
+
+(** Whether flow [(src, dst, dst_ctx)] has an all-up route in the
+    failure epoch containing the current instant.  Constant [true] on
+    the immortal fabric, under [Flat], and for loopback.  Pure in (flow,
+    epoch): polling it never perturbs results — the PSM retry ladder
+    spins on it. *)
+val path_reachable : t -> src:int -> dst:int -> dst_ctx:int -> bool
+
+(** Transport-level recovery bookkeeping (called via {!Hfi} from the PSM
+    retry ladder). *)
+val note_retry : t -> unit
+
+val note_degraded : t -> unit
+
+type fault_stats = {
+  fs_parks : int;  (** packets held by a down window (link or ingress) *)
+  fs_park_ns : float;  (** total held time, incl. egress parks *)
+  fs_replays : int;  (** corrupt-and-replay retransmissions *)
+  fs_reroutes : int;  (** flows ECMP re-hashed around a dead link *)
+  fs_egress_parks : int;  (** packets held at egress: pair partitioned *)
+  fs_retries : int;  (** transport retry-ladder backoffs *)
+  fs_degraded : int;  (** flows that exhausted the retry budget *)
+}
+
+(** All-zero on the immortal fabric; deterministic fold order. *)
+val fault_stats : t -> fault_stats
+
+(** Scheduled downtime per tier of the installed schedule, clipped to
+    [[0, until]]; empty tiers omitted, empty when no injector. *)
+val downtime_by_tier : t -> until:float -> (string * float) list
+
 (** {2 Introspection} *)
 
 val packets_delivered : t -> int

@@ -347,6 +347,19 @@ let node t = t.node
 
 let node_id t = t.node.Node.id
 
+(* Fabric fault-domain passthroughs for the transport layers (lib/psm
+   depends on this facade, not on Fabric directly). *)
+let path_armed t = Fabric.faults_armed t.fabric
+
+let path_reachable t ~dst_node ~dst_ctx =
+  Fabric.path_reachable t.fabric ~src:(node_id t) ~dst:dst_node ~dst_ctx
+
+let note_path_retry t = Fabric.note_retry t.fabric
+
+let note_path_degraded t = Fabric.note_degraded t.fabric
+
+let fabric_fault_stats t = Fabric.fault_stats t.fabric
+
 let open_context t =
   let id = t.next_ctx in
   t.next_ctx <- id + 1;

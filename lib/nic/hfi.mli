@@ -28,6 +28,29 @@ type ctx
     attaches it to the fabric.  With [carry_payload] true, message bytes
     are actually read from and written to simulated physical memory
     (tests, examples); when false only timing is modeled (large runs). *)
+(** {2 Fabric fault-domain passthroughs}
+
+    The PSM retry ladder reaches the fabric fault domain through this
+    facade only. *)
+
+(** A fabric fault injector is installed. *)
+val path_armed : t -> bool
+
+(** Whether the flow to [(dst_node, dst_ctx)] has an all-up route in
+    the current failure epoch; constant [true] when no injector is
+    installed ({!Fabric.path_reachable}). *)
+val path_reachable : t -> dst_node:int -> dst_ctx:int -> bool
+
+(** Count one transport retry-ladder backoff / one flow that exhausted
+    its retry budget. *)
+val note_path_retry : t -> unit
+
+val note_path_degraded : t -> unit
+
+(** The attached fabric's {!Fabric.fault_stats} (all-zero when no
+    injector is installed). *)
+val fabric_fault_stats : t -> Fabric.fault_stats
+
 val create :
   Sim.t -> node:Node.t -> fabric:Fabric.t -> ?carry_payload:bool ->
   ?rcv_entries:int -> unit -> t

@@ -15,3 +15,4 @@ module Topology = Pico_fabric.Topology
 module Route = Pico_fabric.Route
 module Link = Pico_fabric.Link
 module Shardmap = Pico_fabric.Shardmap
+module Linkfault = Pico_fabric.Linkfault

@@ -197,6 +197,34 @@ let isend t ~dst ~tag ~va ~len =
     { kind = Send st; complete = false;
       lg = Ledger.begin_ t.os.sim ~op:"psm/send" }
   in
+  (* Transport-level recovery (armed only when a fabric fault injector
+     is installed): a cross-node send whose flow has no all-up route in
+     the current failure epoch backs off linearly — the wait is a
+     profiled nanosleep, so each OS kind pays its own syscall shape —
+     and retries up to [fabric_max_retries] times.  On exhaustion the
+     flow counts as degraded and the send proceeds anyway: the fabric
+     parks the packets at egress until a link returns, so the message is
+     late, never lost, and nothing hangs. *)
+  if (not (same_node t dst)) && Hfi.path_armed t.os.hfi then begin
+    let dst_node, dst_ctx = peer t dst in
+    let c = Costs.current () in
+    let rec ladder n =
+      if not (Hfi.path_reachable t.os.hfi ~dst_node ~dst_ctx) then begin
+        if n >= c.Costs.fabric_max_retries then
+          Hfi.note_path_degraded t.os.hfi
+        else begin
+          let sp = Span.begin_ t.os.sim ~cat:"psm" ~name:"retry" in
+          t.os.nanosleep (c.Costs.fabric_retry_backoff *. float_of_int (n + 1));
+          Span.end_with t.os.sim sp (fun () ->
+              [ ("attempt", string_of_int (n + 1)) ]);
+          Hfi.note_path_retry t.os.hfi;
+          Ledger.mark t.os.sim req.lg ~phase:"fabric_retry";
+          ladder (n + 1)
+        end
+      end
+    in
+    ladder 0
+  end;
   (* Intra-node traffic goes through PSM's shared-memory transport: plain
      copies, no NIC and no driver — which is why single-node runs are
      immune to the offloading penalty (paper Fig. 6). *)

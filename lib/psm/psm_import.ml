@@ -1,5 +1,6 @@
 (* Local aliases for modules used across the PSM library. *)
 module Sim = Pico_engine.Sim
+module Span = Pico_engine.Span
 module Ledger = Pico_engine.Ledger
 module Mailbox = Pico_engine.Mailbox
 module Stats = Pico_engine.Stats

@@ -101,6 +101,13 @@ if ! grep -q '^zero-rate fault install: OK' "$fseq_out"; then
   echo "FAIL: zero-rate fault install is not byte-identical" >&2
   exit 1
 fi
+# Same law for the fabric link-fault streams: all-zero fabric rates (and
+# an armed injector whose schedule drew no windows) must leave flat and
+# fat-tree worlds byte-identical to the injector-absent run.
+if ! grep -q '^fabric faults zero-rate: OK' "$fseq_out"; then
+  echo "FAIL: zero-rate fabric fault install is not byte-identical" >&2
+  exit 1
+fi
 
 echo "== determinism: picobench fabric, jobs=1 vs jobs=$jobs =="
 tseq_out="$(mktemp)"
@@ -183,6 +190,13 @@ if ! grep -q '^fat-tree sharding on/off: OK' "$sseq_out"; then
   echo "FAIL: fat-tree sharded engine is not byte-identical to unsharded" >&2
   exit 1
 fi
+# With a live link-fault schedule on the fat-tree, parked links stay
+# owned by their Shardmap shard and every fault counter is a result:
+# shard-on/off (and fast-forward) must still be bit-identical.
+if ! grep -q '^faulted fat-tree sharding on/off: OK' "$sseq_out"; then
+  echo "FAIL: faulted fat-tree sharding changed simulation results" >&2
+  exit 1
+fi
 # Latency ledgers: arming them must not change any simulation result,
 # and the breakdown a sharded run produces must equal the unsharded one.
 if ! grep -q '^ledgers off: OK' "$sseq_out"; then
@@ -195,10 +209,11 @@ if ! grep -q '^ledger shard on/off: OK' "$sseq_out"; then
 fi
 
 # Engine throughput (wall-clock, host-specific): informative, never gates
-# the build — machines differ and CI boxes are noisy.  The scale sweep
-# was byte-checked twice just above, so perf.sh skips re-running it.
+# the build — machines differ and CI boxes are noisy.  The scale and
+# faults sweeps were byte-checked twice just above, so perf.sh skips
+# re-running them.
 echo "== engine throughput (non-fatal) =="
-if ! PICO_PERF_SCALE=0 scripts/perf.sh; then
+if ! PICO_PERF_SCALE=0 PICO_PERF_FAULTS=0 scripts/perf.sh; then
   echo "WARN: perf.sh reported a throughput regression (non-fatal)" >&2
 fi
 

@@ -94,6 +94,27 @@ if [ "${PICO_PERF_LEDGER:-1}" = "1" ]; then
   }'
 fi
 
+# Armed-faults FOM (warn-only): the faults figure runs the injector over
+# every fault family — SDMA halts, IKC drops, and the fabric link-fault
+# degradation sweep — so its wall clock watches what fault bookkeeping
+# and the failover/retry machinery cost in host time.  Skip with
+# PICO_PERF_FAULTS=0 (check.sh does: it just byte-checked the figure
+# twice).
+faults_host=null
+if [ "${PICO_PERF_FAULTS:-1}" = "1" ]; then
+  fatmp="$(mktemp)"
+  trap 'rm -f "$tmp" "$fatmp"' EXIT
+  dune exec --no-build bin/picobench.exe -- faults --json "$fatmp" > /dev/null
+  faults_host="$(awk -F': ' '/"faults\/engine\/host_seconds"/ \
+    { gsub(/[ ,]/, "", $2); print $2 }' "$fatmp")"
+  if [ -z "$faults_host" ]; then
+    echo "perf.sh: no faults/engine/host_seconds in picobench faults JSON" >&2
+    exit 1
+  fi
+  printf 'perf.sh: faults: armed-injector figure in %ss host wall-clock\n' \
+    "$faults_host"
+fi
+
 scale_host=null
 ft_host=null
 if [ "${PICO_PERF_SCALE:-1}" = "1" ]; then
@@ -130,6 +151,7 @@ cat > "$out" <<EOF
   "events_per_sec": $eps,
   "equiv_events_per_sec": $eeps,
   "ledger_equiv_events_per_sec": $ledger_eeps,
+  "faults_host_seconds": $faults_host,
   "scale_host_seconds": $scale_host,
   "ft_scale_host_seconds": $ft_host
 }
@@ -177,6 +199,20 @@ if [ "$scale_host" != null ] && [ -n "$base_scale" ] && [ "$base_scale" != null 
       ratio, now, base;
     if (ratio > 1.5)
       print "perf.sh: WARN: at-scale sweep >1.5x slower than baseline" > "/dev/stderr";
+  }'
+fi
+
+# The armed-faults figure warns only too: injector bookkeeping is pure
+# host-side work, so a sustained slowdown here means a fault path grew
+# cost it should not have.
+base_faults="$(awk -F': ' '/"faults_host_seconds"/ { gsub(/[ ,]/,"",$2); print $2 }' "$baseline")"
+if [ "$faults_host" != null ] && [ -n "$base_faults" ] && [ "$base_faults" != null ]; then
+  awk -v now="$faults_host" -v base="$base_faults" 'BEGIN {
+    ratio = now / base;
+    printf "perf.sh: armed faults %.2fx of baseline wall clock (%.3gs vs %.3gs)\n",
+      ratio, now, base;
+    if (ratio > 1.5)
+      print "perf.sh: WARN: armed-faults figure >1.5x slower than baseline" > "/dev/stderr";
   }'
 fi
 

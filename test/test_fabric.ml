@@ -127,6 +127,128 @@ let test_flow_hash_spreads () =
   Alcotest.(check bool) "flows spread over more than one spine" true
     (List.length spines > 1)
 
+(* --- Failover routing (DESIGN.md section 15) -------------------------------- *)
+
+let no_down _ = false
+
+(* With no link down anywhere, failover routing IS the legacy route:
+   k = 0 in the ECMP probe order is the flow-hashed spine, bit for bit. *)
+let test_failover_no_down_identical () =
+  let t = ft ~radix:4 ~oversub:2 in
+  for src = 0 to 15 do
+    for dst = 0 to 15 do
+      let dst_ctx = src + (3 * dst) in
+      let hops, rerouted = Route.route_avoiding t ~down:no_down ~src ~dst ~dst_ctx in
+      Alcotest.(check bool) "no reroute without downs" false rerouted;
+      Alcotest.(check bool) "identical to Route.route" true
+        (hops = Route.route t ~src ~dst ~dst_ctx)
+    done
+  done
+
+let test_failover_avoids_down_spine () =
+  let t = ft ~radix:8 ~oversub:1 in
+  let src = 0 and dst = 9 and dst_ctx = 4 in
+  match Route.route t ~src ~dst ~dst_ctx with
+  | ({ Route.tier = Route.Up; b = spine0; _ } as up0) :: _ ->
+    let down h = h = up0 in
+    let hops, rerouted = Route.route_avoiding t ~down ~src ~dst ~dst_ctx in
+    Alcotest.(check bool) "rerouted" true rerouted;
+    (match hops with
+     | [ { Route.tier = Route.Up; a = l1; b = s1 };
+         { Route.tier = Route.Down; a = s2; b = l2 };
+         { Route.tier = Route.Host; _ } ] ->
+       Alcotest.(check bool) "avoided the down spine" true (s1 <> spine0);
+       Alcotest.(check int) "same spine up/down" s1 s2;
+       (* The winner is the NEXT ECMP candidate, deterministically. *)
+       let h = Route.flow_hash ~src ~dst ~dst_ctx in
+       Alcotest.(check int) "k=1 candidate" ((h + 1) mod 8) s1;
+       Alcotest.(check int) "same source leaf" (Topology.leaf_of_node t src) l1;
+       Alcotest.(check int) "same dest leaf" (Topology.leaf_of_node t dst) l2
+     | _ -> Alcotest.fail "expected Up; Down; Host")
+  | _ -> Alcotest.fail "expected a cross-leaf default route"
+
+let test_failover_unreachable () =
+  let t = ft ~radix:2 ~oversub:1 in
+  let raises down src dst =
+    try ignore (Route.route_avoiding t ~down ~src ~dst ~dst_ctx:0); false
+    with Route.Fabric_unreachable { src = s; dst = d; _ } ->
+      s = src && d = dst
+  in
+  (* Dead destination host link partitions the pair outright. *)
+  Alcotest.(check bool) "host link down -> unreachable" true
+    (raises (fun h -> h.Route.tier = Route.Host) 0 3);
+  (* Every spine cut partitions cross-leaf pairs only. *)
+  Alcotest.(check bool) "all spines down -> cross-leaf unreachable" true
+    (raises (fun h -> h.Route.tier = Route.Up) 0 3);
+  let hops, rerouted =
+    Route.route_avoiding t ~down:(fun h -> h.Route.tier = Route.Up) ~src:0
+      ~dst:1 ~dst_ctx:0
+  in
+  Alcotest.(check bool) "same-leaf unaffected by spine cuts" true
+    (hops = Route.route t ~src:0 ~dst:1 ~dst_ctx:0 && not rerouted)
+
+let test_memo_epoch () =
+  let t = ft ~radix:8 ~oversub:1 in
+  let m = Route.Memo.create t in
+  let src = 0 and dst = 9 and dst_ctx = 4 in
+  let legacy = Route.route t ~src ~dst ~dst_ctx in
+  Alcotest.(check bool) "epoch 0 = legacy route" true
+    (Route.Memo.route_epoch m ~epoch:0 ~down:no_down ~src ~dst ~dst_ctx
+     = (legacy, false));
+  let up0 = List.hd legacy in
+  let down1 h = h = up0 in
+  let hops1, rr1 =
+    Route.Memo.route_epoch m ~epoch:1 ~down:down1 ~src ~dst ~dst_ctx
+  in
+  Alcotest.(check bool) "epoch 1 reroutes around its down set" true
+    (rr1 && hops1 <> legacy);
+  (* Epochs are independent cache keys: epoch 0 still serves the legacy
+     route after epoch 1 was populated, and vice versa. *)
+  Alcotest.(check bool) "epoch 0 unchanged" true
+    (Route.Memo.route_epoch m ~epoch:0 ~down:no_down ~src ~dst ~dst_ctx
+     = (legacy, false));
+  Alcotest.(check bool) "epoch 1 cached" true
+    (Route.Memo.route_epoch m ~epoch:1 ~down:down1 ~src ~dst ~dst_ctx
+     = (hops1, rr1));
+  (* Unreachable is never memoized: it raises afresh on every probe. *)
+  let all_down _ = true in
+  let raises () =
+    try
+      ignore
+        (Route.Memo.route_epoch m ~epoch:2 ~down:all_down ~src ~dst ~dst_ctx);
+      false
+    with Route.Fabric_unreachable _ -> true
+  in
+  Alcotest.(check bool) "unreachable raises" true (raises ());
+  Alcotest.(check bool) "unreachable raises again (not memoized)" true
+    (raises ())
+
+(* Failover routing purity: identical (topology, down set, src, dst,
+   dst_ctx) yields identical routes on this domain, on another domain,
+   and on re-evaluation — and an empty down set is bit-identical to
+   today's route.  The down set is itself a pure function of the
+   generated salt, standing in for a failure epoch's link state. *)
+let failover_purity_law =
+  QCheck2.Test.make ~name:"failover routing is epoch-pure" ~count:100
+    QCheck2.Gen.(
+      tup5 (int_range 2 8) (int_range 1 4) (int_range 0 23)
+        (tup2 (int_range 0 23) (int_range 0 15)) (int_range 0 1000))
+    (fun (radix, oversub, src, (dst, dst_ctx), salt) ->
+      let topo = ft ~radix ~oversub in
+      let down h =
+        salt mod 7 <> 0 && Hashtbl.hash (salt, h.Route.tier, h.a, h.b) mod 4 = 0
+      in
+      let eval () =
+        try Ok (Route.route_avoiding topo ~down ~src ~dst ~dst_ctx)
+        with Route.Fabric_unreachable _ -> Error ()
+      in
+      let here = eval () in
+      let there = Domain.join (Domain.spawn eval) in
+      here = there
+      && here = eval ()
+      && Route.route_avoiding topo ~down:no_down ~src ~dst ~dst_ctx
+         = (Route.route topo ~src ~dst ~dst_ctx, false))
+
 (* --- Fat-tree delivery through the facade ----------------------------------- *)
 
 let test_fat_tree_arrival_times () =
@@ -282,6 +404,14 @@ let () =
          Alcotest.test_case "deterministic across domains" `Quick
            test_route_deterministic_across_domains;
          Alcotest.test_case "flow hash spreads" `Quick test_flow_hash_spreads ]);
+      ("failover",
+       [ Alcotest.test_case "no downs = legacy route" `Quick
+           test_failover_no_down_identical;
+         Alcotest.test_case "avoids down spine" `Quick
+           test_failover_avoids_down_spine;
+         Alcotest.test_case "unreachable" `Quick test_failover_unreachable;
+         Alcotest.test_case "memo epochs" `Quick test_memo_epoch;
+         qc failover_purity_law ]);
       ("delivery",
        [ Alcotest.test_case "arrival times" `Quick test_fat_tree_arrival_times;
          Alcotest.test_case "attach errors" `Quick test_fat_tree_attach_errors;

@@ -119,6 +119,127 @@ let test_plan_zero_rates () =
     (fun () ->
       Alcotest.(check bool) "no horizon -> not armed" false (Fault.armed ()))
 
+(* --- fabric link-fault streams (DESIGN.md section 15) ----------------------- *)
+
+module Linkfault = Pico_fabric.Linkfault
+module Topology = Pico_fabric.Topology
+module Route = Pico_fabric.Route
+module Cluster = Pico_harness.Cluster
+
+let with_fabric_rates f =
+  Costs.with_patched
+    (fun c ->
+      c.Costs.fault_horizon <- 5.0e7;
+      c.Costs.fault_link_down_interval <- 2.0e6;
+      c.Costs.fault_link_down_duration <- 3.0e5;
+      c.Costs.fault_link_derate_interval <- 3.0e6;
+      c.Costs.fault_link_derate_duration <- 4.0e5;
+      c.Costs.fault_link_corrupt <- 1.0e-3)
+    f
+
+let test_fabric_armed () =
+  Alcotest.(check bool) "not fabric-armed by default" false
+    (Fault.fabric_armed ());
+  with_fabric_rates (fun () ->
+      Alcotest.(check bool) "fabric-armed with rates" true
+        (Fault.fabric_armed ());
+      Alcotest.(check bool) "armed covers fabric" true (Fault.armed ());
+      Alcotest.(check bool) "node classes stay unarmed" false
+        (Fault.node_armed ()));
+  (* Each fabric class arms on its own. *)
+  List.iter
+    (fun patch ->
+      Costs.with_patched
+        (fun c ->
+          c.Costs.fault_horizon <- 1.0e6;
+          patch c)
+        (fun () ->
+          Alcotest.(check bool) "single class arms" true (Fault.fabric_armed ())))
+    [ (fun c -> c.Costs.fault_link_down_interval <- 1.0e5);
+      (fun c -> c.Costs.fault_link_derate_interval <- 1.0e5);
+      (fun c -> c.Costs.fault_link_corrupt <- 0.01) ];
+  (* Rates without a horizon never arm. *)
+  Costs.with_patched
+    (fun c -> c.Costs.fault_link_down_interval <- 1.0e5)
+    (fun () ->
+      Alcotest.(check bool) "no horizon -> not fabric-armed" false
+        (Fault.fabric_armed ()))
+
+(* With every fabric rate at its zero default, [Fault.install] must not
+   even split the cluster RNG: the post-install stream of an installed
+   cluster is draw-for-draw identical to an untouched one. *)
+let test_install_zero_fabric_rates_rng () =
+  let mk () = Cluster.build Cluster.Mckernel_hfi ~n_nodes:2 ~seed:11L () in
+  let a = mk () and b = mk () in
+  Fault.install a;
+  let draws cl = List.init 32 (fun _ -> Rng.int cl.Cluster.rng 1_000_000) in
+  Alcotest.(check (list int)) "rng stream untouched by zero-rate install"
+    (draws b) (draws a)
+
+let test_linkfault_draw_deterministic () =
+  with_fabric_rates (fun () ->
+      let topo = Topology.Fat_tree { radix = 4; oversub = 2 } in
+      let mk () = Linkfault.draw ~rng:(Rng.create ~seed:21L) ~n_nodes:16 topo in
+      let lf1 = mk () and lf2 = mk () in
+      Alcotest.(check int) "same epoch count"
+        (Linkfault.epoch_count lf1) (Linkfault.epoch_count lf2);
+      Alcotest.(check bool) "schedule is non-trivial" true
+        (Linkfault.epoch_count lf1 > 1);
+      let horizon = (Costs.current ()).Costs.fault_horizon in
+      let hops =
+        List.concat_map
+          (fun tier ->
+            List.init 4 (fun a ->
+                List.init 4 (fun b -> { Route.tier; a; b })))
+          [ Route.Up; Route.Down; Route.Host ]
+        |> List.concat
+      in
+      for i = 0 to 200 do
+        let time = float_of_int i *. horizon /. 200. in
+        Alcotest.(check int) "same epoch"
+          (Linkfault.epoch_at lf1 ~time) (Linkfault.epoch_at lf2 ~time);
+        List.iter
+          (fun hop ->
+            Alcotest.(check (option (float 0.))) "same down windows"
+              (Linkfault.down_at lf1 hop ~time)
+              (Linkfault.down_at lf2 hop ~time);
+            Alcotest.(check (option (float 0.))) "same derate windows"
+              (Linkfault.derate_at lf1 hop ~time)
+              (Linkfault.derate_at lf2 hop ~time))
+          hops
+      done;
+      Alcotest.(check bool) "downtime ledgers agree" true
+        (Linkfault.downtime_by_tier lf1 ~until:horizon
+         = Linkfault.downtime_by_tier lf2 ~until:horizon))
+
+let test_linkfault_draw_validation () =
+  let raises patch =
+    Costs.with_patched
+      (fun c ->
+        c.Costs.fault_horizon <- 1.0e6;
+        c.Costs.fault_link_derate_interval <- 1.0e5;
+        patch c)
+      (fun () ->
+        try
+          ignore
+            (Linkfault.draw ~rng:(Rng.create ~seed:1L) ~n_nodes:4 Topology.Flat);
+          false
+        with Invalid_argument _ -> true)
+  in
+  Alcotest.(check bool) "derate factor 0 rejected" true
+    (raises (fun c -> c.Costs.fault_link_derate_factor <- 0.0));
+  Alcotest.(check bool) "derate factor > 1 rejected" true
+    (raises (fun c -> c.Costs.fault_link_derate_factor <- 1.5));
+  Alcotest.(check bool) "negative factor rejected" true
+    (raises (fun c -> c.Costs.fault_link_derate_factor <- -0.25));
+  Alcotest.(check bool) "n_nodes <= 0 rejected" true
+    (with_fabric_rates (fun () ->
+         try
+           ignore
+             (Linkfault.draw ~rng:(Rng.create ~seed:1L) ~n_nodes:0 Topology.Flat);
+           false
+         with Invalid_argument _ -> true))
+
 (* --- Listing 1 round trip --------------------------------------------------- *)
 
 let sdma_state_va driver ~engine_idx =
@@ -301,6 +422,14 @@ let () =
          Alcotest.test_case "parallel identical" `Quick
            test_plan_parallel_identical;
          Alcotest.test_case "zero rates" `Quick test_plan_zero_rates ]);
+      ("fabric",
+       [ Alcotest.test_case "fabric_armed gating" `Quick test_fabric_armed;
+         Alcotest.test_case "zero-rate install leaves rng untouched" `Quick
+           test_install_zero_fabric_rates_rng;
+         Alcotest.test_case "linkfault draw deterministic" `Quick
+           test_linkfault_draw_deterministic;
+         Alcotest.test_case "linkfault draw validation" `Quick
+           test_linkfault_draw_validation ]);
       ("listing1",
        [ Alcotest.test_case "halt/recover round trip" `Quick
            test_listing1_roundtrip ]);

@@ -752,6 +752,88 @@ let test_batching_fat_tree_contention_abort () =
   Alcotest.(check bool) "link contention aborted the batched train" true
     (!max_aborts > 0)
 
+(* --- Mid-train link park abort ----------------------------------------------
+
+   A fault down window opening on a link while a batched SDMA train is
+   in flight is contention the train's closed form cannot see: the
+   fabric parks the packet on the link (never drops it) and fires every
+   armed train-abort hook, so the batched tail rewinds into the exact
+   per-packet float sequence.  Park counters are simulation results and
+   must agree between the two runs. *)
+
+let run_ft_park_scenario ~batching lens =
+  Hfi.batching := batching;
+  Fun.protect
+    ~finally:(fun () -> Hfi.batching := true)
+    (fun () ->
+      Costs.with_patched
+        (fun c ->
+          c.Costs.fault_horizon <- 1.0e6;
+          c.Costs.fault_link_down_interval <- 3.0e3;
+          c.Costs.fault_link_down_duration <- 2.0e3)
+        (fun () ->
+          let sim = Sim.create () in
+          let topo = Pico_fabric.Topology.Fat_tree { radix = 2; oversub = 1 } in
+          let fab = Fabric.create ~topology:topo sim in
+          let lf =
+            Pico_fabric.Linkfault.draw
+              ~rng:(Pico_engine.Rng.create ~seed:1L)
+              ~n_nodes:4 topo
+          in
+          Fabric.set_link_faults fab (Some lf);
+          let nodes =
+            Array.init 4 (fun id -> Node.create_knl sim ~id ~mem_scale:0.001 ())
+          in
+          let hfis =
+            Array.map
+              (fun node ->
+                Hfi.create sim ~node ~fabric:fab ~carry_payload:false ())
+              nodes
+          in
+          let ctxs = Array.map (fun h -> Hfi.ctx_id (Hfi.open_context h)) hfis in
+          let complete = ref 0. in
+          ft_train_scenario lens sim hfis nodes ctxs complete (ref 0.);
+          (* A competing flow on the other leaf keeps packets in flight
+             across the train's whole span, so a window opening on the
+             l1->n3 host link parks one mid-train. *)
+          Sim.spawn sim (fun () ->
+              for _ = 1 to 10 do
+                Hfi.pio_send hfis.(2) ~dst_node:3 ~dst_ctx:ctxs.(3)
+                  ~hdr:(eager_hdr 2048) ~len:2048 ();
+                Sim.delay sim 500.
+              done);
+          ignore (Sim.run sim);
+          Array.iter (fun h -> ignore (Hfi.drain_completions h)) hfis;
+          let fs = Fabric.fault_stats fab in
+          ( { o_end = Sim.now sim;
+              o_complete = !complete;
+              o_pio_done = 0.;
+              o_packets = Fabric.packets_delivered fab;
+              o_bytes = Fabric.bytes_delivered fab;
+              o_busy = Pico_engine.Resource.total_busy_ns (Hfi.wire hfis.(0));
+              o_served = Pico_engine.Resource.total_served (Hfi.wire hfis.(0));
+              o_elided = Sim.events_elided sim },
+            fs.Fabric.fs_parks,
+            fs.Fabric.fs_park_ns,
+            Hfi.train_aborts hfis.(0) )))
+
+let test_batching_midtrain_link_park () =
+  let lens = List.init 10 (fun _ -> 8192) in
+  let pp, pp_parks, pp_park_ns, _ = run_ft_park_scenario ~batching:false lens in
+  let b, b_parks, b_park_ns, b_aborts = run_ft_park_scenario ~batching:true lens in
+  Alcotest.(check bool) "a down window parked train packets" true (pp_parks > 0);
+  Alcotest.(check int) "parks are results: batched = per-packet" pp_parks
+    b_parks;
+  Alcotest.(check (float 0.)) "park wait is a result too" pp_park_ns b_park_ns;
+  Alcotest.(check bool) "the park aborted the batched train" true (b_aborts > 0);
+  let exact = Alcotest.(check (float 0.)) in
+  exact "park: end time" pp.o_end b.o_end;
+  exact "park: completion" pp.o_complete b.o_complete;
+  exact "park: wire busy" pp.o_busy b.o_busy;
+  Alcotest.(check int) "park: packets" pp.o_packets b.o_packets;
+  Alcotest.(check int) "park: bytes" pp.o_bytes b.o_bytes;
+  Alcotest.(check int) "park: served" pp.o_served b.o_served
+
 (* --- Cross-shard mid-train contention abort ---------------------------------
 
    The same four-node radix-2 contention shape, but on a *sharded*
@@ -948,5 +1030,7 @@ let () =
            test_batching_fat_tree_equiv;
          Alcotest.test_case "fat-tree contention aborts train" `Quick
            test_batching_fat_tree_contention_abort;
+         Alcotest.test_case "mid-train link park aborts train" `Quick
+           test_batching_midtrain_link_park;
          Alcotest.test_case "sharded fat-tree contention abort" `Quick
            test_sharded_fat_tree_contention_abort ]) ]

@@ -351,6 +351,18 @@ let test_subsys_ratios_finite () =
   ignore (run_world ());
   finite_dump "obs_mixed"
 
+(* The exported NaN-safe ratio is what every figure-level retention and
+   inflation metric goes through: degenerate windows (zero or negative
+   denominator, non-finite numerator) must yield 0, never NaN/inf. *)
+let test_ratio_degenerate () =
+  let ck name want got = Alcotest.(check (float 0.)) name want got in
+  ck "0/0" 0. (Subsys_obs.ratio 0. 0.);
+  ck "n/0" 0. (Subsys_obs.ratio 5. 0.);
+  ck "negative denominator" 0. (Subsys_obs.ratio 5. (-1.));
+  ck "nan numerator" 0. (Subsys_obs.ratio Float.nan 2.);
+  ck "inf numerator" 0. (Subsys_obs.ratio Float.infinity 2.);
+  ck "ordinary quotient" 0.5 (Subsys_obs.ratio 1. 2.)
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "obs"
@@ -377,4 +389,6 @@ let () =
          Alcotest.test_case "subsys metrics deterministic" `Quick
            test_subsys_metrics_deterministic;
          Alcotest.test_case "subsys ratios finite" `Quick
-           test_subsys_ratios_finite ]) ]
+           test_subsys_ratios_finite;
+         Alcotest.test_case "ratio degenerate windows" `Quick
+           test_ratio_degenerate ]) ]

@@ -101,6 +101,17 @@ let fingerprint (cl : Cluster.t) (res : Experiment.result) =
       i ts.Fabric.ts_peak_queue;
       i ts.Fabric.ts_contended)
     (Fabric.tier_stats cl.Cluster.fabric);
+  (* Fabric fault counters are simulation results (parks, replays,
+     reroutes, retries land at result-determined instants), unlike
+     engine elision counts — shard-on/off must reproduce them exactly. *)
+  let fs = Fabric.fault_stats cl.Cluster.fabric in
+  i fs.Fabric.fs_parks;
+  f fs.Fabric.fs_park_ns;
+  i fs.Fabric.fs_replays;
+  i fs.Fabric.fs_reroutes;
+  i fs.Fabric.fs_egress_parks;
+  i fs.Fabric.fs_retries;
+  i fs.Fabric.fs_degraded;
   Array.iter
     (fun (env : Cluster.node_env) ->
       let hfi = env.Cluster.hfi in
@@ -118,14 +129,23 @@ let fingerprint (cl : Cluster.t) (res : Experiment.result) =
     cl.Cluster.nodes;
   Buffer.contents b
 
-let with_faults armed f =
-  if not armed then f ()
+let with_faults ?(links = false) armed f =
+  if not (armed || links) then f ()
   else
     Costs.with_patched
       (fun c ->
         c.Costs.fault_horizon <- 1.0e8;
-        c.Costs.fault_sdma_halt_interval <- 3.0e6;
-        c.Costs.fault_service_stall_interval <- 5.0e6)
+        if armed then begin
+          c.Costs.fault_sdma_halt_interval <- 3.0e6;
+          c.Costs.fault_service_stall_interval <- 5.0e6
+        end;
+        if links then begin
+          c.Costs.fault_link_down_interval <- 2.0e6;
+          c.Costs.fault_link_down_duration <- 3.0e5;
+          c.Costs.fault_link_derate_interval <- 3.0e6;
+          c.Costs.fault_link_derate_duration <- 4.0e5;
+          c.Costs.fault_link_corrupt <- 1.0e-3
+        end)
       f
 
 type probe = {
@@ -134,11 +154,12 @@ type probe = {
   elided : int;
   aborts : int;
   halts : int;
+  linkhits : int;  (* parks + replays + reroutes + egress parks *)
 }
 
-let run_probe ?(app = app) ?(topology = Topology.Flat) ~kind ~n_nodes ~rpn
-    ~seed ~faults ~shard ~ff () =
-  with_faults faults @@ fun () ->
+let run_probe ?(app = app) ?(topology = Topology.Flat) ?(linkfaults = false)
+    ~kind ~n_nodes ~rpn ~seed ~faults ~shard ~ff () =
+  with_faults ~links:linkfaults faults @@ fun () ->
   Sim.fast_forward := ff;
   (* Identity across shard-on/off only holds between runs sharing the
      same same-instant arrival tie-break, so the unsharded comparator
@@ -157,11 +178,15 @@ let run_probe ?(app = app) ?(topology = Topology.Flat) ~kind ~n_nodes ~rpn
   let sum g =
     Array.fold_left (fun acc env -> acc + g env) 0 cl.Cluster.nodes
   in
+  let fs = Fabric.fault_stats cl.Cluster.fabric in
   { fp = fingerprint cl res;
     events = Sim.events_processed cl.Cluster.sim;
     elided = Sim.events_elided cl.Cluster.sim;
     aborts = sum (fun env -> Hfi.train_aborts env.Cluster.hfi);
-    halts = sum (fun env -> Sdma.halts (Hfi.sdma env.Cluster.hfi)) }
+    halts = sum (fun env -> Sdma.halts (Hfi.sdma env.Cluster.hfi));
+    linkhits =
+      fs.Fabric.fs_parks + fs.Fabric.fs_replays + fs.Fabric.fs_reroutes
+      + fs.Fabric.fs_egress_parks }
 
 let kinds = [| Cluster.Linux; Cluster.Mckernel; Cluster.Mckernel_hfi |]
 
@@ -205,27 +230,54 @@ let prop_switch_identity =
 let prop_ft_identity =
   QCheck2.Test.make
     ~name:"fat-tree shard on/off: identical simulation results" ~count:8
-    ~print:(fun (k, n, r, s, (f, radix, oversub)) ->
-      Printf.sprintf "kind=%d n_nodes=%d rpn=%d seed=%d faults=%b radix=%d oversub=%d"
-        k n r s f radix oversub)
+    ~print:(fun (k, n, r, s, (f, lf, radix, oversub)) ->
+      Printf.sprintf
+        "kind=%d n_nodes=%d rpn=%d seed=%d faults=%b linkfaults=%b radix=%d \
+         oversub=%d"
+        k n r s f lf radix oversub)
     QCheck2.Gen.(
       tup5 (int_range 0 2) (int_range 2 5) (int_range 1 2) (int_range 0 10_000)
-        (tup3 bool (int_range 2 4) (int_range 1 2)))
-    (fun (kind_i, n_nodes, rpn, seed, (faults, radix, oversub)) ->
+        (tup4 bool bool (int_range 2 4) (int_range 1 2)))
+    (fun (kind_i, n_nodes, rpn, seed, (faults, linkfaults, radix, oversub)) ->
       let kind = kinds.(kind_i) in
       let seed = Int64.of_int seed in
       let topology = Topology.Fat_tree { radix; oversub } in
       let base =
-        run_probe ~topology ~kind ~n_nodes ~rpn ~seed ~faults ~shard:false
-          ~ff:false ()
+        run_probe ~topology ~linkfaults ~kind ~n_nodes ~rpn ~seed ~faults
+          ~shard:false ~ff:false ()
       in
       List.for_all
         (fun (shard, ff) ->
           let p =
-            run_probe ~topology ~kind ~n_nodes ~rpn ~seed ~faults ~shard ~ff ()
+            run_probe ~topology ~linkfaults ~kind ~n_nodes ~rpn ~seed ~faults
+              ~shard ~ff ()
           in
           p.fp = base.fp)
         [ (true, false); (true, true) ])
+
+(* The link-fault half of the law, pinned non-vacuously: a seed/rate
+   point where the base run demonstrably parks packets on down links and
+   re-routes around them, then shard-on (and shard-on + fast-forward)
+   must reproduce every result — including the fault counters — bit for
+   bit. *)
+let test_ft_linkfault_identity () =
+  let kind = Cluster.Mckernel_hfi and n_nodes = 5 and rpn = 2
+  and seed = 0x5EEDL in
+  let topology = Topology.Fat_tree { radix = 2; oversub = 1 } in
+  let run ~shard ~ff =
+    run_probe ~app:xchg_app ~topology ~linkfaults:true ~kind ~n_nodes ~rpn
+      ~seed ~faults:false ~shard ~ff ()
+  in
+  let base = run ~shard:false ~ff:false in
+  Alcotest.(check bool) "link faults actually bit (parks or reroutes)" true
+    (base.linkhits > 0);
+  List.iter
+    (fun (shard, ff) ->
+      let p = run ~shard ~ff in
+      Alcotest.(check string)
+        (Printf.sprintf "faulted fat-tree identity shard=%b ff=%b" shard ff)
+        base.fp p.fp)
+    [ (true, false); (true, true) ]
 
 (* The `picobench scale` part A probe: UMT's persistent-channel wavefront
    sweeps (6-neighbour rendezvous halos) are the densest same-instant
@@ -393,7 +445,9 @@ let () =
        [ q prop_switch_identity;
          q prop_ft_identity;
          Alcotest.test_case "umt wavefront identity" `Slow test_umt_identity;
-         Alcotest.test_case "ff halt fallback" `Slow test_ff_halt_fallback ]);
+         Alcotest.test_case "ff halt fallback" `Slow test_ff_halt_fallback;
+         Alcotest.test_case "faulted fat-tree identity" `Slow
+           test_ft_linkfault_identity ]);
       ("noise", [ q prop_noise_ff ]);
       ("route",
        [ q prop_route_memo;
