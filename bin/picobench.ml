@@ -232,6 +232,17 @@ let scale_cmd =
           emit ?json ?trace ?breakdown ?jobs (fun () -> F.at_scale ~scale ?jobs ()))
       $ scale_arg $ jobs_arg $ json_arg $ trace_arg $ breakdown_arg)
 
+let serve_cmd =
+  cmd "serve"
+    ~doc:
+      "Sharded service workload: open-loop offered-load sweep across the \
+       saturation knee with admission control, circuit breaker and \
+       tail-latency FOMs, plus zero-knob and shard-identity self-checks"
+    Term.(
+      const (fun jobs json trace breakdown ->
+          emit ?json ?trace ?breakdown ?jobs (fun () -> F.serve ?jobs ()))
+      $ jobs_arg $ json_arg $ trace_arg $ breakdown_arg)
+
 let all_cmd =
   cmd "all" ~doc:"Run every experiment at the chosen scale"
     Term.(
@@ -248,7 +259,8 @@ let main =
     (Cmd.info "picobench" ~version:"1.0" ~doc)
     [ fig4_cmd; fig5a_cmd; fig5b_cmd; fig6a_cmd; fig6b_cmd; fig7_cmd;
       table1_cmd; fig8_cmd; fig9_cmd; listing1_cmd; imb_cmd; ibreg_cmd;
-      ablations_cmd; faults_cmd; fabric_cmd; scale_cmd; sloc_cmd; all_cmd ]
+      ablations_cmd; faults_cmd; fabric_cmd; scale_cmd; serve_cmd; sloc_cmd;
+      all_cmd ]
 
 let () =
   (* Surface a malformed PICO_JOBS as a CLI error, not a backtrace. *)

@@ -50,6 +50,23 @@ type t = {
   mutable ikc_max_retries : int;
   mutable fabric_retry_backoff : float;
   mutable fabric_max_retries : int;
+  mutable serve_horizon : float;
+  mutable serve_arrival_interval : float;
+  mutable serve_burst_interval : float;
+  mutable serve_burst_duration : float;
+  mutable serve_burst_factor : float;
+  mutable serve_req_bytes : int;
+  mutable serve_resp_min : int;
+  mutable serve_resp_max : int;
+  mutable serve_resp_alpha : float;
+  mutable serve_fanout : int;
+  mutable serve_workers : int;
+  mutable serve_service_base : float;
+  mutable serve_service_per_byte : float;
+  mutable serve_admit_cap : int;
+  mutable serve_breaker_threshold : int;
+  mutable serve_breaker_backoff : float;
+  mutable serve_timeout : float;
 }
 
 let defaults () = {
@@ -140,6 +157,40 @@ let defaults () = {
      packet parks at egress until a link returns) rather than hang. *)
   fabric_retry_backoff = 5.0e4;
   fabric_max_retries = 5;
+  (* Service workload (picobench serve, DESIGN.md section 16): an
+     open-loop sharded RPC scenario.  Off by default — with horizon or
+     interval at 0 the arrival plan is empty, no serve RNG split is
+     taken, and no serve process ever spawns, so every legacy figure is
+     byte-identical to the pre-serve tree. *)
+  serve_horizon = 0.;
+  serve_arrival_interval = 0.;
+  (* Burst episodes: exponential gaps between windows of [duration] ns
+     during which the arrival rate is multiplied by [factor]. *)
+  serve_burst_interval = 0.;
+  serve_burst_duration = 2.0e5;
+  serve_burst_factor = 4.0;
+  (* Request/response sizes: requests exponential around the mean,
+     responses bounded-Pareto (heavy tail is what rendezvous replies —
+     and thus the OS fast-path crossing — land on). *)
+  serve_req_bytes = 512;
+  serve_resp_min = 4_096;
+  serve_resp_max = 1_048_576;
+  serve_resp_alpha = 1.3;
+  (* Fan out each client request to this many consecutive shard
+     replicas and wait for the slowest (incast). *)
+  serve_fanout = 3;
+  serve_workers = 2;
+  serve_service_base = 2.5e3;
+  serve_service_per_byte = 0.05;
+  (* Admission control and circuit breaker: 0 disables (legacy).  The
+     cap bounds queued+inflight requests per server; over it the server
+     sheds with an eager reject reply.  The breaker opens after
+     [threshold] consecutive client-side failures and half-open probes
+     with linear backoff per consecutive trip. *)
+  serve_admit_cap = 0;
+  serve_breaker_threshold = 0;
+  serve_breaker_backoff = 3.0e5;
+  serve_timeout = 0.;
 }
 
 (* One table per domain: parallel sweeps (harness pool workers) each get
@@ -207,7 +258,24 @@ let assign dst src =
   dst.ikc_retry_backoff <- src.ikc_retry_backoff;
   dst.ikc_max_retries <- src.ikc_max_retries;
   dst.fabric_retry_backoff <- src.fabric_retry_backoff;
-  dst.fabric_max_retries <- src.fabric_max_retries
+  dst.fabric_max_retries <- src.fabric_max_retries;
+  dst.serve_horizon <- src.serve_horizon;
+  dst.serve_arrival_interval <- src.serve_arrival_interval;
+  dst.serve_burst_interval <- src.serve_burst_interval;
+  dst.serve_burst_duration <- src.serve_burst_duration;
+  dst.serve_burst_factor <- src.serve_burst_factor;
+  dst.serve_req_bytes <- src.serve_req_bytes;
+  dst.serve_resp_min <- src.serve_resp_min;
+  dst.serve_resp_max <- src.serve_resp_max;
+  dst.serve_resp_alpha <- src.serve_resp_alpha;
+  dst.serve_fanout <- src.serve_fanout;
+  dst.serve_workers <- src.serve_workers;
+  dst.serve_service_base <- src.serve_service_base;
+  dst.serve_service_per_byte <- src.serve_service_per_byte;
+  dst.serve_admit_cap <- src.serve_admit_cap;
+  dst.serve_breaker_threshold <- src.serve_breaker_threshold;
+  dst.serve_breaker_backoff <- src.serve_breaker_backoff;
+  dst.serve_timeout <- src.serve_timeout
 
 let restore src = assign (current ()) src
 

@@ -90,6 +90,36 @@ type t = {
   (** extra PSM send wait per unreachable-route retry (linear) *)
   mutable fabric_max_retries : int;
   (** route retries before the flow counts as degraded *)
+  (* --- service workload (picobench serve; off by default) --- *)
+  mutable serve_horizon : float;
+  (** open-loop arrival window, ns of simulated time; 0 disables serve *)
+  mutable serve_arrival_interval : float;
+  (** mean inter-arrival gap per client, ns; 0 disables serve *)
+  mutable serve_burst_interval : float;
+  (** mean gap between burst episodes, ns; 0 = no bursts *)
+  mutable serve_burst_duration : float;  (** length of one burst episode, ns *)
+  mutable serve_burst_factor : float;
+  (** arrival-rate multiplier inside a burst episode *)
+  mutable serve_req_bytes : int;         (** mean request size, bytes *)
+  mutable serve_resp_min : int;
+  (** bounded-Pareto response floor, bytes *)
+  mutable serve_resp_max : int;
+  (** bounded-Pareto response cap, bytes (must fit 24 bits) *)
+  mutable serve_resp_alpha : float;      (** bounded-Pareto shape *)
+  mutable serve_fanout : int;
+  (** shard replicas per request (incast width) *)
+  mutable serve_workers : int;           (** service processes per server *)
+  mutable serve_service_base : float;    (** per-request compute, ns *)
+  mutable serve_service_per_byte : float;
+  (** + this per response byte, ns *)
+  mutable serve_admit_cap : int;
+  (** max queued+inflight per server before shedding; 0 = unbounded *)
+  mutable serve_breaker_threshold : int;
+  (** consecutive client failures to trip the breaker; 0 = no breaker *)
+  mutable serve_breaker_backoff : float;
+  (** half-open probe delay, linear in consecutive trips, ns *)
+  mutable serve_timeout : float;
+  (** client-side deadline; completions past it count failed; 0 = none *)
 }
 
 (** The live configuration of the calling domain (mutable, read by all

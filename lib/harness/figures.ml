@@ -1496,6 +1496,358 @@ let at_scale ?(scale = quick) ?jobs () =
          refused);
   Buffer.contents b
 
+(* --- Service workload: open-loop traffic, admission, tail latency ----------- *)
+
+(* Exact nearest-rank quantile over an ascending-sorted array (the
+   log-bucketed Stats.Histogram quantile is a lower bound; serve's
+   p50/p99/p999 FOMs are exact by contract). *)
+let nearest_rank sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (max 0 (int_of_float (ceil (q *. float_of_int n)) - 1)))
+
+(* Aggregated figures of merit of one serve world. *)
+type serve_point = {
+  sv_arrivals : int;
+  sv_offered_rps : float;
+  sv_goodput_rps : float;
+  sv_goodput_ratio : float;
+  sv_p50 : float;
+  sv_p99 : float;
+  sv_p999 : float;
+  sv_shed : int;      (* client-visible rejected requests *)
+  sv_late : int;
+  sv_tripped : int;
+  sv_trips : int;
+  sv_occupancy : float;
+}
+
+let serve_clients = 1
+
+let serve_world ?topology ?(sharding = false) kind ~n_nodes =
+  let cl = Cluster.build kind ~n_nodes ?topology ~sharding () in
+  let out = Array.make n_nodes None in
+  let plans =
+    Serve.plans ~split:(fun () -> Rng.split cl.Cluster.rng)
+      ~clients:serve_clients
+  in
+  let res = Experiment.run cl ~ranks_per_node:1 (Serve.run ~plans ~out) in
+  (cl, res, out)
+
+let serve_aggregate (res : Experiment.result) out =
+  let c = Costs.current () in
+  let arrivals = ref 0 and ok = ref 0 and shed = ref 0 and late = ref 0 in
+  let tripped = ref 0 and trips = ref 0 in
+  let lats = ref [] in
+  let busy = ref 0. and servers = ref 0 in
+  Array.iter
+    (function
+      | Some (Serve.Client cs) ->
+        arrivals := !arrivals + cs.Serve.c_arrivals;
+        ok := !ok + cs.Serve.c_ok;
+        shed := !shed + cs.Serve.c_shed;
+        late := !late + cs.Serve.c_late;
+        tripped := !tripped + cs.Serve.c_tripped;
+        trips := !trips + cs.Serve.c_trips;
+        lats := List.rev_append cs.Serve.c_lats !lats
+      | Some (Serve.Server ss) ->
+        incr servers;
+        busy := !busy +. ss.Serve.s_busy_ns
+      | None -> ())
+    out;
+  let sorted = Array.of_list !lats in
+  Array.sort compare sorted;
+  let span = res.Experiment.fom_ns in
+  (* Ratio-style keys go through the NaN-safe fold: a zero-request or
+     zero-span window must report 0, never NaN/inf. *)
+  let goodput_rps = Subsys_obs.ratio (float_of_int !ok *. 1.0e9) span in
+  let offered_rps =
+    Subsys_obs.ratio (float_of_int !arrivals *. 1.0e9) c.Costs.serve_horizon
+  in
+  let capacity =
+    span *. float_of_int (!servers * max 1 c.Costs.serve_workers)
+  in
+  { sv_arrivals = !arrivals;
+    sv_offered_rps = offered_rps;
+    sv_goodput_rps = goodput_rps;
+    sv_goodput_ratio =
+      Subsys_obs.ratio (float_of_int !ok) (float_of_int !arrivals);
+    sv_p50 = nearest_rank sorted 0.5;
+    sv_p99 = nearest_rank sorted 0.99;
+    sv_p999 = nearest_rank sorted 0.999;
+    sv_shed = !shed;
+    sv_late = !late;
+    sv_tripped = !tripped;
+    sv_trips = !trips;
+    sv_occupancy = Subsys_obs.ratio !busy capacity }
+
+(* Everything a serve run simulated, bit-exact: the fabric/engine
+   fingerprint plus every service-level counter and latency sample —
+   shed, tripped and trip counts are simulation results and must survive
+   shard-on/off. *)
+let serve_fingerprint (cl : Cluster.t) (res : Experiment.result) out =
+  let b = Buffer.create 512 in
+  buf_add b (at_scale_fingerprint cl res);
+  Array.iter
+    (function
+      | Some (Serve.Client cs) ->
+        buf_add b
+          (Printf.sprintf ";C%d:%d:%d:%d:%d:%d:%d" cs.Serve.c_arrivals
+             cs.Serve.c_issued cs.Serve.c_ok cs.Serve.c_shed cs.Serve.c_late
+             cs.Serve.c_tripped cs.Serve.c_trips);
+        List.iter
+          (fun l -> buf_add b (Printf.sprintf ":%Lx" (Int64.bits_of_float l)))
+          cs.Serve.c_lats
+      | Some (Serve.Server ss) ->
+        buf_add b
+          (Printf.sprintf ";S%d:%d:%Lx" ss.Serve.s_handled ss.Serve.s_shed
+             (Int64.bits_of_float ss.Serve.s_busy_ns))
+      | None -> buf_add b ";-")
+    out;
+  Buffer.contents b
+
+(* Small armed world for the identity probes: moderate load with
+   admission, breaker and deadline all on, so the shed/trip counters in
+   the fingerprint are live.  Sequential on purpose (mutates the
+   process-wide switches). *)
+let serve_probe ?topology ~shard kind =
+  Cluster.ordered_arrivals := true;
+  Fun.protect ~finally:(fun () -> Cluster.ordered_arrivals := false)
+  @@ fun () ->
+  Costs.with_patched (fun c ->
+      c.Costs.serve_arrival_interval <- 2_500.;
+      c.Costs.serve_horizon <- 1.0e6;
+      c.Costs.serve_burst_interval <- 5.0e4;
+      c.Costs.serve_fanout <- 2;
+      c.Costs.serve_admit_cap <- 4;
+      c.Costs.serve_breaker_threshold <- 4;
+      c.Costs.serve_timeout <- 1.0e6)
+  @@ fun () ->
+  let n_nodes = 4 in
+  let cl, res, out = serve_world ?topology ~sharding:shard kind ~n_nodes in
+  serve_fingerprint cl res out
+
+(* The load sweep: offered load per point via the arrival interval, with
+   a fixed request count so the quantiles compare like for like. *)
+let serve_requests = 400
+
+let serve_sweep_patch ~interval c =
+  c.Costs.serve_arrival_interval <- interval;
+  c.Costs.serve_horizon <- interval *. float_of_int serve_requests;
+  c.Costs.serve_burst_interval <- 40. *. interval;
+  c.Costs.serve_burst_duration <- 8. *. interval;
+  c.Costs.serve_admit_cap <- 24;
+  c.Costs.serve_breaker_threshold <- 8;
+  c.Costs.serve_timeout <- 5.0e6
+
+let serve_loads = [ 16_000.; 8_000.; 4_000.; 2_000. ]
+
+let serve_topos =
+  [ ("flat", None);
+    ("ft 2:1", Some (Topology.Fat_tree { radix = 4; oversub = 2 })) ]
+
+let serve_topo_tag = function
+  | "flat" -> "flat"
+  | "ft 2:1" -> "o2"
+  | s -> invalid_arg ("serve_topo_tag: " ^ s)
+
+(* The p99 budget that defines the saturation knee: the highest offered
+   load whose p99 stays under it is what each OS configuration
+   "sustains". *)
+let serve_p99_budget = 2.5e6
+
+let serve ?jobs () =
+  Engine_obs.measure ~figure:"serve" @@ fun () ->
+  let b = Buffer.create 8192 in
+  buf_add b "Service workload: open-loop sharded RPC, admission + breaker\n\n";
+  (* Part A: at the zero-knob defaults the serve layer is inert — the
+     plan guard takes no RNG split, every plan is empty, and a legacy
+     world is byte-identical to the pre-serve tree. *)
+  let size = 1024 * 1024 in
+  let base = pingpong_once Cluster.Mckernel_hfi ~size in
+  let cl = Cluster.build Cluster.Mckernel_hfi ~n_nodes:2 () in
+  let witness = ref false in
+  let inert_plans =
+    Serve.plans
+      ~split:(fun () ->
+        witness := true;
+        Rng.split cl.Cluster.rng)
+      ~clients:serve_clients
+  in
+  let out = ref [] in
+  ignore
+    (Experiment.run cl ~ranks_per_node:1 (fun comm ->
+         Pico_apps.Imb.pingpong ~iters:30 ~sizes:[ size ] ~out comm));
+  let guarded_mbps =
+    match !out with
+    | [ p ] -> p.Pico_apps.Imb.mbps
+    | _ -> invalid_arg "serve: unexpected pingpong output"
+  in
+  let inert_ok =
+    (not !witness)
+    && Array.for_all (fun p -> Array.length p = 0) inert_plans
+    && guarded_mbps = base (* exact float compare, deliberately *)
+  in
+  Report.record ~figure:"serve" ~metric:"defaults_inert_equiv"
+    (if inert_ok then 1. else 0.);
+  buf_add b
+    (Printf.sprintf "serve defaults inert: %s (%.1f MB/s)\n"
+       (if inert_ok then "OK, byte-identical" else "MISMATCH")
+       guarded_mbps);
+  (* Part B: shard-on/off identity, flat and fat-tree, all OS configs —
+     with admission, breaker and deadline armed so shed/trip counters
+     are part of the compared fingerprints. *)
+  let shard_ok =
+    List.for_all
+      (fun (_, topology) ->
+        List.for_all
+          (fun kind ->
+            serve_probe ?topology ~shard:false kind
+            = serve_probe ?topology ~shard:true kind)
+          os_kinds)
+      serve_topos
+  in
+  Report.record ~figure:"serve" ~metric:"shard_equiv"
+    (if shard_ok then 1. else 0.);
+  buf_add b
+    (Printf.sprintf "serve sharding on/off: %s (3 OS configs, flat + fat-tree)\n"
+       (if shard_ok then "OK, byte-identical" else "MISMATCH"));
+  (* Ledger identity: arming the serve ledgers changes no result, and a
+     sharded run records byte-identical breakdown content. *)
+  let with_ledgers v f =
+    let prev = Ledger.on () in
+    Ledger.set_on v;
+    Fun.protect ~finally:(fun () -> Ledger.set_on prev) f
+  in
+  ignore (Breakdown.take_fingerprint ());
+  let lg_ok =
+    List.for_all
+      (fun kind ->
+        let plain = with_ledgers false (fun () -> serve_probe ~shard:false kind) in
+        ignore (Breakdown.take_fingerprint ());
+        let armed = with_ledgers true (fun () -> serve_probe ~shard:false kind) in
+        let lg_off = Breakdown.take_fingerprint () in
+        let sharded = with_ledgers true (fun () -> serve_probe ~shard:true kind) in
+        let lg_on = Breakdown.take_fingerprint () in
+        plain = armed && armed = sharded && lg_off = lg_on)
+      os_kinds
+  in
+  Report.record ~figure:"serve" ~metric:"ledger_shard_equiv"
+    (if lg_ok then 1. else 0.);
+  buf_add b
+    (Printf.sprintf "serve ledger shard on/off: %s (3 OS configs)\n\n"
+       (if lg_ok then "OK, breakdown byte-identical" else "MISMATCH"));
+  (* Part C: the load sweep across the saturation knee, per topology and
+     OS configuration.  Each point is an independent world with a
+     domain-local cost patch, so the pool fan-out stays byte-identical
+     at any -j. *)
+  let n_nodes = 8 in
+  let points =
+    List.concat_map
+      (fun (label, topology) ->
+        List.concat_map
+          (fun interval ->
+            List.map (fun kind -> (label, topology, interval, kind)) os_kinds)
+          serve_loads)
+      serve_topos
+  in
+  let results =
+    Pool.with_pool ?jobs (fun pool ->
+        Pool.map pool
+          (fun (_, topology, interval, kind) ->
+            Costs.with_patched (serve_sweep_patch ~interval) (fun () ->
+                let _, res, out = serve_world ?topology kind ~n_nodes in
+                serve_aggregate res out))
+          points)
+  in
+  List.iter2
+    (fun (label, _, interval, kind) sv ->
+      let pre =
+        Printf.sprintf "%s/%s/i%.0f" (serve_topo_tag label) (os_tag kind)
+          interval
+      in
+      let rec_ m v = Report.record ~figure:"serve" ~metric:(pre ^ "/" ^ m) v in
+      rec_ "offered_rps" sv.sv_offered_rps;
+      rec_ "goodput_rps" sv.sv_goodput_rps;
+      rec_ "goodput_ratio" sv.sv_goodput_ratio;
+      rec_ "p50_ns" sv.sv_p50;
+      rec_ "p99_ns" sv.sv_p99;
+      rec_ "p999_ns" sv.sv_p999;
+      rec_ "shed" (float_of_int sv.sv_shed);
+      rec_ "late" (float_of_int sv.sv_late);
+      rec_ "tripped" (float_of_int sv.sv_tripped);
+      rec_ "trips" (float_of_int sv.sv_trips);
+      rec_ "occupancy" sv.sv_occupancy)
+    points results;
+  let cell label interval kind =
+    List.fold_left2
+      (fun acc (l, _, i, k) sv ->
+        if l = label && i = interval && k = kind then Some sv else acc)
+      None points results
+  in
+  List.iter
+    (fun (label, _) ->
+      buf_add b
+        (Printf.sprintf
+           "%s (%d nodes, fanout %d, %d requests/point; goodput%% | p99 | \
+            shed+tripped)\n"
+           label n_nodes (Costs.current ()).Costs.serve_fanout serve_requests);
+      let rows =
+        List.map
+          (fun interval ->
+            let offered =
+              match cell label interval Cluster.Linux with
+              | Some sv -> sv.sv_offered_rps /. 1000.
+              | None -> 0.
+            in
+            let col kind =
+              match cell label interval kind with
+              | Some sv ->
+                [ Tables.pct sv.sv_goodput_ratio;
+                  Tables.ns sv.sv_p99;
+                  string_of_int (sv.sv_shed + sv.sv_tripped) ]
+              | None -> [ "-"; "-"; "-" ]
+            in
+            (Printf.sprintf "%.0f krps" offered :: col Cluster.Linux)
+            @ col Cluster.Mckernel
+            @ col Cluster.Mckernel_hfi)
+          serve_loads
+      in
+      buf_add b
+        (Tables.render
+           ~header:
+             [ "offered"; "linux"; "p99"; "drop"; "mck"; "p99"; "drop";
+               "hfi"; "p99"; "drop" ]
+           rows);
+      (* The knee: highest offered load with p99 inside the budget. *)
+      let knee kind =
+        List.fold_left
+          (fun acc interval ->
+            match cell label interval kind with
+            | Some sv
+              when sv.sv_p99 > 0. && sv.sv_p99 <= serve_p99_budget
+                   && sv.sv_offered_rps > acc ->
+              sv.sv_offered_rps
+            | _ -> acc)
+          0. serve_loads
+      in
+      let kn = List.map (fun k -> (k, knee k)) os_kinds in
+      List.iter
+        (fun (k, v) ->
+          Report.record ~figure:"serve"
+            ~metric:
+              (Printf.sprintf "%s/knee_%s_rps" (serve_topo_tag label) (os_tag k))
+            v)
+        kn;
+      let pr k = List.assoc k kn /. 1000. in
+      buf_add b
+        (Printf.sprintf
+           "p99 <= %.1f ms sustained: linux %.0f / mck %.0f / hfi %.0f krps\n\n"
+           (serve_p99_budget /. 1.0e6)
+           (pr Cluster.Linux) (pr Cluster.Mckernel) (pr Cluster.Mckernel_hfi)))
+    serve_topos;
+  Buffer.contents b
+
 (* --- everything ------------------------------------------------------------- *)
 
 let all ?(scale = quick) ?jobs () =

@@ -106,5 +106,49 @@ val fabric : ?jobs:int -> unit -> string
     rounds and epochs skipped.  Not part of {!all}. *)
 val at_scale : ?scale:scale -> ?jobs:int -> unit -> string
 
+(** One aggregated point of the serve load sweep.  Every ratio-style
+    field goes through the NaN-safe {!Subsys_obs.ratio}: a degenerate
+    window (zero requests, zero horizon, zero capacity) reports 0,
+    never NaN/inf — test/test_obs.ml pins this on a real zero-knob
+    world. *)
+type serve_point = {
+  sv_arrivals : int;
+  sv_offered_rps : float;
+  sv_goodput_rps : float;
+  sv_goodput_ratio : float;
+  sv_p50 : float;
+  sv_p99 : float;
+  sv_p999 : float;
+  sv_shed : int;
+  sv_late : int;
+  sv_tripped : int;
+  sv_trips : int;
+  sv_occupancy : float;
+}
+
+(** Build and run one serve world under the current cost table (ranks:
+    one client, the rest servers). *)
+val serve_world :
+  ?topology:Pico_fabric.Topology.t -> ?sharding:bool -> Cluster.os_kind ->
+  n_nodes:int ->
+  Cluster.t * Experiment.result * Pico_serve.Serve.rank_stats option array
+
+val serve_aggregate :
+  Experiment.result -> Pico_serve.Serve.rank_stats option array -> serve_point
+
+(** Sharded service workload with open-loop traffic: (a) zero-knob
+    inertness proof (the default cost table takes no RNG split and adds
+    no float ops — a legacy world is byte-identical to the pre-serve
+    tree); (b) shard-on/off and ledger-armed identity of the full serve
+    fingerprint — every latency sample plus the shed/tripped/trip
+    counters — on flat and 2:1 fat-tree worlds per OS configuration;
+    (c) an offered-load sweep across the saturation knee (Linux /
+    McKernel+offload / McKernel+PicoDriver x topology) reporting
+    goodput, exact nearest-rank p50/p99/p999, shed/tripped counts and
+    worker occupancy under the [serve/*] report keys, with
+    [lat/serve/*] ledger phases via [--breakdown].  Not part of
+    {!all}. *)
+val serve : ?jobs:int -> unit -> string
+
 (** Run everything at the given scale (the bench harness entry point). *)
 val all : ?scale:scale -> ?jobs:int -> unit -> string

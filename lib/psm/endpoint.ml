@@ -44,6 +44,7 @@ type recv_st = {
   r_len : int;
   mutable r_msg_id : int;     (* -1 until matched *)
   mutable r_msg_len : int;    (* -1 until known *)
+  mutable r_got_tag : int64;  (* wire tag of the matched message *)
   mutable r_done : int;       (* bytes placed/copied *)
   mutable r_next_off : int;   (* next window to register (rendezvous) *)
   mutable r_windows : window list;
@@ -127,6 +128,11 @@ let recv_info req =
     ((match r.r_src with Some s -> s | None -> -1),
      if r.r_msg_len >= 0 then r.r_msg_len else 0)
   | Send _ -> invalid_arg "recv_info: not a receive"
+
+let recv_tag req =
+  match req.kind with
+  | Recv r -> r.r_got_tag
+  | Send _ -> invalid_arg "recv_tag: not a receive"
 
 let sends_eager t = t.n_eager
 
@@ -354,8 +360,8 @@ let adopt_unexpected t req (r : recv_st) ~src (u : unexp) =
 let irecv t ~src ~tag ?(mask = -1L) ~va ~len () =
   let r =
     { r_src = src; r_tag = tag; r_mask = mask; r_va = va; r_len = len;
-      r_msg_id = -1; r_msg_len = -1; r_done = 0; r_next_off = 0;
-      r_windows = []; r_rndv = false }
+      r_msg_id = -1; r_msg_len = -1; r_got_tag = 0L; r_done = 0;
+      r_next_off = 0; r_windows = []; r_rndv = false }
   in
   let req =
     { kind = Recv r; complete = false;
@@ -363,7 +369,7 @@ let irecv t ~src ~tag ?(mask = -1L) ~va ~len () =
   in
   (match Mq.match_unexpected t.mq ~src ~tag ~mask with
    | Some (u_src, u_tag, u) ->
-     ignore u_tag;
+     r.r_got_tag <- u_tag;
      adopt_unexpected t req r ~src:u_src u
    | None -> Mq.post t.mq ~src ~tag ~mask req);
   req
@@ -399,6 +405,7 @@ let handle_eager t (e : Wire.header) (payload : bytes option) =
              r.r_src <- Some src_rank;
              r.r_msg_id <- msg_id;
              r.r_msg_len <- msg_len;
+             r.r_got_tag <- tag;
              Ledger.mark t.os.sim req.lg ~phase:"data_wait";
              place_fragment t r ~offset ~frag_len ~payload;
              Ledger.mark t.os.sim req.lg ~phase:"copy";
@@ -423,6 +430,7 @@ let handle_rts t (tag, msg_id, msg_len, src_rank) =
        r.r_src <- Some src_rank;
        r.r_msg_id <- msg_id;
        r.r_msg_len <- msg_len;
+       r.r_got_tag <- tag;
        start_rendezvous t req r ~src:src_rank
      | Send _ -> assert false)
   | None ->
@@ -507,6 +515,15 @@ let wait t req =
     let ev = Mailbox.get events in
     handle_event t ev
   done
+
+(* Block for exactly one rx event and handle it (plus anything already
+   queued).  Progress-thread-style loops (one pump process per rank,
+   e.g. lib/serve) use this so completions are observed at their exact
+   delivery instants without racing a second blocking getter. *)
+let wait_event t =
+  let ev = Mailbox.get (Hfi.rx_events t.os.ctx) in
+  handle_event t ev;
+  progress t
 
 let test t req =
   progress t;

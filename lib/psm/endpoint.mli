@@ -72,10 +72,22 @@ val test : t -> req -> bool
 (** Drain already-arrived events without blocking. *)
 val progress : t -> unit
 
+(** Block for exactly one rx event, handle it, then drain whatever else
+    already arrived.  For progress-thread-style loops that own all
+    blocking on the endpoint (at most one process per rank may block on
+    events — see lib/serve): completions are observed at their exact
+    delivery instants. *)
+val wait_event : t -> unit
+
 val completed : req -> bool
 
 (** Source rank and actual length of a completed receive. *)
 val recv_info : req -> int * int
+
+(** Wire tag of the message a completed receive matched (0 until
+    matched); lets wildcard/masked receivers decode tag-encoded
+    metadata. *)
+val recv_tag : req -> int64
 
 (** {2 Introspection} *)
 

@@ -1,0 +1,81 @@
+open Serve_import
+
+type request = {
+  at : float;
+  req_bytes : int;
+  resp_bytes : int;
+  key : int;
+}
+
+type plan = request array
+
+let armed () =
+  let c = Costs.current () in
+  c.Costs.serve_horizon > 0. && c.Costs.serve_arrival_interval > 0.
+
+(* Inverse CDF of the bounded Pareto on [lo, hi] with shape [alpha]. *)
+let bounded_pareto rng ~lo ~hi ~alpha =
+  if hi <= lo then lo
+  else begin
+    let u = Rng.float rng in
+    let l = float_of_int lo and h = float_of_int hi in
+    let la = l ** alpha and ha = h ** alpha in
+    let x = (-.(u *. ha -. u *. la -. ha) /. (ha *. la)) ** (-1. /. alpha) in
+    min hi (max lo (int_of_float x))
+  end
+
+(* Burst episodes: exponential gaps between windows of fixed duration.
+   Returned newest-last; [at] instants inside a window use the boosted
+   arrival rate. *)
+let burst_windows rng ~horizon =
+  let c = Costs.current () in
+  if c.Costs.serve_burst_interval <= 0. then []
+  else begin
+    let rec go t acc =
+      let s = t +. Rng.exponential rng ~mean:c.Costs.serve_burst_interval in
+      if s >= horizon then List.rev acc
+      else
+        let e = s +. c.Costs.serve_burst_duration in
+        go e ((s, e) :: acc)
+    in
+    go 0. []
+  end
+
+let in_burst windows t =
+  List.exists (fun (s, e) -> t >= s && t < e) windows
+
+let plan ~split () =
+  if not (armed ()) then [||]
+  else begin
+    let c = Costs.current () in
+    let rng = split () in
+    (* Fixed-order sub-streams: toggling one knob class (e.g. bursts)
+       never shifts the draws of another. *)
+    let arr_rng = Rng.split rng in
+    let size_rng = Rng.split rng in
+    let key_rng = Rng.split rng in
+    let burst_rng = Rng.split rng in
+    let horizon = c.Costs.serve_horizon in
+    let windows = burst_windows burst_rng ~horizon in
+    let interval = c.Costs.serve_arrival_interval in
+    let boosted = interval /. Float.max 1. c.Costs.serve_burst_factor in
+    let req_mean = Float.max 1. (float_of_int (c.Costs.serve_req_bytes - 64)) in
+    let req_cap = max 64 (min 16_384 (4 * c.Costs.serve_req_bytes)) in
+    let rec go t acc =
+      let mean = if in_burst windows t then boosted else interval in
+      let t = t +. Rng.exponential arr_rng ~mean in
+      if t >= horizon then List.rev acc
+      else begin
+        let req_bytes =
+          min req_cap (64 + int_of_float (Rng.exponential size_rng ~mean:req_mean))
+        in
+        let resp_bytes =
+          bounded_pareto size_rng ~lo:c.Costs.serve_resp_min
+            ~hi:c.Costs.serve_resp_max ~alpha:c.Costs.serve_resp_alpha
+        in
+        let key = Rng.int key_rng 0x3FFF_FFFF in
+        go t ({ at = t; req_bytes; resp_bytes; key } :: acc)
+      end
+    in
+    Array.of_list (go 0. [])
+  end

@@ -1,0 +1,26 @@
+(** Deterministic open-loop arrival process for the service workload.
+
+    A plan is precomputed host-side from the experiment seed before any
+    simulated process runs: Poisson arrivals with burst episodes,
+    exponential request sizes and bounded-Pareto (heavy-tailed) response
+    sizes, plus a shard key per request.  Same seed, same knobs => same
+    plan, in any domain. *)
+
+type request = {
+  at : float;        (** arrival offset from the serve epoch, ns *)
+  req_bytes : int;   (** request message size *)
+  resp_bytes : int;  (** response size each replica sends back *)
+  key : int;         (** shard key; picks the replica group *)
+}
+
+type plan = request array
+
+(** The current [Costs] knobs enable traffic ([serve_horizon] and
+    [serve_arrival_interval] both positive). *)
+val armed : unit -> bool
+
+(** Build one client's plan.  [split] is called exactly once — and only
+    when {!armed}: at the zero defaults the empty plan is returned
+    without touching the caller's RNG, so legacy figures take no extra
+    splits (the serve inertness law). *)
+val plan : split:(unit -> Pico_engine.Rng.t) -> unit -> plan

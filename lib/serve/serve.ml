@@ -1,0 +1,449 @@
+open Serve_import
+
+type client_stats = {
+  mutable c_arrivals : int;
+  mutable c_issued : int;
+  mutable c_ok : int;
+  mutable c_shed : int;
+  mutable c_late : int;
+  mutable c_tripped : int;
+  mutable c_trips : int;
+  mutable c_lats : float list;
+}
+
+type server_stats = {
+  mutable s_handled : int;
+  mutable s_shed : int;
+  mutable s_busy_ns : float;
+}
+
+type rank_stats = Client of client_stats | Server of server_stats
+
+let plans ~split ~clients =
+  if not (Arrivals.armed ()) then Array.make clients [||]
+  else begin
+    let master = split () in
+    Array.init clients (fun _ -> Arrivals.plan ~split:(fun () -> Rng.split master) ())
+  end
+
+(* --- tag layout ----------------------------------------------------------
+
+   Serve traffic lives in its own wire-tag region so it can never collide
+   with user point-to-point tags (low 32 bits) or collectives (bit 62):
+
+     bit 61          serve namespace
+     bit 60          reply (vs request)
+     bit 59          reject flag (replies only; client recvs mask it out)
+     bit 58          stop (client -> server shutdown)
+     bit 57          kick (rank-local pump wakeup)
+     bits 32..55     response size in bytes (requests only)
+     bits 0..31      request id (client-local sequence)                  *)
+
+let tag_serve = 0x2000_0000_0000_0000L
+let tag_reply = 0x1000_0000_0000_0000L
+let tag_reject = 0x0800_0000_0000_0000L
+let tag_stop = 0x0400_0000_0000_0000L
+let tag_kick = 0x0200_0000_0000_0000L
+
+let request_tag ~resp ~id =
+  Int64.(logor tag_serve
+           (logor (shift_left (of_int resp) 32) (of_int id)))
+
+let reply_tag ~reject ~id =
+  Int64.(logor tag_serve
+           (logor tag_reply
+              (logor (if reject then tag_reject else 0L) (of_int id))))
+
+(* A reply irecv matches on everything but the reject flag. *)
+let reply_mask = Int64.lognot tag_reject
+
+(* A server request slot matches requests and stops, not replies/kicks
+   (and not collectives: their tag sets bit 62 only). *)
+let request_mask = Int64.(logor tag_serve (logor tag_reply tag_kick))
+
+let tag_id tag = Int64.to_int (Int64.logand tag 0xFFFF_FFFFL)
+
+let tag_resp tag =
+  Int64.to_int (Int64.logand (Int64.shift_right_logical tag 32) 0xFF_FFFFL)
+
+let has bit tag = Int64.logand tag bit <> 0L
+
+(* --- client -------------------------------------------------------------- *)
+
+type leg = {
+  l_req : Endpoint.req;
+  l_buf : Addr.t;
+  l_cls : int;                (* reply-buffer size class, for the pool *)
+  mutable l_done : bool;
+}
+
+(* Reply buffers are pooled per power-of-two size class sized to the
+   *planned* response (the client knows it — it picked it), not to
+   [serve_resp_max]: open-loop oversaturation piles up outstanding
+   requests, and max-sized buffers would exhaust the simulated node's
+   frames long before the workload saturates. *)
+let buf_class bytes =
+  let rec go c = if c >= bytes then c else go (c * 2) in
+  go 4_096
+
+type outst = {
+  o_sched : float;            (* absolute scheduled arrival instant *)
+  o_lg : Ledger.h;
+  o_legs : leg array;
+  mutable o_left : int;
+  mutable o_rejected : bool;
+}
+
+let run_client ~plan ~clients ~fanout (cs : client_stats) comm =
+  let c = Costs.current () in
+  let sim = comm.Comm.sim in
+  let ep = comm.Comm.ep in
+  let rank = comm.Comm.rank in
+  let world = comm.Comm.size in
+  let n_servers = world - clients in
+  let os = Endpoint.os ep in
+  let req_cap = max 64 (min 16_384 (4 * c.Costs.serve_req_bytes)) in
+  let sbuf = os.Endpoint.mmap_anon req_cap in
+  let free_bufs : (int, Addr.t list ref) Hashtbl.t = Hashtbl.create 8 in
+  let pool_of cls =
+    match Hashtbl.find_opt free_bufs cls with
+    | Some l -> l
+    | None ->
+      let l = ref [] in
+      Hashtbl.add free_bufs cls l;
+      l
+  in
+  let take_buf cls =
+    let pool = pool_of cls in
+    match !pool with
+    | b :: rest -> pool := rest; b
+    | [] -> os.Endpoint.mmap_anon cls
+  in
+  let give_buf cls b =
+    let pool = pool_of cls in
+    pool := b :: !pool
+  in
+  let outstanding = ref [] in   (* newest first; completion scans reverse *)
+  let issuer_done = ref false in
+  let drained = Mailbox.create sim in
+  (* Circuit breaker (client-side, completion-order state machine). *)
+  let br_consec = ref 0 in
+  let br_trips_consec = ref 0 in
+  let br_open = ref false in
+  let br_probing = ref false in
+  let br_open_until = ref neg_infinity in
+  let on_failure now =
+    incr br_consec;
+    if c.Costs.serve_breaker_threshold > 0 then begin
+      if !br_probing then begin
+        (* Half-open probe failed: reopen with linear backoff. *)
+        br_probing := false;
+        incr br_trips_consec;
+        cs.c_trips <- cs.c_trips + 1;
+        br_open_until :=
+          now +. c.Costs.serve_breaker_backoff *. float_of_int !br_trips_consec
+      end
+      else if (not !br_open) && !br_consec >= c.Costs.serve_breaker_threshold
+      then begin
+        br_open := true;
+        br_trips_consec := 1;
+        cs.c_trips <- cs.c_trips + 1;
+        br_open_until := now +. c.Costs.serve_breaker_backoff
+      end
+    end
+  and on_success () =
+    br_consec := 0;
+    if !br_open || !br_probing then begin
+      br_open := false;
+      br_probing := false;
+      br_trips_consec := 0
+    end
+  in
+  let finish o =
+    let now = Sim.now sim in
+    Ledger.close sim o.o_lg ~phase:"reply";
+    Array.iter (fun l -> give_buf l.l_cls l.l_buf) o.o_legs;
+    let lat = now -. o.o_sched in
+    if o.o_rejected then begin
+      cs.c_shed <- cs.c_shed + 1;
+      on_failure now
+    end
+    else if c.Costs.serve_timeout > 0. && lat > c.Costs.serve_timeout then begin
+      cs.c_late <- cs.c_late + 1;
+      on_failure now
+    end
+    else begin
+      cs.c_ok <- cs.c_ok + 1;
+      cs.c_lats <- lat :: cs.c_lats;
+      on_success ()
+    end
+  in
+  let reap () =
+    (* Scan in issue order so same-instant completions finish in a
+       deterministic order. *)
+    let rec scan = function
+      | [] -> []
+      | o :: rest ->
+        let rest = scan rest in
+        Array.iter
+          (fun l ->
+            if (not l.l_done) && Endpoint.completed l.l_req then begin
+              l.l_done <- true;
+              o.o_left <- o.o_left - 1;
+              if o.o_left = Array.length o.o_legs - 1 then
+                Ledger.mark sim o.o_lg ~phase:"net";
+              if has tag_reject (Endpoint.recv_tag l.l_req) then
+                o.o_rejected <- true
+            end)
+          o.o_legs;
+        if o.o_left = 0 then begin finish o; rest end else o :: rest
+    in
+    outstanding := scan !outstanding
+  in
+  (* The waiter is the only process that ever blocks on this endpoint's
+     rx events: replies complete at their exact delivery instants. *)
+  Sim.spawn sim ~name:"serve-client-waiter" (fun () ->
+      let rec loop () =
+        reap ();
+        if !issuer_done && !outstanding = [] then Mailbox.put drained ()
+        else begin
+          Endpoint.wait_event ep;
+          loop ()
+        end
+      in
+      loop ());
+  let next_id = ref 0 in
+  let issue ~sched (a : Arrivals.request) =
+    let id = !next_id in
+    incr next_id;
+    cs.c_issued <- cs.c_issued + 1;
+    let base = a.Arrivals.key mod n_servers in
+    let lg = Ledger.begin_ sim ~op:"serve" in
+    let legs =
+      Array.init fanout (fun j ->
+          let server = clients + ((base + j) mod n_servers) in
+          let cls = buf_class a.Arrivals.resp_bytes in
+          let buf = take_buf cls in
+          let r =
+            Endpoint.irecv ep ~src:(Some server) ~tag:(reply_tag ~reject:false ~id)
+              ~mask:reply_mask ~va:buf ~len:cls ()
+          in
+          { l_req = r; l_buf = buf; l_cls = cls; l_done = false })
+    in
+    Array.iteri
+      (fun j _ ->
+        let server = clients + ((base + j) mod n_servers) in
+        ignore
+          (Endpoint.isend ep ~dst:server
+             ~tag:(request_tag ~resp:a.Arrivals.resp_bytes ~id)
+             ~va:sbuf ~len:a.Arrivals.req_bytes))
+      legs;
+    Ledger.mark sim lg ~phase:"queue";
+    outstanding :=
+      { o_sched = sched; o_lg = lg; o_legs = legs;
+        o_left = fanout; o_rejected = false }
+      :: !outstanding
+  in
+  let epoch = Sim.now sim in
+  Array.iter
+    (fun (a : Arrivals.request) ->
+      let sched = epoch +. a.Arrivals.at in
+      Sim.delay_until sim sched;
+      cs.c_arrivals <- cs.c_arrivals + 1;
+      if !br_open then begin
+        if (not !br_probing) && Sim.now sim >= !br_open_until then begin
+          br_probing := true;
+          issue ~sched a
+        end
+        else cs.c_tripped <- cs.c_tripped + 1
+      end
+      else issue ~sched a)
+    plan;
+  issuer_done := true;
+  (* Wake the waiter in case nothing is in flight: a rank-local kick
+     message through the loopback path. *)
+  ignore
+    (Endpoint.irecv ep ~src:(Some rank) ~tag:(Int64.logor tag_serve tag_kick)
+       ~va:sbuf ~len:0 ());
+  ignore
+    (Endpoint.isend ep ~dst:rank ~tag:(Int64.logor tag_serve tag_kick)
+       ~va:sbuf ~len:0);
+  Mailbox.get drained;
+  (* Shut the servers down; the waiter has exited, so the final barrier
+     is free to block on the endpoint. *)
+  for s = clients to world - 1 do
+    ignore
+      (Endpoint.isend ep ~dst:s ~tag:(Int64.logor tag_serve tag_stop)
+         ~va:sbuf ~len:0)
+  done
+
+(* --- server -------------------------------------------------------------- *)
+
+type job = {
+  j_src : int;
+  j_id : int;
+  j_resp : int;
+  j_lg : Ledger.h;
+}
+
+type work = Job of job | Poison
+
+let request_slots = 8
+
+let run_server ~clients (ss : server_stats) comm =
+  let c = Costs.current () in
+  let sim = comm.Comm.sim in
+  let ep = comm.Comm.ep in
+  let rank = comm.Comm.rank in
+  let os = Endpoint.os ep in
+  let n_workers = max 1 c.Costs.serve_workers in
+  let req_cap = max 64 (min 16_384 (4 * c.Costs.serve_req_bytes)) in
+  let work_q = Mailbox.create sim in
+  let queued = ref 0 in
+  let inflight = ref 0 in
+  let stops_seen = ref 0 in
+  let kicked = ref false in
+  (* Response sends whose completion the dispatcher observes (rendezvous:
+     the CTS arrives as an rx event); the callback wakes the worker. *)
+  let watch : (Endpoint.req * unit Mailbox.t) list ref = ref [] in
+  let drained_now () =
+    !stops_seen >= clients && !queued = 0 && !inflight = 0 && !watch = []
+  in
+  let kick_tag = Int64.logor tag_serve tag_kick in
+  let kick_buf = os.Endpoint.mmap_anon req_cap in
+  ignore (Endpoint.irecv ep ~src:(Some rank) ~tag:kick_tag ~va:kick_buf ~len:0 ());
+  (* Workers: the service processes.  They never block on rx events —
+     completion of a rendezvous reply is relayed by the dispatcher. *)
+  for _ = 1 to n_workers do
+    let done_box = Mailbox.create sim in
+    Sim.spawn sim ~name:"serve-worker" (fun () ->
+        let sbuf = os.Endpoint.mmap_anon c.Costs.serve_resp_max in
+        let rec loop () =
+          match Mailbox.get work_q with
+          | Poison -> ()
+          | Job j ->
+            queued := !queued - 1;
+            inflight := !inflight + 1;
+            Ledger.mark sim j.j_lg ~phase:"queue";
+            let d =
+              c.Costs.serve_service_base
+              +. c.Costs.serve_service_per_byte *. float_of_int j.j_resp
+            in
+            os.Endpoint.compute d;
+            ss.s_busy_ns <- ss.s_busy_ns +. d;
+            Ledger.mark sim j.j_lg ~phase:"service";
+            let sreq =
+              Endpoint.isend ep ~dst:j.j_src
+                ~tag:(reply_tag ~reject:false ~id:j.j_id)
+                ~va:sbuf ~len:j.j_resp
+            in
+            if not (Endpoint.completed sreq) then begin
+              watch := (sreq, done_box) :: !watch;
+              Mailbox.get done_box
+            end;
+            Ledger.close sim j.j_lg ~phase:"reply";
+            inflight := !inflight - 1;
+            ss.s_handled <- ss.s_handled + 1;
+            if drained_now () && not !kicked then begin
+              kicked := true;
+              ignore (Endpoint.isend ep ~dst:rank ~tag:kick_tag ~va:kick_buf ~len:0)
+            end;
+            loop ()
+        in
+        loop ())
+  done;
+  let post_slot () =
+    let buf = os.Endpoint.mmap_anon req_cap in
+    (buf,
+     ref
+       (Some
+          (Endpoint.irecv ep ~src:None ~tag:tag_serve ~mask:request_mask
+             ~va:buf ~len:req_cap ())))
+  in
+  let slots = Array.init request_slots (fun _ -> post_slot ()) in
+  let admit ~src ~id ~resp =
+    let backlog = !queued + !inflight in
+    if c.Costs.serve_admit_cap > 0 && backlog >= c.Costs.serve_admit_cap
+    then begin
+      ss.s_shed <- ss.s_shed + 1;
+      ignore
+        (Endpoint.isend ep ~dst:src ~tag:(reply_tag ~reject:true ~id)
+           ~va:kick_buf ~len:0)
+    end
+    else begin
+      queued := !queued + 1;
+      Mailbox.put work_q
+        (Job { j_src = src; j_id = id; j_resp = resp;
+               j_lg = Ledger.begin_ sim ~op:"serve" })
+    end
+  in
+  let reap () =
+    Array.iteri
+      (fun i (buf, slot) ->
+        match !slot with
+        | Some r when Endpoint.completed r ->
+          let src, _len = Endpoint.recv_info r in
+          let tag = Endpoint.recv_tag r in
+          if has tag_stop tag then incr stops_seen
+          else admit ~src ~id:(tag_id tag) ~resp:(tag_resp tag);
+          if !stops_seen >= clients then slot := None
+          else
+            slot :=
+              Some
+                (Endpoint.irecv ep ~src:None ~tag:tag_serve ~mask:request_mask
+                   ~va:buf ~len:req_cap ());
+          ignore i
+        | _ -> ())
+      slots;
+    watch :=
+      List.filter
+        (fun (r, box) ->
+          if Endpoint.completed r then begin Mailbox.put box (); false end
+          else true)
+        !watch
+  in
+  (* Dispatcher: the rank's main process, and the only one that blocks
+     on rx events (PSM progress-thread model — rendezvous window submits
+     for replies run here and serialize the pump, which is exactly the
+     per-request driver cost the figure measures). *)
+  let rec loop () =
+    reap ();
+    if drained_now () then ()
+    else begin
+      Endpoint.wait_event ep;
+      loop ()
+    end
+  in
+  loop ();
+  for _ = 1 to n_workers do Mailbox.put work_q Poison done
+
+(* --- entry --------------------------------------------------------------- *)
+
+let run ~plans ~out comm =
+  let c = Costs.current () in
+  let clients = Array.length plans in
+  let world = comm.Comm.size in
+  let rank = comm.Comm.rank in
+  let sim = comm.Comm.sim in
+  if world - clients < 1 then invalid_arg "Serve.run: need a server rank";
+  if c.Costs.serve_resp_max >= 1 lsl 24 then
+    invalid_arg "Serve.run: serve_resp_max must fit 24 tag bits";
+  let fanout = max 1 (min (world - clients) c.Costs.serve_fanout) in
+  Collectives.barrier comm;
+  let t0 = Sim.now sim in
+  if rank < clients then begin
+    let cs =
+      { c_arrivals = 0; c_issued = 0; c_ok = 0; c_shed = 0; c_late = 0;
+        c_tripped = 0; c_trips = 0; c_lats = [] }
+    in
+    run_client ~plan:plans.(rank) ~clients ~fanout cs comm;
+    out.(rank) <- Some (Client cs)
+  end
+  else begin
+    let ss = { s_handled = 0; s_shed = 0; s_busy_ns = 0. } in
+    run_server ~clients ss comm;
+    out.(rank) <- Some (Server ss)
+  end;
+  let span = Sim.now sim -. t0 in
+  Collectives.barrier comm;
+  span

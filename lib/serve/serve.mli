@@ -1,0 +1,58 @@
+(** Sharded open-loop RPC service on the simulated cluster.
+
+    One or more client ranks replay a precomputed {!Arrivals.plan}: each
+    request fans out to [serve_fanout] consecutive shard replicas (by
+    key) and completes when the slowest replica answers (incast).
+    Server ranks run a dispatcher (the only process that blocks on the
+    endpoint's rx events — the PSM progress-thread model) feeding
+    [serve_workers] service processes through a bounded admission queue;
+    over [serve_admit_cap] the request is shed with an eager reject
+    reply.  Clients apply a deadline ([serve_timeout]) and a circuit
+    breaker: [serve_breaker_threshold] consecutive failures open it,
+    arrivals while open are dropped ("tripped"), and it half-open probes
+    after a backoff linear in consecutive trips.
+
+    Everything is deterministic: the plan is precomputed from the
+    experiment seed, the simulation takes no RNG draws, and every stat
+    below is a simulation result — bit-identical shard-on vs shard-off
+    and at any [-j].
+
+    Latency ledgers (op ["serve"]): clients record queue (issue/send
+    submission), net (to first reply) and reply (to last reply); servers
+    record queue (admission to worker pickup), service (compute) and
+    reply (response send to completion).  All marks sit on
+    result-determined instants. *)
+
+type client_stats = {
+  mutable c_arrivals : int;   (** plan entries replayed *)
+  mutable c_issued : int;     (** arrivals actually sent (not tripped) *)
+  mutable c_ok : int;
+  mutable c_shed : int;       (** completed with >= 1 rejected leg *)
+  mutable c_late : int;       (** completed past [serve_timeout] *)
+  mutable c_tripped : int;    (** arrivals dropped while the breaker was open *)
+  mutable c_trips : int;      (** breaker open transitions *)
+  mutable c_lats : float list;
+  (** end-to-end latency of each ok request, newest first *)
+}
+
+type server_stats = {
+  mutable s_handled : int;    (** requests admitted and answered *)
+  mutable s_shed : int;       (** requests rejected by admission control *)
+  mutable s_busy_ns : float;  (** summed service compute (occupancy) *)
+}
+
+type rank_stats = Client of client_stats | Server of server_stats
+
+(** Build per-client plans.  [split] is taken at most once — and never
+    at the zero-knob defaults, where every plan is empty (the serve
+    inertness law; see {!Arrivals.plan}). *)
+val plans :
+  split:(unit -> Pico_engine.Rng.t) -> clients:int -> Arrivals.plan array
+
+(** [run ~plans ~out comm] — ranks [0 .. Array.length plans - 1] are
+    clients, the rest servers (at least one).  Each rank stores its
+    stats in [out.(rank)].  Returns the serve-phase span on the calling
+    rank, ns. *)
+val run :
+  plans:Arrivals.plan array -> out:rank_stats option array ->
+  Pico_mpi.Comm.t -> float

@@ -1,0 +1,10 @@
+(* Local aliases for modules used across the service workload library. *)
+module Sim = Pico_engine.Sim
+module Rng = Pico_engine.Rng
+module Mailbox = Pico_engine.Mailbox
+module Ledger = Pico_engine.Ledger
+module Addr = Pico_hw.Addr
+module Endpoint = Pico_psm.Endpoint
+module Comm = Pico_mpi.Comm
+module Collectives = Pico_mpi.Collectives
+module Costs = Pico_costs.Costs

@@ -208,12 +208,60 @@ if ! grep -q '^ledger shard on/off: OK' "$sseq_out"; then
   exit 1
 fi
 
+echo "== determinism: picobench serve, jobs=1 vs jobs=$jobs =="
+vseq_out="$(mktemp)"
+vpar_out="$(mktemp)"
+vseq_json="$(mktemp)"
+vpar_json="$(mktemp)"
+trap 'rm -f "$seq_out" "$par_out" "$seq_json" "$par_json" \
+  "$fseq_out" "$fpar_out" "$fseq_json" "$fpar_json" \
+  "$tseq_out" "$tpar_out" "$tseq_json" "$tpar_json" \
+  "$sseq_out" "$spar_out" "$sseq_json" "$spar_json" \
+  "$vseq_out" "$vpar_out" "$vseq_json" "$vpar_json"' EXIT
+
+PICO_JOBS=1 dune exec --no-build bin/picobench.exe -- serve \
+  --json "$vseq_json" > "$vseq_out"
+PICO_JOBS="$jobs" dune exec --no-build bin/picobench.exe -- serve \
+  --json "$vpar_json" > "$vpar_out"
+
+if ! diff -u "$vseq_out" "$vpar_out"; then
+  echo "FAIL: serve output differs between jobs=1 and jobs=$jobs" >&2
+  exit 1
+fi
+mask_json "$vseq_json"
+mask_json "$vpar_json"
+if ! diff -u "$vseq_json.masked" "$vpar_json.masked"; then
+  rm -f "$vseq_json.masked" "$vpar_json.masked"
+  echo "FAIL: serve JSON differs between jobs=1 and jobs=$jobs" >&2
+  exit 1
+fi
+rm -f "$vseq_json.masked" "$vpar_json.masked"
+
+# With the admission/breaker knobs at their zero defaults the serve
+# layer is inert: no RNG split, empty plans, and a legacy world
+# byte-identical to the pre-serve tree.
+if ! grep -q '^serve defaults inert: OK' "$vseq_out"; then
+  echo "FAIL: zero-knob serve defaults are not byte-identical" >&2
+  exit 1
+fi
+# The armed serve fingerprint — every latency sample plus the
+# shed/tripped/trip counters — must survive sharding, on flat and
+# fat-tree worlds, and the ledger breakdown must too.
+if ! grep -q '^serve sharding on/off: OK' "$vseq_out"; then
+  echo "FAIL: sharded serve world changed simulation results" >&2
+  exit 1
+fi
+if ! grep -q '^serve ledger shard on/off: OK' "$vseq_out"; then
+  echo "FAIL: sharded serve breakdown differs from unsharded" >&2
+  exit 1
+fi
+
 # Engine throughput (wall-clock, host-specific): informative, never gates
 # the build — machines differ and CI boxes are noisy.  The scale and
 # faults sweeps were byte-checked twice just above, so perf.sh skips
 # re-running them.
 echo "== engine throughput (non-fatal) =="
-if ! PICO_PERF_SCALE=0 PICO_PERF_FAULTS=0 scripts/perf.sh; then
+if ! PICO_PERF_SCALE=0 PICO_PERF_FAULTS=0 PICO_PERF_SERVE=0 scripts/perf.sh; then
   echo "WARN: perf.sh reported a throughput regression (non-fatal)" >&2
 fi
 

@@ -115,6 +115,27 @@ if [ "${PICO_PERF_FAULTS:-1}" = "1" ]; then
     "$faults_host"
 fi
 
+# Serve-figure FOM (warn-only): the service workload runs the identity
+# probes plus the offered-load sweep — open-loop replay, admission
+# queues, breaker bookkeeping and the nearest-rank quantile sort — so
+# its wall clock watches what the serve layer costs in host time.  Skip
+# with PICO_PERF_SERVE=0 (check.sh does: it just byte-checked the
+# figure twice).
+serve_host=null
+if [ "${PICO_PERF_SERVE:-1}" = "1" ]; then
+  vtmp="$(mktemp)"
+  trap 'rm -f "$tmp" "$vtmp"' EXIT
+  dune exec --no-build bin/picobench.exe -- serve --json "$vtmp" > /dev/null
+  serve_host="$(awk -F': ' '/"serve\/engine\/host_seconds"/ \
+    { gsub(/[ ,]/, "", $2); print $2 }' "$vtmp")"
+  if [ -z "$serve_host" ]; then
+    echo "perf.sh: no serve/engine/host_seconds in picobench serve JSON" >&2
+    exit 1
+  fi
+  printf 'perf.sh: serve: service-workload figure in %ss host wall-clock\n' \
+    "$serve_host"
+fi
+
 scale_host=null
 ft_host=null
 if [ "${PICO_PERF_SCALE:-1}" = "1" ]; then
@@ -152,6 +173,7 @@ cat > "$out" <<EOF
   "equiv_events_per_sec": $eeps,
   "ledger_equiv_events_per_sec": $ledger_eeps,
   "faults_host_seconds": $faults_host,
+  "serve_host_seconds": $serve_host,
   "scale_host_seconds": $scale_host,
   "ft_scale_host_seconds": $ft_host
 }
@@ -213,6 +235,20 @@ if [ "$faults_host" != null ] && [ -n "$base_faults" ] && [ "$base_faults" != nu
       ratio, now, base;
     if (ratio > 1.5)
       print "perf.sh: WARN: armed-faults figure >1.5x slower than baseline" > "/dev/stderr";
+  }'
+fi
+
+# The serve figure warns only as well: it mixes simulation throughput
+# with host-side aggregation (quantile sorts, fingerprint compares), so
+# its wall clock is a trend indicator for the service-workload path.
+base_serve="$(awk -F': ' '/"serve_host_seconds"/ { gsub(/[ ,]/,"",$2); print $2 }' "$baseline")"
+if [ "$serve_host" != null ] && [ -n "$base_serve" ] && [ "$base_serve" != null ]; then
+  awk -v now="$serve_host" -v base="$base_serve" 'BEGIN {
+    ratio = now / base;
+    printf "perf.sh: serve figure %.2fx of baseline wall clock (%.3gs vs %.3gs)\n",
+      ratio, now, base;
+    if (ratio > 1.5)
+      print "perf.sh: WARN: serve figure >1.5x slower than baseline" > "/dev/stderr";
   }'
 fi
 

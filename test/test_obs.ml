@@ -363,6 +363,26 @@ let test_ratio_degenerate () =
   ck "inf numerator" 0. (Subsys_obs.ratio Float.infinity 2.);
   ck "ordinary quotient" 0.5 (Subsys_obs.ratio 1. 2.)
 
+(* The serve figure's ratio-style report keys on a real degenerate
+   window: at the zero-knob defaults every plan is empty, so the world
+   runs zero requests over a zero serve horizon.  Offered load divides
+   by that zero horizon and goodput_ratio divides by zero arrivals —
+   both must come out 0 through Subsys_obs.ratio, never NaN/inf. *)
+let test_serve_ratios_degenerate () =
+  let open H.Figures in
+  let _cl, res, out = serve_world Cluster.Mckernel_hfi ~n_nodes:2 in
+  let sv = serve_aggregate res out in
+  let ck name v =
+    Alcotest.(check bool) (name ^ " finite") true (Float.is_finite v);
+    Alcotest.(check (float 0.)) name 0. v
+  in
+  Alcotest.(check int) "zero arrivals" 0 sv.sv_arrivals;
+  ck "offered_rps" sv.sv_offered_rps;
+  ck "goodput_rps" sv.sv_goodput_rps;
+  ck "goodput_ratio" sv.sv_goodput_ratio;
+  ck "occupancy" sv.sv_occupancy;
+  ck "p99" sv.sv_p99
+
 let () =
   let qc = QCheck_alcotest.to_alcotest in
   Alcotest.run "obs"
@@ -391,4 +411,6 @@ let () =
          Alcotest.test_case "subsys ratios finite" `Quick
            test_subsys_ratios_finite;
          Alcotest.test_case "ratio degenerate windows" `Quick
-           test_ratio_degenerate ]) ]
+           test_ratio_degenerate;
+         Alcotest.test_case "serve ratios on a zero-request window" `Quick
+           test_serve_ratios_degenerate ]) ]
